@@ -1,0 +1,58 @@
+//! DFS micro-benchmarks: write path (block placement + replication),
+//! read path (block fetch + range assembly), split planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use restore_dfs::{Dfs, DfsConfig};
+use std::hint::black_box;
+
+fn cluster() -> Dfs {
+    Dfs::new(DfsConfig {
+        nodes: 14,
+        block_size: 64 << 10,
+        replication: 3,
+        node_capacity: None,
+    })
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfs_write");
+    group.sample_size(20);
+    for &kb in &[64usize, 1024] {
+        let data = vec![0xabu8; kb << 10];
+        group.throughput(Throughput::Bytes((kb << 10) as u64));
+        group.bench_with_input(BenchmarkId::new("kb", kb), &kb, |b, _| {
+            let dfs = cluster();
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                dfs.write_all(&format!("/w{i}"), black_box(&data)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfs_read");
+    group.sample_size(20);
+    for &kb in &[64usize, 1024] {
+        let dfs = cluster();
+        dfs.write_all("/r", &vec![0xcdu8; kb << 10]).unwrap();
+        group.throughput(Throughput::Bytes((kb << 10) as u64));
+        group.bench_with_input(BenchmarkId::new("kb", kb), &kb, |b, _| {
+            b.iter(|| black_box(dfs.read_all("/r").unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_splits(c: &mut Criterion) {
+    let dfs = cluster();
+    dfs.write_all("/s", &vec![1u8; 4 << 20]).unwrap(); // 64 blocks
+    c.bench_function("dfs_split_planning_64_blocks", |b| {
+        b.iter(|| black_box(dfs.splits("/s").unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_write, bench_read, bench_splits);
+criterion_main!(benches);

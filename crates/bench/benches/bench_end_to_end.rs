@@ -1,0 +1,72 @@
+//! End-to-end wall-clock benchmark: PigMix L2 through the whole stack,
+//! plain vs ReStore-warm. This measures *actual in-process* time (not
+//! the modeled cluster time the experiment harness reports) — it shows
+//! that the rewritten job is cheaper to execute even for the simulator,
+//! since it reads and shuffles far fewer bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use restore_core::{Heuristic, ReStore, ReStoreConfig};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_pigmix::{datagen, queries, DataScale};
+use std::hint::black_box;
+
+fn engine() -> Engine {
+    let dfs = Dfs::new(DfsConfig {
+        nodes: 4,
+        block_size: 8 << 10,
+        replication: 1,
+        node_capacity: None,
+    });
+    datagen::generate(&dfs, &DataScale::tiny(), 5).unwrap();
+    Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 4, default_reduce_tasks: 4 },
+    )
+}
+
+fn bench_plain_vs_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("plain", |b| {
+        let eng = engine();
+        let mut rs = ReStore::new(eng, ReStoreConfig::baseline());
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            let q = queries::l2(&format!("/out/p{i}"));
+            black_box(rs.execute_query(&q, &format!("/wf/p{i}")).unwrap())
+        });
+    });
+
+    group.bench_function("restore_warm", |b| {
+        let eng = engine();
+        let mut rs = ReStore::new(
+            eng,
+            ReStoreConfig { heuristic: Heuristic::Aggressive, ..Default::default() },
+        );
+        // Warm the repository once.
+        rs.execute_query(&queries::l2("/out/warm0"), "/wf/warm0").unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            let q = queries::l2(&format!("/out/w{i}"));
+            black_box(rs.execute_query(&q, &format!("/wf/w{i}")).unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_compile_only(c: &mut Criterion) {
+    // Query-compilation cost: parse → logical → optimize → physical → MR.
+    let q = queries::l3("/out/x");
+    c.bench_function("compile_l3", |b| {
+        b.iter(|| black_box(restore_dataflow::compile(black_box(&q), "/wf").unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_plain_vs_reuse, bench_compile_only);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Sub-job enumeration cost: Split+Store injection per heuristic, and
+//! candidate prefix extraction, on plans of varying size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use restore_core::enumerator::{inject_subjob_stores, Heuristic};
+use restore_dataflow::expr::Expr;
+use restore_dataflow::physical::{PhysicalOp, PhysicalPlan};
+use std::hint::black_box;
+
+/// A join-of-pipelines plan with `depth` map-side operators per branch.
+fn plan_of(depth: usize) -> PhysicalPlan {
+    let mut p = PhysicalPlan::new();
+    let mut branches = Vec::new();
+    for b in 0..2 {
+        let mut cur =
+            p.add(PhysicalOp::Load { path: format!("/data/{b}") }, vec![]);
+        for i in 0..depth {
+            cur = if i % 2 == 0 {
+                p.add(PhysicalOp::Project { cols: vec![0, 1] }, vec![cur])
+            } else {
+                p.add(
+                    PhysicalOp::Filter { pred: Expr::col_eq(0, i as i64) },
+                    vec![cur],
+                )
+            };
+        }
+        branches.push(cur);
+    }
+    let j = p.add(PhysicalOp::Join { keys: vec![vec![0], vec![0]] }, branches);
+    p.add(PhysicalOp::Store { path: "/out".into() }, vec![j]);
+    p
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subjob_injection");
+    group.sample_size(50);
+    for h in [Heuristic::Conservative, Heuristic::Aggressive, Heuristic::NoHeuristic] {
+        for &depth in &[4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(h.label(), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        let mut plan = plan_of(depth);
+                        let mut n = 0;
+                        let cands = inject_subjob_stores(
+                            &mut plan,
+                            h,
+                            || {
+                                n += 1;
+                                format!("/repo/c{n}")
+                            },
+                            |_| false,
+                        );
+                        black_box((plan, cands))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_prefix_extraction(c: &mut Criterion) {
+    let plan = plan_of(32);
+    let mid = plan
+        .ids()
+        .find(|&i| matches!(plan.op(i), PhysicalOp::Join { .. }))
+        .unwrap();
+    c.bench_function("prefix_plan_join_tip_depth32", |b| {
+        b.iter(|| black_box(plan.prefix_plan(black_box(mid), "/repo/x")));
+    });
+}
+
+criterion_group!(benches, bench_injection, bench_prefix_extraction);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Fixed-width table rendering for the experiments binary.
+
+/// A simple text table: header + rows, column widths auto-fitted.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> =
+            self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                // Right-align numbers, left-align first column.
+                if i == 0 {
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format minutes with one decimal.
+pub fn fmin(minutes: f64) -> String {
+    format!("{minutes:.1}")
+}
+
+/// Format a ratio with one decimal.
+pub fn fratio(r: f64) -> String {
+    format!("{r:.1}")
+}
+
+/// Geometric-free plain average.
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Query", "Time (min)"]);
+        t.row(vec!["L2".into(), "15.7".into()]);
+        t.row(vec!["L11".into(), "9.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Query"));
+        assert!(lines[2].starts_with("L2"));
+        // All lines same width (aligned columns).
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn mean_and_formatting() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(fmin(9.85), "9.8");
+        assert_eq!(fratio(24.42), "24.4");
+    }
+}

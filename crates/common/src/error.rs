@@ -1,0 +1,102 @@
+//! Shared error type for all ReStore crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the DFS, the MapReduce engine, the dataflow compiler,
+/// and ReStore itself.
+///
+/// A single error enum keeps cross-crate plumbing simple; each variant
+/// carries enough context to be actionable in tests and examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A DFS path does not exist.
+    FileNotFound(String),
+    /// A DFS path already exists and overwrite was not requested.
+    FileExists(String),
+    /// A path is syntactically invalid (empty, no leading '/', ...).
+    InvalidPath(String),
+    /// The DFS cluster cannot satisfy the requested replication.
+    ReplicationUnsatisfiable { wanted: usize, live_nodes: usize },
+    /// A datanode ran out of configured capacity.
+    OutOfStorage { node: usize, needed: u64, free: u64 },
+    /// Query text failed to lex/parse. Holds position and message.
+    Parse { line: usize, col: usize, msg: String },
+    /// Semantic analysis failed (unknown alias, bad field reference, ...).
+    Plan(String),
+    /// Expression evaluation failed at run time.
+    Eval(String),
+    /// A MapReduce job failed.
+    Job(String),
+    /// The workflow DAG is malformed (cycle, missing dependency).
+    Workflow(String),
+    /// Repository (de)serialization failure.
+    Repository(String),
+    /// Record decoding failure when reading DFS files.
+    Codec(String),
+    /// Catch-all with context.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::FileNotFound(p) => write!(f, "file not found: {p}"),
+            Error::FileExists(p) => write!(f, "file already exists: {p}"),
+            Error::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            Error::ReplicationUnsatisfiable { wanted, live_nodes } => write!(
+                f,
+                "cannot place {wanted} replicas on {live_nodes} live datanodes"
+            ),
+            Error::OutOfStorage { node, needed, free } => write!(
+                f,
+                "datanode {node} out of storage: needed {needed} bytes, {free} free"
+            ),
+            Error::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Job(m) => write!(f, "job error: {m}"),
+            Error::Workflow(m) => write!(f, "workflow error: {m}"),
+            Error::Repository(m) => write!(f, "repository error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build a parse error with position information.
+    pub fn parse(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        Error::Parse { line, col, msg: msg.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::FileNotFound("/data/x".into());
+        assert_eq!(e.to_string(), "file not found: /data/x");
+        let e = Error::OutOfStorage { node: 3, needed: 10, free: 5 };
+        assert!(e.to_string().contains("datanode 3"));
+        let e = Error::parse(4, 7, "unexpected token");
+        assert!(e.to_string().contains("4:7"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::Plan("x".into()),
+            Error::Plan("x".into())
+        );
+        assert_ne!(Error::Plan("x".into()), Error::Eval("x".into()));
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared foundation types for the ReStore reproduction.
+//!
+//! This crate holds the data model every other crate builds on:
+//!
+//! * [`Value`] — a dynamically typed scalar (null / int / double / chararray),
+//!   with the total ordering and hashing semantics needed for shuffle keys.
+//! * [`Tuple`] — a row of values, the unit of data flowing through mappers,
+//!   reducers, and physical operators.
+//! * [`Schema`] — named, typed field lists attached to datasets and plans.
+//! * [`codec`] — the line-oriented record format used for files in the
+//!   simulated DFS (tab-separated, escaped), mirroring `PigStorage`.
+//! * [`rng`] — deterministic in-tree PRNG (SplitMix64) and Zipf sampler so
+//!   data generation is bit-reproducible across platforms and crate versions.
+//! * [`Error`] — the shared error type.
+
+pub mod bytesize;
+pub mod codec;
+pub mod error;
+pub mod rng;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use bytesize::human_bytes;
+pub use error::{Error, Result};
+pub use schema::{Field, FieldType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

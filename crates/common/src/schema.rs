@@ -1,0 +1,226 @@
+//! Schemas: named, typed field lists describing datasets and plan outputs.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Declared type of a field. Types are advisory (the engine is dynamically
+/// typed) but the planner uses them for expression checking and the data
+/// generators use them to synthesize values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    Int,
+    Double,
+    Chararray,
+    /// A bag of tuples, produced by Group/CoGroup.
+    Bag,
+    /// Unknown/any, produced by operators that lose type information.
+    Bytearray,
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FieldType::Int => "int",
+            FieldType::Double => "double",
+            FieldType::Chararray => "chararray",
+            FieldType::Bag => "bag",
+            FieldType::Bytearray => "bytearray",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FieldType {
+    /// Parse a Pig-style type name.
+    pub fn parse(s: &str) -> Option<FieldType> {
+        match s {
+            "int" | "long" => Some(FieldType::Int),
+            "float" | "double" => Some(FieldType::Double),
+            "chararray" => Some(FieldType::Chararray),
+            "bag" => Some(FieldType::Bag),
+            "bytearray" => Some(FieldType::Bytearray),
+            _ => None,
+        }
+    }
+}
+
+/// A named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    pub name: String,
+    pub ty: FieldType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Empty schema (used by operators whose output shape is unknown).
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Schema from (name, type) pairs.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from names with all-bytearray types.
+    pub fn from_names(names: &[&str]) -> Self {
+        Schema {
+            fields: names
+                .iter()
+                .map(|n| Field::new(*n, FieldType::Bytearray))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Resolve a field name to its position.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Resolve a name or report a planning error listing the alternatives.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            let known: Vec<&str> =
+                self.fields.iter().map(|f| f.name.as_str()).collect();
+            Error::Plan(format!(
+                "unknown field {name:?}; known fields: {known:?}"
+            ))
+        })
+    }
+
+    /// Schema produced by projecting the given positions.
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema {
+            fields: cols
+                .iter()
+                .map(|&c| {
+                    self.fields.get(c).cloned().unwrap_or_else(|| {
+                        Field::new(format!("${c}"), FieldType::Bytearray)
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Concatenation of two schemas (Join output). Duplicate names are
+    /// disambiguated with a `right::` prefix like Pig's `alias::field`.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("right::{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.ty));
+        }
+        Schema { fields }
+    }
+
+    /// Append a field, returning the new position.
+    pub fn push(&mut self, f: Field) -> usize {
+        self.fields.push(f);
+        self.fields.len() - 1
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv() -> Schema {
+        Schema::new(vec![
+            Field::new("user", FieldType::Chararray),
+            Field::new("timestamp", FieldType::Int),
+            Field::new("est_revenue", FieldType::Double),
+        ])
+    }
+
+    #[test]
+    fn index_and_resolve() {
+        let s = pv();
+        assert_eq!(s.index_of("est_revenue"), Some(2));
+        assert_eq!(s.resolve("user").unwrap(), 0);
+        let err = s.resolve("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        assert!(err.to_string().contains("user"));
+    }
+
+    #[test]
+    fn projection_keeps_types() {
+        let s = pv().project(&[2, 0]);
+        assert_eq!(s.field(0).unwrap().name, "est_revenue");
+        assert_eq!(s.field(0).unwrap().ty, FieldType::Double);
+        assert_eq!(s.field(1).unwrap().name, "user");
+    }
+
+    #[test]
+    fn projection_of_unknown_position_synthesizes_name() {
+        let s = pv().project(&[9]);
+        assert_eq!(s.field(0).unwrap().name, "$9");
+    }
+
+    #[test]
+    fn join_disambiguates_duplicates() {
+        let left = Schema::from_names(&["name", "phone"]);
+        let right = Schema::from_names(&["name", "city"]);
+        let j = left.join(&right);
+        assert_eq!(j.index_of("name"), Some(0));
+        assert_eq!(j.index_of("right::name"), Some(2));
+        assert_eq!(j.index_of("city"), Some(3));
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(FieldType::parse("long"), Some(FieldType::Int));
+        assert_eq!(FieldType::parse("double"), Some(FieldType::Double));
+        assert_eq!(FieldType::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![Field::new("a", FieldType::Int)]);
+        assert_eq!(s.to_string(), "(a: int)");
+    }
+}

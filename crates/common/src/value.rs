@@ -1,0 +1,358 @@
+//! Dynamically typed scalar values.
+//!
+//! The Pig data model is dynamically typed; a field of a tuple can hold a
+//! null, an integer, a floating point number, or a character array. The
+//! MapReduce shuffle needs a *total* order and a stable hash over values,
+//! which `f64` does not provide natively, so [`Value`] defines both
+//! explicitly (NaN sorts last among doubles; hashing uses the bit pattern
+//! with `-0.0` normalized to `+0.0`).
+
+use crate::tuple::Tuple;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically typed scalar, the atom of the data model.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style null; sorts before everything else.
+    Null,
+    /// 64-bit signed integer (covers Pig's int and long).
+    Int(i64),
+    /// 64-bit float (covers Pig's float and double).
+    Double(f64),
+    /// Character array (Pig `chararray`).
+    Str(String),
+    /// A bag of tuples (Pig `bag`), produced by Group/CoGroup. Bags are
+    /// what makes a grouped relation storable: one row = one whole group,
+    /// so a reused Group output can be aggregated map-side.
+    Bag(Vec<Tuple>),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by arithmetic and aggregates: ints widen to f64,
+    /// nulls and strings yield `None` (strings holding numbers are *not*
+    /// implicitly coerced; Pig would insert an explicit cast).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Integer view: doubles truncate only if they are whole numbers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Double(d) if d.fract() == 0.0 => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    /// String view (no implicit numeric-to-string coercion).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bag view.
+    pub fn as_bag(&self) -> Option<&[Tuple]> {
+        match self {
+            Value::Bag(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by Filter: null is false, numbers compare to zero,
+    /// strings and bags are true when non-empty.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Double(d) => *d != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bag(b) => !b.is_empty(),
+        }
+    }
+
+    /// Estimated on-disk size in bytes under the text codec. This drives the
+    /// DFS accounting and the cost model, so it must agree with
+    /// [`crate::codec`]'s actual encoding length for representative data.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            // Encoded as empty field.
+            Value::Null => 0,
+            Value::Int(i) => {
+                let mut n = *i;
+                let mut len = if n < 0 { 1 } else { 0 };
+                loop {
+                    len += 1;
+                    n /= 10;
+                    if n == 0 {
+                        break;
+                    }
+                }
+                len
+            }
+            Value::Double(d) => format_double(*d).len(),
+            Value::Str(s) => s.len(),
+            Value::Bag(ts) => {
+                // "{(f,f),(f,f)}": braces + per-tuple parens and commas.
+                let mut len = 2 + ts.len().saturating_sub(1);
+                for t in ts {
+                    len += 2 + t.0.len().saturating_sub(1);
+                    len += t.iter().map(|v| v.encoded_len()).sum::<usize>();
+                }
+                len
+            }
+        }
+    }
+
+    /// Rank used to order values of different runtime types, mirroring
+    /// Pig's cross-type ordering: null < int/double < chararray < bag.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Double(_) => 1,
+            Value::Str(_) => 2,
+            Value::Bag(_) => 3,
+        }
+    }
+}
+
+/// Canonical text rendering for doubles: integral doubles keep a trailing
+/// `.0` so they round-trip as doubles, NaN/inf use Rust's spelling.
+pub(crate) fn format_double(d: f64) -> String {
+    if d.is_finite() && d.fract() == 0.0 && d.abs() < 1e15 {
+        format!("{d:.1}")
+    } else {
+        format!("{d}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bag(a), Bag(b)) => a.cmp(b),
+            (Double(a), Double(b)) => total_f64_cmp(*a, *b),
+            (Int(a), Double(b)) => total_f64_cmp(*a as f64, *b),
+            (Double(a), Int(b)) => total_f64_cmp(*a, *b as f64),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+/// Total order over f64 with NaN greatest, used for shuffle-key sorting.
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match a.partial_cmp(&b) {
+        Some(o) => o,
+        None => match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!("partial_cmp only fails on NaN"),
+        },
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Int and a whole Double must hash alike because they compare
+            // equal (hash/eq consistency for group keys like `1 == 1.0`).
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                1u8.hash(state);
+                let d = if *d == 0.0 { 0.0 } else { *d };
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bag(ts) => {
+                3u8.hash(state);
+                ts.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => Ok(()),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{}", format_double(*d)),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bag(ts) => {
+                write!(f, "{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, v) in t.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [
+            Value::Int(1),
+            Value::Null,
+            Value::str("a"),
+            Value::Double(0.5),
+        ];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[3], Value::str("a"));
+    }
+
+    #[test]
+    fn numeric_cross_type_ordering() {
+        assert_eq!(Value::Int(2).cmp(&Value::Double(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).cmp(&Value::Double(2.5)), Ordering::Less);
+        assert_eq!(Value::Double(3.0).cmp(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn nan_sorts_greatest_among_numbers() {
+        let mut vals = [
+            Value::Double(f64::NAN),
+            Value::Double(1.0),
+            Value::Int(5),
+        ];
+        vals.sort();
+        assert!(matches!(vals[2], Value::Double(d) if d.is_nan()));
+    }
+
+    #[test]
+    fn eq_hash_consistency_for_int_double() {
+        let a = Value::Int(7);
+        let b = Value::Double(7.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(Value::Double(-0.0), Value::Double(0.0));
+        assert_eq!(hash_of(&Value::Double(-0.0)), hash_of(&Value::Double(0.0)));
+    }
+
+    #[test]
+    fn encoded_len_matches_display() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(-12345),
+            Value::Int(i64::MAX),
+            Value::Double(1.5),
+            Value::Double(-2.0),
+            Value::str("hello"),
+            Value::str(""),
+        ] {
+            assert_eq!(v.encoded_len(), v.to_string().len(), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::str("").is_truthy());
+        assert!(Value::str("x").is_truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Double(4.0).as_i64(), Some(4));
+        assert_eq!(Value::Double(4.5).as_i64(), None);
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

@@ -1,0 +1,645 @@
+//! The ReStore driver — §6.2's extension of Pig's `JobControlCompiler`.
+//!
+//! For each job of a workflow, in dependency order: (1) rewrite Loads of
+//! outputs that earlier skipped jobs aliased away, (2) lineage-expand the
+//! plan and repeatedly match/rewrite it against the repository, (3) skip
+//! the job entirely when rewriting reduced it to a pure copy, (4) inject
+//! sub-job Stores per the active heuristic, (5) execute on the MapReduce
+//! engine, (6) register outputs, plans, and statistics in the repository
+//! and the provenance table, and (7) apply the §5 selection rules.
+
+use crate::enumerator::{inject_subjob_stores, Candidate, Heuristic};
+use crate::provenance::Provenance;
+use crate::repository::{RepoStats, Repository};
+use crate::rewriter::{apply_aliases, identity_copy, rewrite};
+use crate::selector::SelectionPolicy;
+use restore_common::{Error, Result};
+use restore_dataflow::exec::{job_io, job_spec_for_plan};
+use restore_dataflow::mr_compiler::CompiledWorkflow;
+use restore_dataflow::physical::PhysicalPlan;
+use restore_mapreduce::{Engine, JobResult};
+use std::collections::HashMap;
+
+/// ReStore configuration.
+#[derive(Debug, Clone)]
+pub struct ReStoreConfig {
+    /// Rewrite incoming jobs to reuse repository outputs (§3).
+    pub reuse_enabled: bool,
+    /// Sub-job materialization heuristic (§4).
+    pub heuristic: Heuristic,
+    /// Keep/evict policy (§5).
+    pub selection: SelectionPolicy,
+    /// DFS directory for materialized sub-job outputs.
+    pub repo_prefix: String,
+    /// Delete inter-job temporary files after the workflow finishes —
+    /// "the current practice" ReStore abolishes. Enabled for plain-Pig
+    /// baselines, disabled when ReStore manages outputs.
+    pub delete_tmp: bool,
+    /// Register the workflow's *final* outputs as whole-job repository
+    /// entries. The paper's §7.1/§7.2 experiments reuse only intermediate
+    /// job outputs and sub-jobs — rerunning a query re-executes its final
+    /// job — so the experiment harness sets this to `false`. Leaving it
+    /// `true` additionally answers repeated identical queries entirely
+    /// from the repository.
+    pub register_final_outputs: bool,
+}
+
+impl Default for ReStoreConfig {
+    fn default() -> Self {
+        ReStoreConfig {
+            reuse_enabled: true,
+            heuristic: Heuristic::Aggressive,
+            selection: SelectionPolicy::default(),
+            repo_prefix: "/restore".to_string(),
+            delete_tmp: false,
+            register_final_outputs: true,
+        }
+    }
+}
+
+impl ReStoreConfig {
+    /// Plain Pig-on-Hadoop baseline: no reuse, no sub-jobs, temporary
+    /// files deleted after the workflow.
+    pub fn baseline() -> Self {
+        ReStoreConfig {
+            reuse_enabled: false,
+            heuristic: Heuristic::None,
+            delete_tmp: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Record of one applied rewrite.
+#[derive(Debug, Clone)]
+pub struct RewriteEvent {
+    /// Workflow job index that was rewritten.
+    pub job: usize,
+    /// Repository entry whose output was reused.
+    pub entry_id: u64,
+    /// Stored output path spliced into the plan.
+    pub reused_path: String,
+    /// The rewrite eliminated the entire job.
+    pub whole_job: bool,
+}
+
+/// Result of executing one workflow through ReStore.
+#[derive(Debug)]
+pub struct QueryExecution {
+    /// Modeled completion time per Equation (1), seconds.
+    pub total_s: f64,
+    /// Per-executed-job results (skipped jobs have no entry).
+    pub job_results: Vec<JobResult>,
+    /// Jobs eliminated by whole-job reuse.
+    pub jobs_skipped: usize,
+    /// Applied rewrites, in application order.
+    pub rewrites: Vec<RewriteEvent>,
+    /// Bytes written by injected sub-job Stores during this execution.
+    pub stored_candidate_bytes: u64,
+    /// Resolved path of the workflow's final output (after aliasing).
+    pub final_output: String,
+    /// Candidate sub-jobs registered in the repository.
+    pub candidates_stored: usize,
+}
+
+/// Summary of the repository and reuse activity (see [`ReStore::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReStoreStats {
+    pub repository_entries: usize,
+    /// Logical bytes of stored outputs across all entries.
+    pub stored_bytes: u64,
+    /// Total rewrites served by repository entries.
+    pub total_uses: u64,
+    /// Entries that have never been reused.
+    pub never_used: usize,
+    /// Queries executed through this driver.
+    pub queries_executed: u64,
+    pub provenance_entries: usize,
+}
+
+/// The ReStore system.
+///
+/// ```
+/// use restore_core::{ReStore, ReStoreConfig};
+/// use restore_dfs::{Dfs, DfsConfig};
+/// use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+///
+/// let dfs = Dfs::new(DfsConfig { nodes: 3, block_size: 256, replication: 2, node_capacity: None });
+/// dfs.write_all("/data/e", b"alice\t4\nbob\t7\nalice\t1\n").unwrap();
+/// let engine = Engine::new(dfs, ClusterConfig::default(), EngineConfig::default());
+/// let mut restore = ReStore::new(engine, ReStoreConfig::default());
+///
+/// let q = "A = load '/data/e' as (user, n:int);
+///          G = group A by user;
+///          R = foreach G generate group, SUM(A.n);
+///          store R into '/out/sums';";
+/// let first = restore.execute_query(q, "/wf/1").unwrap();
+/// let rerun = restore.execute_query(q, "/wf/2").unwrap();
+/// // The rerun is answered from the repository: no job executes.
+/// assert_eq!(rerun.jobs_skipped, 1);
+/// assert!(rerun.total_s < first.total_s);
+/// ```
+pub struct ReStore {
+    engine: Engine,
+    repo: Repository,
+    prov: Provenance,
+    config: ReStoreConfig,
+    /// Query counter = the logical clock for usage statistics.
+    tick: u64,
+    cand_counter: u64,
+}
+
+impl ReStore {
+    pub fn new(engine: Engine, config: ReStoreConfig) -> Self {
+        ReStore {
+            engine,
+            repo: Repository::new(),
+            prov: Provenance::new(),
+            config,
+            tick: 0,
+            cand_counter: 0,
+        }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    pub fn repository_mut(&mut self) -> &mut Repository {
+        &mut self.repo
+    }
+
+    pub fn config(&self) -> &ReStoreConfig {
+        &self.config
+    }
+
+    /// Change configuration between queries (experiments flip reuse and
+    /// heuristics while keeping the warmed repository).
+    pub fn set_config(&mut self, config: ReStoreConfig) {
+        self.config = config;
+    }
+
+    /// Compile and execute a query text.
+    pub fn execute_query(&mut self, text: &str, out_prefix: &str) -> Result<QueryExecution> {
+        let wf = restore_dataflow::compile(text, out_prefix)?;
+        self.execute_workflow(wf)
+    }
+
+    /// Execute a compiled workflow of MapReduce jobs through ReStore.
+    pub fn execute_workflow(&mut self, wf: CompiledWorkflow) -> Result<QueryExecution> {
+        self.tick += 1;
+
+        // Eviction sweep (§5 rules 3–4) runs *before* matching so stale
+        // entries (expired window, modified/deleted inputs) are never
+        // reused in this workflow.
+        let policy = self.config.selection.clone();
+        policy.sweep(&mut self.repo, self.engine.dfs(), self.tick);
+        let dead: Vec<String> = {
+            let dfs = self.engine.dfs();
+            self.prov
+                .iter_paths()
+                .filter(|p| !dfs.exists(p))
+                .map(|p| p.to_string())
+                .collect()
+        };
+        for p in dead {
+            self.prov.forget(&p);
+        }
+
+        let n = wf.jobs.len();
+        let order = topo_order(&wf)?;
+
+        let mut aliases: HashMap<String, String> = HashMap::new();
+        let mut et = vec![0.0f64; n];
+        let mut job_results = Vec::new();
+        let mut rewrites = Vec::new();
+        let mut jobs_skipped = 0;
+        let mut stored_candidate_bytes = 0u64;
+        let mut candidates_stored = 0usize;
+        let mut final_output = String::new();
+
+        for idx in order {
+            let mut plan = wf.jobs[idx].plan.clone();
+            apply_aliases(&mut plan, &aliases);
+
+            // ---- Phase 1: match and rewrite (§3) ----
+            let mut job_rewrites = 0usize;
+            if self.config.reuse_enabled {
+                // Entries whose rewrite made no structural progress (they
+                // match only lineage the plan already loads) are skipped
+                // on the rescan; progress clears the set.
+                let mut unproductive: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                let budget = 2 * plan.len() + 4 + 2 * self.repo.len();
+                for _ in 0..budget {
+                    let expanded = self.prov.expand(&plan);
+                    let Some((entry_id, m)) = self
+                        .repo
+                        .find_first_match_excluding(&expanded.plan, &unproductive)
+                    else {
+                        break;
+                    };
+                    let reused_path =
+                        self.repo.get(entry_id).expect("matched entry").output_path.clone();
+                    let mut exp = expanded;
+                    let remap = rewrite(&mut exp.plan, &m, &reused_path);
+                    // Translate expansion tips through the GC remap; an
+                    // expansion whose tip vanished was consumed by the
+                    // matched region and needs no collapsing.
+                    exp.expansions.retain_mut(|e| {
+                        match remap.get(e.tip.index()).copied().flatten() {
+                            Some(t) => {
+                                e.tip = t;
+                                true
+                            }
+                            None => false,
+                        }
+                    });
+                    let before_sig = plan.signature();
+                    let collapsed = exp.collapse_unused();
+                    if collapsed.signature() == before_sig {
+                        // No structural progress: try the next entry.
+                        unproductive.insert(entry_id);
+                        continue;
+                    }
+                    unproductive.clear();
+                    plan = collapsed;
+                    self.repo.note_use(entry_id, self.tick);
+                    rewrites.push(RewriteEvent {
+                        job: idx,
+                        entry_id,
+                        reused_path,
+                        whole_job: false,
+                    });
+                    job_rewrites += 1;
+                }
+            }
+
+            // ---- Phase 2: whole-job elimination ----
+            if job_rewrites > 0 {
+                if let Some((src, dst)) = identity_copy(&plan) {
+                    aliases.insert(dst.clone(), src);
+                    jobs_skipped += 1;
+                    if let Some(ev) = rewrites.last_mut() {
+                        ev.whole_job = true;
+                    }
+                    et[idx] = 0.0;
+                    final_output = resolve_alias(&aliases, &dst);
+                    continue;
+                }
+            }
+
+            // ---- Phase 3: sub-job enumeration (§4) ----
+            let candidates: Vec<Candidate> = if self.config.heuristic != Heuristic::None {
+                let prov = &self.prov;
+                let repo = &self.repo;
+                let prefix = self.config.repo_prefix.clone();
+                let counter = &mut self.cand_counter;
+                inject_subjob_stores(
+                    &mut plan,
+                    self.config.heuristic,
+                    move || {
+                        *counter += 1;
+                        format!("{prefix}/sub-{counter}")
+                    },
+                    |candidate| {
+                        // Skip candidates whose (base-level) plan is
+                        // already stored: re-materializing them would pay
+                        // the Store cost for nothing.
+                        let base = prov.expand(candidate).plan;
+                        repo.contains_plan(&base).is_some()
+                    },
+                )
+            } else {
+                Vec::new()
+            };
+
+            // ---- Phase 4: execute ----
+            let spec = job_spec_for_plan(&plan, &format!("q{}-job{idx}", self.tick))?;
+            let result = self.engine.run(&spec)?;
+            et[idx] = result.times.total_s;
+            final_output = result.output.clone();
+
+            // ---- Phase 5: register outputs (§2.2) ----
+            let manage_outputs =
+                self.config.reuse_enabled || self.config.heuristic != Heuristic::None;
+            if manage_outputs {
+                let io = job_io(&plan)?;
+                let input_files = self.input_versions(&io.inputs);
+                // Final outputs (not inter-job temporaries) are only
+                // registered when configured; intermediate outputs are
+                // always candidates for whole-job reuse (§2.1).
+                let is_intermediate = wf.tmp_paths.contains(&io.main_output);
+                let register_main =
+                    self.config.register_final_outputs || is_intermediate;
+
+                // Whole-job entry: the main output with the job's plan.
+                let whole_prefix = plan
+                    .prefix_plan(find_store_tip(&plan, &io.main_output)?, &io.main_output);
+                let whole_base = self.prov.expand(&whole_prefix).plan;
+                let whole_stats = RepoStats {
+                    input_bytes: result.counters.map_input_bytes,
+                    output_bytes: result.counters.output_bytes,
+                    job_time_s: result.times.total_s,
+                    avg_map_time_s: result.times.avg_map_task_s,
+                    avg_reduce_time_s: result.times.avg_reduce_task_s,
+                    use_count: 0,
+                    last_used: 0,
+                    created: self.tick,
+                    input_files: input_files.clone(),
+                };
+                if register_main && self.config.selection.should_keep(&whole_stats) {
+                    self.prov.register(&io.main_output, whole_base.clone());
+                    self.repo.insert(whole_base, &io.main_output, whole_stats);
+                }
+
+                // Candidate sub-job entries. A candidate that aliases the
+                // job's final output follows the same final-output policy.
+                for cand in &candidates {
+                    if cand.already_stored
+                        && cand.store_path == io.main_output
+                        && !register_main
+                    {
+                        continue;
+                    }
+                    let bytes = if cand.already_stored {
+                        if cand.store_path == io.main_output {
+                            result.counters.output_bytes
+                        } else {
+                            side_bytes(&result, &cand.store_path)
+                        }
+                    } else {
+                        side_bytes(&result, &cand.store_path)
+                    };
+                    stored_candidate_bytes +=
+                        if cand.already_stored { 0 } else { bytes };
+                    let stats = RepoStats {
+                        input_bytes: result.counters.map_input_bytes,
+                        output_bytes: bytes,
+                        job_time_s: result.times.total_s,
+                        avg_map_time_s: result.times.avg_map_task_s,
+                        avg_reduce_time_s: result.times.avg_reduce_task_s,
+                        use_count: 0,
+                        last_used: 0,
+                        created: self.tick,
+                        input_files: input_files.clone(),
+                    };
+                    let base = self.prov.expand(&cand.prefix).plan;
+                    if self.config.selection.should_keep(&stats) {
+                        if !self.prov.contains(&cand.store_path) {
+                            self.prov.register(&cand.store_path, base.clone());
+                        }
+                        self.repo.insert(base, &cand.store_path, stats);
+                        candidates_stored += 1;
+                    } else if !cand.already_stored {
+                        // Rejected by rules 1–2: drop the materialized file.
+                        self.engine.dfs().delete(&cand.store_path);
+                    }
+                }
+            }
+            job_results.push(result);
+        }
+
+        // ---- Phase 6: plain-Pig tmp cleanup ----
+        if self.config.delete_tmp {
+            for tmp in &wf.tmp_paths {
+                self.engine.dfs().delete(tmp);
+            }
+        }
+
+        let total_s = equation_one_total(&wf, &et)?;
+        Ok(QueryExecution {
+            total_s,
+            job_results,
+            jobs_skipped,
+            rewrites,
+            stored_candidate_bytes,
+            final_output,
+            candidates_stored,
+        })
+    }
+
+    /// Dry-run a query: compile it and report what the repository would
+    /// answer — without executing anything or mutating any state. The
+    /// report lists, per job, the matches the §3 scan finds and whether
+    /// the whole job would be eliminated.
+    pub fn explain_query(&self, text: &str, out_prefix: &str) -> Result<String> {
+        let wf = restore_dataflow::compile(text, out_prefix)?;
+        let mut report = String::new();
+        report.push_str(&format!(
+            "workflow: {} job(s); repository: {} entr{}\n",
+            wf.jobs.len(),
+            self.repo.len(),
+            if self.repo.len() == 1 { "y" } else { "ies" },
+        ));
+        for (idx, job) in wf.jobs.iter().enumerate() {
+            report.push_str(&format!(
+                "job {idx} ({} operators{}):\n",
+                job.plan.effective_len(),
+                if job.deps.is_empty() {
+                    String::new()
+                } else {
+                    format!(", depends on {:?}", job.deps)
+                }
+            ));
+            // Same match loop as execution, against a scratch plan.
+            let mut plan = job.plan.clone();
+            let mut unproductive: std::collections::HashSet<u64> =
+                std::collections::HashSet::new();
+            let mut any = false;
+            for _ in 0..(2 * plan.len() + 4 + 2 * self.repo.len()) {
+                let expanded = self.prov.expand(&plan);
+                let Some((entry_id, m)) = self
+                    .repo
+                    .find_first_match_excluding(&expanded.plan, &unproductive)
+                else {
+                    break;
+                };
+                let entry = self.repo.get(entry_id).expect("matched entry");
+                let before_sig = plan.signature();
+                let mut exp = expanded;
+                let remap = rewrite(&mut exp.plan, &m, &entry.output_path);
+                exp.expansions.retain_mut(|e| {
+                    match remap.get(e.tip.index()).copied().flatten() {
+                        Some(t) => {
+                            e.tip = t;
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                let collapsed = exp.collapse_unused();
+                if collapsed.signature() == before_sig {
+                    unproductive.insert(entry_id);
+                    continue;
+                }
+                unproductive.clear();
+                report.push_str(&format!(
+                    "  would reuse entry #{} -> {} ({}, used {} time(s))\n",
+                    entry_id,
+                    entry.output_path,
+                    restore_common::human_bytes(entry.stats.output_bytes),
+                    entry.stats.use_count,
+                ));
+                any = true;
+                plan = collapsed;
+            }
+            if let Some((src, _)) = identity_copy(&plan) {
+                report.push_str(&format!(
+                    "  whole job answered from {src}; job would be skipped\n"
+                ));
+            } else if !any {
+                report.push_str("  no matches; job executes in full\n");
+            }
+        }
+        Ok(report)
+    }
+
+    /// Point-in-time summary of the repository and reuse activity.
+    pub fn stats(&self) -> ReStoreStats {
+        let entries = self.repo.entries();
+        ReStoreStats {
+            repository_entries: entries.len(),
+            stored_bytes: self.repo.stored_bytes(),
+            total_uses: entries.iter().map(|e| e.stats.use_count).sum(),
+            never_used: entries.iter().filter(|e| e.stats.use_count == 0).count(),
+            queries_executed: self.tick,
+            provenance_entries: self.prov.len(),
+        }
+    }
+
+    /// Serialize the full ReStore session state: repository, provenance,
+    /// and counters. Paired with [`ReStore::load_state`], this lets a new
+    /// process resume with everything a previous session learned (§2.2's
+    /// repository is persistent in spirit; the DFS holds the outputs).
+    pub fn save_state(&self) -> String {
+        format!(
+            "restore-state v1\ntick {}\ncand {}\n--provenance--\n{}--repository--\n{}",
+            self.tick,
+            self.cand_counter,
+            self.prov.save(),
+            self.repo.save(),
+        )
+    }
+
+    /// Restore a session serialized by [`ReStore::save_state`]. The DFS
+    /// handle (and the stored output files in it) come from the engine
+    /// this instance was built with.
+    pub fn load_state(&mut self, text: &str) -> Result<()> {
+        let header_err = || Error::Repository("malformed restore-state".into());
+        let mut lines = text.lines();
+        if lines.next() != Some("restore-state v1") {
+            return Err(header_err());
+        }
+        let tick: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("tick "))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(header_err)?;
+        let cand: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("cand "))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(header_err)?;
+        if lines.next() != Some("--provenance--") {
+            return Err(header_err());
+        }
+        let rest: Vec<&str> = lines.collect();
+        let split = rest
+            .iter()
+            .position(|&l| l == "--repository--")
+            .ok_or_else(header_err)?;
+        let prov_text = rest[..split].join("\n");
+        let repo_text = rest[split + 1..].join("\n");
+        self.prov = Provenance::load(&prov_text)?;
+        self.repo = Repository::load(&repo_text)?;
+        self.tick = tick;
+        self.cand_counter = cand;
+        Ok(())
+    }
+
+    fn input_versions(&self, inputs: &[String]) -> Vec<(String, u64)> {
+        inputs
+            .iter()
+            .map(|p| {
+                let v = self.engine.dfs().status(p).map(|s| s.version).unwrap_or(0);
+                (p.clone(), v)
+            })
+            .collect()
+    }
+}
+
+fn side_bytes(result: &JobResult, path: &str) -> u64 {
+    result
+        .side_outputs
+        .iter()
+        .position(|p| p == path)
+        .and_then(|i| result.counters.side_output_bytes.get(i).copied())
+        .unwrap_or(0)
+}
+
+/// Node feeding the Store with the given path.
+fn find_store_tip(
+    plan: &PhysicalPlan,
+    path: &str,
+) -> Result<restore_dataflow::physical::NodeId> {
+    use restore_dataflow::physical::PhysicalOp;
+    for s in plan.stores() {
+        if matches!(plan.op(s), PhysicalOp::Store { path: p } if p == path) {
+            return Ok(plan.inputs(s)[0]);
+        }
+    }
+    Err(Error::Plan(format!("no Store of {path:?} in plan")))
+}
+
+fn topo_order(wf: &CompiledWorkflow) -> Result<Vec<usize>> {
+    let n = wf.jobs.len();
+    let mut done = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let mut advanced = false;
+        for i in 0..n {
+            if !done[i] && wf.jobs[i].deps.iter().all(|&d| done[d]) {
+                done[i] = true;
+                order.push(i);
+                advanced = true;
+            }
+        }
+        if !advanced {
+            return Err(Error::Workflow("cycle in compiled workflow".into()));
+        }
+    }
+    Ok(order)
+}
+
+/// Equation (1) over the compiled workflow's dependency DAG.
+fn equation_one_total(wf: &CompiledWorkflow, et: &[f64]) -> Result<f64> {
+    let order = topo_order(wf)?;
+    let mut totals = vec![0.0f64; et.len()];
+    for i in order {
+        let slowest = wf.jobs[i]
+            .deps
+            .iter()
+            .map(|&d| totals[d])
+            .fold(0.0f64, f64::max);
+        totals[i] = et[i] + slowest;
+    }
+    Ok(totals.iter().copied().fold(0.0, f64::max))
+}
+
+fn resolve_alias(aliases: &HashMap<String, String>, path: &str) -> String {
+    let mut cur = path.to_string();
+    let mut hops = 0;
+    while let Some(next) = aliases.get(&cur) {
+        cur = next.clone();
+        hops += 1;
+        if hops > aliases.len() {
+            break;
+        }
+    }
+    cur
+}

@@ -1,0 +1,281 @@
+//! Sub-job enumeration — §4 of the paper.
+//!
+//! "We parse the physical plan of the input MapReduce job starting from
+//! its Load operators. For every parsed physical operator, we check if
+//! the heuristic that we are using requires us to generate a sub-job for
+//! this operator. If so, we inject a new Store operator after the parsed
+//! physical operator … we need to also insert an operator that branches
+//! the output into two, similar to a Unix tee command … the Split
+//! operator in Pig."
+
+use restore_dataflow::physical::{NodeId, PhysicalOp, PhysicalPlan};
+
+/// Which operators' outputs to materialize as candidate sub-jobs (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Heuristic {
+    /// Do not generate sub-jobs at all (plain Pig behaviour).
+    #[default]
+    None,
+    /// Conservative (HC): operators known to reduce their input size —
+    /// Project and Filter (we include expression-projections, which are
+    /// Pig FOREACHes, in the Project family).
+    Conservative,
+    /// Aggressive (HA): HC plus the expensive operators Join, Group, and
+    /// CoGroup. The paper's default.
+    Aggressive,
+    /// No Heuristic (NH): a Store after *every* physical operator.
+    NoHeuristic,
+}
+
+impl Heuristic {
+    /// Does this heuristic materialize the output of `op`?
+    pub fn selects(&self, op: &PhysicalOp) -> bool {
+        // Plumbing operators never get candidates.
+        if matches!(
+            op,
+            PhysicalOp::Load { .. } | PhysicalOp::Store { .. } | PhysicalOp::Split
+        ) {
+            return false;
+        }
+        match self {
+            Heuristic::None => false,
+            Heuristic::Conservative => matches!(
+                op,
+                PhysicalOp::Project { .. }
+                    | PhysicalOp::MapExpr { .. }
+                    | PhysicalOp::Filter { .. }
+            ),
+            Heuristic::Aggressive => matches!(
+                op,
+                PhysicalOp::Project { .. }
+                    | PhysicalOp::MapExpr { .. }
+                    | PhysicalOp::Filter { .. }
+                    | PhysicalOp::Join { .. }
+                    | PhysicalOp::Group { .. }
+                    | PhysicalOp::CoGroup { .. }
+            ),
+            Heuristic::NoHeuristic => true,
+        }
+    }
+
+    /// Short display name used by the experiment harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Heuristic::None => "Off",
+            Heuristic::Conservative => "HC",
+            Heuristic::Aggressive => "HA",
+            Heuristic::NoHeuristic => "NH",
+        }
+    }
+}
+
+/// A candidate sub-job generated for one operator.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// DFS path the injected Store writes to (or the path of an existing
+    /// Store when the operator's output was already stored).
+    pub store_path: String,
+    /// The candidate's job plan: Loads → … → operator → Store. Expressed
+    /// at the *job* level; the driver lineage-expands it before
+    /// registering it in the repository.
+    pub prefix: PhysicalPlan,
+    /// True when no Store was injected because the output was already
+    /// materialized (the operator fed a Store directly).
+    pub already_stored: bool,
+}
+
+/// Inject `Split`+`Store` pairs after every operator the heuristic
+/// selects. `make_path` mints fresh candidate paths; `skip` lets the
+/// caller suppress materialization (e.g. when the repository already
+/// holds an equivalent plan, so re-storing would only add overhead).
+///
+/// Returns the candidates; `plan` is modified in place.
+pub fn inject_subjob_stores(
+    plan: &mut PhysicalPlan,
+    heuristic: Heuristic,
+    mut make_path: impl FnMut() -> String,
+    mut skip: impl FnMut(&PhysicalPlan) -> bool,
+) -> Vec<Candidate> {
+    let mut candidates = Vec::new();
+    if heuristic == Heuristic::None {
+        return candidates;
+    }
+    // Snapshot: only operators present before instrumentation are
+    // considered, in topological (from-the-Loads) order.
+    let original: Vec<NodeId> = plan.topo_order();
+    for n in original {
+        if !heuristic.selects(plan.op(n)) {
+            continue;
+        }
+        // Already stored? A consumer that is a Store (directly or through
+        // an existing Split) means the output is materialized by the job
+        // anyway — record the candidate without injecting (§4: "if the
+        // parsed operator is not already a Store").
+        if let Some(path) = existing_store_path(plan, n) {
+            let prefix = plan.prefix_plan(n, &path);
+            if !skip(&prefix) {
+                candidates.push(Candidate {
+                    store_path: path,
+                    prefix,
+                    already_stored: true,
+                });
+            }
+            continue;
+        }
+        let path = make_path();
+        let prefix = plan.prefix_plan(n, &path);
+        if skip(&prefix) {
+            continue;
+        }
+        // Tee the output: consumers of n now read from the Split, and a
+        // new Store captures the side branch (Figure 8).
+        let consumers = plan.consumers(n);
+        let split = plan.add(PhysicalOp::Split, vec![n]);
+        for c in consumers {
+            for k in 0..plan.inputs(c).len() {
+                if plan.inputs(c)[k] == n {
+                    plan.node_mut(c).inputs[k] = split;
+                }
+            }
+        }
+        plan.add(PhysicalOp::Store { path: path.clone() }, vec![split]);
+        candidates.push(Candidate { store_path: path, prefix, already_stored: false });
+    }
+    candidates
+}
+
+/// Path of a Store already consuming `n`'s output (directly or through a
+/// Split tee), if any.
+fn existing_store_path(plan: &PhysicalPlan, n: NodeId) -> Option<String> {
+    let mut frontier = vec![n];
+    while let Some(cur) = frontier.pop() {
+        for c in plan.consumers(cur) {
+            match plan.op(c) {
+                PhysicalOp::Store { path } => return Some(path.clone()),
+                PhysicalOp::Split => frontier.push(c),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_dataflow::expr::Expr;
+
+    /// Q1's one-job plan: two Load+Project branches into a Join.
+    fn q1_plan() -> PhysicalPlan {
+        let mut p = PhysicalPlan::new();
+        let l1 = p.add(PhysicalOp::Load { path: "/users".into() }, vec![]);
+        let p1 = p.add(PhysicalOp::Project { cols: vec![0] }, vec![l1]);
+        let l2 = p.add(PhysicalOp::Load { path: "/pv".into() }, vec![]);
+        let p2 = p.add(PhysicalOp::Project { cols: vec![0, 2] }, vec![l2]);
+        let j = p.add(PhysicalOp::Join { keys: vec![vec![0], vec![0]] }, vec![p1, p2]);
+        p.add(PhysicalOp::Store { path: "/out".into() }, vec![j]);
+        p
+    }
+
+    fn paths() -> impl FnMut() -> String {
+        let mut i = 0;
+        move || {
+            i += 1;
+            format!("/repo/cand-{i}")
+        }
+    }
+
+    #[test]
+    fn conservative_materializes_projects_only() {
+        let mut plan = q1_plan();
+        let cands =
+            inject_subjob_stores(&mut plan, Heuristic::Conservative, paths(), |_| false);
+        // Two Projects → two injected stores (Figure 8's shape).
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| !c.already_stored));
+        let splits =
+            plan.ids().filter(|&i| matches!(plan.op(i), PhysicalOp::Split)).count();
+        assert_eq!(splits, 2);
+        assert_eq!(plan.stores().len(), 3); // main + 2 side
+        // Candidate prefixes are Load→Project→Store (3 nodes, no Split).
+        for c in &cands {
+            assert_eq!(c.prefix.len(), 3);
+            assert!(c.prefix.ids().all(|i| !matches!(c.prefix.op(i), PhysicalOp::Split)));
+        }
+    }
+
+    #[test]
+    fn aggressive_adds_join_candidate_via_existing_store() {
+        let mut plan = q1_plan();
+        let cands =
+            inject_subjob_stores(&mut plan, Heuristic::Aggressive, paths(), |_| false);
+        assert_eq!(cands.len(), 3);
+        // The Join feeds the job's own Store: no extra injection, the
+        // candidate references the existing output.
+        let join_cand = cands.iter().find(|c| c.store_path == "/out").unwrap();
+        assert!(join_cand.already_stored);
+        // Only the two Project stores were injected.
+        assert_eq!(plan.stores().len(), 3);
+    }
+
+    #[test]
+    fn no_heuristic_stores_after_every_operator() {
+        let mut plan = q1_plan();
+        let with_filter = {
+            let f = plan.add(
+                PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) },
+                vec![plan.loads()[0]],
+            );
+            plan.add(PhysicalOp::Store { path: "/out2".into() }, vec![f]);
+            plan
+        };
+        let mut plan = with_filter;
+        let cands =
+            inject_subjob_stores(&mut plan, Heuristic::NoHeuristic, paths(), |_| false);
+        // Project, Project, Join(existing store), Filter(existing store).
+        assert_eq!(cands.len(), 4);
+        assert_eq!(cands.iter().filter(|c| c.already_stored).count(), 2);
+    }
+
+    #[test]
+    fn off_heuristic_is_a_noop() {
+        let mut plan = q1_plan();
+        let before = plan.len();
+        let cands = inject_subjob_stores(&mut plan, Heuristic::None, paths(), |_| false);
+        assert!(cands.is_empty());
+        assert_eq!(plan.len(), before);
+    }
+
+    #[test]
+    fn skip_suppresses_injection() {
+        let mut plan = q1_plan();
+        // Suppress everything: plan unchanged, no candidates.
+        let before = plan.len();
+        let cands =
+            inject_subjob_stores(&mut plan, Heuristic::Aggressive, paths(), |_| true);
+        assert!(cands.is_empty());
+        assert_eq!(plan.len(), before);
+    }
+
+    #[test]
+    fn instrumented_plan_still_executes_semantics() {
+        // The Split tee must not change the main pipeline: consumers of
+        // the Project now read via Split.
+        let mut plan = q1_plan();
+        inject_subjob_stores(&mut plan, Heuristic::Conservative, paths(), |_| false);
+        let join = plan
+            .ids()
+            .find(|&i| matches!(plan.op(i), PhysicalOp::Join { .. }))
+            .unwrap();
+        for &i in plan.inputs(join) {
+            assert!(matches!(plan.op(i), PhysicalOp::Split));
+        }
+    }
+
+    #[test]
+    fn heuristic_labels() {
+        assert_eq!(Heuristic::Conservative.label(), "HC");
+        assert_eq!(Heuristic::Aggressive.label(), "HA");
+        assert_eq!(Heuristic::NoHeuristic.label(), "NH");
+    }
+}

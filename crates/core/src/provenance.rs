@@ -1,0 +1,294 @@
+//! Provenance: which base-level plan produced each stored path.
+//!
+//! ReStore matches one MapReduce job at a time, but jobs within a
+//! workflow communicate through temporary files, and rewritten jobs load
+//! repository outputs. To compare apples to apples, every plan that
+//! enters the matcher or the repository is **lineage-expanded**: a `Load`
+//! of a produced path is replaced by the (base-level) plan that produced
+//! it. The provenance table records those producing plans.
+
+
+use restore_dataflow::physical::{NodeId, PhysicalOp, PhysicalPlan};
+use std::collections::HashMap;
+
+/// Path → base-level single-Store plan that produced it.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    plans: HashMap<String, PhysicalPlan>,
+}
+
+/// An expansion performed by [`Provenance::expand`]: the `Load` of `path`
+/// was replaced by its producing plan, whose output now flows from `tip`.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    pub path: String,
+    pub tip: NodeId,
+}
+
+/// A lineage-expanded plan plus enough bookkeeping to collapse unused
+/// expansions back into plain Loads.
+#[derive(Debug, Clone)]
+pub struct ExpandedPlan {
+    pub plan: PhysicalPlan,
+    pub expansions: Vec<Expansion>,
+}
+
+impl Provenance {
+    pub fn new() -> Self {
+        Provenance::default()
+    }
+
+    /// Register the producing plan of `path`. The plan must be base-level
+    /// (its Loads must not themselves have provenance) and single-Store.
+    pub fn register(&mut self, path: impl Into<String>, plan: PhysicalPlan) {
+        debug_assert_eq!(plan.stores().len(), 1, "provenance plans are single-Store");
+        debug_assert!(
+            plan.loads().iter().all(|&l| {
+                match plan.op(l) {
+                    PhysicalOp::Load { path } => !self.plans.contains_key(path),
+                    _ => false,
+                }
+            }),
+            "provenance plans must be base-level"
+        );
+        self.plans.insert(path.into(), plan);
+    }
+
+    pub fn get(&self, path: &str) -> Option<&PhysicalPlan> {
+        self.plans.get(path)
+    }
+
+    pub fn contains(&self, path: &str) -> bool {
+        self.plans.contains_key(path)
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Remove the record for a path (e.g. after eviction deleted it).
+    pub fn forget(&mut self, path: &str) {
+        self.plans.remove(path);
+    }
+
+    /// All recorded paths.
+    pub fn iter_paths(&self) -> impl Iterator<Item = &str> {
+        self.plans.keys().map(|s| s.as_str())
+    }
+
+    /// Serialize the table (paths sorted for determinism).
+    pub fn save(&self) -> String {
+        let mut paths: Vec<&String> = self.plans.keys().collect();
+        paths.sort();
+        let mut out = String::new();
+        for p in paths {
+            out.push_str(&format!("path {p:?}\n"));
+            for line in crate::plan_text::encode_plan(&self.plans[p]).lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Reload a table serialized by [`Provenance::save`].
+    pub fn load(text: &str) -> restore_common::Result<Provenance> {
+        use restore_common::Error;
+        let mut prov = Provenance::new();
+        let mut lines = text.lines();
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line.strip_prefix("path ").ok_or_else(|| {
+                Error::Repository(format!("expected 'path', got {line:?}"))
+            })?;
+            // Reuse plan_text's string unquoting through a Load shim.
+            let path = match crate::plan_text::decode_plan(&format!("0 load {rest}\n")) {
+                Ok(p) => match p.op(p.loads()[0]) {
+                    PhysicalOp::Load { path } => path.clone(),
+                    _ => unreachable!(),
+                },
+                Err(e) => return Err(e),
+            };
+            let mut plan_src = String::new();
+            for l in lines.by_ref() {
+                if l == "end" {
+                    break;
+                }
+                plan_src.push_str(l.trim_start());
+                plan_src.push('\n');
+            }
+            let plan = crate::plan_text::decode_plan(&plan_src)?;
+            prov.plans.insert(path, plan);
+        }
+        Ok(prov)
+    }
+
+    /// Replace every `Load` of a produced path with its producing plan
+    /// (minus that plan's Store). Returns the expanded plan and the list
+    /// of expansion tips, so callers can collapse unused expansions after
+    /// rewriting.
+    pub fn expand(&self, plan: &PhysicalPlan) -> ExpandedPlan {
+        let mut out = PhysicalPlan::new();
+        let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut expansions = Vec::new();
+
+        for id in plan.topo_order() {
+            let node = plan.node(id);
+            if let PhysicalOp::Load { path } = &node.op {
+                if let Some(producer) = self.plans.get(path) {
+                    let tip = inline_producer(&mut out, producer);
+                    remap.insert(id, tip);
+                    expansions.push(Expansion { path: path.clone(), tip });
+                    continue;
+                }
+            }
+            let inputs: Vec<NodeId> =
+                node.inputs.iter().map(|i| remap[i]).collect();
+            let new_id = out.add(node.op.clone(), inputs);
+            remap.insert(id, new_id);
+        }
+        ExpandedPlan { plan: out, expansions }
+    }
+}
+
+/// Copy `producer` (minus its Store) into `target`, returning the node
+/// that carried the producer's output.
+fn inline_producer(target: &mut PhysicalPlan, producer: &PhysicalPlan) -> NodeId {
+    let store = producer.stores()[0];
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in producer.topo_order() {
+        if id == store {
+            continue;
+        }
+        let node = producer.node(id);
+        let inputs: Vec<NodeId> = node.inputs.iter().map(|i| remap[i]).collect();
+        remap.insert(id, target.add(node.op.clone(), inputs));
+    }
+    remap[&producer.inputs(store)[0]]
+}
+
+impl ExpandedPlan {
+    /// Collapse every expansion whose tip is still present and consumed
+    /// back into a plain `Load` of the produced path, then GC. Called
+    /// after rewriting so unmatched lineage does not get re-executed.
+    pub fn collapse_unused(mut self) -> PhysicalPlan {
+        loop {
+            let mut acted = false;
+            for exp in &self.expansions {
+                let tip = exp.tip;
+                if tip.index() >= self.plan.len() {
+                    continue;
+                }
+                let consumers = self.plan.consumers(tip);
+                if consumers.is_empty() {
+                    continue;
+                }
+                // Skip when the tip already became a Load of the same path
+                // (a rewrite replaced the expansion with the stored file).
+                if matches!(self.plan.op(tip), PhysicalOp::Load { .. }) {
+                    continue;
+                }
+                let load = self
+                    .plan
+                    .add(PhysicalOp::Load { path: exp.path.clone() }, vec![]);
+                for c in consumers {
+                    for k in 0..self.plan.inputs(c).len() {
+                        if self.plan.inputs(c)[k] == tip {
+                            self.plan.node_mut(c).inputs[k] = load;
+                        }
+                    }
+                }
+                acted = true;
+            }
+            if !acted {
+                break;
+            }
+            // Ids shift on GC; redo in the (rare) multi-expansion case.
+            let remap = self.plan.gc();
+            for exp in &mut self.expansions {
+                exp.tip = match remap.get(exp.tip.index()).copied().flatten() {
+                    Some(t) => t,
+                    None => NodeId(u32::MAX), // gone: fully consumed
+                };
+            }
+            self.expansions.retain(|e| e.tip != NodeId(u32::MAX));
+        }
+        self.plan.gc();
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_dataflow::physical::PhysicalOp::*;
+
+    fn producer() -> PhysicalPlan {
+        let mut p = PhysicalPlan::new();
+        let l = p.add(Load { path: "/base".into() }, vec![]);
+        let pr = p.add(Project { cols: vec![0, 1] }, vec![l]);
+        p.add(Store { path: "/tmp-0".into() }, vec![pr]);
+        p
+    }
+
+    fn consumer() -> PhysicalPlan {
+        let mut p = PhysicalPlan::new();
+        let l = p.add(Load { path: "/tmp-0".into() }, vec![]);
+        let g = p.add(Group { keys: vec![0] }, vec![l]);
+        p.add(Store { path: "/out".into() }, vec![g]);
+        p
+    }
+
+    #[test]
+    fn expansion_inlines_producer() {
+        let mut prov = Provenance::new();
+        prov.register("/tmp-0", producer());
+        let exp = prov.expand(&consumer());
+        // Load(/base) -> Project -> Group -> Store.
+        assert_eq!(exp.plan.len(), 4);
+        assert_eq!(exp.expansions.len(), 1);
+        let loads = exp.plan.loads();
+        assert_eq!(loads.len(), 1);
+        assert!(matches!(exp.plan.op(loads[0]), Load { path } if path == "/base"));
+    }
+
+    #[test]
+    fn plans_without_provenance_pass_through() {
+        let prov = Provenance::new();
+        let c = consumer();
+        let exp = prov.expand(&c);
+        assert_eq!(exp.plan, c);
+        assert!(exp.expansions.is_empty());
+    }
+
+    #[test]
+    fn collapse_restores_unmatched_expansion() {
+        let mut prov = Provenance::new();
+        prov.register("/tmp-0", producer());
+        let exp = prov.expand(&consumer());
+        // No rewrite happened; collapsing must restore the original shape.
+        let collapsed = exp.collapse_unused();
+        assert_eq!(collapsed.loads().len(), 1);
+        let l = collapsed.loads()[0];
+        assert!(matches!(collapsed.op(l), Load { path } if path == "/tmp-0"));
+        // Group and Store survive; producer ops are gone.
+        assert_eq!(collapsed.len(), 3);
+    }
+
+    #[test]
+    fn forget_removes_entry() {
+        let mut prov = Provenance::new();
+        prov.register("/tmp-0", producer());
+        assert!(prov.contains("/tmp-0"));
+        prov.forget("/tmp-0");
+        assert!(!prov.contains("/tmp-0"));
+    }
+}

@@ -1,0 +1,567 @@
+//! The ReStore repository of MapReduce job outputs — §2.2 and §5.
+//!
+//! Each entry holds "(1) the physical query execution plan of the
+//! MapReduce job that was executed to produce this output, (2) the
+//! filename of the output in the distributed file system, and (3)
+//! statistics about the MapReduce job that produced the output and the
+//! frequency of use of this output".
+//!
+//! Entries are kept **ordered** so the sequential scan's first match is
+//! the best match (§3): plans that subsume others come first; among
+//! incomparable plans, higher input/output reduction ratio, then longer
+//! job execution time, win. An optional fingerprint index accelerates
+//! lookup (an ablation over the paper's sequential scan; results are
+//! identical because candidates are verified with the full traversal).
+
+use crate::matcher::{pairwise_plan_traversal, subsumes, PlanMatch};
+use crate::plan_text;
+use restore_common::{Error, Result};
+use restore_dataflow::physical::PhysicalPlan;
+use std::collections::HashMap;
+
+/// Execution statistics of a stored job output (§2.2, §5).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepoStats {
+    /// Bytes the producing job loaded (modeled/actual consistent units).
+    pub input_bytes: u64,
+    /// Bytes of the stored output.
+    pub output_bytes: u64,
+    /// Modeled execution time of the producing job, seconds.
+    pub job_time_s: f64,
+    /// Average map task time of the producing job, seconds.
+    pub avg_map_time_s: f64,
+    /// Average reduce task time of the producing job, seconds.
+    pub avg_reduce_time_s: f64,
+    /// How many times this output was used to rewrite a query.
+    pub use_count: u64,
+    /// Logical tick (query counter) of the last reuse.
+    pub last_used: u64,
+    /// Logical tick at which the entry was created.
+    pub created: u64,
+    /// Input files and their DFS versions at creation time (eviction
+    /// Rule 4 invalidates the entry when these change).
+    pub input_files: Vec<(String, u64)>,
+}
+
+impl RepoStats {
+    /// Rule-2 ordering metric #1: size of input over size of output.
+    pub fn reduction_ratio(&self) -> f64 {
+        self.input_bytes as f64 / (self.output_bytes.max(1)) as f64
+    }
+}
+
+/// One stored job output.
+#[derive(Debug, Clone)]
+pub struct RepoEntry {
+    pub id: u64,
+    /// Base-level physical plan (single Store).
+    pub plan: PhysicalPlan,
+    /// Merkle signature of `plan` (Store paths excluded).
+    pub signature: u64,
+    /// Where the output lives in the DFS.
+    pub output_path: String,
+    pub stats: RepoStats,
+}
+
+/// Outcome of an insertion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// New entry stored under this id.
+    Inserted(u64),
+    /// An equivalent plan was already stored under this id.
+    Duplicate(u64),
+}
+
+/// The ordered repository.
+#[derive(Debug, Default)]
+pub struct Repository {
+    entries: Vec<RepoEntry>,
+    next_id: u64,
+    /// signature → entry id (deduplication and the fingerprint index).
+    by_signature: HashMap<u64, u64>,
+    /// Use the fingerprint index for matching instead of the paper's
+    /// sequential scan. Results are identical; speed differs (see the
+    /// `bench_matcher` ablation).
+    pub use_fingerprint_index: bool,
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in match-priority order.
+    pub fn entries(&self) -> &[RepoEntry] {
+        &self.entries
+    }
+
+    pub fn get(&self, id: u64) -> Option<&RepoEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut RepoEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Does any entry already compute this plan?
+    pub fn contains_plan(&self, plan: &PhysicalPlan) -> Option<u64> {
+        self.by_signature.get(&plan.signature()).copied()
+    }
+
+    /// Insert an entry, maintaining the §3 ordering rules. Deduplicates
+    /// by plan signature (the later execution refreshes statistics).
+    pub fn insert(
+        &mut self,
+        plan: PhysicalPlan,
+        output_path: impl Into<String>,
+        stats: RepoStats,
+    ) -> InsertOutcome {
+        let signature = plan.signature();
+        if let Some(&dup) = self.by_signature.get(&signature) {
+            if let Some(e) = self.get_mut(dup) {
+                // Refresh stats but keep usage history.
+                let (uses, last) = (e.stats.use_count, e.stats.last_used);
+                e.stats = stats;
+                e.stats.use_count = uses;
+                e.stats.last_used = last;
+            }
+            return InsertOutcome::Duplicate(dup);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let entry = RepoEntry {
+            id,
+            plan,
+            signature,
+            output_path: output_path.into(),
+            stats,
+        };
+        let pos = self.insert_position(&entry);
+        self.entries.insert(pos, entry);
+        self.by_signature.insert(signature, id);
+        InsertOutcome::Inserted(id)
+    }
+
+    /// Position respecting: (rule 1) subsuming plans first; (rule 2)
+    /// among incomparables, higher reduction ratio then longer job time
+    /// first.
+    fn insert_position(&self, new: &RepoEntry) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.entries.len();
+        for (i, e) in self.entries.iter().enumerate() {
+            let e_subsumes_new = subsumes(&e.plan, &new.plan);
+            let new_subsumes_e = subsumes(&new.plan, &e.plan);
+            if e_subsumes_new && !new_subsumes_e {
+                lo = lo.max(i + 1);
+            } else if new_subsumes_e && !e_subsumes_new {
+                hi = hi.min(i);
+            }
+        }
+        if hi < lo {
+            // Conflicting constraints can only arise from signature
+            // collisions; degrade to the later position.
+            hi = lo;
+        }
+        let score = |s: &RepoStats| (s.reduction_ratio(), s.job_time_s);
+        let new_score = score(&new.stats);
+        let mut pos = lo;
+        while pos < hi {
+            let existing = score(&self.entries[pos].stats);
+            if existing < new_score {
+                break;
+            }
+            pos += 1;
+        }
+        pos
+    }
+
+    /// §3: scan the ordered repository and return the first entry whose
+    /// plan is contained in `input_plan`, with the match.
+    pub fn find_first_match(&self, input_plan: &PhysicalPlan) -> Option<(u64, PlanMatch)> {
+        self.find_first_match_excluding(input_plan, &std::collections::HashSet::new())
+    }
+
+    /// Like [`Repository::find_first_match`] but skipping the listed
+    /// entries. The driver excludes entries whose rewrite made no
+    /// structural progress (e.g. an entry matching only its own lineage
+    /// expansion) and rescans for the next-best match.
+    pub fn find_first_match_excluding(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &std::collections::HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        if self.use_fingerprint_index {
+            return self.find_first_match_indexed(input_plan, exclude);
+        }
+        for e in &self.entries {
+            if exclude.contains(&e.id) {
+                continue;
+            }
+            if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
+                return Some((e.id, m));
+            }
+        }
+        None
+    }
+
+    /// Fingerprint-index variant: compute the signature of every node of
+    /// the input plan; an entry can only match when its tip signature
+    /// appears. Candidates are verified with the full traversal, and the
+    /// earliest entry in repository order wins — identical results to the
+    /// sequential scan, sub-linear candidate filtering.
+    fn find_first_match_indexed(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &std::collections::HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        use std::collections::HashSet;
+        let input_sigs: HashSet<u64> = input_plan
+            .ids()
+            .map(|id| input_plan.node_signature(id))
+            .collect();
+        for e in &self.entries {
+            if exclude.contains(&e.id) {
+                continue;
+            }
+            let tip_sig = crate::matcher::plan_tip(&e.plan)
+                .map(|t| e.plan.node_signature(t));
+            let Some(tip_sig) = tip_sig else { continue };
+            if !input_sigs.contains(&tip_sig) {
+                continue;
+            }
+            if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
+                return Some((e.id, m));
+            }
+        }
+        None
+    }
+
+    /// Record a reuse of entry `id` at logical time `tick`.
+    pub fn note_use(&mut self, id: u64, tick: u64) {
+        if let Some(e) = self.get_mut(id) {
+            e.stats.use_count += 1;
+            e.stats.last_used = tick;
+        }
+    }
+
+    /// Remove an entry, returning it.
+    pub fn evict(&mut self, id: u64) -> Option<RepoEntry> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        let e = self.entries.remove(pos);
+        self.by_signature.remove(&e.signature);
+        Some(e)
+    }
+
+    /// Total bytes of stored outputs (repository footprint).
+    pub fn stored_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.stats.output_bytes).sum()
+    }
+
+    // ---- persistence ----
+
+    /// Serialize the repository (plans, paths, stats) to a durable string.
+    pub fn save(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "entry {} {:?} {} {} {} {} {} {} {} {}\n",
+                e.id,
+                e.output_path,
+                e.stats.input_bytes,
+                e.stats.output_bytes,
+                e.stats.job_time_s,
+                e.stats.avg_map_time_s,
+                e.stats.avg_reduce_time_s,
+                e.stats.use_count,
+                e.stats.last_used,
+                e.stats.created,
+            ));
+            for (p, v) in &e.stats.input_files {
+                out.push_str(&format!("input {p:?} {v}\n"));
+            }
+            out.push_str("plan\n");
+            for line in plan_text::encode_plan(&e.plan).lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Reload a repository serialized by [`Repository::save`]. Ordering
+    /// is preserved verbatim (it was valid when saved).
+    pub fn load(text: &str) -> Result<Repository> {
+        let mut repo = Repository::new();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("entry ")
+                .ok_or_else(|| Error::Repository(format!("expected 'entry', got {line:?}")))?;
+            let (id_str, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| Error::Repository("truncated entry header".into()))?;
+            let id: u64 = id_str
+                .parse()
+                .map_err(|_| Error::Repository("bad entry id".into()))?;
+            // Path is Rust-quoted and may contain spaces: find closing quote.
+            let close = find_close_quote(rest)?;
+            let output_path = unquote_header(&rest[..=close])?;
+            let nums: Vec<&str> = rest[close + 1..].split_whitespace().collect();
+            if nums.len() != 8 {
+                return Err(Error::Repository(format!(
+                    "expected 8 stat fields, got {}",
+                    nums.len()
+                )));
+            }
+            let parse_u = |s: &str| {
+                s.parse::<u64>().map_err(|_| Error::Repository("bad stat".into()))
+            };
+            let parse_f = |s: &str| {
+                s.parse::<f64>().map_err(|_| Error::Repository("bad stat".into()))
+            };
+            let mut stats = RepoStats {
+                input_bytes: parse_u(nums[0])?,
+                output_bytes: parse_u(nums[1])?,
+                job_time_s: parse_f(nums[2])?,
+                avg_map_time_s: parse_f(nums[3])?,
+                avg_reduce_time_s: parse_f(nums[4])?,
+                use_count: parse_u(nums[5])?,
+                last_used: parse_u(nums[6])?,
+                created: parse_u(nums[7])?,
+                input_files: Vec::new(),
+            };
+            // Optional input lines, then "plan".
+            loop {
+                let l = lines
+                    .next()
+                    .ok_or_else(|| Error::Repository("truncated entry".into()))?;
+                if l == "plan" {
+                    break;
+                }
+                let rest = l
+                    .strip_prefix("input ")
+                    .ok_or_else(|| Error::Repository(format!("unexpected line {l:?}")))?;
+                let close = find_close_quote(rest)?;
+                let path = unquote_header(&rest[..=close])?;
+                let version: u64 = rest[close + 1..]
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::Repository("bad input version".into()))?;
+                stats.input_files.push((path, version));
+            }
+            let mut plan_src = String::new();
+            loop {
+                let l = lines
+                    .next()
+                    .ok_or_else(|| Error::Repository("truncated plan".into()))?;
+                if l == "end" {
+                    break;
+                }
+                plan_src.push_str(l.trim_start());
+                plan_src.push('\n');
+            }
+            let plan = plan_text::decode_plan(&plan_src)?;
+            let signature = plan.signature();
+            repo.entries.push(RepoEntry { id, plan, signature, output_path, stats });
+            repo.by_signature.insert(signature, id);
+            repo.next_id = repo.next_id.max(id + 1);
+        }
+        Ok(repo)
+    }
+}
+
+fn find_close_quote(s: &str) -> Result<usize> {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return Err(Error::Repository(format!("expected quoted path in {s:?}")));
+    }
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(i),
+            _ => i += 1,
+        }
+    }
+    Err(Error::Repository("unterminated quoted path".into()))
+}
+
+fn unquote_header(s: &str) -> Result<String> {
+    // Reuse plan_text's unquoter through a tiny shim.
+    crate::plan_text::decode_plan(&format!("0 load {s}\n")).map(|p| {
+        match p.op(p.loads()[0]) {
+            restore_dataflow::physical::PhysicalOp::Load { path } => path.clone(),
+            _ => unreachable!(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_dataflow::physical::PhysicalOp;
+
+    fn load_project(path: &str, cols: Vec<usize>) -> PhysicalPlan {
+        let mut p = PhysicalPlan::new();
+        let l = p.add(PhysicalOp::Load { path: path.into() }, vec![]);
+        let pr = p.add(PhysicalOp::Project { cols }, vec![l]);
+        p.add(PhysicalOp::Store { path: format!("/repo/{path}") }, vec![pr]);
+        p
+    }
+
+    fn q1_plan() -> PhysicalPlan {
+        let mut p = PhysicalPlan::new();
+        let l1 = p.add(PhysicalOp::Load { path: "/users".into() }, vec![]);
+        let p1 = p.add(PhysicalOp::Project { cols: vec![0] }, vec![l1]);
+        let l2 = p.add(PhysicalOp::Load { path: "/pv".into() }, vec![]);
+        let p2 = p.add(PhysicalOp::Project { cols: vec![0, 2] }, vec![l2]);
+        let j = p.add(PhysicalOp::Join { keys: vec![vec![0], vec![0]] }, vec![p1, p2]);
+        p.add(PhysicalOp::Store { path: "/q1".into() }, vec![j]);
+        p
+    }
+
+    fn stats(input: u64, output: u64, time: f64) -> RepoStats {
+        RepoStats {
+            input_bytes: input,
+            output_bytes: output,
+            job_time_s: time,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn insert_and_match() {
+        let mut repo = Repository::new();
+        repo.insert(load_project("/pv", vec![0, 2]), "/repo/b", stats(100, 10, 5.0));
+        let (id, m) = repo.find_first_match(&q1_plan()).unwrap();
+        assert_eq!(repo.get(id).unwrap().output_path, "/repo/b");
+        assert!(matches!(q1_plan().op(m.tip), PhysicalOp::Project { .. }));
+    }
+
+    #[test]
+    fn duplicate_signature_refreshes_stats() {
+        let mut repo = Repository::new();
+        let a = repo.insert(load_project("/pv", vec![0]), "/r/1", stats(100, 10, 5.0));
+        let InsertOutcome::Inserted(id) = a else { panic!() };
+        repo.note_use(id, 3);
+        let b = repo.insert(load_project("/pv", vec![0]), "/r/2", stats(100, 12, 6.0));
+        assert_eq!(b, InsertOutcome::Duplicate(id));
+        assert_eq!(repo.len(), 1);
+        let e = repo.get(id).unwrap();
+        assert_eq!(e.stats.output_bytes, 12); // refreshed
+        assert_eq!(e.stats.use_count, 1); // history kept
+        assert_eq!(e.output_path, "/r/1"); // original output retained
+    }
+
+    #[test]
+    fn subsuming_plan_ordered_first() {
+        let mut repo = Repository::new();
+        // Insert the small plan first…
+        repo.insert(load_project("/pv", vec![0, 2]), "/r/sub", stats(100, 50, 2.0));
+        // …then the Q1 plan that subsumes it.
+        repo.insert(q1_plan(), "/r/q1", stats(200, 20, 30.0));
+        assert_eq!(repo.entries()[0].output_path, "/r/q1");
+        assert_eq!(repo.entries()[1].output_path, "/r/sub");
+        // A fresh Q1-shaped query now matches the *whole* Q1 plan first
+        // (the paper's "first match is best match").
+        let (id, _) = repo.find_first_match(&q1_plan()).unwrap();
+        assert_eq!(repo.get(id).unwrap().output_path, "/r/q1");
+    }
+
+    #[test]
+    fn incomparable_plans_ordered_by_reduction_then_time() {
+        let mut repo = Repository::new();
+        repo.insert(load_project("/a", vec![0]), "/r/low", stats(100, 50, 9.0));
+        repo.insert(load_project("/b", vec![0]), "/r/high", stats(100, 5, 1.0));
+        // ratio 20 beats ratio 2 despite lower time.
+        assert_eq!(repo.entries()[0].output_path, "/r/high");
+        // Same ratio: longer time first.
+        let mut repo = Repository::new();
+        repo.insert(load_project("/a", vec![0]), "/r/fast", stats(100, 10, 1.0));
+        repo.insert(load_project("/b", vec![0]), "/r/slow", stats(100, 10, 9.0));
+        assert_eq!(repo.entries()[0].output_path, "/r/slow");
+    }
+
+    #[test]
+    fn eviction_removes_entry_and_signature() {
+        let mut repo = Repository::new();
+        let InsertOutcome::Inserted(id) =
+            repo.insert(load_project("/a", vec![0]), "/r/a", stats(1, 1, 1.0))
+        else {
+            panic!()
+        };
+        assert!(repo.evict(id).is_some());
+        assert!(repo.is_empty());
+        // Same plan can be inserted again afterwards.
+        let again = repo.insert(load_project("/a", vec![0]), "/r/a2", stats(1, 1, 1.0));
+        assert!(matches!(again, InsertOutcome::Inserted(_)));
+    }
+
+    #[test]
+    fn fingerprint_index_agrees_with_scan() {
+        let mut scan = Repository::new();
+        let mut indexed = Repository::new();
+        indexed.use_fingerprint_index = true;
+        for (i, cols) in [vec![0], vec![1], vec![0, 2], vec![2]].into_iter().enumerate() {
+            let s = stats(100 + i as u64, 10, i as f64);
+            scan.insert(load_project("/pv", cols.clone()), format!("/r/{i}"), s.clone());
+            indexed.insert(load_project("/pv", cols), format!("/r/{i}"), s);
+        }
+        let q = q1_plan();
+        let a = scan.find_first_match(&q).map(|(id, m)| (id, m.tip));
+        let b = indexed.find_first_match(&q).map(|(id, m)| (id, m.tip));
+        assert_eq!(a, b);
+        assert!(a.is_some());
+        // And both agree on a non-match.
+        let other = load_project("/nowhere", vec![9]);
+        assert!(scan.find_first_match(&other).is_none());
+        assert!(indexed.find_first_match(&other).is_none());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut repo = Repository::new();
+        repo.insert(q1_plan(), "/r/q1", RepoStats {
+            input_bytes: 1000,
+            output_bytes: 50,
+            job_time_s: 12.5,
+            avg_map_time_s: 1.5,
+            avg_reduce_time_s: 2.5,
+            use_count: 3,
+            last_used: 9,
+            created: 1,
+            input_files: vec![("/pv".into(), 0), ("/users dir/x".into(), 2)],
+        });
+        repo.insert(load_project("/pv", vec![0, 2]), "/r/sub", stats(100, 10, 2.0));
+        let text = repo.save();
+        let back = Repository::load(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.entries()[0].output_path, repo.entries()[0].output_path);
+        assert_eq!(back.entries()[0].signature, repo.entries()[0].signature);
+        assert_eq!(back.entries()[0].stats, repo.entries()[0].stats);
+        // Loaded repository still matches.
+        assert!(back.find_first_match(&q1_plan()).is_some());
+    }
+
+    #[test]
+    fn stored_bytes_sums_outputs() {
+        let mut repo = Repository::new();
+        repo.insert(load_project("/a", vec![0]), "/r/a", stats(100, 30, 1.0));
+        repo.insert(load_project("/b", vec![0]), "/r/b", stats(100, 12, 1.0));
+        assert_eq!(repo.stored_bytes(), 42);
+    }
+}

@@ -1,0 +1,140 @@
+//! Graphviz (DOT) rendering of physical plans and compiled workflows —
+//! the pictures in the paper (Figures 2, 3, 8) as `dot -Tpng` input.
+
+use crate::mr_compiler::CompiledWorkflow;
+use crate::physical::{PhysicalOp, PhysicalPlan};
+use std::fmt::Write as _;
+
+/// Render one physical plan as a DOT digraph.
+pub fn plan_to_dot(plan: &PhysicalPlan, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    emit_plan_nodes(&mut out, plan, "");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a compiled workflow: one cluster per MapReduce job, dashed
+/// edges for job dependencies.
+pub fn workflow_to_dot(wf: &CompiledWorkflow, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (j, job) in wf.jobs.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_job{j} {{");
+        let _ = writeln!(out, "    label=\"MR Job {j}\";");
+        emit_plan_nodes(&mut out, &job.plan, &format!("j{j}_"));
+        let _ = writeln!(out, "  }}");
+    }
+    // Dependency edges between job anchors (first store of dep → first
+    // load of dependent).
+    for (j, job) in wf.jobs.iter().enumerate() {
+        for &d in &job.deps {
+            let from_store = wf.jobs[d].plan.stores()[0];
+            let to_load = job.plan.loads()[0];
+            let _ = writeln!(
+                out,
+                "  j{d}_n{} -> j{j}_n{} [style=dashed, label=\"dep\"];",
+                from_store.0, to_load.0
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn emit_plan_nodes(out: &mut String, plan: &PhysicalPlan, prefix: &str) {
+    for id in plan.topo_order() {
+        let op = plan.op(id);
+        let label = match op {
+            PhysicalOp::Load { path } => format!("Load\\n{path}"),
+            PhysicalOp::Store { path } => format!("Store\\n{path}"),
+            PhysicalOp::Project { cols } => format!("Project {cols:?}"),
+            PhysicalOp::Group { keys } => format!("Group {keys:?}"),
+            PhysicalOp::Join { keys } => format!("Join {keys:?}"),
+            PhysicalOp::CoGroup { keys } => format!("CoGroup {keys:?}"),
+            PhysicalOp::Limit { n } => format!("Limit {n}"),
+            other => other.name().to_string(),
+        };
+        let style = match op {
+            PhysicalOp::Load { .. } => ", style=filled, fillcolor=lightblue",
+            PhysicalOp::Store { .. } => ", style=filled, fillcolor=lightyellow",
+            op if op.is_blocking() => ", style=filled, fillcolor=lightpink",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  {prefix}n{} [label=\"{}\"{}];",
+            id.0,
+            label.replace('"', "'"),
+            style
+        );
+        for &i in plan.inputs(id) {
+            let _ = writeln!(out, "  {prefix}n{} -> {prefix}n{};", i.0, id.0);
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const Q2: &str = "
+        A = load '/pv' as (user, rev:double);
+        B = foreach A generate user, rev;
+        U = load '/users' as (name);
+        C = join U by name, B by user;
+        G = group C by $0;
+        S = foreach G generate group, SUM(C.rev);
+        store S into '/out';
+    ";
+
+    #[test]
+    fn plan_dot_contains_all_nodes_and_edges() {
+        let wf = compile(Q2, "/wf").unwrap();
+        let dot = plan_to_dot(&wf.jobs[0].plan, "job0");
+        assert!(dot.starts_with("digraph job0 {"));
+        assert!(dot.contains("Load"));
+        assert!(dot.contains("lightblue"));
+        // Every non-leaf node contributes at least one edge.
+        let edges = dot.matches(" -> ").count();
+        assert!(edges >= wf.jobs[0].plan.len() - wf.jobs[0].plan.loads().len());
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn workflow_dot_has_clusters_and_dep_edges() {
+        let wf = compile(Q2, "/wf").unwrap();
+        assert!(wf.jobs.len() >= 2);
+        let dot = workflow_to_dot(&wf, "q2");
+        assert_eq!(dot.matches("subgraph cluster_job").count(), wf.jobs.len());
+        assert!(dot.contains("style=dashed"));
+        // Blocking operators are highlighted.
+        assert!(dot.contains("lightpink"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let wf = compile(Q2, "/wf").unwrap();
+        let dot = plan_to_dot(&wf.jobs[0].plan, "9-bad name!");
+        assert!(dot.starts_with("digraph g9_bad_name_ {"));
+    }
+}

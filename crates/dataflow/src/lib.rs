@@ -1,0 +1,65 @@
+//! Pig-Latin-subset dataflow system.
+//!
+//! Reproduces the compiler stack §6.1 of the paper describes for Pig 0.8:
+//!
+//! 1. [`parser`] — syntactic check of the query text into an AST;
+//! 2. [`logical`] — alias resolution into a logical plan DAG with schemas;
+//! 3. [`optimizer`] — rule-based logical rewrites;
+//! 4. [`lower`] — lowering to a [`physical`] operator DAG;
+//! 5. [`mr_compiler`] — segmentation into a workflow of MapReduce jobs at
+//!    blocking operators (Join/Group/CoGroup/Distinct/Order), each job
+//!    carrying its own physical plan;
+//! 6. [`exec`] — plan-driven `Mapper`/`Reducer` implementations so the
+//!    `restore-mapreduce` engine can run compiled jobs.
+//!
+//! The **physical plan of a MapReduce job** ([`physical::PhysicalPlan`])
+//! is the currency of the whole reproduction: ReStore's matcher,
+//! rewriter, and sub-job enumerator in `restore-core` all operate on it,
+//! exactly as the paper prescribes ("matching, sub-job enumeration, and
+//! enumerated sub-job selection are based on physical plans").
+
+pub mod ast;
+pub mod dot;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod logical;
+pub mod lower;
+pub mod mr_compiler;
+pub mod optimizer;
+pub mod parser;
+pub mod physical;
+
+pub use expr::{AggFunc, CmpOp, Expr, ScalarFunc};
+pub use logical::LogicalPlan;
+pub use mr_compiler::{CompiledJob, CompiledWorkflow};
+pub use physical::{NodeId, PhysicalOp, PhysicalPlan};
+
+use restore_common::Result;
+
+/// Compile query text all the way to a workflow of MapReduce jobs.
+///
+/// `out_prefix` namespaces the temporary files created at job boundaries
+/// so concurrent queries do not collide.
+///
+/// ```
+/// // The paper's Q2 splits into two jobs at the Group operator.
+/// let wf = restore_dataflow::compile(
+///     "A = load '/pv' as (user, rev:double);
+///      U = load '/users' as (name);
+///      C = join U by name, A by user;
+///      G = group C by $0;
+///      S = foreach G generate group, SUM(C.rev);
+///      store S into '/out';",
+///     "/wf/q2",
+/// ).unwrap();
+/// assert_eq!(wf.jobs.len(), 2);
+/// assert_eq!(wf.jobs[1].deps, vec![0]); // group job waits for the join
+/// ```
+pub fn compile(query: &str, out_prefix: &str) -> Result<CompiledWorkflow> {
+    let program = parser::parse(query)?;
+    let logical = logical::LogicalPlan::from_ast(&program)?;
+    let logical = optimizer::optimize(logical);
+    let physical = lower::lower(&logical)?;
+    mr_compiler::compile_plan(&physical, out_prefix)
+}

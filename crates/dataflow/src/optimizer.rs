@@ -1,0 +1,227 @@
+//! Rule-based logical optimizer.
+//!
+//! Pig 0.8 runs a handful of logical rewrites before MapReduce
+//! compilation (§6.1 step 2). We implement the rules that matter for the
+//! plan shapes ReStore sees, keeping plans canonical so equivalent queries
+//! produce structurally identical physical plans:
+//!
+//! * **MergeProjects** — `Project(b) ∘ Project(a)` → `Project(a[b])`;
+//! * **FilterPushdown** — `Filter ∘ Project` → `Project ∘ Filter` when
+//!   every predicate column survives the mapping;
+//! * **DropNoopProject** — identity projections vanish.
+
+use crate::logical::{LNodeId, LogicalOp, LogicalPlan};
+
+/// Run all rules to fixpoint.
+pub fn optimize(mut plan: LogicalPlan) -> LogicalPlan {
+    loop {
+        let mut changed = false;
+        changed |= merge_projects(&mut plan);
+        changed |= filter_pushdown(&mut plan);
+        changed |= drop_noop_projects(&mut plan);
+        if !changed {
+            return plan;
+        }
+    }
+}
+
+/// `Project(b) ∘ Project(a)` becomes a single projection.
+fn merge_projects(plan: &mut LogicalPlan) -> bool {
+    let mut changed = false;
+    for i in 0..plan.nodes.len() {
+        let LogicalOp::Project { cols: outer } = &plan.nodes[i].op else {
+            continue;
+        };
+        let outer = outer.clone();
+        let input = plan.nodes[i].inputs[0];
+        let LogicalOp::Project { cols: inner } = &plan.nodes[input].op else {
+            continue;
+        };
+        let inner = inner.clone();
+        if outer.iter().any(|&c| c >= inner.len()) {
+            continue; // ill-formed reference; leave for runtime null
+        }
+        let fused: Vec<usize> = outer.iter().map(|&c| inner[c]).collect();
+        let grand = plan.nodes[input].inputs[0];
+        plan.nodes[i].op = LogicalOp::Project { cols: fused };
+        plan.nodes[i].inputs = vec![grand];
+        changed = true;
+    }
+    changed
+}
+
+/// `Filter(p) ∘ Project(cols)` becomes `Project(cols) ∘ Filter(p')` with
+/// predicate columns remapped through the projection.
+fn filter_pushdown(plan: &mut LogicalPlan) -> bool {
+    let mut changed = false;
+    for i in 0..plan.nodes.len() {
+        let LogicalOp::Filter { pred } = &plan.nodes[i].op else {
+            continue;
+        };
+        let input = plan.nodes[i].inputs[0];
+        let LogicalOp::Project { cols } = &plan.nodes[input].op else {
+            continue;
+        };
+        let cols = cols.clone();
+        let Some(pushed) = pred.remap_cols(&|c| cols.get(c).copied()) else {
+            continue;
+        };
+        // New node: the pushed-down filter below the projection.
+        let grand = plan.nodes[input].inputs[0];
+        let filt_schema = plan.nodes[grand].schema.clone();
+        let filt_bags = plan.nodes[grand].bag_schemas.clone();
+        let new_filter = plan.nodes.len();
+        plan.nodes.push(crate::logical::LogicalNode {
+            op: LogicalOp::Filter { pred: pushed },
+            inputs: vec![grand],
+            schema: filt_schema,
+            bag_schemas: filt_bags,
+        });
+        // The old Filter node becomes the Project (schema unchanged).
+        plan.nodes[i].op = LogicalOp::Project { cols };
+        plan.nodes[i].inputs = vec![new_filter];
+        changed = true;
+    }
+    changed
+}
+
+/// Remove `Project(0..n)` where n equals the input arity.
+fn drop_noop_projects(plan: &mut LogicalPlan) -> bool {
+    let mut changed = false;
+    for i in 0..plan.nodes.len() {
+        let LogicalOp::Project { cols } = &plan.nodes[i].op else {
+            continue;
+        };
+        let input = plan.nodes[i].inputs[0];
+        let arity = plan.nodes[input].schema.len();
+        let is_identity =
+            cols.len() == arity && cols.iter().enumerate().all(|(k, &c)| k == c);
+        // Keep identity projections that rename fields? Renames don't
+        // affect physical execution, so they can go.
+        if !is_identity {
+            continue;
+        }
+        // Rewire all consumers of i to read from input directly.
+        let consumers: Vec<LNodeId> = (0..plan.nodes.len())
+            .filter(|&n| plan.nodes[n].inputs.contains(&i))
+            .collect();
+        if consumers.is_empty() {
+            continue; // dead anyway
+        }
+        for c in consumers {
+            for inp in &mut plan.nodes[c].inputs {
+                if *inp == i {
+                    *inp = input;
+                }
+            }
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalPlan;
+    use crate::parser::parse;
+
+    fn build(q: &str) -> LogicalPlan {
+        optimize(LogicalPlan::from_ast(&parse(q).unwrap()).unwrap())
+    }
+
+    /// Count nodes reachable from stores (the live plan).
+    fn live_ops(plan: &LogicalPlan) -> Vec<String> {
+        let mut seen = vec![false; plan.nodes.len()];
+        let mut stack = plan.stores();
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            out.push(format!("{:?}", plan.nodes[i].op).split(' ').next().unwrap().to_string());
+            stack.extend_from_slice(&plan.nodes[i].inputs);
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn adjacent_projects_merge() {
+        let p = build(
+            "A = load '/d' as (a, b, c, d);
+             B = foreach A generate a, c, d;
+             C = foreach B generate $2, $0;
+             store C into '/o';",
+        );
+        let projects: Vec<_> = p
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                LogicalOp::Project { cols } => Some(cols.clone()),
+                _ => None,
+            })
+            .collect();
+        // The live projection is the fused one: $2,$0 over (a,c,d) = d,a.
+        assert!(projects.contains(&vec![3, 0]), "{projects:?}");
+        let ops = live_ops(&p);
+        assert_eq!(ops.iter().filter(|o| o.contains("Project")).count(), 1);
+    }
+
+    #[test]
+    fn filter_pushes_below_project() {
+        let p = build(
+            "A = load '/d' as (a, b);
+             B = foreach A generate b;
+             C = filter B by b > 10;
+             store C into '/o';",
+        );
+        // Live plan: Load -> Filter(col1) -> Project([1]) -> Store.
+        let store = p.stores()[0];
+        let proj = p.nodes[store].inputs[0];
+        assert!(matches!(p.nodes[proj].op, LogicalOp::Project { .. }));
+        let filt = p.nodes[proj].inputs[0];
+        match &p.nodes[filt].op {
+            LogicalOp::Filter { pred } => {
+                assert_eq!(pred.referenced_cols(), vec![1]);
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+        assert!(matches!(
+            p.nodes[p.nodes[filt].inputs[0]].op,
+            LogicalOp::Load { .. }
+        ));
+    }
+
+    #[test]
+    fn noop_project_dropped() {
+        let p = build(
+            "A = load '/d' as (a, b);
+             B = foreach A generate a, b;
+             C = filter B by a > 1;
+             store C into '/o';",
+        );
+        let ops = live_ops(&p);
+        assert!(
+            !ops.iter().any(|o| o.contains("Project")),
+            "identity projection should vanish: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn optimizer_reaches_fixpoint_on_chains() {
+        let p = build(
+            "A = load '/d' as (a, b, c);
+             B = foreach A generate a, b, c;
+             C = foreach B generate a, b, c;
+             D = foreach C generate c;
+             E = filter D by c > 0;
+             store E into '/o';",
+        );
+        let ops = live_ops(&p);
+        // One projection, one filter, one load, one store.
+        assert_eq!(ops.iter().filter(|o| o.contains("Project")).count(), 1);
+        assert_eq!(ops.iter().filter(|o| o.contains("Filter")).count(), 1);
+    }
+}

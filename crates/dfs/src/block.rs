@@ -1,0 +1,39 @@
+//! Block identifiers and input splits.
+
+/// Globally unique block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// A contiguous byte range of a file, aligned to one block, with the
+/// datanodes that host a replica. This is the unit handed to map tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSplit {
+    /// File the split belongs to.
+    pub path: String,
+    /// Index of the block within the file.
+    pub block_index: usize,
+    /// Byte offset of the split within the file.
+    pub offset: u64,
+    /// Length of the split in bytes.
+    pub len: u64,
+    /// Datanodes hosting a replica of the underlying block.
+    pub hosts: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_fields() {
+        let s = FileSplit {
+            path: "/x".into(),
+            block_index: 1,
+            offset: 64,
+            len: 64,
+            hosts: vec![0, 2, 5],
+        };
+        assert_eq!(s.offset + s.len, 128);
+        assert_eq!(s.hosts.len(), 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cluster-wide I/O metrics.
+//!
+//! `bytes_written` counts every replica (like disk traffic on a real
+//! cluster); `logical_bytes_written` counts file contents once. The cost
+//! model charges replication on the write path, and Table 1 reports
+//! pre-replication sizes — both views are needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub logical_bytes_written: AtomicU64,
+    pub blocks_created: AtomicU64,
+    pub files_created: AtomicU64,
+    pub files_deleted: AtomicU64,
+}
+
+/// Point-in-time copy of the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub logical_bytes_written: u64,
+    pub blocks_created: u64,
+    pub files_created: u64,
+    pub files_deleted: u64,
+}
+
+impl Metrics {
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            logical_bytes_written: self.logical_bytes_written.load(Ordering::Relaxed),
+            blocks_created: self.blocks_created.load(Ordering::Relaxed),
+            files_created: self.files_created.load(Ordering::Relaxed),
+            files_deleted: self.files_deleted.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_write(&self, logical: u64, replicated: u64) {
+        self.logical_bytes_written.fetch_add(logical, Ordering::Relaxed);
+        self.bytes_written.fetch_add(replicated, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            logical_bytes_written: self.logical_bytes_written
+                - earlier.logical_bytes_written,
+            blocks_created: self.blocks_created - earlier.blocks_created,
+            files_created: self.files_created - earlier.files_created,
+            files_deleted: self.files_deleted - earlier.files_deleted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let m = Metrics::default();
+        m.add_read(10);
+        m.add_write(5, 15);
+        let a = m.snapshot();
+        assert_eq!(a.bytes_read, 10);
+        assert_eq!(a.logical_bytes_written, 5);
+        assert_eq!(a.bytes_written, 15);
+        m.add_read(1);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.bytes_read, 1);
+        assert_eq!(d.bytes_written, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Engine and cluster configuration.
+
+/// Physical description of the modeled cluster plus the rate parameters of
+/// the analytical cost model. Defaults mirror the paper's testbed: 15
+/// servers, one dedicated master, 14 workers each running 4 map slots and
+/// 2 reduce slots, HDFS on local SCSI disks.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker (tasktracker) nodes; the master is not counted.
+    pub worker_nodes: usize,
+    /// Concurrent map tasks per worker.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per worker.
+    pub reduce_slots_per_node: usize,
+    /// Effective scan bandwidth per task (disk + record parsing),
+    /// bytes/second. Calibrated to Pig-0.8-era task throughput, not raw
+    /// disk speed.
+    pub disk_read_bps: f64,
+    /// Effective write bandwidth per task, bytes/second (the replication
+    /// pipeline multiplies on top).
+    pub disk_write_bps: f64,
+    /// Shuffle (network + merge) bandwidth per reduce task, bytes/second.
+    pub shuffle_bps: f64,
+    /// Effective bandwidth of *injected side Stores* (ReStore sub-job
+    /// materialization), bytes/second per task. Slower than the main
+    /// output path: these writes interleave with pipeline execution and
+    /// pay full serialization (the paper's §7.2 overhead).
+    pub side_store_bps: f64,
+    /// Fixed commit cost per side-output channel per job, seconds
+    /// (output-committer + namenode work for the extra files). This is
+    /// what makes store-injection overhead *relatively* worse on the
+    /// 15 GB instance than the 150 GB one (Figure 11).
+    pub side_commit_s: f64,
+    /// Base CPU cost per record per unit operator weight, seconds.
+    pub cpu_per_record_weight: f64,
+    /// Sort CPU/IO cost per byte per log2(records) — the `T_sort` term.
+    pub sort_cost_per_byte_log: f64,
+    /// Fixed job submission/startup latency, seconds (JVM spin-up etc.).
+    pub job_startup_s: f64,
+    /// Scheduling overhead per task wave, seconds.
+    pub wave_overhead_s: f64,
+    /// Replication factor charged on final output writes.
+    pub replication: usize,
+    /// Multiplier from *actual* bytes processed in-process to *modeled*
+    /// bytes on the paper's cluster. Experiments run on scaled-down data
+    /// (e.g. 1/1000th) and set this to the inverse scale so modeled times
+    /// land in the paper's range. Ratios (speedup, overhead) are invariant
+    /// to this knob.
+    pub byte_scale: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            worker_nodes: 14,
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 2,
+            disk_read_bps: 10.0 * 1024.0 * 1024.0,
+            disk_write_bps: 15.0 * 1024.0 * 1024.0,
+            shuffle_bps: 10.0 * 1024.0 * 1024.0,
+            side_store_bps: 1.0 * 1024.0 * 1024.0,
+            side_commit_s: 20.0,
+            cpu_per_record_weight: 2.0e-6,
+            sort_cost_per_byte_log: 4.0e-10,
+            job_startup_s: 10.0,
+            wave_overhead_s: 2.0,
+            replication: 3,
+            byte_scale: 1.0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total concurrent map tasks the cluster can run.
+    pub fn map_slots(&self) -> usize {
+        self.worker_nodes * self.map_slots_per_node
+    }
+
+    /// Total concurrent reduce tasks the cluster can run.
+    pub fn reduce_slots(&self) -> usize {
+        self.worker_nodes * self.reduce_slots_per_node
+    }
+
+    /// Paper-testbed configuration with a byte-scale factor applied.
+    pub fn paper_testbed(byte_scale: f64) -> Self {
+        ClusterConfig { byte_scale, ..Default::default() }
+    }
+}
+
+/// Execution knobs for the in-process engine (as opposed to the modeled
+/// cluster).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// OS threads used to run map/reduce tasks.
+    pub worker_threads: usize,
+    /// Reduce task count when a job does not specify one.
+    pub default_reduce_tasks: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            default_reduce_tasks: 28,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_math() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.map_slots(), 56);
+        assert_eq!(c.reduce_slots(), 28);
+    }
+
+    #[test]
+    fn paper_testbed_sets_scale() {
+        let c = ClusterConfig::paper_testbed(1000.0);
+        assert_eq!(c.byte_scale, 1000.0);
+        assert_eq!(c.worker_nodes, 14);
+    }
+}

@@ -1,0 +1,298 @@
+//! Analytical cluster cost model — the paper's Equation (2).
+//!
+//! `ET(Job) = T_load + Σ ET(op_i) + T_sort + T_store`
+//!
+//! The model converts measured [`Counters`] of a real in-process execution
+//! into modeled seconds on the paper's 15-node testbed. Tasks execute in
+//! *waves* limited by slot counts (56 map slots, 28 reduce slots by
+//! default); each wave costs the average task time plus scheduling
+//! overhead. `byte_scale` maps the scaled-down experiment data back to the
+//! paper's data volume; ratios (speedups, overheads) are invariant to it.
+
+use crate::config::ClusterConfig;
+use crate::counters::Counters;
+use crate::job::JobSpec;
+
+/// Modeled execution times of one job, in seconds, broken down by the
+/// terms of Equation (2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobTimes {
+    /// `T_load`: reading input splits from the DFS.
+    pub load_s: f64,
+    /// `Σ ET(op_i)` charged in the map phase.
+    pub map_cpu_s: f64,
+    /// Map-side writes: shuffle spill plus injected Store outputs.
+    pub map_write_s: f64,
+    /// Whole map phase including wave scheduling overhead.
+    pub map_phase_s: f64,
+    /// `T_sort`: shuffle transfer + merge-sort cost.
+    pub sort_s: f64,
+    /// `Σ ET(op_i)` charged in the reduce phase.
+    pub reduce_cpu_s: f64,
+    /// `T_store`: writing the job output (and reduce-side Store outputs).
+    pub store_s: f64,
+    /// Whole reduce phase including wave scheduling overhead.
+    pub reduce_phase_s: f64,
+    /// Average single map task time.
+    pub avg_map_task_s: f64,
+    /// Average single reduce task time.
+    pub avg_reduce_task_s: f64,
+    /// Map waves executed.
+    pub map_waves: u64,
+    /// Reduce waves executed.
+    pub reduce_waves: u64,
+    /// `ET(Job)`: startup + map phase + reduce phase.
+    pub total_s: f64,
+}
+
+/// The model itself; stateless apart from configuration.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cfg: ClusterConfig,
+}
+
+impl CostModel {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        CostModel { cfg }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Model the execution time of a job from its measured counters.
+    pub fn job_times(&self, spec: &JobSpec, c: &Counters) -> JobTimes {
+        let s = self.cfg.byte_scale;
+        let mut t = JobTimes::default();
+
+        // ---- Map phase ----
+        let m = c.map_tasks.max(1) as f64;
+        t.map_waves = div_ceil(c.map_tasks.max(1), self.cfg.map_slots() as u64);
+
+        let in_bytes = c.map_input_bytes as f64 * s;
+        let in_records = c.map_input_records as f64 * s;
+        t.load_s = in_bytes / m / self.cfg.disk_read_bps;
+        t.map_cpu_s =
+            in_records / m * spec.cpu_weight_map * self.cfg.cpu_per_record_weight;
+
+        // Map-side writes: shuffle spill (written once locally), direct
+        // output of map-only jobs (replicated DFS write), injected Stores
+        // (at the slower side-store rate).
+        let spill = c.map_output_bytes as f64 * s / m;
+        let repl = self.cfg.replication as f64;
+        let direct_out = if c.reduce_tasks == 0 {
+            c.output_bytes as f64 * s * repl / m
+        } else {
+            0.0
+        };
+        let side_s =
+            c.map_side_bytes as f64 * s / m / self.cfg.side_store_bps;
+        t.map_write_s =
+            (spill + direct_out) / self.cfg.disk_write_bps + side_s;
+
+        t.avg_map_task_s = t.load_s + t.map_cpu_s + t.map_write_s;
+        t.map_phase_s =
+            t.map_waves as f64 * (t.avg_map_task_s + self.cfg.wave_overhead_s);
+
+        // ---- Reduce phase ----
+        if c.reduce_tasks > 0 {
+            let r = c.reduce_tasks as f64;
+            t.reduce_waves = div_ceil(c.reduce_tasks, self.cfg.reduce_slots() as u64);
+
+            let shuffle_bytes = c.map_output_bytes as f64 * s / r;
+            let reduce_records = (c.reduce_input_records as f64 * s / r).max(1.0);
+            t.sort_s = shuffle_bytes / self.cfg.shuffle_bps
+                + self.cfg.sort_cost_per_byte_log
+                    * shuffle_bytes
+                    * reduce_records.max(2.0).log2();
+            t.reduce_cpu_s = c.reduce_input_records as f64 * s / r
+                * spec.cpu_weight_reduce
+                * self.cfg.cpu_per_record_weight;
+            let out = c.output_bytes as f64 * s * repl / r;
+            let side_s =
+                c.reduce_side_bytes as f64 * s / r / self.cfg.side_store_bps;
+            t.store_s = out / self.cfg.disk_write_bps + side_s;
+
+            t.avg_reduce_task_s = t.sort_s + t.reduce_cpu_s + t.store_s;
+            t.reduce_phase_s = t.reduce_waves as f64
+                * (t.avg_reduce_task_s + self.cfg.wave_overhead_s);
+        }
+
+        // Per-side-channel commit cost (extra files created by injected
+        // Stores), charged once per job.
+        let commit_s =
+            c.side_output_bytes.len() as f64 * self.cfg.side_commit_s;
+
+        t.total_s =
+            self.cfg.job_startup_s + t.map_phase_s + t.reduce_phase_s + commit_s;
+        t
+    }
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobInput, JobSpec};
+    use crate::task::{IdentityMapper, Mapper};
+    use std::sync::Arc;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            "t",
+            vec![JobInput::new("/in")],
+            "/out",
+            Arc::new(|| Box::new(IdentityMapper) as Box<dyn Mapper>),
+            None,
+        )
+    }
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            worker_nodes: 2,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 1,
+            disk_read_bps: 100.0,
+            disk_write_bps: 100.0,
+            shuffle_bps: 100.0,
+            side_store_bps: 100.0,
+            side_commit_s: 0.0,
+            cpu_per_record_weight: 0.0,
+            sort_cost_per_byte_log: 0.0,
+            job_startup_s: 10.0,
+            wave_overhead_s: 0.0,
+            replication: 1,
+            byte_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn map_only_job_hand_computed() {
+        // 4 map tasks over 4 slots = 1 wave; 400 input bytes -> 100/task
+        // at 100 B/s = 1 s load; 200 output bytes replicated 1x -> 50/task
+        // = 0.5 s write. Total = 10 startup + 1.5 = 11.5 s.
+        let c = Counters {
+            map_tasks: 4,
+            map_input_bytes: 400,
+            output_bytes: 200,
+            ..Default::default()
+        };
+        let t = CostModel::new(cfg()).job_times(&spec(), &c);
+        assert_eq!(t.map_waves, 1);
+        assert!((t.load_s - 1.0).abs() < 1e-9);
+        assert!((t.map_write_s - 0.5).abs() < 1e-9);
+        assert!((t.total_s - 11.5).abs() < 1e-9);
+        assert_eq!(t.reduce_phase_s, 0.0);
+    }
+
+    #[test]
+    fn waves_scale_with_task_count() {
+        // 9 map tasks over 4 slots = 3 waves.
+        let c = Counters { map_tasks: 9, map_input_bytes: 900, ..Default::default() };
+        let t = CostModel::new(cfg()).job_times(&spec(), &c);
+        assert_eq!(t.map_waves, 3);
+        // per task: 100 bytes / 100 Bps = 1 s; 3 waves -> 3 s map phase.
+        assert!((t.map_phase_s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_phase_hand_computed() {
+        // 2 reduce tasks over 2 slots = 1 wave. Shuffle 200 bytes -> 100
+        // per task / 100 Bps = 1 s. Output 100 bytes -> 50/task = 0.5 s.
+        let c = Counters {
+            map_tasks: 1,
+            map_input_bytes: 100,
+            map_output_bytes: 200,
+            reduce_tasks: 2,
+            reduce_input_records: 10,
+            output_bytes: 100,
+            ..Default::default()
+        };
+        let t = CostModel::new(cfg()).job_times(&spec(), &c);
+        assert_eq!(t.reduce_waves, 1);
+        assert!((t.sort_s - 1.0).abs() < 1e-9);
+        assert!((t.store_s - 0.5).abs() < 1e-9);
+        // total = 10 + (1 load) + (2 spill write... spill=200/1task=2s)
+        // avg_map = 1 + 2 = 3; map_phase = 3; reduce_phase = 1.5.
+        assert!((t.total_s - 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_scale_scales_time_linearly_for_io() {
+        let c = Counters {
+            map_tasks: 1,
+            map_input_bytes: 100,
+            output_bytes: 100,
+            ..Default::default()
+        };
+        let mut k = cfg();
+        k.job_startup_s = 0.0;
+        let t1 = CostModel::new(k.clone()).job_times(&spec(), &c);
+        k.byte_scale = 10.0;
+        let t10 = CostModel::new(k).job_times(&spec(), &c);
+        assert!((t10.total_s / t1.total_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn side_bytes_increase_map_write_time() {
+        let base = Counters {
+            map_tasks: 1,
+            map_input_bytes: 100,
+            ..Default::default()
+        };
+        let with_side = Counters { map_side_bytes: 500, ..base.clone() };
+        let model = CostModel::new(cfg());
+        let t0 = model.job_times(&spec(), &base);
+        let t1 = model.job_times(&spec(), &with_side);
+        assert!(t1.map_write_s > t0.map_write_s);
+        assert!(t1.total_s > t0.total_s);
+    }
+
+    #[test]
+    fn side_channels_pay_commit_cost() {
+        let mut k = cfg();
+        k.side_commit_s = 7.0;
+        let base = Counters { map_tasks: 1, map_input_bytes: 100, ..Default::default() };
+        let with_channels = Counters {
+            side_output_bytes: vec![0, 0],
+            ..base.clone()
+        };
+        let model = CostModel::new(k);
+        let t0 = model.job_times(&spec(), &base);
+        let t1 = model.job_times(&spec(), &with_channels);
+        assert!((t1.total_s - t0.total_s - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn side_store_rate_is_separate_from_main_write() {
+        let mut k = cfg();
+        k.side_store_bps = 10.0; // 10x slower than main writes
+        let c = Counters {
+            map_tasks: 1,
+            map_input_bytes: 100,
+            map_side_bytes: 100,
+            ..Default::default()
+        };
+        let t = CostModel::new(k).job_times(&spec(), &c);
+        // 100 bytes at 10 B/s = 10 s of side-store write time.
+        assert!((t.map_write_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_multiplies_store_cost() {
+        let c = Counters {
+            map_tasks: 1,
+            map_input_bytes: 100,
+            output_bytes: 100,
+            ..Default::default()
+        };
+        let mut k = cfg();
+        k.replication = 3;
+        let t3 = CostModel::new(k).job_times(&spec(), &c);
+        let t1 = CostModel::new(cfg()).job_times(&spec(), &c);
+        assert!((t3.map_write_s / t1.map_write_s - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-job execution counters.
+//!
+//! The engine measures these during the real in-process run; the cost
+//! model converts them to modeled cluster time. Hadoop exposes the same
+//! quantities through its counter framework (the paper stores "the size of
+//! the input and output data, and the average execution time of the
+//! mappers and reducers" in the repository — all derived from these).
+
+/// Measured quantities of one executed job (actual, unscaled bytes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counters {
+    /// Input records consumed by mappers.
+    pub map_input_records: u64,
+    /// Bytes of input splits read by mappers.
+    pub map_input_bytes: u64,
+    /// Records emitted by mappers into the shuffle.
+    pub map_output_records: u64,
+    /// Encoded bytes emitted into the shuffle.
+    pub map_output_bytes: u64,
+    /// Records written directly by a map-only job.
+    pub map_direct_output_records: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Records consumed by reducers.
+    pub reduce_input_records: u64,
+    /// Records written by reducers (or by mappers for map-only jobs).
+    pub output_records: u64,
+    /// Encoded bytes of the job's main output.
+    pub output_bytes: u64,
+    /// Encoded bytes written to each side output (injected Store), by
+    /// channel index.
+    pub side_output_bytes: Vec<u64>,
+    /// Side output bytes written during the map phase (affects map time).
+    pub map_side_bytes: u64,
+    /// Side output bytes written during the reduce phase.
+    pub reduce_side_bytes: u64,
+    /// Number of map tasks launched.
+    pub map_tasks: u64,
+    /// Number of reduce tasks launched (0 for map-only jobs).
+    pub reduce_tasks: u64,
+}
+
+impl Counters {
+    /// Total side-output bytes across channels.
+    pub fn side_bytes_total(&self) -> u64 {
+        self.side_output_bytes.iter().sum()
+    }
+
+    /// True when the job ran without a reduce phase.
+    pub fn is_map_only(&self) -> bool {
+        self.reduce_tasks == 0
+    }
+
+    /// Merge task-level counters into the job-level aggregate.
+    pub fn absorb(&mut self, other: &Counters) {
+        self.map_input_records += other.map_input_records;
+        self.map_input_bytes += other.map_input_bytes;
+        self.map_output_records += other.map_output_records;
+        self.map_output_bytes += other.map_output_bytes;
+        self.map_direct_output_records += other.map_direct_output_records;
+        self.reduce_input_groups += other.reduce_input_groups;
+        self.reduce_input_records += other.reduce_input_records;
+        self.output_records += other.output_records;
+        self.output_bytes += other.output_bytes;
+        if self.side_output_bytes.len() < other.side_output_bytes.len() {
+            self.side_output_bytes.resize(other.side_output_bytes.len(), 0);
+        }
+        for (i, b) in other.side_output_bytes.iter().enumerate() {
+            self.side_output_bytes[i] += b;
+        }
+        self.map_side_bytes += other.map_side_bytes;
+        self.reduce_side_bytes += other.reduce_side_bytes;
+        self.map_tasks += other.map_tasks;
+        self.reduce_tasks += other.reduce_tasks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields_and_channels() {
+        let mut a = Counters {
+            map_input_records: 10,
+            side_output_bytes: vec![5],
+            ..Default::default()
+        };
+        let b = Counters {
+            map_input_records: 7,
+            side_output_bytes: vec![1, 2],
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.map_input_records, 17);
+        assert_eq!(a.side_output_bytes, vec![6, 2]);
+        assert_eq!(a.side_bytes_total(), 8);
+    }
+
+    #[test]
+    fn map_only_detection() {
+        let c = Counters::default();
+        assert!(c.is_map_only());
+        let c = Counters { reduce_tasks: 4, ..Default::default() };
+        assert!(!c.is_map_only());
+    }
+}

@@ -1,0 +1,581 @@
+//! Job execution: map tasks over input splits, hash-partitioned
+//! sort-merge shuffle, reduce tasks, DFS output commit.
+//!
+//! Execution is multi-threaded but **deterministic**: map outputs are
+//! concatenated in task order, reduce outputs in partition order, and the
+//! shuffle sort is stable, so the bytes written to the DFS do not depend
+//! on the number of worker threads.
+
+use crate::config::{ClusterConfig, EngineConfig};
+use crate::cost::{CostModel, JobTimes};
+use crate::counters::Counters;
+use crate::job::JobSpec;
+use crate::split_reader::read_split;
+use crate::task::{MapContext, ReduceContext};
+use parking_lot::Mutex;
+use restore_common::{codec, Error, Result, Tuple};
+use restore_dfs::{Dfs, FileSplit};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Result of one executed job: measured counters, modeled times, output
+/// locations.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub job_name: String,
+    pub counters: Counters,
+    pub times: JobTimes,
+    pub output: String,
+    pub side_outputs: Vec<String>,
+}
+
+/// The MapReduce engine. Holds the DFS handle and configuration; cheap to
+/// clone.
+#[derive(Clone)]
+pub struct Engine {
+    dfs: Dfs,
+    cluster: ClusterConfig,
+    engine_cfg: EngineConfig,
+}
+
+struct MapTaskOut {
+    /// Shuffle records per reduce partition.
+    partitions: Vec<Vec<(Tuple, usize, Tuple)>>,
+    /// Direct output (map-only jobs).
+    direct: Vec<Tuple>,
+    /// Side-output records per channel.
+    side: Vec<Vec<Tuple>>,
+    counters: Counters,
+}
+
+struct ReduceTaskOut {
+    output: Vec<Tuple>,
+    side: Vec<Vec<Tuple>>,
+    counters: Counters,
+}
+
+impl Engine {
+    pub fn new(dfs: Dfs, cluster: ClusterConfig, engine_cfg: EngineConfig) -> Self {
+        Engine { dfs, cluster, engine_cfg }
+    }
+
+    /// Engine with default cluster and engine configuration.
+    pub fn with_defaults(dfs: Dfs) -> Self {
+        Engine::new(dfs, ClusterConfig::default(), EngineConfig::default())
+    }
+
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    pub fn cluster_config(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Override the cluster (cost-model) configuration.
+    pub fn set_cluster_config(&mut self, cfg: ClusterConfig) {
+        self.cluster = cfg;
+    }
+
+    /// Execute one job to completion.
+    pub fn run(&self, spec: &JobSpec) -> Result<JobResult> {
+        if spec.inputs.is_empty() {
+            return Err(Error::Job(format!("job {:?} has no inputs", spec.name)));
+        }
+        // Plan input splits, tagged with their input index.
+        let mut splits: Vec<(usize, FileSplit, u64)> = Vec::new();
+        for (tag, input) in spec.inputs.iter().enumerate() {
+            let file_len = self.dfs.file_len(&input.path)?;
+            for s in self.dfs.splits(&input.path)? {
+                splits.push((tag, s, file_len));
+            }
+        }
+
+        let reduce_tasks = if spec.is_map_only() {
+            0
+        } else {
+            spec.reduce_tasks
+                .unwrap_or(self.engine_cfg.default_reduce_tasks)
+                .max(1)
+        };
+        let n_side = spec.side_outputs.len();
+
+        // ---- Map phase ----
+        let map_outs = self.run_map_tasks(spec, &splits, reduce_tasks, n_side)?;
+
+        let mut counters = Counters::default();
+        for out in &map_outs {
+            counters.absorb(&out.counters);
+        }
+        counters.map_tasks = map_outs.len() as u64;
+        counters.reduce_tasks = reduce_tasks as u64;
+
+        // Collect map-phase side outputs (task order) before the reduce
+        // phase consumes `map_outs`.
+        let mut side_tuples: Vec<Vec<Tuple>> = vec![Vec::new(); n_side];
+        for out in &map_outs {
+            for (c, ts) in out.side.iter().enumerate() {
+                side_tuples[c].extend_from_slice(ts);
+            }
+        }
+
+        // ---- Reduce phase / output assembly ----
+        let output_tuples: Vec<Tuple> = if reduce_tasks == 0 {
+            map_outs.into_iter().flat_map(|o| o.direct).collect()
+        } else {
+            let reduce_outs =
+                self.run_reduce_tasks(spec, map_outs, reduce_tasks, n_side)?;
+            let mut all = Vec::new();
+            for out in reduce_outs {
+                counters.absorb(&out.counters);
+                for (c, ts) in out.side.into_iter().enumerate() {
+                    side_tuples[c].extend(ts);
+                }
+                all.extend(out.output);
+            }
+            all
+        };
+
+        // ---- Commit outputs ----
+        let encoded = codec::encode_all(&output_tuples);
+        counters.output_records = output_tuples.len() as u64;
+        counters.output_bytes = encoded.len() as u64;
+        let mut w = self.dfs.create_overwrite(&spec.output)?;
+        w.write(&encoded);
+        w.close()?;
+
+        counters.side_output_bytes = vec![0; n_side];
+        for (c, ts) in side_tuples.iter().enumerate() {
+            let bytes = codec::encode_all(ts);
+            counters.side_output_bytes[c] = bytes.len() as u64;
+            let mut w = self.dfs.create_overwrite(&spec.side_outputs[c])?;
+            w.write(&bytes);
+            w.close()?;
+        }
+
+        let times = CostModel::new(self.cluster.clone()).job_times(spec, &counters);
+        Ok(JobResult {
+            job_name: spec.name.clone(),
+            counters,
+            times,
+            output: spec.output.clone(),
+            side_outputs: spec.side_outputs.clone(),
+        })
+    }
+
+    fn run_map_tasks(
+        &self,
+        spec: &JobSpec,
+        splits: &[(usize, FileSplit, u64)],
+        reduce_tasks: usize,
+        n_side: usize,
+    ) -> Result<Vec<MapTaskOut>> {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Result<MapTaskOut>)>> =
+            Mutex::new(Vec::with_capacity(splits.len()));
+        let threads = self.engine_cfg.worker_threads.max(1).min(splits.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= splits.len() {
+                        break;
+                    }
+                    let (tag, split, file_len) = &splits[idx];
+                    let out = self.run_one_map_task(
+                        spec,
+                        *tag,
+                        split,
+                        *file_len,
+                        reduce_tasks,
+                        n_side,
+                    );
+                    results.lock().push((idx, out));
+                });
+            }
+        });
+
+        let mut results = results.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn run_one_map_task(
+        &self,
+        spec: &JobSpec,
+        tag: usize,
+        split: &FileSplit,
+        file_len: u64,
+        reduce_tasks: usize,
+        n_side: usize,
+    ) -> Result<MapTaskOut> {
+        let (tuples, payload_bytes) = read_split(&self.dfs, split, file_len)?;
+        let mut mapper = spec.mapper.create();
+        let mut ctx = MapContext::new(n_side);
+        let mut counters = Counters {
+            map_input_records: tuples.len() as u64,
+            map_input_bytes: payload_bytes,
+            ..Default::default()
+        };
+        for t in tuples {
+            mapper.map(tag, t, &mut ctx)?;
+        }
+        mapper.finish(&mut ctx)?;
+
+        let mut partitions: Vec<Vec<(Tuple, usize, Tuple)>> =
+            (0..reduce_tasks).map(|_| Vec::new()).collect();
+        for (key, vtag, value) in ctx.shuffle {
+            counters.map_output_records += 1;
+            counters.map_output_bytes +=
+                (key.encoded_len() + value.encoded_len()) as u64;
+            if reduce_tasks > 0 {
+                let p = partition_of(&key, reduce_tasks);
+                partitions[p].push((key, vtag, value));
+            }
+        }
+        counters.map_direct_output_records = ctx.direct.len() as u64;
+        for ts in &ctx.side {
+            counters.map_side_bytes +=
+                ts.iter().map(|t| t.encoded_len() as u64).sum::<u64>();
+        }
+        Ok(MapTaskOut { partitions, direct: ctx.direct, side: ctx.side, counters })
+    }
+
+    fn run_reduce_tasks(
+        &self,
+        spec: &JobSpec,
+        map_outs: Vec<MapTaskOut>,
+        reduce_tasks: usize,
+        n_side: usize,
+    ) -> Result<Vec<ReduceTaskOut>> {
+        let n_tags = spec.shuffle_tags.unwrap_or(spec.inputs.len()).max(1);
+        // Gather shuffle input per partition, preserving map-task order so
+        // the stable sort keeps results deterministic. Each partition gets
+        // its own lock so reduce workers can take them independently.
+        let partition_in: Vec<Mutex<Vec<(Tuple, usize, Tuple)>>> =
+            (0..reduce_tasks).map(|_| Mutex::new(Vec::new())).collect();
+        for mut out in map_outs {
+            for (p, recs) in out.partitions.drain(..).enumerate() {
+                partition_in[p].lock().extend(recs);
+            }
+        }
+
+        let reducer_factory = spec
+            .reducer
+            .as_ref()
+            .ok_or_else(|| Error::Job("reduce phase without reducer".into()))?;
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Result<ReduceTaskOut>)>> =
+            Mutex::new(Vec::with_capacity(reduce_tasks));
+        let threads = self.engine_cfg.worker_threads.max(1).min(reduce_tasks);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= reduce_tasks {
+                        break;
+                    }
+                    let recs = std::mem::take(&mut *partition_in[idx].lock());
+                    let out = run_one_reduce_task(
+                        reducer_factory.as_ref(),
+                        recs,
+                        n_tags,
+                        n_side,
+                    );
+                    results.lock().push((idx, out));
+                });
+            }
+        });
+
+        let mut results = results.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Stable hash partitioner (`DefaultHasher` has fixed keys, so
+/// partitioning is reproducible across runs and platforms).
+fn partition_of(key: &Tuple, reduce_tasks: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reduce_tasks as u64) as usize
+}
+
+fn run_one_reduce_task(
+    factory: &dyn crate::task::ReducerFactory,
+    mut records: Vec<(Tuple, usize, Tuple)>,
+    n_tags: usize,
+    n_side: usize,
+) -> Result<ReduceTaskOut> {
+    // Stable sort by key only: within a key, map-task emission order is
+    // preserved, keeping bag contents deterministic.
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut reducer = factory.create();
+    let mut ctx = ReduceContext::new(n_side);
+    let mut counters = Counters::default();
+
+    let mut records = records.into_iter().peekable();
+    while let Some((key, tag, value)) = records.next() {
+        let mut bags: Vec<Vec<Tuple>> = (0..n_tags).map(|_| Vec::new()).collect();
+        counters.reduce_input_records += 1;
+        bags[tag].push(value);
+        while let Some((k, _, _)) = records.peek() {
+            if *k != key {
+                break;
+            }
+            let (_, tag, value) = records.next().expect("peeked");
+            counters.reduce_input_records += 1;
+            bags[tag].push(value);
+        }
+        counters.reduce_input_groups += 1;
+        reducer.reduce(&key, &bags, &mut ctx)?;
+    }
+    reducer.finish(&mut ctx)?;
+
+    for ts in &ctx.side {
+        counters.reduce_side_bytes +=
+            ts.iter().map(|t| t.encoded_len() as u64).sum::<u64>();
+    }
+    Ok(ReduceTaskOut { output: ctx.output, side: ctx.side, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Mapper, Reducer};
+    use restore_common::{tuple, Value};
+    use restore_dfs::DfsConfig;
+    use std::sync::Arc;
+
+    fn small_engine(threads: usize) -> Engine {
+        let dfs = Dfs::new(DfsConfig {
+            nodes: 4,
+            block_size: 64,
+            replication: 2,
+            node_capacity: None,
+        });
+        Engine::new(
+            dfs,
+            ClusterConfig::default(),
+            EngineConfig { worker_threads: threads, default_reduce_tasks: 3 },
+        )
+    }
+
+    fn write_tuples(dfs: &Dfs, path: &str, tuples: &[Tuple]) {
+        dfs.write_all(path, &codec::encode_all(tuples)).unwrap();
+    }
+
+    fn read_tuples(dfs: &Dfs, path: &str) -> Vec<Tuple> {
+        codec::decode_all(&dfs.read_all(path).unwrap()).unwrap()
+    }
+
+    /// Mapper emitting (word, 1); reducer summing counts — the classic.
+    struct WcMap;
+    impl Mapper for WcMap {
+        fn map(&mut self, tag: usize, record: Tuple, ctx: &mut MapContext) -> Result<()> {
+            ctx.emit(Tuple::from_values(vec![record.get(0).clone()]), tag, tuple![1]);
+            Ok(())
+        }
+    }
+    struct WcReduce;
+    impl Reducer for WcReduce {
+        fn reduce(&mut self, key: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
+            let count = bags[0].len() as i64;
+            ctx.output(Tuple::from_values(vec![key.get(0).clone(), Value::Int(count)]));
+            Ok(())
+        }
+    }
+
+    fn word_count_job(input: &str, output: &str) -> JobSpec {
+        let mut spec = JobSpec::new(
+            "wordcount",
+            vec![crate::job::JobInput::new(input)],
+            output,
+            Arc::new(|| Box::new(WcMap) as Box<dyn Mapper>),
+            Some(Arc::new(|| Box::new(WcReduce) as Box<dyn Reducer>)),
+        );
+        spec.reduce_tasks = Some(3);
+        spec
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let eng = small_engine(4);
+        let words = ["apple", "pear", "apple", "fig", "pear", "apple"];
+        let input: Vec<Tuple> = words.iter().map(|w| tuple![*w]).collect();
+        write_tuples(eng.dfs(), "/in", &input);
+        let res = eng.run(&word_count_job("/in", "/out")).unwrap();
+
+        let mut out = read_tuples(eng.dfs(), "/out");
+        out.sort();
+        assert_eq!(out, vec![tuple!["apple", 3], tuple!["fig", 1], tuple!["pear", 2]]);
+        assert_eq!(res.counters.map_input_records, 6);
+        assert_eq!(res.counters.map_output_records, 6);
+        assert_eq!(res.counters.reduce_input_groups, 3);
+        assert_eq!(res.counters.output_records, 3);
+        assert_eq!(res.counters.reduce_tasks, 3);
+        assert!(res.times.total_s > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mk_input = |eng: &Engine| {
+            let input: Vec<Tuple> =
+                (0..500).map(|i| tuple![format!("w{}", i % 17), i as i64]).collect();
+            write_tuples(eng.dfs(), "/in", &input);
+        };
+        let run = |threads: usize| {
+            let eng = small_engine(threads);
+            mk_input(&eng);
+            eng.run(&word_count_job("/in", "/out")).unwrap();
+            eng.dfs().read_all("/out").unwrap()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn map_only_job_writes_direct_output() {
+        struct ProjectFirst;
+        impl Mapper for ProjectFirst {
+            fn map(&mut self, _tag: usize, record: Tuple, ctx: &mut MapContext) -> Result<()> {
+                ctx.output(record.project(&[0]));
+                Ok(())
+            }
+        }
+        let eng = small_engine(2);
+        write_tuples(eng.dfs(), "/in", &[tuple![1, "a"], tuple![2, "b"]]);
+        let spec = JobSpec::new(
+            "proj",
+            vec![crate::job::JobInput::new("/in")],
+            "/out",
+            Arc::new(|| Box::new(ProjectFirst) as Box<dyn Mapper>),
+            None,
+        );
+        let res = eng.run(&spec).unwrap();
+        assert!(res.counters.is_map_only());
+        assert_eq!(read_tuples(eng.dfs(), "/out"), vec![tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn join_via_tags() {
+        // Input 0: (name); Input 1: (user, revenue). Join on key.
+        struct JoinMap;
+        impl Mapper for JoinMap {
+            fn map(&mut self, tag: usize, record: Tuple, ctx: &mut MapContext) -> Result<()> {
+                ctx.emit(Tuple::from_values(vec![record.get(0).clone()]), tag, record);
+                Ok(())
+            }
+        }
+        struct JoinReduce;
+        impl Reducer for JoinReduce {
+            fn reduce(&mut self, _k: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
+                for l in &bags[0] {
+                    for r in &bags[1] {
+                        ctx.output(l.concat(r));
+                    }
+                }
+                Ok(())
+            }
+        }
+        let eng = small_engine(4);
+        write_tuples(eng.dfs(), "/users", &[tuple!["ann"], tuple!["bob"]]);
+        write_tuples(
+            eng.dfs(),
+            "/views",
+            &[tuple!["ann", 10], tuple!["cid", 99], tuple!["ann", 5]],
+        );
+        let mut spec = JobSpec::new(
+            "join",
+            vec![crate::job::JobInput::new("/users"), crate::job::JobInput::new("/views")],
+            "/out",
+            Arc::new(|| Box::new(JoinMap) as Box<dyn Mapper>),
+            Some(Arc::new(|| Box::new(JoinReduce) as Box<dyn Reducer>)),
+        );
+        spec.reduce_tasks = Some(2);
+        eng.run(&spec).unwrap();
+        let mut out = read_tuples(eng.dfs(), "/out");
+        out.sort();
+        assert_eq!(out, vec![tuple!["ann", "ann", 5], tuple!["ann", "ann", 10]]);
+    }
+
+    #[test]
+    fn side_outputs_written_from_map_and_reduce() {
+        struct TeeMap;
+        impl Mapper for TeeMap {
+            fn map(&mut self, tag: usize, record: Tuple, ctx: &mut MapContext) -> Result<()> {
+                ctx.side(0, record.clone());
+                ctx.emit(Tuple::from_values(vec![record.get(0).clone()]), tag, record);
+                Ok(())
+            }
+        }
+        struct TeeReduce;
+        impl Reducer for TeeReduce {
+            fn reduce(&mut self, key: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
+                let t = Tuple::from_values(vec![
+                    key.get(0).clone(),
+                    Value::Int(bags[0].len() as i64),
+                ]);
+                ctx.side(1, t.clone());
+                ctx.output(t);
+                Ok(())
+            }
+        }
+        let eng = small_engine(3);
+        write_tuples(eng.dfs(), "/in", &[tuple!["a", 1], tuple!["a", 2], tuple!["b", 3]]);
+        let mut spec = JobSpec::new(
+            "tee",
+            vec![crate::job::JobInput::new("/in")],
+            "/out",
+            Arc::new(|| Box::new(TeeMap) as Box<dyn Mapper>),
+            Some(Arc::new(|| Box::new(TeeReduce) as Box<dyn Reducer>)),
+        );
+        spec.side_outputs = vec!["/side/map".into(), "/side/reduce".into()];
+        spec.reduce_tasks = Some(2);
+        let res = eng.run(&spec).unwrap();
+
+        let mut side_map = read_tuples(eng.dfs(), "/side/map");
+        side_map.sort();
+        assert_eq!(side_map, vec![tuple!["a", 1], tuple!["a", 2], tuple!["b", 3]]);
+        let mut side_red = read_tuples(eng.dfs(), "/side/reduce");
+        side_red.sort();
+        assert_eq!(side_red, vec![tuple!["a", 2], tuple!["b", 1]]);
+        assert_eq!(res.counters.side_output_bytes.len(), 2);
+        assert!(res.counters.map_side_bytes > 0);
+        assert!(res.counters.reduce_side_bytes > 0);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output_file() {
+        let eng = small_engine(2);
+        write_tuples(eng.dfs(), "/in", &[]);
+        let res = eng.run(&word_count_job("/in", "/out")).unwrap();
+        assert_eq!(res.counters.output_records, 0);
+        assert!(eng.dfs().exists("/out"));
+        assert_eq!(eng.dfs().file_len("/out").unwrap(), 0);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let eng = small_engine(1);
+        let err = eng.run(&word_count_job("/nope", "/out")).unwrap_err();
+        assert!(matches!(err, Error::FileNotFound(_)));
+    }
+
+    #[test]
+    fn jobs_without_inputs_rejected() {
+        let eng = small_engine(1);
+        let spec = JobSpec::new(
+            "empty",
+            vec![],
+            "/out",
+            Arc::new(|| Box::new(WcMap) as Box<dyn Mapper>),
+            None,
+        );
+        assert!(matches!(eng.run(&spec), Err(Error::Job(_))));
+    }
+}

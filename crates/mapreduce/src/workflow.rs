@@ -1,0 +1,306 @@
+//! Workflows of MapReduce jobs — the paper's Equation (1).
+//!
+//! A dataflow query compiles into a DAG of jobs; a job starts only after
+//! all jobs it depends on finish. Total time follows Equation (1):
+//!
+//! `T_total(Job_n) = ET(Job_n) + max_{i ∈ Y} T_total(Job_i)`
+//!
+//! where `Y` is the set of jobs `Job_n` depends on. The scheduler executes
+//! jobs in dependency waves exactly like Pig's `JobControlCompiler`
+//! iterations (§6.1), and reports both per-job and critical-path totals.
+
+use crate::engine::{Engine, JobResult};
+use crate::job::JobSpec;
+use restore_common::{Error, Result};
+
+/// A DAG of jobs with explicit dependencies.
+#[derive(Clone, Default)]
+pub struct Workflow {
+    jobs: Vec<JobSpec>,
+    /// `deps[i]` = indices of jobs that job `i` depends on.
+    deps: Vec<Vec<usize>>,
+}
+
+impl std::fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workflow")
+            .field("jobs", &self.jobs.iter().map(|j| &j.name).collect::<Vec<_>>())
+            .field("deps", &self.deps)
+            .finish()
+    }
+}
+
+/// Result of executing a workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowResult {
+    /// Per-job results in job-index order.
+    pub job_results: Vec<JobResult>,
+    /// `T_total` per job per Equation (1).
+    pub job_total_s: Vec<f64>,
+    /// Workflow completion time = max over jobs of `T_total`.
+    pub total_s: f64,
+    /// One critical path (job indices from source to sink).
+    pub critical_path: Vec<usize>,
+}
+
+impl Workflow {
+    pub fn new() -> Self {
+        Workflow::default()
+    }
+
+    /// Add a job, returning its index.
+    pub fn add_job(&mut self, spec: JobSpec) -> usize {
+        self.jobs.push(spec);
+        self.deps.push(Vec::new());
+        self.jobs.len() - 1
+    }
+
+    /// Declare that `job` depends on `on`.
+    pub fn add_dependency(&mut self, job: usize, on: usize) {
+        assert!(job < self.jobs.len() && on < self.jobs.len(), "unknown job index");
+        if !self.deps[job].contains(&on) {
+            self.deps[job].push(on);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub fn job(&self, idx: usize) -> &JobSpec {
+        &self.jobs[idx]
+    }
+
+    pub fn job_mut(&mut self, idx: usize) -> &mut JobSpec {
+        &mut self.jobs[idx]
+    }
+
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    pub fn dependencies(&self, idx: usize) -> &[usize] {
+        &self.deps[idx]
+    }
+
+    /// Kahn topological sort; errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        let n = self.jobs.len();
+        // indegree counts *dependencies remaining* per job.
+        let mut indegree = vec![0usize; n];
+        for (i, ds) in self.deps.iter().enumerate() {
+            indegree[i] = ds.len();
+        }
+        let mut ready: Vec<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for (j, deps) in self.deps.iter().enumerate() {
+                if deps.contains(&i) {
+                    indegree[j] -= 1;
+                    if indegree[j] == 0 {
+                        ready.push(j);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(Error::Workflow("dependency cycle detected".into()));
+        }
+        Ok(order)
+    }
+
+    /// Dependency waves: jobs grouped by the `JobControlCompiler`
+    /// iteration in which they would be submitted (all dependencies
+    /// satisfied by earlier waves). Stable within a wave (job index order).
+    pub fn waves(&self) -> Result<Vec<Vec<usize>>> {
+        let n = self.jobs.len();
+        let mut done = vec![false; n];
+        let mut waves = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let wave: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && self.deps[i].iter().all(|&d| done[d]))
+                .collect();
+            if wave.is_empty() {
+                return Err(Error::Workflow("dependency cycle detected".into()));
+            }
+            for &i in &wave {
+                done[i] = true;
+            }
+            remaining -= wave.len();
+            waves.push(wave);
+        }
+        Ok(waves)
+    }
+
+    /// Equation (1) totals, given per-job `ET` values. Returns
+    /// (per-job totals, overall total, critical path).
+    pub fn total_times(&self, et: &[f64]) -> Result<(Vec<f64>, f64, Vec<usize>)> {
+        assert_eq!(et.len(), self.jobs.len());
+        let order = self.topo_order()?;
+        let mut totals = vec![0.0f64; et.len()];
+        let mut pred: Vec<Option<usize>> = vec![None; et.len()];
+        for &i in &order {
+            let mut slowest = 0.0f64;
+            for &d in &self.deps[i] {
+                if totals[d] > slowest {
+                    slowest = totals[d];
+                    pred[i] = Some(d);
+                }
+            }
+            totals[i] = et[i] + slowest;
+        }
+        let (sink, &total) = totals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN times"))
+            .ok_or_else(|| Error::Workflow("empty workflow".into()))?;
+        let mut path = vec![sink];
+        let mut cur = sink;
+        while let Some(p) = pred[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Ok((totals, total, path))
+    }
+}
+
+impl Engine {
+    /// Execute an entire workflow in dependency waves, then compute
+    /// Equation (1) totals from the modeled per-job times.
+    pub fn run_workflow(&self, wf: &Workflow) -> Result<WorkflowResult> {
+        let waves = wf.waves()?;
+        let mut results: Vec<Option<JobResult>> = vec![None; wf.len()];
+        for wave in waves {
+            for idx in wave {
+                let res = self.run(wf.job(idx))?;
+                results[idx] = Some(res);
+            }
+        }
+        let job_results: Vec<JobResult> =
+            results.into_iter().map(|r| r.expect("all jobs ran")).collect();
+        let et: Vec<f64> = job_results.iter().map(|r| r.times.total_s).collect();
+        let (job_total_s, total_s, critical_path) = wf.total_times(&et)?;
+        Ok(WorkflowResult { job_results, job_total_s, total_s, critical_path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, EngineConfig};
+    use crate::job::JobInput;
+    use crate::task::{MapContext, Mapper};
+    use restore_common::{codec, tuple, Tuple};
+    use restore_dfs::{Dfs, DfsConfig};
+    use std::sync::Arc;
+
+    struct PassThrough;
+    impl Mapper for PassThrough {
+        fn map(&mut self, _tag: usize, record: Tuple, ctx: &mut MapContext) -> restore_common::Result<()> {
+            ctx.output(record);
+            Ok(())
+        }
+    }
+
+    fn pass_job(name: &str, input: &str, output: &str) -> JobSpec {
+        JobSpec::new(
+            name,
+            vec![JobInput::new(input)],
+            output,
+            Arc::new(|| Box::new(PassThrough) as Box<dyn Mapper>),
+            None,
+        )
+    }
+
+    fn diamond() -> Workflow {
+        // j0 -> j1, j0 -> j2, {j1, j2} -> j3
+        let mut wf = Workflow::new();
+        let j0 = wf.add_job(pass_job("j0", "/in", "/a"));
+        let j1 = wf.add_job(pass_job("j1", "/a", "/b"));
+        let j2 = wf.add_job(pass_job("j2", "/a", "/c"));
+        let j3 = wf.add_job(pass_job("j3", "/b", "/d"));
+        wf.add_dependency(j1, j0);
+        wf.add_dependency(j2, j0);
+        wf.add_dependency(j3, j1);
+        wf.add_dependency(j3, j2);
+        wf
+    }
+
+    #[test]
+    fn waves_respect_dependencies() {
+        let wf = diamond();
+        let waves = wf.waves().unwrap();
+        assert_eq!(waves, vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let wf = diamond();
+        let order = wf.topo_order().unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut wf = Workflow::new();
+        let a = wf.add_job(pass_job("a", "/x", "/y"));
+        let b = wf.add_job(pass_job("b", "/y", "/x"));
+        wf.add_dependency(a, b);
+        wf.add_dependency(b, a);
+        assert!(wf.topo_order().is_err());
+        assert!(wf.waves().is_err());
+    }
+
+    #[test]
+    fn equation_one_totals() {
+        let wf = diamond();
+        // ET: j0=10, j1=5, j2=20, j3=1.
+        let (totals, total, path) =
+            wf.total_times(&[10.0, 5.0, 20.0, 1.0]).unwrap();
+        assert_eq!(totals, vec![10.0, 15.0, 30.0, 31.0]);
+        assert_eq!(total, 31.0);
+        // Critical path goes through the slow branch j2.
+        assert_eq!(path, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn run_workflow_end_to_end() {
+        let dfs = Dfs::new(DfsConfig {
+            nodes: 3,
+            block_size: 64,
+            replication: 1,
+            node_capacity: None,
+        });
+        let rows = vec![tuple![1, "x"], tuple![2, "y"]];
+        dfs.write_all("/in", &codec::encode_all(&rows)).unwrap();
+        let eng = Engine::new(
+            dfs.clone(),
+            ClusterConfig::default(),
+            EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
+        );
+        let res = eng.run_workflow(&diamond()).unwrap();
+        assert_eq!(res.job_results.len(), 4);
+        // Data flowed through the chain unchanged.
+        let out = codec::decode_all(&dfs.read_all("/d").unwrap()).unwrap();
+        assert_eq!(out, rows);
+        assert!(res.total_s > 0.0);
+        // Workflow total exceeds every individual job time.
+        for jr in &res.job_results {
+            assert!(res.total_s >= jr.times.total_s);
+        }
+        assert_eq!(res.critical_path.first(), Some(&0));
+        assert_eq!(res.critical_path.last(), Some(&3));
+    }
+}

@@ -1,0 +1,238 @@
+//! Deterministic PigMix-style data generation.
+//!
+//! Tables mirror the PigMix layout the paper uses:
+//!
+//! * `page_views(user, action, timestamp, est_revenue, page_info,
+//!   page_links)` — the wide fact table; `page_info`/`page_links` are
+//!   large text blobs, so projecting `(user, est_revenue)` keeps only a
+//!   few percent of the bytes (that ratio drives Table 1 and the sub-job
+//!   speedups);
+//! * `users(name, phone, address, city)` — one row per distinct user;
+//! * `power_users(name, phone, address, city)` — a small subset drawn
+//!   from the *tail* of the user popularity distribution, so the L2 join
+//!   is selective like the paper's (1.1 MB output from 150 GB input);
+//! * `widerow(user0, c1..c10)` — the union partner of L11.
+//!
+//! Users in `page_views` follow a Zipf distribution over the user pool,
+//! like PigMix's generator. Everything is seeded: same seed, same bytes.
+
+use crate::scale::DataScale;
+use restore_common::rng::{SplitMix64, Zipf};
+use restore_common::{codec, tuple, Result, Tuple};
+use restore_dfs::Dfs;
+
+/// Canonical DFS locations of the generated tables.
+pub const PAGE_VIEWS: &str = "/data/page_views";
+pub const USERS: &str = "/data/users";
+pub const POWER_USERS: &str = "/data/power_users";
+pub const WIDEROW: &str = "/data/widerow";
+
+/// Sizes (in bytes, pre-replication) of the generated tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PigMixData {
+    pub page_views_bytes: u64,
+    pub users_bytes: u64,
+    pub power_users_bytes: u64,
+    pub widerow_bytes: u64,
+}
+
+impl PigMixData {
+    /// Total input volume (the paper's Table 1 "I/P" column counts
+    /// whatever each query loads; L2–L8 load `page_views`+`users`-ish).
+    pub fn total_bytes(&self) -> u64 {
+        self.page_views_bytes + self.users_bytes + self.power_users_bytes + self.widerow_bytes
+    }
+}
+
+/// Deterministic user name: `user_<i>_<6 random-looking chars>`.
+fn user_name(i: usize, rng: &SplitMix64) -> String {
+    let mut r = rng.derive(0x5EED_0000 ^ i as u64);
+    format!("user_{i}_{}", r.next_string(6))
+}
+
+/// Generate all four tables into the DFS.
+pub fn generate(dfs: &Dfs, scale: &DataScale, seed: u64) -> Result<PigMixData> {
+    let root = SplitMix64::new(seed);
+
+    // User pool, shared by page_views and users so that every page view
+    // joins (the paper's L5 anti-join is ~empty: output 2 bytes).
+    let pool: Vec<String> =
+        (0..scale.users).map(|i| user_name(i, &root)).collect();
+
+    // ---- users ----
+    let mut rng = root.derive(1);
+    let mut users_rows = Vec::with_capacity(pool.len());
+    for name in &pool {
+        users_rows.push(tuple![
+            name.clone(),
+            format!("+1-{:03}-{:07}", rng.next_below(1000), rng.next_below(10_000_000)),
+            format!("{} {} st", rng.next_below(9999) + 1, rng.next_string(8)),
+            format!("city_{}", rng.next_below(97))
+        ]);
+    }
+    let users_bytes = write(dfs, USERS, &users_rows)?;
+
+    // ---- power_users: a deterministic subset from the *tail* of the
+    // Zipf-ranked pool (rare users), keeping the L2 join selective ----
+    let power_rows: Vec<Tuple> = users_rows
+        .iter()
+        .skip(scale.users.saturating_sub(scale.power_users))
+        .cloned()
+        .collect();
+    let power_users_bytes = write(dfs, POWER_USERS, &power_rows)?;
+
+    // ---- page_views ----
+    let mut rng = root.derive(2);
+    let zipf = Zipf::new(pool.len(), 0.8);
+    let mut pv_rows = Vec::with_capacity(scale.page_views_rows);
+    for i in 0..scale.page_views_rows {
+        let user = pool[zipf.sample(&mut rng)].clone();
+        let action = rng.next_below(10) as i64;
+        let timestamp = 1_300_000_000 + (i as i64 % 86_400);
+        let est_revenue = (rng.next_below(10_000) as f64) / 100.0;
+        let page_info = format!(
+            "title={};summary={};keywords={};lang=en",
+            rng.next_string(40),
+            rng.next_string(120),
+            rng.next_string(60)
+        );
+        let page_links = format!(
+            "http://site/{}.html http://site/{}.html http://site/{}.html http://site/{}.html http://site/{}.html",
+            rng.next_string(48),
+            rng.next_string(48),
+            rng.next_string(48),
+            rng.next_string(48),
+            rng.next_string(48)
+        );
+        pv_rows.push(tuple![user, action, timestamp, est_revenue, page_info, page_links]);
+    }
+    let page_views_bytes = write(dfs, PAGE_VIEWS, &pv_rows)?;
+
+    // ---- widerow ----
+    let mut rng = root.derive(3);
+    let mut wr_rows = Vec::with_capacity(scale.widerow_rows);
+    for _ in 0..scale.widerow_rows {
+        let mut t = Tuple::new();
+        // Roughly half the widerow users overlap the pool, half are new —
+        // unions then have both duplicates and fresh values.
+        if rng.next_below(2) == 0 {
+            t.push(pool[rng.next_below(pool.len() as u64) as usize].clone().into());
+        } else {
+            t.push(format!("wide_{}", rng.next_string(8)).into());
+        }
+        for _ in 0..10 {
+            t.push((rng.next_below(1_000_000) as i64).into());
+        }
+        wr_rows.push(t);
+    }
+    let widerow_bytes = write(dfs, WIDEROW, &wr_rows)?;
+
+    Ok(PigMixData { page_views_bytes, users_bytes, power_users_bytes, widerow_bytes })
+}
+
+fn write(dfs: &Dfs, path: &str, rows: &[Tuple]) -> Result<u64> {
+    let bytes = codec::encode_all(rows);
+    let len = bytes.len() as u64;
+    if dfs.exists(path) {
+        dfs.delete(path);
+    }
+    dfs.write_all(path, &bytes)?;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_dfs::DfsConfig;
+
+    fn dfs() -> Dfs {
+        Dfs::new(DfsConfig {
+            nodes: 4,
+            block_size: 4096,
+            replication: 1,
+            node_capacity: None,
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d1 = dfs();
+        let d2 = dfs();
+        let s = DataScale::tiny();
+        generate(&d1, &s, 42).unwrap();
+        generate(&d2, &s, 42).unwrap();
+        assert_eq!(d1.read_all(PAGE_VIEWS).unwrap(), d2.read_all(PAGE_VIEWS).unwrap());
+        assert_eq!(d1.read_all(USERS).unwrap(), d2.read_all(USERS).unwrap());
+        assert_eq!(d1.read_all(WIDEROW).unwrap(), d2.read_all(WIDEROW).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d1 = dfs();
+        let d2 = dfs();
+        let s = DataScale::tiny();
+        generate(&d1, &s, 1).unwrap();
+        generate(&d2, &s, 2).unwrap();
+        assert_ne!(d1.read_all(PAGE_VIEWS).unwrap(), d2.read_all(PAGE_VIEWS).unwrap());
+    }
+
+    #[test]
+    fn schema_and_row_counts() {
+        let d = dfs();
+        let s = DataScale::tiny();
+        generate(&d, &s, 7).unwrap();
+        let pv = codec::decode_all(&d.read_all(PAGE_VIEWS).unwrap()).unwrap();
+        assert_eq!(pv.len(), s.page_views_rows);
+        assert_eq!(pv[0].arity(), 6);
+        let users = codec::decode_all(&d.read_all(USERS).unwrap()).unwrap();
+        assert_eq!(users.len(), s.users);
+        let power = codec::decode_all(&d.read_all(POWER_USERS).unwrap()).unwrap();
+        assert_eq!(power.len(), s.power_users);
+        let wr = codec::decode_all(&d.read_all(WIDEROW).unwrap()).unwrap();
+        assert_eq!(wr.len(), s.widerow_rows);
+        assert_eq!(wr[0].arity(), 11);
+    }
+
+    #[test]
+    fn every_page_view_user_is_in_users() {
+        // Guarantees the paper's L5 anti-join is empty.
+        let d = dfs();
+        let s = DataScale::tiny();
+        generate(&d, &s, 7).unwrap();
+        let pv = codec::decode_all(&d.read_all(PAGE_VIEWS).unwrap()).unwrap();
+        let users = codec::decode_all(&d.read_all(USERS).unwrap()).unwrap();
+        let names: std::collections::HashSet<&str> =
+            users.iter().map(|t| t.get(0).as_str().unwrap()).collect();
+        for row in &pv {
+            assert!(names.contains(row.get(0).as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn projection_keeps_small_fraction_of_bytes() {
+        // The wide-row property the paper's Table 1 relies on: projecting
+        // (user, est_revenue) keeps only a few percent of the bytes.
+        let d = dfs();
+        let s = DataScale::tiny();
+        let data = generate(&d, &s, 7).unwrap();
+        let pv = codec::decode_all(&d.read_all(PAGE_VIEWS).unwrap()).unwrap();
+        let projected: usize = pv.iter().map(|t| t.project(&[0, 3]).encoded_len()).sum();
+        let frac = projected as f64 / data.page_views_bytes as f64;
+        assert!(frac < 0.15, "projection keeps {frac:.2} of bytes");
+    }
+
+    #[test]
+    fn users_are_zipf_skewed() {
+        let d = dfs();
+        let s = DataScale::tiny();
+        generate(&d, &s, 7).unwrap();
+        let pv = codec::decode_all(&d.read_all(PAGE_VIEWS).unwrap()).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for t in &pv {
+            *counts.entry(t.get(0).as_str().unwrap().to_string()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let avg = pv.len() as f64 / counts.len() as f64;
+        assert!(max as f64 > 2.0 * avg, "head user should dominate (max {max}, avg {avg})");
+    }
+}

@@ -1,0 +1,27 @@
+//! PigMix-style benchmark substrate for the ReStore reproduction.
+//!
+//! The paper evaluates on the PigMix benchmark: two instances of the
+//! `page_views` table (10M rows ≈ 15 GB and 100M rows ≈ 150 GB), plus the
+//! smaller `users`, `power_users`, and `widerow` tables, queries L2–L8 and
+//! L11, synthetic variants of L3/L11, and a fully synthetic data set for
+//! the data-reduction sweeps of §7.5 (Table 2, Figures 16/17).
+//!
+//! This crate provides:
+//!
+//! * [`datagen`] — deterministic generators for all four tables, scaled
+//!   down by a configurable factor while preserving the paper's
+//!   1:10 instance ratio and wide-row layout;
+//! * [`queries`] — the PigMix subset written in the `restore-dataflow`
+//!   dialect, including the L3/L11 variants of §7.1;
+//! * [`synthetic`] — the §7.5 twelve-field data set and the QP/QF query
+//!   templates;
+//! * [`scale`] — the experiment scale presets and the byte-scale wiring
+//!   that makes the cost model report paper-comparable times.
+
+pub mod datagen;
+pub mod queries;
+pub mod scale;
+pub mod synthetic;
+
+pub use datagen::{generate, PigMixData};
+pub use scale::DataScale;

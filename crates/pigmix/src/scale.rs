@@ -1,0 +1,112 @@
+//! Experiment scale presets.
+//!
+//! The paper's two instances are 10M-row (≈15 GB) and 100M-row (≈150 GB)
+//! `page_views` tables. We run scaled-down instances and let the cost
+//! model's `byte_scale` map measured bytes back to the paper's volumes;
+//! ratios (speedup, overhead) are scale-invariant, and the 1:10 ratio
+//! between instances is preserved exactly.
+
+/// A benchmark scale: row counts plus the paper-equivalent data volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataScale {
+    /// Display name ("15GB", "150GB").
+    pub name: &'static str,
+    /// Rows in `page_views`.
+    pub page_views_rows: usize,
+    /// Distinct users (size of the `users` table).
+    pub users: usize,
+    /// Rows in `power_users` (subset of users).
+    pub power_users: usize,
+    /// Rows in `widerow`.
+    pub widerow_rows: usize,
+    /// The data volume this instance represents in the paper, bytes.
+    pub paper_bytes: u64,
+}
+
+impl DataScale {
+    /// The paper's 15 GB instance (10M rows), scaled 1:500 by default.
+    pub fn gb15() -> DataScale {
+        DataScale {
+            name: "15GB",
+            page_views_rows: 20_000,
+            users: 1_000,
+            power_users: 100,
+            widerow_rows: 4_000,
+            paper_bytes: 15 * (1u64 << 30),
+        }
+    }
+
+    /// The paper's 150 GB instance (100M rows): exactly 10× the other.
+    pub fn gb150() -> DataScale {
+        DataScale {
+            name: "150GB",
+            page_views_rows: 200_000,
+            users: 10_000,
+            power_users: 1_000,
+            widerow_rows: 40_000,
+            paper_bytes: 150 * (1u64 << 30),
+        }
+    }
+
+    /// Tiny instance for unit tests.
+    pub fn tiny() -> DataScale {
+        DataScale {
+            name: "tiny",
+            page_views_rows: 300,
+            users: 40,
+            power_users: 8,
+            widerow_rows: 60,
+            paper_bytes: 1 << 30,
+        }
+    }
+
+    /// Byte-scale factor for the cost model given the actual generated
+    /// size of `page_views`.
+    pub fn byte_scale(&self, actual_page_views_bytes: u64) -> f64 {
+        self.paper_bytes as f64 / actual_page_views_bytes.max(1) as f64
+    }
+
+    /// DFS block size that gives the same number of input splits the
+    /// paper's cluster saw (64 MB blocks over the paper-scale data).
+    pub fn block_size(&self, actual_page_views_bytes: u64) -> u64 {
+        let paper_block = 64u64 << 20;
+        let scaled =
+            (paper_block as f64 / self.byte_scale(actual_page_views_bytes)) as u64;
+        scaled.clamp(4 << 10, paper_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_keep_paper_ratio() {
+        let small = DataScale::gb15();
+        let large = DataScale::gb150();
+        assert_eq!(large.page_views_rows, 10 * small.page_views_rows);
+        assert_eq!(large.paper_bytes, 10 * small.paper_bytes);
+    }
+
+    #[test]
+    fn byte_scale_maps_to_paper_volume() {
+        let s = DataScale::gb15();
+        let actual = 30 << 20; // 30 MB generated
+        let scale = s.byte_scale(actual);
+        assert!((scale * actual as f64 - s.paper_bytes as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn block_size_bounds() {
+        let s = DataScale::gb150();
+        // Same split count as the paper: actual_bytes / block == paper_bytes / 64MB.
+        let actual = 46 << 20;
+        let bs = s.block_size(actual);
+        let paper_splits = s.paper_bytes / (64 << 20);
+        let our_splits = actual / bs;
+        let ratio = our_splits as f64 / paper_splits as f64;
+        assert!((0.8..1.3).contains(&ratio), "split ratio {ratio}");
+        // Tiny data clamps to the 4 KB floor.
+        assert_eq!(s.block_size(1000), 4 << 10);
+    }
+}

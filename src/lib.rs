@@ -1,0 +1,26 @@
+//! # restore-suite
+//!
+//! Facade crate for the reproduction of *ReStore: Reusing Results of
+//! MapReduce Jobs* (Elghandour & Aboulnaga, PVLDB 5(6), 2012).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use restore_suite::...`. See the README for a
+//! tour and `DESIGN.md` for the system inventory.
+//!
+//! ## Crate map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`common`] | `restore-common` | values, tuples, schemas, codec, PRNG |
+//! | [`dfs`] | `restore-dfs` | simulated HDFS |
+//! | [`mapreduce`] | `restore-mapreduce` | MR engine + cluster cost model |
+//! | [`dataflow`] | `restore-dataflow` | Pig-Latin subset compiler |
+//! | [`core`] | `restore-core` | the ReStore system itself |
+//! | [`pigmix`] | `restore-pigmix` | PigMix workloads and data generators |
+
+pub use restore_common as common;
+pub use restore_core as core;
+pub use restore_dataflow as dataflow;
+pub use restore_dfs as dfs;
+pub use restore_mapreduce as mapreduce;
+pub use restore_pigmix as pigmix;
