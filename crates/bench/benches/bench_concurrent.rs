@@ -1,0 +1,94 @@
+//! Shared-session throughput: queries/second through one warmed `ReStore`
+//! instance as the number of submitting threads grows (1/2/4/8).
+//!
+//! Two regimes:
+//! * `warm` — every query is answered from the repository (whole-job
+//!   reuse), so the benchmark isolates the match-loop and lock-contention
+//!   cost of the shared session;
+//! * `mixed` — each round uses fresh output paths, so jobs with reusable
+//!   prefixes still execute, exercising wave-parallel execution plus
+//!   concurrent registration on the write path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use restore_core::{ReStore, ReStoreConfig};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_pigmix::{datagen, queries, DataScale};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SEED: u64 = 0xBE_2C_11;
+
+fn shared_session() -> ReStore {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 2048, replication: 2, node_capacity: None });
+    datagen::generate(&dfs, &DataScale::tiny(), SEED).expect("data generation");
+    let engine = Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
+    );
+    ReStore::new(engine, ReStoreConfig::default())
+}
+
+/// The per-thread query mix: one multi-job workflow + two single-job ones.
+fn mix(tag: &str) -> Vec<(String, String)> {
+    vec![
+        (queries::l3(&format!("/out/{tag}/l3")), format!("/wf/{tag}/l3")),
+        (queries::l7(&format!("/out/{tag}/l7")), format!("/wf/{tag}/l7")),
+        (queries::l8(&format!("/out/{tag}/l8")), format!("/wf/{tag}/l8")),
+    ]
+}
+
+fn submit_round(rs: &ReStore, threads: usize, round: u64) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let rs = &*rs;
+            scope.spawn(move || {
+                for (q, prefix) in mix(&format!("r{round}-t{t}")) {
+                    black_box(rs.execute_query(&q, &prefix).expect("query"));
+                }
+            });
+        }
+    });
+}
+
+fn bench_warm_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_warm");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        // Fresh warmed session per thread count; round 0 fills the
+        // repository so measured rounds are pure repository serving.
+        let rs = shared_session();
+        submit_round(&rs, threads, 0);
+        let round = AtomicU64::new(1);
+        group.throughput(Throughput::Elements((threads * 3) as u64));
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| submit_round(&rs, threads, round.fetch_add(1, Ordering::Relaxed)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_mixed");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        let rs = shared_session();
+        // Paper-experiment mode: final outputs are not registered, so
+        // every round re-executes final jobs over reused prefixes.
+        let mut cfg = rs.config();
+        cfg.register_final_outputs = false;
+        rs.set_config(cfg);
+        submit_round(&rs, threads, 0);
+        let round = AtomicU64::new(1);
+        group.throughput(Throughput::Elements((threads * 3) as u64));
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| submit_round(&rs, threads, round.fetch_add(1, Ordering::Relaxed)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_serving, bench_mixed_workload);
+criterion_main!(benches);

@@ -6,12 +6,7 @@ use restore_dfs::{Dfs, DfsConfig};
 use std::hint::black_box;
 
 fn cluster() -> Dfs {
-    Dfs::new(DfsConfig {
-        nodes: 14,
-        block_size: 64 << 10,
-        replication: 3,
-        node_capacity: None,
-    })
+    Dfs::new(DfsConfig { nodes: 14, block_size: 64 << 10, replication: 3, node_capacity: None })
 }
 
 fn bench_write(c: &mut Criterion) {

@@ -12,12 +12,8 @@ use restore_pigmix::{datagen, queries, DataScale};
 use std::hint::black_box;
 
 fn engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 8 << 10,
-        replication: 1,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 8 << 10, replication: 1, node_capacity: None });
     datagen::generate(&dfs, &DataScale::tiny(), 5).unwrap();
     Engine::new(
         dfs,
@@ -32,7 +28,7 @@ fn bench_plain_vs_reuse(c: &mut Criterion) {
 
     group.bench_function("plain", |b| {
         let eng = engine();
-        let mut rs = ReStore::new(eng, ReStoreConfig::baseline());
+        let rs = ReStore::new(eng, ReStoreConfig::baseline());
         let mut i = 0;
         b.iter(|| {
             i += 1;
@@ -43,7 +39,7 @@ fn bench_plain_vs_reuse(c: &mut Criterion) {
 
     group.bench_function("restore_warm", |b| {
         let eng = engine();
-        let mut rs = ReStore::new(
+        let rs = ReStore::new(
             eng,
             ReStoreConfig { heuristic: Heuristic::Aggressive, ..Default::default() },
         );

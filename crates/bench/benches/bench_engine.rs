@@ -11,15 +11,10 @@ use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 use std::hint::black_box;
 
 fn setup(rows: usize, threads: usize) -> (Engine, restore_mapreduce::JobSpec) {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 16 << 10,
-        replication: 1,
-        node_capacity: None,
-    });
-    let data: Vec<Tuple> = (0..rows)
-        .map(|i| tuple![format!("k{}", i % 97), i as i64, (i % 1000) as f64])
-        .collect();
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 16 << 10, replication: 1, node_capacity: None });
+    let data: Vec<Tuple> =
+        (0..rows).map(|i| tuple![format!("k{}", i % 97), i as i64, (i % 1000) as f64]).collect();
     dfs.write_all("/in", &codec::encode_all(&data)).unwrap();
     let engine = Engine::new(
         dfs,
@@ -71,14 +66,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_threads");
     group.sample_size(10);
     for &threads in &[1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                let (engine, spec) = setup(10_000, threads);
-                b.iter(|| black_box(engine.run(black_box(&spec)).unwrap()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            let (engine, spec) = setup(10_000, threads);
+            b.iter(|| black_box(engine.run(black_box(&spec)).unwrap()));
+        });
     }
     group.finish();
 }

@@ -12,16 +12,12 @@ fn plan_of(depth: usize) -> PhysicalPlan {
     let mut p = PhysicalPlan::new();
     let mut branches = Vec::new();
     for b in 0..2 {
-        let mut cur =
-            p.add(PhysicalOp::Load { path: format!("/data/{b}") }, vec![]);
+        let mut cur = p.add(PhysicalOp::Load { path: format!("/data/{b}") }, vec![]);
         for i in 0..depth {
             cur = if i % 2 == 0 {
                 p.add(PhysicalOp::Project { cols: vec![0, 1] }, vec![cur])
             } else {
-                p.add(
-                    PhysicalOp::Filter { pred: Expr::col_eq(0, i as i64) },
-                    vec![cur],
-                )
+                p.add(PhysicalOp::Filter { pred: Expr::col_eq(0, i as i64) }, vec![cur])
             };
         }
         branches.push(cur);
@@ -36,26 +32,22 @@ fn bench_injection(c: &mut Criterion) {
     group.sample_size(50);
     for h in [Heuristic::Conservative, Heuristic::Aggressive, Heuristic::NoHeuristic] {
         for &depth in &[4usize, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(h.label(), depth),
-                &depth,
-                |b, &depth| {
-                    b.iter(|| {
-                        let mut plan = plan_of(depth);
-                        let mut n = 0;
-                        let cands = inject_subjob_stores(
-                            &mut plan,
-                            h,
-                            || {
-                                n += 1;
-                                format!("/repo/c{n}")
-                            },
-                            |_| false,
-                        );
-                        black_box((plan, cands))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(h.label(), depth), &depth, |b, &depth| {
+                b.iter(|| {
+                    let mut plan = plan_of(depth);
+                    let mut n = 0;
+                    let cands = inject_subjob_stores(
+                        &mut plan,
+                        h,
+                        || {
+                            n += 1;
+                            format!("/repo/c{n}")
+                        },
+                        |_| false,
+                    );
+                    black_box((plan, cands))
+                })
+            });
         }
     }
     group.finish();
@@ -63,10 +55,7 @@ fn bench_injection(c: &mut Criterion) {
 
 fn bench_prefix_extraction(c: &mut Criterion) {
     let plan = plan_of(32);
-    let mid = plan
-        .ids()
-        .find(|&i| matches!(plan.op(i), PhysicalOp::Join { .. }))
-        .unwrap();
+    let mid = plan.ids().find(|&i| matches!(plan.op(i), PhysicalOp::Join { .. })).unwrap();
     c.bench_function("prefix_plan_join_tip_depth32", |b| {
         b.iter(|| black_box(plan.prefix_plan(black_box(mid), "/repo/x")));
     });

@@ -16,10 +16,7 @@ use std::hint::black_box;
 fn entry_plan(i: usize) -> PhysicalPlan {
     let mut p = PhysicalPlan::new();
     let l = p.add(PhysicalOp::Load { path: format!("/data/t{}", i % 7) }, vec![]);
-    let f = p.add(
-        PhysicalOp::Filter { pred: Expr::col_eq(i % 5, i as i64) },
-        vec![l],
-    );
+    let f = p.add(PhysicalOp::Filter { pred: Expr::col_eq(i % 5, i as i64) }, vec![l]);
     let pr = p.add(PhysicalOp::Project { cols: vec![0, (i % 3) + 1] }, vec![f]);
     p.add(PhysicalOp::Store { path: format!("/repo/{i}") }, vec![pr]);
     p
@@ -89,10 +86,7 @@ fn bench_traversal(c: &mut Criterion) {
         let mut plan = PhysicalPlan::new();
         let mut cur = plan.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
         for i in 0..depth {
-            cur = plan.add(
-                PhysicalOp::Filter { pred: Expr::col_eq(0, i as i64) },
-                vec![cur],
-            );
+            cur = plan.add(PhysicalOp::Filter { pred: Expr::col_eq(0, i as i64) }, vec![cur]);
         }
         plan.add(PhysicalOp::Store { path: "/o".into() }, vec![cur]);
         group.bench_with_input(BenchmarkId::new("self_match", depth), &depth, |b, _| {

@@ -12,8 +12,8 @@
 
 use restore_bench::env::{pigmix_env, synthetic_env, PigMixEnv, SyntheticEnv};
 use restore_bench::figures::{
-    filter_sweep, matcher_ablation, minutes, projection_sweep, subjob_sweep,
-    table2_check, whole_job_sweep, SubJobRow, WholeJobRow,
+    filter_sweep, matcher_ablation, minutes, projection_sweep, subjob_sweep, table2_check,
+    whole_job_sweep, SubJobRow, WholeJobRow,
 };
 use restore_bench::report::{fmin, fratio, mean, Table};
 use restore_pigmix::DataScale;
@@ -191,11 +191,7 @@ fn fig11(lazy: &mut Lazy) {
     let large = lazy.subjob_large().to_vec();
     let mut t = Table::new(&["Query", "15GB", "150GB"]);
     for (s, l) in small.iter().zip(large.iter()) {
-        t.row(vec![
-            s.label.clone(),
-            fratio(s.overhead(1)),
-            fratio(l.overhead(1)),
-        ]);
+        t.row(vec![s.label.clone(), fratio(s.overhead(1)), fratio(l.overhead(1))]);
     }
     print!("{}", t.render());
     println!(

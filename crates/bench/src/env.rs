@@ -24,14 +24,9 @@ pub const SEED: u64 = 0x5E_57_0E;
 /// and a cost model scaled to the paper's data volume.
 pub fn pigmix_env(scale: DataScale) -> PigMixEnv {
     // Probe pass: measure generated size.
-    let probe = Dfs::new(DfsConfig {
-        nodes: 14,
-        block_size: 8 << 20,
-        replication: 1,
-        node_capacity: None,
-    });
-    let probe_data =
-        datagen::generate(&probe, &scale, SEED).expect("probe generation");
+    let probe =
+        Dfs::new(DfsConfig { nodes: 14, block_size: 8 << 20, replication: 1, node_capacity: None });
+    let probe_data = datagen::generate(&probe, &scale, SEED).expect("probe generation");
     let pv_bytes = probe_data.page_views_bytes;
 
     // Real pass.
@@ -43,11 +38,8 @@ pub fn pigmix_env(scale: DataScale) -> PigMixEnv {
     });
     let data = datagen::generate(&dfs, &scale, SEED).expect("data generation");
     let byte_scale = scale.byte_scale(data.page_views_bytes);
-    let engine = Engine::new(
-        dfs,
-        ClusterConfig::paper_testbed(byte_scale),
-        EngineConfig::default(),
-    );
+    let engine =
+        Engine::new(dfs, ClusterConfig::paper_testbed(byte_scale), EngineConfig::default());
     PigMixEnv { scale, data, engine, byte_scale }
 }
 
@@ -62,12 +54,8 @@ pub struct SyntheticEnv {
 /// in for the paper's 200M-row / 40 GB file.
 pub fn synthetic_env(rows: usize) -> SyntheticEnv {
     let paper_bytes = 40u64 << 30;
-    let probe = Dfs::new(DfsConfig {
-        nodes: 14,
-        block_size: 8 << 20,
-        replication: 1,
-        node_capacity: None,
-    });
+    let probe =
+        Dfs::new(DfsConfig { nodes: 14, block_size: 8 << 20, replication: 1, node_capacity: None });
     let actual = synthetic::generate(&probe, rows, SEED).expect("probe generation");
     let byte_scale = paper_bytes as f64 / actual.max(1) as f64;
     let block = ((64u64 << 20) as f64 / byte_scale) as u64;
@@ -79,11 +67,8 @@ pub fn synthetic_env(rows: usize) -> SyntheticEnv {
         node_capacity: None,
     });
     let total_bytes = synthetic::generate(&dfs, rows, SEED).expect("generation");
-    let engine = Engine::new(
-        dfs,
-        ClusterConfig::paper_testbed(byte_scale),
-        EngineConfig::default(),
-    );
+    let engine =
+        Engine::new(dfs, ClusterConfig::paper_testbed(byte_scale), EngineConfig::default());
     SyntheticEnv { engine, byte_scale, total_bytes }
 }
 

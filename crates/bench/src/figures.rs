@@ -21,19 +21,14 @@ fn base_input_bytes(env: &PigMixEnv, query: &str) -> u64 {
     let mut paths: Vec<String> = Vec::new();
     for job in &wf.jobs {
         for l in job.plan.loads() {
-            if let restore_dataflow::physical::PhysicalOp::Load { path } =
-                job.plan.op(l)
-            {
+            if let restore_dataflow::physical::PhysicalOp::Load { path } = job.plan.op(l) {
                 if path.starts_with("/data/") && !paths.contains(path) {
                     paths.push(path.clone());
                 }
             }
         }
     }
-    let actual: u64 = paths
-        .iter()
-        .map(|p| env.engine.dfs().file_len(p).unwrap_or(0))
-        .sum();
+    let actual: u64 = paths.iter().map(|p| env.engine.dfs().file_len(p).unwrap_or(0)).sum();
     (actual as f64 * env.byte_scale) as u64
 }
 
@@ -88,8 +83,7 @@ pub fn subjob_sweep(env: &PigMixEnv) -> Vec<SubJobRow> {
             let mut rs = paper_driver(&env.engine, h, false, &tag);
             let gen = run(&mut rs, &query, &format!("/wf/{tag}-gen"));
             gen_s[i] = gen.total_s;
-            stored_bytes[i] =
-                (gen.stored_candidate_bytes as f64 * env.byte_scale) as u64;
+            stored_bytes[i] = (gen.stored_candidate_bytes as f64 * env.byte_scale) as u64;
             // Reuse run: same repository, rewriting enabled.
             let mut cfg = rs.config().clone();
             cfg.reuse_enabled = true;
@@ -200,8 +194,7 @@ pub fn projection_sweep(env: &SyntheticEnv) -> Vec<SweepPoint> {
         .map(|k| {
             let query = synthetic::qp(k, &format!("/out/qp{k}"));
             let mut base = baseline_driver(&env.engine);
-            let plain_s =
-                run(&mut base, &query, &format!("/wf/qp{k}-plain")).total_s;
+            let plain_s = run(&mut base, &query, &format!("/wf/qp{k}-plain")).total_s;
             let mut rs =
                 paper_driver(&env.engine, Heuristic::Conservative, false, &format!("qp{k}"));
             let gen = run(&mut rs, &query, &format!("/wf/qp{k}-gen"));
@@ -224,26 +217,15 @@ pub fn filter_sweep(env: &SyntheticEnv) -> Vec<SweepPoint> {
         .map(|&(field, _card, pct)| {
             let query = synthetic::qf(field, &format!("/out/qf{field}"));
             let mut base = baseline_driver(&env.engine);
-            let plain_s =
-                run(&mut base, &query, &format!("/wf/qf{field}-plain")).total_s;
-            let mut rs = paper_driver(
-                &env.engine,
-                Heuristic::Conservative,
-                false,
-                &format!("qf{field}"),
-            );
+            let plain_s = run(&mut base, &query, &format!("/wf/qf{field}-plain")).total_s;
+            let mut rs =
+                paper_driver(&env.engine, Heuristic::Conservative, false, &format!("qf{field}"));
             let gen = run(&mut rs, &query, &format!("/wf/qf{field}-gen"));
             let mut cfg = rs.config().clone();
             cfg.reuse_enabled = true;
             rs.set_config(cfg);
-            let reuse_s =
-                run(&mut rs, &query, &format!("/wf/qf{field}-reuse")).total_s;
-            SweepPoint {
-                pct_kept: pct * 100.0,
-                plain_s,
-                gen_s: gen.total_s,
-                reuse_s,
-            }
+            let reuse_s = run(&mut rs, &query, &format!("/wf/qf{field}-reuse")).total_s;
+            SweepPoint { pct_kept: pct * 100.0, plain_s, gen_s: gen.total_s, reuse_s }
         })
         .collect()
 }
@@ -276,10 +258,7 @@ pub fn matcher_ablation() -> Vec<AblationRow> {
     fn entry_plan(i: usize) -> PhysicalPlan {
         let mut p = PhysicalPlan::new();
         let l = p.add(PhysicalOp::Load { path: format!("/data/t{}", i % 7) }, vec![]);
-        let f = p.add(
-            PhysicalOp::Filter { pred: Expr::col_eq(i % 5, i as i64) },
-            vec![l],
-        );
+        let f = p.add(PhysicalOp::Filter { pred: Expr::col_eq(i % 5, i as i64) }, vec![l]);
         let pr = p.add(PhysicalOp::Project { cols: vec![0, (i % 3) + 1] }, vec![f]);
         p.add(PhysicalOp::Store { path: format!("/repo/{i}") }, vec![pr]);
         p
@@ -357,10 +336,8 @@ pub fn table2_check(env: &SyntheticEnv) -> Vec<FieldStat> {
     synthetic::FILTER_FIELDS
         .iter()
         .map(|&(field, card, pct)| {
-            let mut vals: Vec<i64> = rows
-                .iter()
-                .filter_map(|t| t.get(field - 1).as_i64())
-                .collect();
+            let mut vals: Vec<i64> =
+                rows.iter().filter_map(|t| t.get(field - 1).as_i64()).collect();
             let hits = vals.iter().filter(|&&v| v == 0).count();
             let measured_selected_pct = 100.0 * hits as f64 / rows.len() as f64;
             vals.sort_unstable();

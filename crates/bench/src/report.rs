@@ -8,10 +8,7 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Self {
-        Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -21,8 +18,7 @@ impl Table {
 
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> =
-            self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -27,9 +27,7 @@ pub fn human_bytes(n: u64) -> String {
 /// `"512"` (bytes). Returns `None` on malformed input.
 pub fn parse_bytes(s: &str) -> Option<u64> {
     let s = s.trim();
-    let split = s
-        .find(|c: char| !c.is_ascii_digit() && c != '.')
-        .unwrap_or(s.len());
+    let split = s.find(|c: char| !c.is_ascii_digit() && c != '.').unwrap_or(s.len());
     let (num, unit) = s.split_at(split);
     let num: f64 = num.parse().ok()?;
     let mult: u64 = match unit.trim().to_ascii_uppercase().as_str() {

@@ -131,18 +131,13 @@ impl<'a> Parser<'a> {
                         // Null marker "\0N"; only valid as the whole field.
                         let n = self.next_byte()?;
                         if n != b'N' || !buf.is_empty() {
-                            return Err(Error::Codec(
-                                "misplaced null marker".into(),
-                            ));
+                            return Err(Error::Codec("misplaced null marker".into()));
                         }
                         is_null = true;
                     }
                     b if SPECIALS.contains(&b) => buf.push(b),
                     other => {
-                        return Err(Error::Codec(format!(
-                            "invalid escape \\{}",
-                            other as char
-                        )))
+                        return Err(Error::Codec(format!("invalid escape \\{}", other as char)))
                     }
                 }
                 had_escape = true;
@@ -156,8 +151,8 @@ impl<'a> Parser<'a> {
             }
             return Err(Error::Codec("data after null marker".into()));
         }
-        let s = String::from_utf8(buf)
-            .map_err(|_| Error::Codec("record is not valid UTF-8".into()))?;
+        let s =
+            String::from_utf8(buf).map_err(|_| Error::Codec("record is not valid UTF-8".into()))?;
         Ok(infer_value(s, had_escape))
     }
 
@@ -212,9 +207,7 @@ impl<'a> Parser<'a> {
     }
 
     fn next_byte(&mut self) -> Result<u8> {
-        let b = self
-            .peek()
-            .ok_or_else(|| Error::Codec("unexpected end of record".into()))?;
+        let b = self.peek().ok_or_else(|| Error::Codec("unexpected end of record".into()))?;
         self.pos += 1;
         Ok(b)
     }
@@ -322,12 +315,7 @@ mod tests {
 
     #[test]
     fn null_round_trip() {
-        let t = Tuple::from_values(vec![
-            Value::Null,
-            Value::str(""),
-            Value::Int(1),
-            Value::Null,
-        ]);
+        let t = Tuple::from_values(vec![Value::Null, Value::str(""), Value::Int(1), Value::Null]);
         assert_eq!(round_trip(&t), t);
     }
 

@@ -46,14 +46,12 @@ impl fmt::Display for Error {
             Error::FileNotFound(p) => write!(f, "file not found: {p}"),
             Error::FileExists(p) => write!(f, "file already exists: {p}"),
             Error::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
-            Error::ReplicationUnsatisfiable { wanted, live_nodes } => write!(
-                f,
-                "cannot place {wanted} replicas on {live_nodes} live datanodes"
-            ),
-            Error::OutOfStorage { node, needed, free } => write!(
-                f,
-                "datanode {node} out of storage: needed {needed} bytes, {free} free"
-            ),
+            Error::ReplicationUnsatisfiable { wanted, live_nodes } => {
+                write!(f, "cannot place {wanted} replicas on {live_nodes} live datanodes")
+            }
+            Error::OutOfStorage { node, needed, free } => {
+                write!(f, "datanode {node} out of storage: needed {needed} bytes, {free} free")
+            }
             Error::Parse { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }
@@ -93,10 +91,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::Plan("x".into()),
-            Error::Plan("x".into())
-        );
+        assert_eq!(Error::Plan("x".into()), Error::Plan("x".into()));
         assert_ne!(Error::Plan("x".into()), Error::Eval("x".into()));
     }
 }

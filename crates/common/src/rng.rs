@@ -90,10 +90,7 @@ impl Zipf {
     /// Draw one rank.
     pub fn sample(&self, rng: &mut SplitMix64) -> usize {
         let u = rng.next_f64();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
-        {
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -76,12 +76,7 @@ impl Schema {
 
     /// Convenience constructor from names with all-bytearray types.
     pub fn from_names(names: &[&str]) -> Self {
-        Schema {
-            fields: names
-                .iter()
-                .map(|n| Field::new(*n, FieldType::Bytearray))
-                .collect(),
-        }
+        Schema { fields: names.iter().map(|n| Field::new(*n, FieldType::Bytearray)).collect() }
     }
 
     pub fn len(&self) -> usize {
@@ -108,11 +103,8 @@ impl Schema {
     /// Resolve a name or report a planning error listing the alternatives.
     pub fn resolve(&self, name: &str) -> Result<usize> {
         self.index_of(name).ok_or_else(|| {
-            let known: Vec<&str> =
-                self.fields.iter().map(|f| f.name.as_str()).collect();
-            Error::Plan(format!(
-                "unknown field {name:?}; known fields: {known:?}"
-            ))
+            let known: Vec<&str> = self.fields.iter().map(|f| f.name.as_str()).collect();
+            Error::Plan(format!("unknown field {name:?}; known fields: {known:?}"))
         })
     }
 
@@ -122,9 +114,10 @@ impl Schema {
             fields: cols
                 .iter()
                 .map(|&c| {
-                    self.fields.get(c).cloned().unwrap_or_else(|| {
-                        Field::new(format!("${c}"), FieldType::Bytearray)
-                    })
+                    self.fields
+                        .get(c)
+                        .cloned()
+                        .unwrap_or_else(|| Field::new(format!("${c}"), FieldType::Bytearray))
                 })
                 .collect(),
         }

@@ -278,12 +278,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = [
-            Value::Int(1),
-            Value::Null,
-            Value::str("a"),
-            Value::Double(0.5),
-        ];
+        let mut vals = [Value::Int(1), Value::Null, Value::str("a"), Value::Double(0.5)];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[3], Value::str("a"));
@@ -298,11 +293,7 @@ mod tests {
 
     #[test]
     fn nan_sorts_greatest_among_numbers() {
-        let mut vals = [
-            Value::Double(f64::NAN),
-            Value::Double(1.0),
-            Value::Int(5),
-        ];
+        let mut vals = [Value::Double(f64::NAN), Value::Double(1.0), Value::Int(5)];
         vals.sort();
         assert!(matches!(vals[2], Value::Double(d) if d.is_nan()));
     }

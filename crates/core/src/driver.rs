@@ -1,24 +1,43 @@
-//! The ReStore driver — §6.2's extension of Pig's `JobControlCompiler`.
+//! The ReStore driver — §6.2's extension of Pig's `JobControlCompiler`,
+//! extended into a shared, concurrently-usable session object.
 //!
-//! For each job of a workflow, in dependency order: (1) rewrite Loads of
-//! outputs that earlier skipped jobs aliased away, (2) lineage-expand the
-//! plan and repeatedly match/rewrite it against the repository, (3) skip
-//! the job entirely when rewriting reduced it to a pure copy, (4) inject
-//! sub-job Stores per the active heuristic, (5) execute on the MapReduce
-//! engine, (6) register outputs, plans, and statistics in the repository
-//! and the provenance table, and (7) apply the §5 selection rules.
+//! A workflow executes in **dependency waves** (the same grouping Pig's
+//! `JobControlCompiler` submits in, §6.1). Each wave goes through three
+//! phases:
+//!
+//! 1. **prepare** (serialized, cheap): per job — rewrite Loads of outputs
+//!    that earlier skipped jobs aliased away, lineage-expand the plan and
+//!    repeatedly match/rewrite it against the repository (§3), skip the
+//!    job entirely when rewriting reduced it to a pure copy, and inject
+//!    sub-job Stores per the active heuristic (§4);
+//! 2. **execute** (parallel): all surviving jobs of the wave run
+//!    concurrently on the MapReduce engine via `std::thread::scope` —
+//!    Equation (1) already models a workflow's makespan as its slowest
+//!    dependency chain, and wave-parallel execution realizes it;
+//! 3. **register** (serialized, in job-index order): outputs, plans, and
+//!    statistics enter the repository and the provenance table (§2.2),
+//!    and the §5 selection rules are applied.
+//!
+//! The repository and provenance table live behind `RwLock`s, and every
+//! public entry point takes `&self`, so **many threads can submit queries
+//! against one warmed repository**. Matching takes the read lock; entry
+//! registration, reuse accounting, and eviction sweeps serialize on the
+//! write lock. Job execution itself holds no lock at all, so long-running
+//! jobs never block matching in other sessions.
 
 use crate::enumerator::{inject_subjob_stores, Candidate, Heuristic};
 use crate::provenance::Provenance;
 use crate::repository::{RepoStats, Repository};
 use crate::rewriter::{apply_aliases, identity_copy, rewrite};
 use crate::selector::SelectionPolicy;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use restore_common::{Error, Result};
 use restore_dataflow::exec::{job_io, job_spec_for_plan};
 use restore_dataflow::mr_compiler::CompiledWorkflow;
 use restore_dataflow::physical::PhysicalPlan;
-use restore_mapreduce::{Engine, JobResult};
-use std::collections::HashMap;
+use restore_mapreduce::{Engine, JobResult, JobSpec};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// ReStore configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +61,11 @@ pub struct ReStoreConfig {
     /// `true` additionally answers repeated identical queries entirely
     /// from the repository.
     pub register_final_outputs: bool,
+    /// Execute independent jobs of a wave concurrently. Disabling this
+    /// reverts to strict one-job-at-a-time execution (the paper's
+    /// Algorithm 1); results are byte-identical either way because jobs
+    /// within a wave share no outputs.
+    pub wave_parallel: bool,
 }
 
 impl Default for ReStoreConfig {
@@ -53,6 +77,7 @@ impl Default for ReStoreConfig {
             repo_prefix: "/restore".to_string(),
             delete_tmp: false,
             register_final_outputs: true,
+            wave_parallel: true,
         }
     }
 }
@@ -88,7 +113,8 @@ pub struct RewriteEvent {
 pub struct QueryExecution {
     /// Modeled completion time per Equation (1), seconds.
     pub total_s: f64,
-    /// Per-executed-job results (skipped jobs have no entry).
+    /// Per-executed-job results (skipped jobs have no entry), in
+    /// wave-then-job-index order — a topological order of the workflow.
     pub job_results: Vec<JobResult>,
     /// Jobs eliminated by whole-job reuse.
     pub jobs_skipped: usize,
@@ -117,7 +143,9 @@ pub struct ReStoreStats {
     pub provenance_entries: usize,
 }
 
-/// The ReStore system.
+/// The ReStore system: a shared session object. All entry points take
+/// `&self`, so one instance can serve query submissions from many
+/// threads concurrently (wrap it in an `Arc` or use scoped threads).
 ///
 /// ```
 /// use restore_core::{ReStore, ReStoreConfig};
@@ -127,7 +155,7 @@ pub struct ReStoreStats {
 /// let dfs = Dfs::new(DfsConfig { nodes: 3, block_size: 256, replication: 2, node_capacity: None });
 /// dfs.write_all("/data/e", b"alice\t4\nbob\t7\nalice\t1\n").unwrap();
 /// let engine = Engine::new(dfs, ClusterConfig::default(), EngineConfig::default());
-/// let mut restore = ReStore::new(engine, ReStoreConfig::default());
+/// let restore = ReStore::new(engine, ReStoreConfig::default());
 ///
 /// let q = "A = load '/data/e' as (user, n:int);
 ///          G = group A by user;
@@ -141,23 +169,40 @@ pub struct ReStoreStats {
 /// ```
 pub struct ReStore {
     engine: Engine,
-    repo: Repository,
-    prov: Provenance,
-    config: ReStoreConfig,
+    repo: RwLock<Repository>,
+    prov: RwLock<Provenance>,
+    config: RwLock<ReStoreConfig>,
     /// Query counter = the logical clock for usage statistics.
-    tick: u64,
-    cand_counter: u64,
+    tick: AtomicU64,
+    cand_counter: AtomicU64,
+}
+
+/// A wave job that survived matching and is ready to execute.
+struct PreparedJob {
+    idx: usize,
+    plan: PhysicalPlan,
+    candidates: Vec<Candidate>,
+    spec: JobSpec,
+}
+
+/// Outcome of preparing one job of a wave.
+enum Prepared {
+    /// Rewriting reduced the job to a pure copy; its output is aliased.
+    Skipped {
+        dst: String,
+    },
+    Run(Box<PreparedJob>),
 }
 
 impl ReStore {
     pub fn new(engine: Engine, config: ReStoreConfig) -> Self {
         ReStore {
             engine,
-            repo: Repository::new(),
-            prov: Provenance::new(),
-            config,
-            tick: 0,
-            cand_counter: 0,
+            repo: RwLock::new(Repository::new()),
+            prov: RwLock::new(Provenance::new()),
+            config: RwLock::new(config),
+            tick: AtomicU64::new(0),
+            cand_counter: AtomicU64::new(0),
         }
     }
 
@@ -165,53 +210,57 @@ impl ReStore {
         &self.engine
     }
 
-    pub fn repository(&self) -> &Repository {
-        &self.repo
+    /// Read access to the shared repository. Holding the guard blocks
+    /// entry registration and eviction in other sessions; don't keep it
+    /// across query submissions.
+    pub fn repository(&self) -> RwLockReadGuard<'_, Repository> {
+        self.repo.read()
     }
 
-    pub fn repository_mut(&mut self) -> &mut Repository {
-        &mut self.repo
+    /// Exclusive access to the shared repository (blocks all sessions).
+    pub fn repository_mut(&self) -> RwLockWriteGuard<'_, Repository> {
+        self.repo.write()
     }
 
-    pub fn config(&self) -> &ReStoreConfig {
-        &self.config
+    /// Snapshot of the active configuration.
+    pub fn config(&self) -> ReStoreConfig {
+        self.config.read().clone()
     }
 
     /// Change configuration between queries (experiments flip reuse and
-    /// heuristics while keeping the warmed repository).
-    pub fn set_config(&mut self, config: ReStoreConfig) {
-        self.config = config;
+    /// heuristics while keeping the warmed repository). Queries already
+    /// in flight keep the configuration they started with.
+    pub fn set_config(&self, config: ReStoreConfig) {
+        *self.config.write() = config;
     }
 
     /// Compile and execute a query text.
-    pub fn execute_query(&mut self, text: &str, out_prefix: &str) -> Result<QueryExecution> {
+    pub fn execute_query(&self, text: &str, out_prefix: &str) -> Result<QueryExecution> {
         let wf = restore_dataflow::compile(text, out_prefix)?;
         self.execute_workflow(wf)
     }
 
     /// Execute a compiled workflow of MapReduce jobs through ReStore.
-    pub fn execute_workflow(&mut self, wf: CompiledWorkflow) -> Result<QueryExecution> {
-        self.tick += 1;
+    pub fn execute_workflow(&self, wf: CompiledWorkflow) -> Result<QueryExecution> {
+        let tick = self.tick.fetch_add(1, Ordering::SeqCst) + 1;
+        let config = self.config();
 
         // Eviction sweep (§5 rules 3–4) runs *before* matching so stale
         // entries (expired window, modified/deleted inputs) are never
         // reused in this workflow.
-        let policy = self.config.selection.clone();
-        policy.sweep(&mut self.repo, self.engine.dfs(), self.tick);
-        let dead: Vec<String> = {
+        config.selection.sweep_shared(&self.repo, self.engine.dfs(), tick);
+        {
+            let mut prov = self.prov.write();
             let dfs = self.engine.dfs();
-            self.prov
-                .iter_paths()
-                .filter(|p| !dfs.exists(p))
-                .map(|p| p.to_string())
-                .collect()
-        };
-        for p in dead {
-            self.prov.forget(&p);
+            let dead: Vec<String> =
+                prov.iter_paths().filter(|p| !dfs.exists(p)).map(|p| p.to_string()).collect();
+            for p in dead {
+                prov.forget(&p);
+            }
         }
 
         let n = wf.jobs.len();
-        let order = topo_order(&wf)?;
+        let waves = wf.waves()?;
 
         let mut aliases: HashMap<String, String> = HashMap::new();
         let mut et = vec![0.0f64; n];
@@ -222,190 +271,49 @@ impl ReStore {
         let mut candidates_stored = 0usize;
         let mut final_output = String::new();
 
-        for idx in order {
-            let mut plan = wf.jobs[idx].plan.clone();
-            apply_aliases(&mut plan, &aliases);
-
-            // ---- Phase 1: match and rewrite (§3) ----
-            let mut job_rewrites = 0usize;
-            if self.config.reuse_enabled {
-                // Entries whose rewrite made no structural progress (they
-                // match only lineage the plan already loads) are skipped
-                // on the rescan; progress clears the set.
-                let mut unproductive: std::collections::HashSet<u64> =
-                    std::collections::HashSet::new();
-                let budget = 2 * plan.len() + 4 + 2 * self.repo.len();
-                for _ in 0..budget {
-                    let expanded = self.prov.expand(&plan);
-                    let Some((entry_id, m)) = self
-                        .repo
-                        .find_first_match_excluding(&expanded.plan, &unproductive)
-                    else {
-                        break;
-                    };
-                    let reused_path =
-                        self.repo.get(entry_id).expect("matched entry").output_path.clone();
-                    let mut exp = expanded;
-                    let remap = rewrite(&mut exp.plan, &m, &reused_path);
-                    // Translate expansion tips through the GC remap; an
-                    // expansion whose tip vanished was consumed by the
-                    // matched region and needs no collapsing.
-                    exp.expansions.retain_mut(|e| {
-                        match remap.get(e.tip.index()).copied().flatten() {
-                            Some(t) => {
-                                e.tip = t;
-                                true
-                            }
-                            None => false,
-                        }
-                    });
-                    let before_sig = plan.signature();
-                    let collapsed = exp.collapse_unused();
-                    if collapsed.signature() == before_sig {
-                        // No structural progress: try the next entry.
-                        unproductive.insert(entry_id);
-                        continue;
+        for wave in waves {
+            // ---- Phase 1: prepare (match, rewrite, skip, instrument) ----
+            // Jobs within a wave are independent — a skipped job's alias
+            // can only affect consumers, which sit in later waves — so
+            // preparing them in index order keeps rewrite bookkeeping
+            // deterministic without constraining execution.
+            let mut prepared: Vec<PreparedJob> = Vec::new();
+            // Outputs produced this wave, keyed by job index: the
+            // highest-index job defines `final_output`, exactly as the
+            // strict Algorithm-1 topo order (which ends each wave on its
+            // highest index) would have left it.
+            let mut wave_outputs: Vec<(usize, String)> = Vec::new();
+            for &idx in &wave {
+                match self.prepare_job(&wf, idx, tick, &config, &mut aliases, &mut rewrites)? {
+                    Prepared::Skipped { dst } => {
+                        jobs_skipped += 1;
+                        et[idx] = 0.0;
+                        wave_outputs.push((idx, resolve_alias(&aliases, &dst)));
                     }
-                    unproductive.clear();
-                    plan = collapsed;
-                    self.repo.note_use(entry_id, self.tick);
-                    rewrites.push(RewriteEvent {
-                        job: idx,
-                        entry_id,
-                        reused_path,
-                        whole_job: false,
-                    });
-                    job_rewrites += 1;
+                    Prepared::Run(job) => prepared.push(*job),
                 }
             }
 
-            // ---- Phase 2: whole-job elimination ----
-            if job_rewrites > 0 {
-                if let Some((src, dst)) = identity_copy(&plan) {
-                    aliases.insert(dst.clone(), src);
-                    jobs_skipped += 1;
-                    if let Some(ev) = rewrites.last_mut() {
-                        ev.whole_job = true;
-                    }
-                    et[idx] = 0.0;
-                    final_output = resolve_alias(&aliases, &dst);
-                    continue;
-                }
+            // ---- Phase 2: execute the wave, concurrently ----
+            let results = self.run_wave(&prepared, config.wave_parallel)?;
+
+            // ---- Phase 3: register outputs (§2.2) and apply §5 rules ----
+            for (job, result) in prepared.iter().zip(&results) {
+                et[job.idx] = result.times.total_s;
+                wave_outputs.push((job.idx, result.output.clone()));
+                let (cand_bytes, cand_stored) =
+                    self.register_outputs(&wf, job, result, tick, &config)?;
+                stored_candidate_bytes += cand_bytes;
+                candidates_stored += cand_stored;
             }
-
-            // ---- Phase 3: sub-job enumeration (§4) ----
-            let candidates: Vec<Candidate> = if self.config.heuristic != Heuristic::None {
-                let prov = &self.prov;
-                let repo = &self.repo;
-                let prefix = self.config.repo_prefix.clone();
-                let counter = &mut self.cand_counter;
-                inject_subjob_stores(
-                    &mut plan,
-                    self.config.heuristic,
-                    move || {
-                        *counter += 1;
-                        format!("{prefix}/sub-{counter}")
-                    },
-                    |candidate| {
-                        // Skip candidates whose (base-level) plan is
-                        // already stored: re-materializing them would pay
-                        // the Store cost for nothing.
-                        let base = prov.expand(candidate).plan;
-                        repo.contains_plan(&base).is_some()
-                    },
-                )
-            } else {
-                Vec::new()
-            };
-
-            // ---- Phase 4: execute ----
-            let spec = job_spec_for_plan(&plan, &format!("q{}-job{idx}", self.tick))?;
-            let result = self.engine.run(&spec)?;
-            et[idx] = result.times.total_s;
-            final_output = result.output.clone();
-
-            // ---- Phase 5: register outputs (§2.2) ----
-            let manage_outputs =
-                self.config.reuse_enabled || self.config.heuristic != Heuristic::None;
-            if manage_outputs {
-                let io = job_io(&plan)?;
-                let input_files = self.input_versions(&io.inputs);
-                // Final outputs (not inter-job temporaries) are only
-                // registered when configured; intermediate outputs are
-                // always candidates for whole-job reuse (§2.1).
-                let is_intermediate = wf.tmp_paths.contains(&io.main_output);
-                let register_main =
-                    self.config.register_final_outputs || is_intermediate;
-
-                // Whole-job entry: the main output with the job's plan.
-                let whole_prefix = plan
-                    .prefix_plan(find_store_tip(&plan, &io.main_output)?, &io.main_output);
-                let whole_base = self.prov.expand(&whole_prefix).plan;
-                let whole_stats = RepoStats {
-                    input_bytes: result.counters.map_input_bytes,
-                    output_bytes: result.counters.output_bytes,
-                    job_time_s: result.times.total_s,
-                    avg_map_time_s: result.times.avg_map_task_s,
-                    avg_reduce_time_s: result.times.avg_reduce_task_s,
-                    use_count: 0,
-                    last_used: 0,
-                    created: self.tick,
-                    input_files: input_files.clone(),
-                };
-                if register_main && self.config.selection.should_keep(&whole_stats) {
-                    self.prov.register(&io.main_output, whole_base.clone());
-                    self.repo.insert(whole_base, &io.main_output, whole_stats);
-                }
-
-                // Candidate sub-job entries. A candidate that aliases the
-                // job's final output follows the same final-output policy.
-                for cand in &candidates {
-                    if cand.already_stored
-                        && cand.store_path == io.main_output
-                        && !register_main
-                    {
-                        continue;
-                    }
-                    let bytes = if cand.already_stored {
-                        if cand.store_path == io.main_output {
-                            result.counters.output_bytes
-                        } else {
-                            side_bytes(&result, &cand.store_path)
-                        }
-                    } else {
-                        side_bytes(&result, &cand.store_path)
-                    };
-                    stored_candidate_bytes +=
-                        if cand.already_stored { 0 } else { bytes };
-                    let stats = RepoStats {
-                        input_bytes: result.counters.map_input_bytes,
-                        output_bytes: bytes,
-                        job_time_s: result.times.total_s,
-                        avg_map_time_s: result.times.avg_map_task_s,
-                        avg_reduce_time_s: result.times.avg_reduce_task_s,
-                        use_count: 0,
-                        last_used: 0,
-                        created: self.tick,
-                        input_files: input_files.clone(),
-                    };
-                    let base = self.prov.expand(&cand.prefix).plan;
-                    if self.config.selection.should_keep(&stats) {
-                        if !self.prov.contains(&cand.store_path) {
-                            self.prov.register(&cand.store_path, base.clone());
-                        }
-                        self.repo.insert(base, &cand.store_path, stats);
-                        candidates_stored += 1;
-                    } else if !cand.already_stored {
-                        // Rejected by rules 1–2: drop the materialized file.
-                        self.engine.dfs().delete(&cand.store_path);
-                    }
-                }
+            job_results.extend(results);
+            if let Some((_, out)) = wave_outputs.into_iter().max_by_key(|(idx, _)| *idx) {
+                final_output = out;
             }
-            job_results.push(result);
         }
 
-        // ---- Phase 6: plain-Pig tmp cleanup ----
-        if self.config.delete_tmp {
+        // ---- plain-Pig tmp cleanup ----
+        if config.delete_tmp {
             for tmp in &wf.tmp_paths {
                 self.engine.dfs().delete(tmp);
             }
@@ -423,6 +331,248 @@ impl ReStore {
         })
     }
 
+    /// Phase 1 for one job: alias rewriting, the §3 match loop, whole-job
+    /// elimination, and §4 sub-job instrumentation.
+    fn prepare_job(
+        &self,
+        wf: &CompiledWorkflow,
+        idx: usize,
+        tick: u64,
+        config: &ReStoreConfig,
+        aliases: &mut HashMap<String, String>,
+        rewrites: &mut Vec<RewriteEvent>,
+    ) -> Result<Prepared> {
+        let mut plan = wf.jobs[idx].plan.clone();
+        apply_aliases(&mut plan, aliases);
+
+        let mut job_rewrites = 0usize;
+        if config.reuse_enabled {
+            self.match_loop(&mut plan, tick, true, |entry_id, reused_path| {
+                rewrites.push(RewriteEvent {
+                    job: idx,
+                    entry_id,
+                    reused_path: reused_path.to_string(),
+                    whole_job: false,
+                });
+                job_rewrites += 1;
+            });
+        }
+
+        // Whole-job elimination: the rewrite reduced the job to a copy.
+        if job_rewrites > 0 {
+            if let Some((src, dst)) = identity_copy(&plan) {
+                aliases.insert(dst.clone(), src);
+                if let Some(ev) = rewrites.last_mut() {
+                    ev.whole_job = true;
+                }
+                return Ok(Prepared::Skipped { dst });
+            }
+        }
+
+        // Sub-job enumeration (§4).
+        let candidates: Vec<Candidate> = if config.heuristic != Heuristic::None {
+            let prov = self.prov.read();
+            let repo = self.repo.read();
+            let prefix = config.repo_prefix.clone();
+            inject_subjob_stores(
+                &mut plan,
+                config.heuristic,
+                || {
+                    let c = self.cand_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                    format!("{prefix}/sub-{c}")
+                },
+                |candidate| {
+                    // Skip candidates whose (base-level) plan is already
+                    // stored: re-materializing them would pay the Store
+                    // cost for nothing.
+                    let base = prov.expand(candidate).plan;
+                    repo.contains_plan(&base).is_some()
+                },
+            )
+        } else {
+            Vec::new()
+        };
+
+        let spec = job_spec_for_plan(&plan, &format!("q{tick}-job{idx}"))?;
+        Ok(Prepared::Run(Box::new(PreparedJob { idx, plan, candidates, spec })))
+    }
+
+    /// The §3 scan: repeatedly lineage-expand the plan, take the first
+    /// repository match that makes structural progress, and rewrite. No
+    /// lock is held across iterations; `on_match` runs after each applied
+    /// rewrite. With `note_uses`, reuse statistics are updated under the
+    /// write lock.
+    fn match_loop(
+        &self,
+        plan: &mut PhysicalPlan,
+        tick: u64,
+        note_uses: bool,
+        mut on_match: impl FnMut(u64, &str),
+    ) {
+        // Entries whose rewrite made no structural progress (they match
+        // only lineage the plan already loads) are skipped on the rescan;
+        // progress clears the set.
+        let mut unproductive: HashSet<u64> = HashSet::new();
+        let budget = 2 * plan.len() + 4 + 2 * self.repo.read().len();
+        for _ in 0..budget {
+            let expanded = self.prov.read().expand(plan);
+            let found = {
+                let repo = self.repo.read();
+                repo.find_first_match_excluding(&expanded.plan, &unproductive).map(
+                    |(entry_id, m)| {
+                        let path = repo.get(entry_id).expect("matched entry").output_path.clone();
+                        (entry_id, m, path)
+                    },
+                )
+            };
+            let Some((entry_id, m, reused_path)) = found else {
+                break;
+            };
+            let mut exp = expanded;
+            let remap = rewrite(&mut exp.plan, &m, &reused_path);
+            // Translate expansion tips through the GC remap; an expansion
+            // whose tip vanished was consumed by the matched region and
+            // needs no collapsing.
+            exp.expansions.retain_mut(|e| match remap.get(e.tip.index()).copied().flatten() {
+                Some(t) => {
+                    e.tip = t;
+                    true
+                }
+                None => false,
+            });
+            let before_sig = plan.signature();
+            let collapsed = exp.collapse_unused();
+            if collapsed.signature() == before_sig {
+                // No structural progress: try the next entry.
+                unproductive.insert(entry_id);
+                continue;
+            }
+            unproductive.clear();
+            *plan = collapsed;
+            if note_uses {
+                self.repo.write().note_use(entry_id, tick);
+            }
+            on_match(entry_id, &reused_path);
+        }
+    }
+
+    /// Phase 2: execute every prepared job of a wave, in parallel when
+    /// configured. Results come back in `prepared` order; on failure the
+    /// error of the lowest job index wins, matching sequential execution.
+    fn run_wave(&self, prepared: &[PreparedJob], parallel: bool) -> Result<Vec<JobResult>> {
+        if prepared.len() <= 1 || !parallel {
+            return prepared.iter().map(|p| self.engine.run(&p.spec)).collect();
+        }
+        let outcomes: Vec<Result<JobResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                prepared.iter().map(|p| scope.spawn(move || self.engine.run(&p.spec))).collect();
+            handles.into_iter().map(|h| h.join().expect("wave job thread panicked")).collect()
+        });
+        outcomes.into_iter().collect()
+    }
+
+    /// Phase 3 for one executed job: register the whole-job entry, the
+    /// candidate sub-job entries, and their provenance, under the write
+    /// locks. Returns (bytes written by injected Stores, candidates kept).
+    fn register_outputs(
+        &self,
+        wf: &CompiledWorkflow,
+        job: &PreparedJob,
+        result: &JobResult,
+        tick: u64,
+        config: &ReStoreConfig,
+    ) -> Result<(u64, usize)> {
+        let manage_outputs = config.reuse_enabled || config.heuristic != Heuristic::None;
+        if !manage_outputs {
+            return Ok((0, 0));
+        }
+        let io = job_io(&job.plan)?;
+        let input_files = self.input_versions(&io.inputs);
+        // Final outputs (not inter-job temporaries) are only registered
+        // when configured; intermediate outputs are always candidates for
+        // whole-job reuse (§2.1).
+        let is_intermediate = wf.tmp_paths.contains(&io.main_output);
+        let register_main = config.register_final_outputs || is_intermediate;
+
+        let whole_prefix =
+            job.plan.prefix_plan(find_store_tip(&job.plan, &io.main_output)?, &io.main_output);
+
+        let mut stored_candidate_bytes = 0u64;
+        let mut candidates_stored = 0usize;
+
+        // Expansion and registration stay under one write-lock scope so
+        // concurrent sessions never observe a half-registered job (e.g.
+        // provenance without the repository entry).
+        let mut prov = self.prov.write();
+        let mut repo = self.repo.write();
+
+        // Whole-job entry: the main output with the job's plan.
+        let whole_base = prov.expand(&whole_prefix).plan;
+        let whole_stats = RepoStats {
+            input_bytes: result.counters.map_input_bytes,
+            output_bytes: result.counters.output_bytes,
+            job_time_s: result.times.total_s,
+            avg_map_time_s: result.times.avg_map_task_s,
+            avg_reduce_time_s: result.times.avg_reduce_task_s,
+            use_count: 0,
+            last_used: 0,
+            created: tick,
+            input_files: input_files.clone(),
+        };
+        if register_main && config.selection.should_keep(&whole_stats) {
+            prov.register(&io.main_output, whole_base.clone());
+            repo.insert(whole_base, &io.main_output, whole_stats);
+        }
+
+        // Candidate sub-job entries. A candidate that aliases the job's
+        // final output follows the same final-output policy.
+        for cand in &job.candidates {
+            if cand.already_stored && cand.store_path == io.main_output && !register_main {
+                continue;
+            }
+            let bytes = if cand.already_stored && cand.store_path == io.main_output {
+                result.counters.output_bytes
+            } else {
+                side_bytes(result, &cand.store_path)
+            };
+            stored_candidate_bytes += if cand.already_stored { 0 } else { bytes };
+            let stats = RepoStats {
+                input_bytes: result.counters.map_input_bytes,
+                output_bytes: bytes,
+                job_time_s: result.times.total_s,
+                avg_map_time_s: result.times.avg_map_task_s,
+                avg_reduce_time_s: result.times.avg_reduce_task_s,
+                use_count: 0,
+                last_used: 0,
+                created: tick,
+                input_files: input_files.clone(),
+            };
+            let base = prov.expand(&cand.prefix).plan;
+            if config.selection.should_keep(&stats) {
+                let outcome = repo.insert(base.clone(), &cand.store_path, stats);
+                // A racing session (or a same-wave sibling prepared before
+                // we registered) may have stored an equivalent plan under
+                // another path; the repository keeps the first entry, so a
+                // freshly materialized duplicate file would be orphaned.
+                let orphaned = matches!(outcome, crate::repository::InsertOutcome::Duplicate(_))
+                    && !cand.already_stored
+                    && !prov.contains(&cand.store_path);
+                if orphaned {
+                    self.engine.dfs().delete(&cand.store_path);
+                } else {
+                    if !prov.contains(&cand.store_path) {
+                        prov.register(&cand.store_path, base);
+                    }
+                    candidates_stored += 1;
+                }
+            } else if !cand.already_stored {
+                // Rejected by rules 1–2: drop the materialized file.
+                self.engine.dfs().delete(&cand.store_path);
+            }
+        }
+        Ok((stored_candidate_bytes, candidates_stored))
+    }
+
     /// Dry-run a query: compile it and report what the repository would
     /// answer — without executing anything or mutating any state. The
     /// report lists, per job, the matches the §3 scan finds and whether
@@ -430,12 +580,15 @@ impl ReStore {
     pub fn explain_query(&self, text: &str, out_prefix: &str) -> Result<String> {
         let wf = restore_dataflow::compile(text, out_prefix)?;
         let mut report = String::new();
-        report.push_str(&format!(
-            "workflow: {} job(s); repository: {} entr{}\n",
-            wf.jobs.len(),
-            self.repo.len(),
-            if self.repo.len() == 1 { "y" } else { "ies" },
-        ));
+        {
+            let repo = self.repo.read();
+            report.push_str(&format!(
+                "workflow: {} job(s); repository: {} entr{}\n",
+                wf.jobs.len(),
+                repo.len(),
+                if repo.len() == 1 { "y" } else { "ies" },
+            ));
+        }
         for (idx, job) in wf.jobs.iter().enumerate() {
             report.push_str(&format!(
                 "job {idx} ({} operators{}):\n",
@@ -446,52 +599,28 @@ impl ReStore {
                     format!(", depends on {:?}", job.deps)
                 }
             ));
-            // Same match loop as execution, against a scratch plan.
+            // Same match loop as execution, against a scratch plan, with
+            // usage statistics left untouched.
             let mut plan = job.plan.clone();
-            let mut unproductive: std::collections::HashSet<u64> =
-                std::collections::HashSet::new();
             let mut any = false;
-            for _ in 0..(2 * plan.len() + 4 + 2 * self.repo.len()) {
-                let expanded = self.prov.expand(&plan);
-                let Some((entry_id, m)) = self
-                    .repo
-                    .find_first_match_excluding(&expanded.plan, &unproductive)
-                else {
-                    break;
-                };
-                let entry = self.repo.get(entry_id).expect("matched entry");
-                let before_sig = plan.signature();
-                let mut exp = expanded;
-                let remap = rewrite(&mut exp.plan, &m, &entry.output_path);
-                exp.expansions.retain_mut(|e| {
-                    match remap.get(e.tip.index()).copied().flatten() {
-                        Some(t) => {
-                            e.tip = t;
-                            true
-                        }
-                        None => false,
-                    }
-                });
-                let collapsed = exp.collapse_unused();
-                if collapsed.signature() == before_sig {
-                    unproductive.insert(entry_id);
-                    continue;
-                }
-                unproductive.clear();
+            self.match_loop(&mut plan, 0, false, |entry_id, reused_path| {
+                let repo = self.repo.read();
+                let (bytes, uses) = repo
+                    .get(entry_id)
+                    .map(|e| (e.stats.output_bytes, e.stats.use_count))
+                    .unwrap_or((0, 0));
                 report.push_str(&format!(
                     "  would reuse entry #{} -> {} ({}, used {} time(s))\n",
                     entry_id,
-                    entry.output_path,
-                    restore_common::human_bytes(entry.stats.output_bytes),
-                    entry.stats.use_count,
+                    reused_path,
+                    restore_common::human_bytes(bytes),
+                    uses,
                 ));
                 any = true;
-                plan = collapsed;
-            }
+            });
             if let Some((src, _)) = identity_copy(&plan) {
-                report.push_str(&format!(
-                    "  whole job answered from {src}; job would be skipped\n"
-                ));
+                report
+                    .push_str(&format!("  whole job answered from {src}; job would be skipped\n"));
             } else if !any {
                 report.push_str("  no matches; job executes in full\n");
             }
@@ -501,14 +630,19 @@ impl ReStore {
 
     /// Point-in-time summary of the repository and reuse activity.
     pub fn stats(&self) -> ReStoreStats {
-        let entries = self.repo.entries();
+        // Lock discipline: provenance before repository, never nested the
+        // other way — registration takes prov.write then repo.write, so
+        // holding repo while acquiring prov would be an ABBA deadlock.
+        let provenance_entries = self.prov.read().len();
+        let repo = self.repo.read();
+        let entries = repo.entries();
         ReStoreStats {
             repository_entries: entries.len(),
-            stored_bytes: self.repo.stored_bytes(),
+            stored_bytes: repo.stored_bytes(),
             total_uses: entries.iter().map(|e| e.stats.use_count).sum(),
             never_used: entries.iter().filter(|e| e.stats.use_count == 0).count(),
-            queries_executed: self.tick,
-            provenance_entries: self.prov.len(),
+            queries_executed: self.tick.load(Ordering::SeqCst),
+            provenance_entries,
         }
     }
 
@@ -519,17 +653,17 @@ impl ReStore {
     pub fn save_state(&self) -> String {
         format!(
             "restore-state v1\ntick {}\ncand {}\n--provenance--\n{}--repository--\n{}",
-            self.tick,
-            self.cand_counter,
-            self.prov.save(),
-            self.repo.save(),
+            self.tick.load(Ordering::SeqCst),
+            self.cand_counter.load(Ordering::SeqCst),
+            self.prov.read().save(),
+            self.repo.read().save(),
         )
     }
 
     /// Restore a session serialized by [`ReStore::save_state`]. The DFS
     /// handle (and the stored output files in it) come from the engine
     /// this instance was built with.
-    pub fn load_state(&mut self, text: &str) -> Result<()> {
+    pub fn load_state(&self, text: &str) -> Result<()> {
         let header_err = || Error::Repository("malformed restore-state".into());
         let mut lines = text.lines();
         if lines.next() != Some("restore-state v1") {
@@ -549,16 +683,15 @@ impl ReStore {
             return Err(header_err());
         }
         let rest: Vec<&str> = lines.collect();
-        let split = rest
-            .iter()
-            .position(|&l| l == "--repository--")
-            .ok_or_else(header_err)?;
+        let split = rest.iter().position(|&l| l == "--repository--").ok_or_else(header_err)?;
         let prov_text = rest[..split].join("\n");
         let repo_text = rest[split + 1..].join("\n");
-        self.prov = Provenance::load(&prov_text)?;
-        self.repo = Repository::load(&repo_text)?;
-        self.tick = tick;
-        self.cand_counter = cand;
+        let loaded_prov = Provenance::load(&prov_text)?;
+        let loaded_repo = Repository::load(&repo_text)?;
+        *self.prov.write() = loaded_prov;
+        *self.repo.write() = loaded_repo;
+        self.tick.store(tick, Ordering::SeqCst);
+        self.cand_counter.store(cand, Ordering::SeqCst);
         Ok(())
     }
 
@@ -583,10 +716,7 @@ fn side_bytes(result: &JobResult, path: &str) -> u64 {
 }
 
 /// Node feeding the Store with the given path.
-fn find_store_tip(
-    plan: &PhysicalPlan,
-    path: &str,
-) -> Result<restore_dataflow::physical::NodeId> {
+fn find_store_tip(plan: &PhysicalPlan, path: &str) -> Result<restore_dataflow::physical::NodeId> {
     use restore_dataflow::physical::PhysicalOp;
     for s in plan.stores() {
         if matches!(plan.op(s), PhysicalOp::Store { path: p } if p == path) {
@@ -596,36 +726,12 @@ fn find_store_tip(
     Err(Error::Plan(format!("no Store of {path:?} in plan")))
 }
 
-fn topo_order(wf: &CompiledWorkflow) -> Result<Vec<usize>> {
-    let n = wf.jobs.len();
-    let mut done = vec![false; n];
-    let mut order = Vec::with_capacity(n);
-    while order.len() < n {
-        let mut advanced = false;
-        for i in 0..n {
-            if !done[i] && wf.jobs[i].deps.iter().all(|&d| done[d]) {
-                done[i] = true;
-                order.push(i);
-                advanced = true;
-            }
-        }
-        if !advanced {
-            return Err(Error::Workflow("cycle in compiled workflow".into()));
-        }
-    }
-    Ok(order)
-}
-
 /// Equation (1) over the compiled workflow's dependency DAG.
 fn equation_one_total(wf: &CompiledWorkflow, et: &[f64]) -> Result<f64> {
-    let order = topo_order(wf)?;
+    let order = wf.topo_order()?;
     let mut totals = vec![0.0f64; et.len()];
     for i in order {
-        let slowest = wf.jobs[i]
-            .deps
-            .iter()
-            .map(|&d| totals[d])
-            .fold(0.0f64, f64::max);
+        let slowest = wf.jobs[i].deps.iter().map(|&d| totals[d]).fold(0.0f64, f64::max);
         totals[i] = et[i] + slowest;
     }
     Ok(totals.iter().copied().fold(0.0, f64::max))

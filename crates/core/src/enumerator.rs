@@ -31,19 +31,14 @@ impl Heuristic {
     /// Does this heuristic materialize the output of `op`?
     pub fn selects(&self, op: &PhysicalOp) -> bool {
         // Plumbing operators never get candidates.
-        if matches!(
-            op,
-            PhysicalOp::Load { .. } | PhysicalOp::Store { .. } | PhysicalOp::Split
-        ) {
+        if matches!(op, PhysicalOp::Load { .. } | PhysicalOp::Store { .. } | PhysicalOp::Split) {
             return false;
         }
         match self {
             Heuristic::None => false,
             Heuristic::Conservative => matches!(
                 op,
-                PhysicalOp::Project { .. }
-                    | PhysicalOp::MapExpr { .. }
-                    | PhysicalOp::Filter { .. }
+                PhysicalOp::Project { .. } | PhysicalOp::MapExpr { .. } | PhysicalOp::Filter { .. }
             ),
             Heuristic::Aggressive => matches!(
                 op,
@@ -114,11 +109,7 @@ pub fn inject_subjob_stores(
         if let Some(path) = existing_store_path(plan, n) {
             let prefix = plan.prefix_plan(n, &path);
             if !skip(&prefix) {
-                candidates.push(Candidate {
-                    store_path: path,
-                    prefix,
-                    already_stored: true,
-                });
+                candidates.push(Candidate { store_path: path, prefix, already_stored: true });
             }
             continue;
         }
@@ -188,16 +179,14 @@ mod tests {
     #[test]
     fn conservative_materializes_projects_only() {
         let mut plan = q1_plan();
-        let cands =
-            inject_subjob_stores(&mut plan, Heuristic::Conservative, paths(), |_| false);
+        let cands = inject_subjob_stores(&mut plan, Heuristic::Conservative, paths(), |_| false);
         // Two Projects → two injected stores (Figure 8's shape).
         assert_eq!(cands.len(), 2);
         assert!(cands.iter().all(|c| !c.already_stored));
-        let splits =
-            plan.ids().filter(|&i| matches!(plan.op(i), PhysicalOp::Split)).count();
+        let splits = plan.ids().filter(|&i| matches!(plan.op(i), PhysicalOp::Split)).count();
         assert_eq!(splits, 2);
         assert_eq!(plan.stores().len(), 3); // main + 2 side
-        // Candidate prefixes are Load→Project→Store (3 nodes, no Split).
+                                            // Candidate prefixes are Load→Project→Store (3 nodes, no Split).
         for c in &cands {
             assert_eq!(c.prefix.len(), 3);
             assert!(c.prefix.ids().all(|i| !matches!(c.prefix.op(i), PhysicalOp::Split)));
@@ -207,8 +196,7 @@ mod tests {
     #[test]
     fn aggressive_adds_join_candidate_via_existing_store() {
         let mut plan = q1_plan();
-        let cands =
-            inject_subjob_stores(&mut plan, Heuristic::Aggressive, paths(), |_| false);
+        let cands = inject_subjob_stores(&mut plan, Heuristic::Aggressive, paths(), |_| false);
         assert_eq!(cands.len(), 3);
         // The Join feeds the job's own Store: no extra injection, the
         // candidate references the existing output.
@@ -222,16 +210,13 @@ mod tests {
     fn no_heuristic_stores_after_every_operator() {
         let mut plan = q1_plan();
         let with_filter = {
-            let f = plan.add(
-                PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) },
-                vec![plan.loads()[0]],
-            );
+            let f =
+                plan.add(PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) }, vec![plan.loads()[0]]);
             plan.add(PhysicalOp::Store { path: "/out2".into() }, vec![f]);
             plan
         };
         let mut plan = with_filter;
-        let cands =
-            inject_subjob_stores(&mut plan, Heuristic::NoHeuristic, paths(), |_| false);
+        let cands = inject_subjob_stores(&mut plan, Heuristic::NoHeuristic, paths(), |_| false);
         // Project, Project, Join(existing store), Filter(existing store).
         assert_eq!(cands.len(), 4);
         assert_eq!(cands.iter().filter(|c| c.already_stored).count(), 2);
@@ -251,8 +236,7 @@ mod tests {
         let mut plan = q1_plan();
         // Suppress everything: plan unchanged, no candidates.
         let before = plan.len();
-        let cands =
-            inject_subjob_stores(&mut plan, Heuristic::Aggressive, paths(), |_| true);
+        let cands = inject_subjob_stores(&mut plan, Heuristic::Aggressive, paths(), |_| true);
         assert!(cands.is_empty());
         assert_eq!(plan.len(), before);
     }
@@ -263,10 +247,7 @@ mod tests {
         // the Project now read via Split.
         let mut plan = q1_plan();
         inject_subjob_stores(&mut plan, Heuristic::Conservative, paths(), |_| false);
-        let join = plan
-            .ids()
-            .find(|&i| matches!(plan.op(i), PhysicalOp::Join { .. }))
-            .unwrap();
+        let join = plan.ids().find(|&i| matches!(plan.op(i), PhysicalOp::Join { .. })).unwrap();
         for &i in plan.inputs(join) {
             assert!(matches!(plan.op(i), PhysicalOp::Split));
         }

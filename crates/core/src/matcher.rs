@@ -88,18 +88,11 @@ impl<'a> Matcher<'a> {
         }
         // Positional input equivalence: parameters like join keys are
         // per-position, so inputs cannot be permuted.
-        rin.iter()
-            .zip(pin.iter())
-            .all(|(&ri, &pi)| self.equivalent(ri, pi))
+        rin.iter().zip(pin.iter()).all(|(&ri, &pi)| self.equivalent(ri, pi))
     }
 
     /// Record the repo→input correspondence for a proven-equivalent pair.
-    fn collect_mapping(
-        &self,
-        r: NodeId,
-        p: NodeId,
-        out: &mut HashMap<NodeId, NodeId>,
-    ) {
+    fn collect_mapping(&self, r: NodeId, p: NodeId, out: &mut HashMap<NodeId, NodeId>) {
         let r = through_splits(self.repo, r);
         let p = through_splits(self.input, p);
         if out.insert(r, p).is_some() {
@@ -249,8 +242,7 @@ mod tests {
         let p2 = swapped.add(PhysicalOp::Project { cols: vec![0, 2] }, vec![l2]);
         let l1 = swapped.add(PhysicalOp::Load { path: "/users".into() }, vec![]);
         let p1 = swapped.add(PhysicalOp::Project { cols: vec![0] }, vec![l1]);
-        let j = swapped
-            .add(PhysicalOp::Join { keys: vec![vec![0], vec![0]] }, vec![p2, p1]);
+        let j = swapped.add(PhysicalOp::Join { keys: vec![vec![0], vec![0]] }, vec![p2, p1]);
         swapped.add(PhysicalOp::Store { path: "/o".into() }, vec![j]);
 
         let a = q1_plan("/q1out");

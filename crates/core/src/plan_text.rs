@@ -33,8 +33,7 @@ pub fn encode_plan(plan: &PhysicalPlan) -> String {
         let node = plan.node(id);
         let _ = write!(out, "{i} {}", encode_op(&node.op));
         if !node.inputs.is_empty() {
-            let ins: Vec<String> =
-                node.inputs.iter().map(|n| pos[n.index()].to_string()).collect();
+            let ins: Vec<String> = node.inputs.iter().map(|n| pos[n.index()].to_string()).collect();
             let _ = write!(out, " <- {}", ins.join(","));
         }
         out.push('\n');
@@ -188,12 +187,7 @@ pub fn decode_plan(text: &str) -> Result<PhysicalPlan> {
             Some((h, ins)) => {
                 let ids: Result<Vec<NodeId>> = ins
                     .split(',')
-                    .map(|s| {
-                        s.trim()
-                            .parse::<u32>()
-                            .map(NodeId)
-                            .map_err(|_| err("bad input id"))
-                    })
+                    .map(|s| s.trim().parse::<u32>().map(NodeId).map_err(|_| err("bad input id")))
                     .collect();
                 (h, ids?)
             }
@@ -207,9 +201,8 @@ pub fn decode_plan(text: &str) -> Result<PhysicalPlan> {
         }
         let opname = parts.next().ok_or_else(|| err("missing op"))?;
         let rest = parts.next().unwrap_or("");
-        let op = decode_op(opname, rest).map_err(|e| {
-            Error::Repository(format!("line {}: {e}", lineno + 1))
-        })?;
+        let op = decode_op(opname, rest)
+            .map_err(|e| Error::Repository(format!("line {}: {e}", lineno + 1)))?;
         plan.add(op, inputs);
     }
     if plan.is_empty() {
@@ -254,15 +247,13 @@ fn decode_op(name: &str, rest: &str) -> Result<PhysicalOp> {
             }
             PhysicalOp::Aggregate { items }
         }
-        "flatten" => PhysicalOp::Flatten {
-            bag_col: rest.trim().parse().map_err(|_| bad("bad column"))?,
-        },
+        "flatten" => {
+            PhysicalOp::Flatten { bag_col: rest.trim().parse().map_err(|_| bad("bad column"))? }
+        }
         "distinct" => PhysicalOp::Distinct,
         "union" => PhysicalOp::Union,
         "split" => PhysicalOp::Split,
-        "limit" => PhysicalOp::Limit {
-            n: rest.trim().parse().map_err(|_| bad("bad count"))?,
-        },
+        "limit" => PhysicalOp::Limit { n: rest.trim().parse().map_err(|_| bad("bad count"))? },
         "orderby" => {
             let mut keys = Vec::new();
             for part in rest.split(',') {
@@ -286,11 +277,7 @@ fn parse_usizes(s: &str) -> Result<Vec<usize>> {
         return Ok(Vec::new());
     }
     s.split(',')
-        .map(|p| {
-            p.trim()
-                .parse()
-                .map_err(|_| Error::Repository(format!("bad column list {s:?}")))
-        })
+        .map(|p| p.trim().parse().map_err(|_| Error::Repository(format!("bad column list {s:?}"))))
         .collect()
 }
 
@@ -302,9 +289,7 @@ fn parse_agg_item(s: &str) -> Result<(AggItem, usize)> {
     let (tokens, used) = read_sexpr(s)?;
     match tokens.as_slice() {
         [Tok::Atom(k), Tok::Atom(c)] if k == "k" => Ok((
-            AggItem::Key(
-                c.parse().map_err(|_| Error::Repository("bad key col".into()))?,
-            ),
+            AggItem::Key(c.parse().map_err(|_| Error::Repository("bad key col".into()))?),
             used,
         )),
         [Tok::Atom(a), Tok::Atom(f), Tok::Atom(bag), Tok::Atom(field)] if a == "a" => {
@@ -315,12 +300,9 @@ fn parse_agg_item(s: &str) -> Result<(AggItem, usize)> {
                 "min" => AggFunc::Min,
                 "max" => AggFunc::Max,
                 "countd" => AggFunc::CountDistinct,
-                other => {
-                    return Err(Error::Repository(format!("unknown aggregate {other:?}")))
-                }
+                other => return Err(Error::Repository(format!("unknown aggregate {other:?}"))),
             };
-            let bag_col =
-                bag.parse().map_err(|_| Error::Repository("bad bag col".into()))?;
+            let bag_col = bag.parse().map_err(|_| Error::Repository("bad bag col".into()))?;
             let field = if field == "_" {
                 None
             } else {
@@ -389,12 +371,8 @@ fn expr_from_tokens(tokens: &[Tok]) -> Result<Expr> {
         _ => Err(bad()),
     };
     match tokens {
-        [Tok::Atom(c), Tok::Atom(n)] if c == "c" => {
-            Ok(Expr::Col(n.parse().map_err(|_| bad())?))
-        }
-        [Tok::Atom(l), Tok::Atom(n)] if l == "l" && n == "n" => {
-            Ok(Expr::Lit(Value::Null))
-        }
+        [Tok::Atom(c), Tok::Atom(n)] if c == "c" => Ok(Expr::Col(n.parse().map_err(|_| bad())?)),
+        [Tok::Atom(l), Tok::Atom(n)] if l == "l" && n == "n" => Ok(Expr::Lit(Value::Null)),
         [Tok::Atom(l), Tok::Atom(t), Tok::Atom(v)] if l == "l" => match t.as_str() {
             "i" => Ok(Expr::Lit(Value::Int(v.parse().map_err(|_| bad())?))),
             "d" => Ok(Expr::Lit(Value::Double(v.parse().map_err(|_| bad())?))),
@@ -403,18 +381,10 @@ fn expr_from_tokens(tokens: &[Tok]) -> Result<Expr> {
         },
         [Tok::Atom(op), a] if op == "neg" => Ok(Expr::Neg(Box::new(sub(a)?))),
         [Tok::Atom(op), a] if op == "not" => Ok(Expr::Not(Box::new(sub(a)?))),
-        [Tok::Atom(op), a] if op == "isnull" => {
-            Ok(Expr::IsNull(Box::new(sub(a)?), true))
-        }
-        [Tok::Atom(op), a] if op == "notnull" => {
-            Ok(Expr::IsNull(Box::new(sub(a)?), false))
-        }
-        [Tok::Atom(op), a, b] if op == "and" => {
-            Ok(Expr::And(Box::new(sub(a)?), Box::new(sub(b)?)))
-        }
-        [Tok::Atom(op), a, b] if op == "or" => {
-            Ok(Expr::Or(Box::new(sub(a)?), Box::new(sub(b)?)))
-        }
+        [Tok::Atom(op), a] if op == "isnull" => Ok(Expr::IsNull(Box::new(sub(a)?), true)),
+        [Tok::Atom(op), a] if op == "notnull" => Ok(Expr::IsNull(Box::new(sub(a)?), false)),
+        [Tok::Atom(op), a, b] if op == "and" => Ok(Expr::And(Box::new(sub(a)?), Box::new(sub(b)?))),
+        [Tok::Atom(op), a, b] if op == "or" => Ok(Expr::Or(Box::new(sub(a)?), Box::new(sub(b)?))),
         [Tok::Atom(op), a, b] => {
             let arith = match op.as_str() {
                 "+" => Some(ArithOp::Add),
@@ -509,9 +479,7 @@ fn unquote(s: &str) -> Result<String> {
                         .ok_or_else(|| Error::Repository("bad unicode escape".into()))?,
                 );
             }
-            other => {
-                return Err(Error::Repository(format!("bad escape \\{other:?}")))
-            }
+            other => return Err(Error::Repository(format!("bad escape \\{other:?}"))),
         }
     }
     Ok(out)
@@ -574,10 +542,7 @@ mod tests {
             vec![l1],
         );
         let u = p.add(PhysicalOp::Union, vec![m, l2]);
-        let cg = p.add(
-            PhysicalOp::CoGroup { keys: vec![vec![0, 1], vec![0, 2]] },
-            vec![u, l2],
-        );
+        let cg = p.add(PhysicalOp::CoGroup { keys: vec![vec![0, 1], vec![0, 2]] }, vec![u, l2]);
         let fl = p.add(PhysicalOp::Flatten { bag_col: 1 }, vec![cg]);
         let d = p.add(PhysicalOp::Distinct, vec![fl]);
         let g = p.add(PhysicalOp::Group { keys: vec![] }, vec![d]);

@@ -7,7 +7,6 @@
 //! of a produced path is replaced by the (base-level) plan that produced
 //! it. The provenance table records those producing plans.
 
-
 use restore_dataflow::physical::{NodeId, PhysicalOp, PhysicalPlan};
 use std::collections::HashMap;
 
@@ -106,9 +105,9 @@ impl Provenance {
             if line.trim().is_empty() {
                 continue;
             }
-            let rest = line.strip_prefix("path ").ok_or_else(|| {
-                Error::Repository(format!("expected 'path', got {line:?}"))
-            })?;
+            let rest = line
+                .strip_prefix("path ")
+                .ok_or_else(|| Error::Repository(format!("expected 'path', got {line:?}")))?;
             // Reuse plan_text's string unquoting through a Load shim.
             let path = match crate::plan_text::decode_plan(&format!("0 load {rest}\n")) {
                 Ok(p) => match p.op(p.loads()[0]) {
@@ -150,8 +149,7 @@ impl Provenance {
                     continue;
                 }
             }
-            let inputs: Vec<NodeId> =
-                node.inputs.iter().map(|i| remap[i]).collect();
+            let inputs: Vec<NodeId> = node.inputs.iter().map(|i| remap[i]).collect();
             let new_id = out.add(node.op.clone(), inputs);
             remap.insert(id, new_id);
         }
@@ -196,9 +194,7 @@ impl ExpandedPlan {
                 if matches!(self.plan.op(tip), PhysicalOp::Load { .. }) {
                     continue;
                 }
-                let load = self
-                    .plan
-                    .add(PhysicalOp::Load { path: exp.path.clone() }, vec![]);
+                let load = self.plan.add(PhysicalOp::Load { path: exp.path.clone() }, vec![]);
                 for c in consumers {
                     for k in 0..self.plan.inputs(c).len() {
                         if self.plan.inputs(c)[k] == tip {

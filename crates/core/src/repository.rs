@@ -137,13 +137,7 @@ impl Repository {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let entry = RepoEntry {
-            id,
-            plan,
-            signature,
-            output_path: output_path.into(),
-            stats,
-        };
+        let entry = RepoEntry { id, plan, signature, output_path: output_path.into(), stats };
         let pos = self.insert_position(&entry);
         self.entries.insert(pos, entry);
         self.by_signature.insert(signature, id);
@@ -223,16 +217,13 @@ impl Repository {
         exclude: &std::collections::HashSet<u64>,
     ) -> Option<(u64, PlanMatch)> {
         use std::collections::HashSet;
-        let input_sigs: HashSet<u64> = input_plan
-            .ids()
-            .map(|id| input_plan.node_signature(id))
-            .collect();
+        let input_sigs: HashSet<u64> =
+            input_plan.ids().map(|id| input_plan.node_signature(id)).collect();
         for e in &self.entries {
             if exclude.contains(&e.id) {
                 continue;
             }
-            let tip_sig = crate::matcher::plan_tip(&e.plan)
-                .map(|t| e.plan.node_signature(t));
+            let tip_sig = crate::matcher::plan_tip(&e.plan).map(|t| e.plan.node_signature(t));
             let Some(tip_sig) = tip_sig else { continue };
             if !input_sigs.contains(&tip_sig) {
                 continue;
@@ -314,9 +305,7 @@ impl Repository {
             let (id_str, rest) = rest
                 .split_once(' ')
                 .ok_or_else(|| Error::Repository("truncated entry header".into()))?;
-            let id: u64 = id_str
-                .parse()
-                .map_err(|_| Error::Repository("bad entry id".into()))?;
+            let id: u64 = id_str.parse().map_err(|_| Error::Repository("bad entry id".into()))?;
             // Path is Rust-quoted and may contain spaces: find closing quote.
             let close = find_close_quote(rest)?;
             let output_path = unquote_header(&rest[..=close])?;
@@ -327,12 +316,10 @@ impl Repository {
                     nums.len()
                 )));
             }
-            let parse_u = |s: &str| {
-                s.parse::<u64>().map_err(|_| Error::Repository("bad stat".into()))
-            };
-            let parse_f = |s: &str| {
-                s.parse::<f64>().map_err(|_| Error::Repository("bad stat".into()))
-            };
+            let parse_u =
+                |s: &str| s.parse::<u64>().map_err(|_| Error::Repository("bad stat".into()));
+            let parse_f =
+                |s: &str| s.parse::<f64>().map_err(|_| Error::Repository("bad stat".into()));
             let mut stats = RepoStats {
                 input_bytes: parse_u(nums[0])?,
                 output_bytes: parse_u(nums[1])?,
@@ -346,9 +333,7 @@ impl Repository {
             };
             // Optional input lines, then "plan".
             loop {
-                let l = lines
-                    .next()
-                    .ok_or_else(|| Error::Repository("truncated entry".into()))?;
+                let l = lines.next().ok_or_else(|| Error::Repository("truncated entry".into()))?;
                 if l == "plan" {
                     break;
                 }
@@ -365,9 +350,7 @@ impl Repository {
             }
             let mut plan_src = String::new();
             loop {
-                let l = lines
-                    .next()
-                    .ok_or_else(|| Error::Repository("truncated plan".into()))?;
+                let l = lines.next().ok_or_else(|| Error::Repository("truncated plan".into()))?;
                 if l == "end" {
                     break;
                 }
@@ -402,11 +385,9 @@ fn find_close_quote(s: &str) -> Result<usize> {
 
 fn unquote_header(s: &str) -> Result<String> {
     // Reuse plan_text's unquoter through a tiny shim.
-    crate::plan_text::decode_plan(&format!("0 load {s}\n")).map(|p| {
-        match p.op(p.loads()[0]) {
-            restore_dataflow::physical::PhysicalOp::Load { path } => path.clone(),
-            _ => unreachable!(),
-        }
+    crate::plan_text::decode_plan(&format!("0 load {s}\n")).map(|p| match p.op(p.loads()[0]) {
+        restore_dataflow::physical::PhysicalOp::Load { path } => path.clone(),
+        _ => unreachable!(),
     })
 }
 
@@ -535,17 +516,21 @@ mod tests {
     #[test]
     fn save_load_round_trip() {
         let mut repo = Repository::new();
-        repo.insert(q1_plan(), "/r/q1", RepoStats {
-            input_bytes: 1000,
-            output_bytes: 50,
-            job_time_s: 12.5,
-            avg_map_time_s: 1.5,
-            avg_reduce_time_s: 2.5,
-            use_count: 3,
-            last_used: 9,
-            created: 1,
-            input_files: vec![("/pv".into(), 0), ("/users dir/x".into(), 2)],
-        });
+        repo.insert(
+            q1_plan(),
+            "/r/q1",
+            RepoStats {
+                input_bytes: 1000,
+                output_bytes: 50,
+                job_time_s: 12.5,
+                avg_map_time_s: 1.5,
+                avg_reduce_time_s: 2.5,
+                use_count: 3,
+                last_used: 9,
+                created: 1,
+                input_files: vec![("/pv".into(), 0), ("/users dir/x".into(), 2)],
+            },
+        );
         repo.insert(load_project("/pv", vec![0, 2]), "/r/sub", stats(100, 10, 2.0));
         let text = repo.save();
         let back = Repository::load(&text).unwrap();

@@ -16,11 +16,7 @@ use restore_dataflow::physical::{NodeId, PhysicalOp, PhysicalPlan};
 /// Returns the garbage collector's old-id → new-id mapping so callers
 /// holding node ids into the plan (e.g. lineage-expansion tips) can
 /// translate them.
-pub fn rewrite(
-    plan: &mut PhysicalPlan,
-    m: &PlanMatch,
-    stored_path: &str,
-) -> Vec<Option<NodeId>> {
+pub fn rewrite(plan: &mut PhysicalPlan, m: &PlanMatch, stored_path: &str) -> Vec<Option<NodeId>> {
     let tip = m.tip;
     let load = plan.add(PhysicalOp::Load { path: stored_path.to_string() }, vec![]);
     for c in plan.consumers(tip) {
@@ -62,10 +58,7 @@ pub fn identity_copy(plan: &PhysicalPlan) -> Option<(String, String)> {
 
 /// Substitute Load paths through an alias map (outputs of skipped jobs →
 /// the stored paths that replaced them), following chains.
-pub fn apply_aliases(
-    plan: &mut PhysicalPlan,
-    aliases: &std::collections::HashMap<String, String>,
-) {
+pub fn apply_aliases(plan: &mut PhysicalPlan, aliases: &std::collections::HashMap<String, String>) {
     let ids: Vec<NodeId> = plan.loads();
     for id in ids {
         if let PhysicalOp::Load { path } = plan.op(id).clone() {
@@ -129,10 +122,8 @@ mod tests {
         assert!(paths.contains(&"/users"));
         assert!(!paths.contains(&"/pv"));
         // One projection (the /users one) survives.
-        let projects = input
-            .ids()
-            .filter(|&i| matches!(input.op(i), PhysicalOp::Project { .. }))
-            .count();
+        let projects =
+            input.ids().filter(|&i| matches!(input.op(i), PhysicalOp::Project { .. })).count();
         assert_eq!(projects, 1);
         // The join is intact.
         assert!(input.ids().any(|i| matches!(input.op(i), PhysicalOp::Join { .. })));

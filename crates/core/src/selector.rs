@@ -13,6 +13,7 @@
 //! exercised by their own tests, benches, and an example.
 
 use crate::repository::{RepoStats, Repository};
+use parking_lot::RwLock;
 use restore_dfs::Dfs;
 
 /// Configuration of the §5 rules.
@@ -113,6 +114,17 @@ impl SelectionPolicy {
         }
         victims
     }
+
+    /// Eviction sweep against a repository shared between concurrent
+    /// sessions. Skips taking the write lock entirely when no eviction
+    /// rule is active (the common store-everything configuration), so
+    /// per-query sweeps never serialize read-mostly traffic.
+    pub fn sweep_shared(&self, repo: &RwLock<Repository>, dfs: &Dfs, now: u64) -> Vec<u64> {
+        if self.eviction_window.is_none() && !self.check_input_versions {
+            return Vec::new();
+        }
+        self.sweep(&mut repo.write(), dfs, now)
+    }
 }
 
 #[cfg(test)]
@@ -184,10 +196,7 @@ mod tests {
         s_new.created = 9;
         repo.insert(plan("/fresh"), "/repo/fresh", s_new);
 
-        let policy = SelectionPolicy {
-            eviction_window: Some(5),
-            ..Default::default()
-        };
+        let policy = SelectionPolicy { eviction_window: Some(5), ..Default::default() };
         let evicted = policy.sweep(&mut repo, &dfs, 10);
         assert_eq!(evicted.len(), 1);
         assert_eq!(repo.len(), 1);
@@ -205,10 +214,7 @@ mod tests {
         s.input_files = vec![("/data/in".into(), 0)];
         repo.insert(plan("/x"), "/repo/out", s);
 
-        let policy = SelectionPolicy {
-            check_input_versions: true,
-            ..Default::default()
-        };
+        let policy = SelectionPolicy { check_input_versions: true, ..Default::default() };
         // Input untouched: nothing happens.
         assert!(policy.sweep(&mut repo, &dfs, 1).is_empty());
         // Overwrite the input: version bumps, entry evicted.
@@ -230,10 +236,7 @@ mod tests {
         s.input_files = vec![("/data/in".into(), 0)];
         repo.insert(plan("/x"), "/repo/out", s);
         dfs.delete("/data/in");
-        let policy = SelectionPolicy {
-            check_input_versions: true,
-            ..Default::default()
-        };
+        let policy = SelectionPolicy { check_input_versions: true, ..Default::default() };
         assert_eq!(policy.sweep(&mut repo, &dfs, 1).len(), 1);
     }
 

@@ -7,12 +7,8 @@ use restore_dfs::{Dfs, DfsConfig};
 use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 512,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 512, replication: 2, node_capacity: None });
     let rows: Vec<Tuple> = (0..300)
         .map(|i| {
             tuple![
@@ -52,7 +48,7 @@ fn read_sorted(dfs: &Dfs, path: &str) -> Vec<Tuple> {
 fn fingerprint_index_is_transparent() {
     let run = |indexed: bool| {
         let eng = engine();
-        let mut rs = ReStore::new(eng, ReStoreConfig::default());
+        let rs = ReStore::new(eng, ReStoreConfig::default());
         rs.repository_mut().use_fingerprint_index = indexed;
         let mut log = Vec::new();
         for i in 0..3 {
@@ -64,7 +60,8 @@ fn fingerprint_index_is_transparent() {
                 read_sorted(rs.engine().dfs(), &e.final_output),
             ));
         }
-        (log, rs.repository().len())
+        let repo_len = rs.repository().len();
+        (log, repo_len)
     };
     assert_eq!(run(false), run(true));
 }
@@ -74,7 +71,7 @@ fn fingerprint_index_is_transparent() {
 #[test]
 fn strict_selection_prunes_but_preserves_answers() {
     let eng_all = engine();
-    let mut all = ReStore::new(eng_all, ReStoreConfig::default());
+    let all = ReStore::new(eng_all, ReStoreConfig::default());
     let a1 = all.execute_query(Q, "/wf/a1").unwrap();
     let baseline = read_sorted(all.engine().dfs(), &a1.final_output);
     let repo_all = all.repository().len();
@@ -89,7 +86,7 @@ fn strict_selection_prunes_but_preserves_answers() {
         },
         ..Default::default()
     };
-    let mut strict = ReStore::new(eng_strict, config);
+    let strict = ReStore::new(eng_strict, config);
     let s1 = strict.execute_query(Q, "/wf/s1").unwrap();
     assert_eq!(read_sorted(strict.engine().dfs(), &s1.final_output), baseline);
     assert!(
@@ -114,10 +111,8 @@ fn strict_selection_prunes_but_preserves_answers() {
 #[test]
 fn paper_mode_reexecutes_final_job() {
     let eng = engine();
-    let mut rs = ReStore::new(
-        eng,
-        ReStoreConfig { register_final_outputs: false, ..Default::default() },
-    );
+    let rs =
+        ReStore::new(eng, ReStoreConfig { register_final_outputs: false, ..Default::default() });
     let e1 = rs.execute_query(Q, "/wf/p1").unwrap();
     let e2 = rs.execute_query(Q, "/wf/p2").unwrap();
     // The group job is the final job of this 1-job workflow: it must run
@@ -128,7 +123,7 @@ fn paper_mode_reexecutes_final_job() {
     assert!(e2.total_s < e1.total_s);
     // Default mode would answer from the repository entirely.
     let eng2 = engine();
-    let mut rs2 = ReStore::new(eng2, ReStoreConfig::default());
+    let rs2 = ReStore::new(eng2, ReStoreConfig::default());
     rs2.execute_query(Q, "/wf/d1").unwrap();
     let d2 = rs2.execute_query(Q, "/wf/d2").unwrap();
     assert_eq!(d2.jobs_skipped, 1);
@@ -142,13 +137,10 @@ fn paper_mode_reexecutes_final_job() {
 fn eviction_window_mid_workload() {
     let eng = engine();
     let config = ReStoreConfig {
-        selection: SelectionPolicy {
-            eviction_window: Some(2),
-            ..Default::default()
-        },
+        selection: SelectionPolicy { eviction_window: Some(2), ..Default::default() },
         ..Default::default()
     };
-    let mut rs = ReStore::new(eng, config);
+    let rs = ReStore::new(eng, config);
 
     rs.execute_query(Q, "/wf/w0").unwrap();
     let initial = rs.repository().len();
@@ -164,13 +156,10 @@ fn eviction_window_mid_workload() {
         rs.execute_query(&unrelated, &format!("/wf/wu{i}")).unwrap();
     }
     // The Q entries are gone (idle), and their DFS files with them.
-    let still_q: Vec<_> = rs
-        .repository()
-        .entries()
-        .iter()
-        .filter(|e| e.stats.created == 1)
-        .collect();
+    let repo = rs.repository();
+    let still_q: Vec<_> = repo.entries().iter().filter(|e| e.stats.created == 1).collect();
     assert!(still_q.is_empty(), "tick-1 entries must be evicted: {still_q:?}");
+    drop(repo);
 
     // Running Q again works from scratch and produces correct results.
     let e = rs.execute_query(Q, "/wf/wq").unwrap();
@@ -200,13 +189,9 @@ fn ha_covers_more_than_hc() {
     ";
     let time_with = |h: Heuristic| {
         let eng = engine();
-        let mut rs = ReStore::new(
+        let rs = ReStore::new(
             eng,
-            ReStoreConfig {
-                heuristic: h,
-                register_final_outputs: false,
-                ..Default::default()
-            },
+            ReStoreConfig { heuristic: h, register_final_outputs: false, ..Default::default() },
         );
         rs.execute_query(q_join, "/wf/j").unwrap();
         // First follow-up run still *generates* new candidates (HA pays

@@ -9,12 +9,8 @@ use restore_dfs::{Dfs, DfsConfig};
 use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 512,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 512, replication: 2, node_capacity: None });
     Engine::new(
         dfs,
         ClusterConfig::default(),
@@ -77,7 +73,7 @@ fn q2_expected() -> Vec<Tuple> {
 fn baseline_executes_and_deletes_tmp() {
     let eng = engine();
     seed_data(eng.dfs());
-    let mut rs = ReStore::new(eng, ReStoreConfig::baseline());
+    let rs = ReStore::new(eng, ReStoreConfig::baseline());
     let exec = rs.execute_query(&q2("/out/q2"), "/wf/q2").unwrap();
     assert_eq!(read_sorted(rs.engine().dfs(), "/out/q2"), q2_expected());
     assert_eq!(exec.jobs_skipped, 0);
@@ -96,10 +92,7 @@ fn whole_job_reuse_q1_then_q2() {
     // output answers Q2's first job entirely.
     let eng = engine();
     seed_data(eng.dfs());
-    let mut rs = ReStore::new(
-        eng,
-        ReStoreConfig { heuristic: Heuristic::None, ..Default::default() },
-    );
+    let rs = ReStore::new(eng, ReStoreConfig { heuristic: Heuristic::None, ..Default::default() });
 
     let e1 = rs.execute_query(&q1("/out/q1"), "/wf/a").unwrap();
     assert!(e1.rewrites.is_empty());
@@ -115,7 +108,8 @@ fn whole_job_reuse_q1_then_q2() {
     // Results are identical to the baseline.
     assert_eq!(read_sorted(rs.engine().dfs(), "/out/q2"), q2_expected());
     // Reuse is reflected in repository statistics.
-    let reused = rs.repository().get(e2.rewrites[0].entry_id).unwrap();
+    let repo = rs.repository();
+    let reused = repo.get(e2.rewrites[0].entry_id).unwrap();
     assert_eq!(reused.stats.use_count, 1);
 }
 
@@ -123,10 +117,7 @@ fn whole_job_reuse_q1_then_q2() {
 fn whole_job_reuse_speeds_up_modeled_time() {
     let eng = engine();
     seed_data(eng.dfs());
-    let mut rs = ReStore::new(
-        eng,
-        ReStoreConfig { heuristic: Heuristic::None, ..Default::default() },
-    );
+    let rs = ReStore::new(eng, ReStoreConfig { heuristic: Heuristic::None, ..Default::default() });
     let cold = rs.execute_query(&q2("/out/cold"), "/wf/cold").unwrap();
     let warm = rs.execute_query(&q2("/out/warm"), "/wf/warm").unwrap();
     // Second identical query: the whole final job matches too, so both
@@ -144,7 +135,7 @@ fn subjob_reuse_between_different_queries() {
     // projection gets rewritten to load the stored sub-job (Figure 6).
     let eng = engine();
     seed_data(eng.dfs());
-    let mut rs = ReStore::new(eng, ReStoreConfig::default());
+    let rs = ReStore::new(eng, ReStoreConfig::default());
 
     let e1 = rs.execute_query(&q1("/out/q1"), "/wf/a").unwrap();
     assert!(e1.candidates_stored >= 2, "project sub-jobs stored");
@@ -158,12 +149,8 @@ fn subjob_reuse_between_different_queries() {
               store S into '/out/q3';";
     let e3 = rs.execute_query(q3, "/wf/c").unwrap();
     assert!(!e3.rewrites.is_empty(), "sub-job should be reused");
-    let expected = vec![
-        tuple!["ann", 15.0],
-        tuple!["bob", 20.0],
-        tuple!["cat", 7.5],
-        tuple!["dan", 2.5],
-    ];
+    let expected =
+        vec![tuple!["ann", 15.0], tuple!["bob", 20.0], tuple!["cat", 7.5], tuple!["dan", 2.5]];
     assert_eq!(read_sorted(rs.engine().dfs(), "/out/q3"), expected);
 
     // The rewritten job loads the small projected file, not the wide one.
@@ -177,7 +164,7 @@ fn subjob_reuse_between_different_queries() {
 fn repeat_query_with_aggressive_heuristic_stores_once() {
     let eng = engine();
     seed_data(eng.dfs());
-    let mut rs = ReStore::new(eng, ReStoreConfig::default());
+    let rs = ReStore::new(eng, ReStoreConfig::default());
     let e1 = rs.execute_query(&q2("/out/r1"), "/wf/r1").unwrap();
     let stored_first = e1.stored_candidate_bytes;
     assert!(stored_first > 0);
@@ -193,18 +180,12 @@ fn repeat_query_with_aggressive_heuristic_stores_once() {
 #[test]
 fn reuse_correctness_matches_baseline_across_configs() {
     // Whatever the configuration, query answers must be identical.
-    for heuristic in [
-        Heuristic::None,
-        Heuristic::Conservative,
-        Heuristic::Aggressive,
-        Heuristic::NoHeuristic,
-    ] {
+    for heuristic in
+        [Heuristic::None, Heuristic::Conservative, Heuristic::Aggressive, Heuristic::NoHeuristic]
+    {
         let eng = engine();
         seed_data(eng.dfs());
-        let mut rs = ReStore::new(
-            eng,
-            ReStoreConfig { heuristic, ..Default::default() },
-        );
+        let rs = ReStore::new(eng, ReStoreConfig { heuristic, ..Default::default() });
         rs.execute_query(&q1("/out/h/q1"), "/wf/h1").unwrap();
         rs.execute_query(&q2("/out/h/q2"), "/wf/h2").unwrap();
         assert_eq!(
@@ -221,7 +202,7 @@ fn eviction_by_input_invalidation_disables_reuse() {
     seed_data(eng.dfs());
     let mut config = ReStoreConfig { heuristic: Heuristic::None, ..Default::default() };
     config.selection.check_input_versions = true;
-    let mut rs = ReStore::new(eng, config);
+    let rs = ReStore::new(eng, config);
 
     rs.execute_query(&q1("/out/e1"), "/wf/e1").unwrap();
     assert!(!rs.repository().is_empty());
@@ -233,11 +214,7 @@ fn eviction_by_input_invalidation_disables_reuse() {
     w.close().unwrap();
 
     let e2 = rs.execute_query(&q2("/out/e2"), "/wf/e2").unwrap();
-    assert_eq!(
-        e2.rewrites.len(),
-        0,
-        "stale entries must not be reused after input overwrite"
-    );
+    assert_eq!(e2.rewrites.len(), 0, "stale entries must not be reused after input overwrite");
     // Fresh data produced fresh (correct) results: only ann/bob/cat are
     // users; zed is not in /data/users, so the join is empty.
     assert_eq!(read_sorted(rs.engine().dfs(), "/out/e2"), Vec::<Tuple>::new());
@@ -249,10 +226,10 @@ fn modeled_times_report_overhead_of_subjob_stores() {
     // — that is Figure 11's "overhead".
     let eng = engine();
     seed_data(eng.dfs());
-    let mut base = ReStore::new(eng.clone(), ReStoreConfig::baseline());
+    let base = ReStore::new(eng.clone(), ReStoreConfig::baseline());
     let plain = base.execute_query(&q2("/out/o1"), "/wf/o1").unwrap();
 
-    let mut inst = ReStore::new(
+    let inst = ReStore::new(
         eng,
         ReStoreConfig {
             reuse_enabled: false,
@@ -263,4 +240,39 @@ fn modeled_times_report_overhead_of_subjob_stores() {
     let with_stores = inst.execute_query(&q2("/out/o2"), "/wf/o2").unwrap();
     assert!(with_stores.total_s > plain.total_s);
     assert!(with_stores.stored_candidate_bytes > 0);
+}
+
+#[test]
+fn multi_sink_final_output_is_last_topo_job() {
+    // Two independent sinks share one wave; the higher-index job is
+    // answered from the repository (skipped). `final_output` must follow
+    // the strict Algorithm-1 topo order — the wave's highest-index job —
+    // not whichever job happened to execute.
+    let eng = engine();
+    seed_data(eng.dfs());
+    let rs = ReStore::new(eng, ReStoreConfig { heuristic: Heuristic::None, ..Default::default() });
+
+    // Warm the repository with the second sink's whole job.
+    let prior = "U = load '/data/users' as (name, phone, address, city);
+                 G = group U by name;
+                 R = foreach G generate group, COUNT(U);
+                 store R into '/out/prior';";
+    rs.execute_query(prior, "/wf/prior").unwrap();
+
+    // Job 0 (page_views group) runs cold; job 1 (users group) is skipped.
+    let multi = "P = load '/data/page_views' as (user, timestamp:int, est_revenue:double, page_info, page_links);
+                 GP = group P by user;
+                 SP = foreach GP generate group, SUM(P.est_revenue);
+                 store SP into '/out/m0';
+                 U = load '/data/users' as (name, phone, address, city);
+                 GU = group U by name;
+                 RU = foreach GU generate group, COUNT(U);
+                 store RU into '/out/m1';";
+    let e = rs.execute_query(multi, "/wf/multi").unwrap();
+    assert_eq!(e.jobs_skipped, 1);
+    assert_eq!(e.job_results.len(), 1);
+    assert_eq!(
+        e.final_output, "/out/prior",
+        "final_output must come from the last (skipped) job, not the executed sibling"
+    );
 }

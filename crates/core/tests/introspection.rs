@@ -7,15 +7,10 @@ use restore_dfs::{Dfs, DfsConfig};
 use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 512,
-        replication: 2,
-        node_capacity: None,
-    });
-    let rows: Vec<Tuple> = (0..120)
-        .map(|i| tuple![format!("u{}", i % 7), i as i64, (i % 31) as f64])
-        .collect();
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 512, replication: 2, node_capacity: None });
+    let rows: Vec<Tuple> =
+        (0..120).map(|i| tuple![format!("u{}", i % 7), i as i64, (i % 31) as f64]).collect();
     dfs.write_all("/data/d", &codec::encode_all(&rows)).unwrap();
     Engine::new(
         dfs,
@@ -34,7 +29,7 @@ const Q: &str = "
 
 #[test]
 fn explain_predicts_execution() {
-    let mut rs = ReStore::new(engine(), ReStoreConfig::default());
+    let rs = ReStore::new(engine(), ReStoreConfig::default());
 
     // Cold: explain predicts no matches.
     let cold = rs.explain_query(Q, "/wf/x").unwrap();
@@ -57,7 +52,7 @@ fn explain_predicts_execution() {
 
 #[test]
 fn stats_track_activity() {
-    let mut rs = ReStore::new(engine(), ReStoreConfig::default());
+    let rs = ReStore::new(engine(), ReStoreConfig::default());
     let s0 = rs.stats();
     assert_eq!(s0.repository_entries, 0);
     assert_eq!(s0.queries_executed, 0);

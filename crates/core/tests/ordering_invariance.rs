@@ -44,11 +44,7 @@ fn first_match_is_insertion_order_invariant() {
     let (full, sub_a, sub_b) = q1_family();
     let query = full.clone();
 
-    let plans = [
-        ("full", full.clone()),
-        ("subA", sub_a.clone()),
-        ("subB", sub_b.clone()),
-    ];
+    let plans = [("full", full.clone()), ("subA", sub_a.clone()), ("subB", sub_b.clone())];
     let orders: [[usize; 3]; 6] =
         [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
     for order in orders {
@@ -80,12 +76,8 @@ fn rule2_order_is_insertion_order_invariant() {
         p
     };
     let entries = [("/a", 10u64), ("/b", 50), ("/c", 2), ("/d", 25)];
-    let orders: Vec<Vec<usize>> = vec![
-        vec![0, 1, 2, 3],
-        vec![3, 2, 1, 0],
-        vec![2, 0, 3, 1],
-        vec![1, 3, 0, 2],
-    ];
+    let orders: Vec<Vec<usize>> =
+        vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![2, 0, 3, 1], vec![1, 3, 0, 2]];
     let mut reference: Option<Vec<String>> = None;
     for order in orders {
         let mut repo = Repository::new();
@@ -93,18 +85,14 @@ fn rule2_order_is_insertion_order_invariant() {
             let (path, ratio) = entries[i];
             repo.insert(mk(path), format!("/out{path}"), stats(ratio));
         }
-        let got: Vec<String> =
-            repo.entries().iter().map(|e| e.output_path.clone()).collect();
+        let got: Vec<String> = repo.entries().iter().map(|e| e.output_path.clone()).collect();
         match &reference {
             None => reference = Some(got),
             Some(want) => assert_eq!(&got, want, "order {order:?}"),
         }
     }
     // And the order is by descending reduction ratio: /b, /d, /a, /c.
-    assert_eq!(
-        reference.unwrap(),
-        vec!["/out/b", "/out/d", "/out/a", "/out/c"]
-    );
+    assert_eq!(reference.unwrap(), vec!["/out/b", "/out/d", "/out/a", "/out/c"]);
 }
 
 /// Eviction keeps the remaining order intact.
@@ -121,7 +109,6 @@ fn eviction_preserves_relative_order() {
     assert_eq!(repo.entries()[0].output_path, "/out/full");
     repo.evict(full_id);
     // Sub-plans retain their rule-2 order (subB has higher ratio).
-    let paths: Vec<&str> =
-        repo.entries().iter().map(|e| e.output_path.as_str()).collect();
+    let paths: Vec<&str> = repo.entries().iter().map(|e| e.output_path.as_str()).collect();
     assert_eq!(paths, vec!["/out/subB", "/out/subA"]);
 }

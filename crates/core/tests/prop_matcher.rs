@@ -22,16 +22,11 @@ fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
             for (kind, col, lit) in steps {
                 cur = match kind {
                     0 => p.add(PhysicalOp::Project { cols: vec![0, col] }, vec![cur]),
-                    1 => p.add(
-                        PhysicalOp::Filter { pred: Expr::col_eq(col, lit) },
-                        vec![cur],
-                    ),
+                    1 => p.add(PhysicalOp::Filter { pred: Expr::col_eq(col, lit) }, vec![cur]),
                     2 => p.add(PhysicalOp::Group { keys: vec![col] }, vec![cur]),
                     3 => p.add(PhysicalOp::Distinct, vec![cur]),
                     4 => p.add(
-                        PhysicalOp::MapExpr {
-                            exprs: vec![Expr::Col(0), Expr::Lit(lit.into())],
-                        },
+                        PhysicalOp::MapExpr { exprs: vec![Expr::Col(0), Expr::Lit(lit.into())] },
                         vec![cur],
                     ),
                     _ => p.add(PhysicalOp::Limit { n: (lit.unsigned_abs() % 100) + 1 }, vec![cur]),
@@ -39,10 +34,7 @@ fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
             }
             if let Some(other) = join_with {
                 let l2 = p.add(PhysicalOp::Load { path: other.to_string() }, vec![]);
-                cur = p.add(
-                    PhysicalOp::Join { keys: vec![vec![0], vec![0]] },
-                    vec![cur, l2],
-                );
+                cur = p.add(PhysicalOp::Join { keys: vec![vec![0], vec![0]] }, vec![cur, l2]);
             }
             p.add(PhysicalOp::Store { path: "/out".to_string() }, vec![cur]);
             p

@@ -103,9 +103,7 @@ impl Program {
                     RelExpr::Join { inputs } | RelExpr::CoGroup { inputs } => {
                         out.extend(inputs.iter().map(|(a, _)| a.as_str()))
                     }
-                    RelExpr::Union { inputs } => {
-                        out.extend(inputs.iter().map(|s| s.as_str()))
-                    }
+                    RelExpr::Union { inputs } => out.extend(inputs.iter().map(|s| s.as_str())),
                 },
                 Statement::Store { alias, .. } => out.push(alias.as_str()),
                 Statement::Split { input, .. } => out.push(input.as_str()),

@@ -65,13 +65,8 @@ fn emit_plan_nodes(out: &mut String, plan: &PhysicalPlan, prefix: &str) {
             op if op.is_blocking() => ", style=filled, fillcolor=lightpink",
             _ => "",
         };
-        let _ = writeln!(
-            out,
-            "  {prefix}n{} [label=\"{}\"{}];",
-            id.0,
-            label.replace('"', "'"),
-            style
-        );
+        let _ =
+            writeln!(out, "  {prefix}n{} [label=\"{}\"{}];", id.0, label.replace('"', "'"), style);
         for &i in plan.inputs(id) {
             let _ = writeln!(out, "  {prefix}n{} -> {prefix}n{};", i.0, id.0);
         }
@@ -79,10 +74,8 @@ fn emit_plan_nodes(out: &mut String, plan: &PhysicalPlan, prefix: &str) {
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
+    let cleaned: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g{cleaned}")
     } else if cleaned.is_empty() {

@@ -12,9 +12,7 @@ use crate::expr::Expr;
 use crate::mr_compiler::{CompiledJob, CompiledWorkflow};
 use crate::physical::{AggItem, NodeId, PhysicalOp, PhysicalPlan};
 use restore_common::{Error, Result, Tuple, Value};
-use restore_mapreduce::{
-    JobInput, JobSpec, MapContext, Mapper, ReduceContext, Reducer, Workflow,
-};
+use restore_mapreduce::{JobInput, JobSpec, MapContext, Mapper, ReduceContext, Reducer, Workflow};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -52,18 +50,10 @@ pub fn job_io(plan: &PhysicalPlan) -> Result<JobIo> {
     let blocking = find_blocking(plan)?;
     let reduce_side = reduce_side_set(plan, blocking);
 
-    let main = stores
-        .iter()
-        .copied()
-        .find(|s| reduce_side[s.index()])
-        .unwrap_or(stores[0]);
+    let main = stores.iter().copied().find(|s| reduce_side[s.index()]).unwrap_or(stores[0]);
     let main_output = store_path(plan, main);
-    let side_outputs = stores
-        .iter()
-        .copied()
-        .filter(|&s| s != main)
-        .map(|s| store_path(plan, s))
-        .collect();
+    let side_outputs =
+        stores.iter().copied().filter(|&s| s != main).map(|s| store_path(plan, s)).collect();
     Ok(JobIo { inputs, main_output, side_outputs })
 }
 
@@ -76,8 +66,7 @@ fn store_path(plan: &PhysicalPlan, id: NodeId) -> String {
 
 /// The job's unique blocking node, if any.
 fn find_blocking(plan: &PhysicalPlan) -> Result<Option<NodeId>> {
-    let blocking: Vec<NodeId> =
-        plan.ids().filter(|&id| plan.op(id).is_blocking()).collect();
+    let blocking: Vec<NodeId> = plan.ids().filter(|&id| plan.op(id).is_blocking()).collect();
     match blocking.as_slice() {
         [] => Ok(None),
         [one] => Ok(Some(*one)),
@@ -137,7 +126,10 @@ enum StepKind {
     /// Write to the job's main output.
     Output,
     /// Shuffle emission (map side only).
-    Emit { branch: usize, kind: EmitKind },
+    Emit {
+        branch: usize,
+        kind: EmitKind,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -213,9 +205,7 @@ impl Program {
                     Value::Bag(b) => b.clone(),
                     Value::Null => Vec::new(),
                     other => {
-                        return Err(Error::Eval(format!(
-                            "FLATTEN of non-bag value {other:?}"
-                        )))
+                        return Err(Error::Eval(format!("FLATTEN of non-bag value {other:?}")))
                     }
                 };
                 for inner in bag {
@@ -377,9 +367,7 @@ impl<'a> Compilation<'a> {
                         .side_outputs
                         .iter()
                         .position(|p| p == path)
-                        .ok_or_else(|| {
-                            Error::Plan(format!("unregistered store {path:?}"))
-                        })?;
+                        .ok_or_else(|| Error::Plan(format!("unregistered store {path:?}")))?;
                     StepKind::SideStore(ch)
                 }
             }
@@ -395,9 +383,7 @@ impl<'a> Compilation<'a> {
     /// Emit kind for an edge into the blocking node at branch `branch`.
     fn emit_kind(&self, branch: usize) -> EmitKind {
         match self.plan.op(self.blocking.expect("blocking")) {
-            PhysicalOp::Join { keys } => {
-                EmitKind::JoinBranch { key_cols: keys[branch].clone() }
-            }
+            PhysicalOp::Join { keys } => EmitKind::JoinBranch { key_cols: keys[branch].clone() },
             PhysicalOp::CoGroup { keys } => {
                 EmitKind::CoGroupBranch { key_cols: keys[branch].clone() }
             }
@@ -487,19 +473,13 @@ impl<'a> Compilation<'a> {
         let reduce_part = match self.blocking {
             None => None,
             Some(b) => {
-                reduce.entries.push(
-                    self.plan
-                        .consumers(b)
-                        .into_iter()
-                        .map(|c| reduce_step[&c])
-                        .collect(),
-                );
+                reduce
+                    .entries
+                    .push(self.plan.consumers(b).into_iter().map(|c| reduce_step[&c]).collect());
                 let kind = match self.plan.op(b) {
                     PhysicalOp::Join { keys } => BlockKind::Join { n_branches: keys.len() },
                     PhysicalOp::Group { .. } => BlockKind::Group,
-                    PhysicalOp::CoGroup { keys } => {
-                        BlockKind::CoGroup { n_branches: keys.len() }
-                    }
+                    PhysicalOp::CoGroup { keys } => BlockKind::CoGroup { n_branches: keys.len() },
                     PhysicalOp::Distinct => BlockKind::Distinct,
                     PhysicalOp::OrderBy { keys } => BlockKind::OrderBy { keys: keys.clone() },
                     PhysicalOp::Limit { n } => BlockKind::Limit { n: *n },
@@ -537,14 +517,8 @@ struct PlanReducer {
 }
 
 impl Reducer for PlanReducer {
-    fn reduce(
-        &mut self,
-        key: &Tuple,
-        bags: &[Vec<Tuple>],
-        ctx: &mut ReduceContext,
-    ) -> Result<()> {
-        let (kind, prog) =
-            self.programs.reduce.as_ref().expect("reducer without program");
+    fn reduce(&mut self, key: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
+        let (kind, prog) = self.programs.reduce.as_ref().expect("reducer without program");
         let mut sink = ReduceSink(ctx);
         match kind {
             BlockKind::Join { n_branches } => {
@@ -657,10 +631,8 @@ pub fn job_spec_for_plan(plan: &PhysicalPlan, name: &str) -> Result<JobSpec> {
         Some(_) => {
             let red_programs = Arc::clone(&programs);
             Some(Arc::new(move || {
-                Box::new(PlanReducer {
-                    programs: Arc::clone(&red_programs),
-                    emitted: 0,
-                }) as Box<dyn Reducer>
+                Box::new(PlanReducer { programs: Arc::clone(&red_programs), emitted: 0 })
+                    as Box<dyn Reducer>
             }) as Arc<dyn restore_mapreduce::ReducerFactory>)
         }
     };
@@ -710,12 +682,8 @@ mod tests {
     use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
     fn test_engine() -> Engine {
-        let dfs = Dfs::new(DfsConfig {
-            nodes: 4,
-            block_size: 256,
-            replication: 2,
-            node_capacity: None,
-        });
+        let dfs =
+            Dfs::new(DfsConfig { nodes: 4, block_size: 256, replication: 2, node_capacity: None });
         Engine::new(
             dfs,
             ClusterConfig::default(),
@@ -819,10 +787,7 @@ mod tests {
              H = distinct G;
              store H into '/out/l11';",
         );
-        assert_eq!(
-            read_sorted(eng.dfs(), "/out/l11"),
-            vec![tuple!["x"], tuple!["y"], tuple!["z"]]
-        );
+        assert_eq!(read_sorted(eng.dfs(), "/out/l11"), vec![tuple!["x"], tuple!["y"], tuple!["z"]]);
     }
 
     #[test]
@@ -850,8 +815,7 @@ mod tests {
              store B into '/out/sorted';",
         );
         // Order preserved in file (single reducer, no resort).
-        let rows =
-            codec::decode_all(&eng.dfs().read_all("/out/sorted").unwrap()).unwrap();
+        let rows = codec::decode_all(&eng.dfs().read_all("/out/sorted").unwrap()).unwrap();
         assert_eq!(rows, vec![tuple![3, "c"], tuple![2, "b"], tuple![1, "a"]]);
 
         run_query(
@@ -861,8 +825,7 @@ mod tests {
              C = limit B 2;
              store C into '/out/limited';",
         );
-        let rows =
-            codec::decode_all(&eng.dfs().read_all("/out/limited").unwrap()).unwrap();
+        let rows = codec::decode_all(&eng.dfs().read_all("/out/limited").unwrap()).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], tuple![1, "a"]);
     }
@@ -912,10 +875,7 @@ mod tests {
              S = foreach G generate grp, COUNT(A);
              store S into '/out/counts';",
         );
-        assert_eq!(
-            read_sorted(eng.dfs(), "/out/counts"),
-            vec![tuple!["a", 2], tuple!["b", 1]]
-        );
+        assert_eq!(read_sorted(eng.dfs(), "/out/counts"), vec![tuple!["a", 2], tuple!["b", 1]]);
     }
 
     #[test]
@@ -944,10 +904,7 @@ mod tests {
              B = filter A by n >= 5;
              store B into '/out/f';",
         );
-        assert_eq!(
-            read_sorted(eng.dfs(), "/out/f"),
-            vec![tuple![5, "b"], tuple![9, "c"]]
-        );
+        assert_eq!(read_sorted(eng.dfs(), "/out/f"), vec![tuple![5, "b"], tuple![9, "c"]]);
     }
 
     #[test]
@@ -978,11 +935,10 @@ mod tests {
         let g = plan.add(PhysicalOp::Group { keys: vec![0] }, vec![split]);
         let agg = plan.add(
             PhysicalOp::Aggregate {
-                items: vec![AggItem::Key(0), AggItem::Agg {
-                    func: crate::expr::AggFunc::Count,
-                    bag_col: 1,
-                    field: None,
-                }],
+                items: vec![
+                    AggItem::Key(0),
+                    AggItem::Agg { func: crate::expr::AggFunc::Count, bag_col: 1, field: None },
+                ],
             },
             vec![g],
         );
@@ -991,13 +947,7 @@ mod tests {
         let res = eng.run(&spec).unwrap();
         assert_eq!(res.counters.side_output_bytes.len(), 1);
         assert!(res.counters.map_side_bytes > 0);
-        assert_eq!(
-            read_sorted(eng.dfs(), "/side/proj"),
-            vec![tuple!["a"], tuple!["b"]]
-        );
-        assert_eq!(
-            read_sorted(eng.dfs(), "/out/main"),
-            vec![tuple!["a", 1], tuple!["b", 1]]
-        );
+        assert_eq!(read_sorted(eng.dfs(), "/side/proj"), vec![tuple!["a"], tuple!["b"]]);
+        assert_eq!(read_sorted(eng.dfs(), "/out/main"), vec![tuple!["a", 1], tuple!["b", 1]]);
     }
 }

@@ -99,17 +99,12 @@ impl AggFunc {
         match self {
             AggFunc::Count => match col {
                 None => Value::Int(bag.len() as i64),
-                Some(c) => Value::Int(
-                    bag.iter().filter(|t| !t.get(c).is_null()).count() as i64,
-                ),
+                Some(c) => Value::Int(bag.iter().filter(|t| !t.get(c).is_null()).count() as i64),
             },
             AggFunc::CountDistinct => {
                 let c = col.unwrap_or(0);
-                let mut seen: Vec<&Value> = bag
-                    .iter()
-                    .map(|t| t.get(c))
-                    .filter(|v| !v.is_null())
-                    .collect();
+                let mut seen: Vec<&Value> =
+                    bag.iter().map(|t| t.get(c)).filter(|v| !v.is_null()).collect();
                 seen.sort();
                 seen.dedup();
                 Value::Int(seen.len() as i64)
@@ -138,8 +133,7 @@ impl AggFunc {
             }
             AggFunc::Avg => {
                 let c = col.unwrap_or(0);
-                let vals: Vec<f64> =
-                    bag.iter().filter_map(|t| t.get(c).as_f64()).collect();
+                let vals: Vec<f64> = bag.iter().filter_map(|t| t.get(c).as_f64()).collect();
                 if vals.is_empty() {
                     Value::Null
                 } else {
@@ -239,15 +233,12 @@ impl Expr {
                 if av.is_null() || bv.is_null() {
                     return Ok(Value::Null);
                 }
-                let both_int =
-                    matches!(av, Value::Int(_)) && matches!(bv, Value::Int(_));
+                let both_int = matches!(av, Value::Int(_)) && matches!(bv, Value::Int(_));
                 let (x, y) = (
-                    av.as_f64().ok_or_else(|| {
-                        Error::Eval(format!("non-numeric operand {av:?}"))
-                    })?,
-                    bv.as_f64().ok_or_else(|| {
-                        Error::Eval(format!("non-numeric operand {bv:?}"))
-                    })?,
+                    av.as_f64()
+                        .ok_or_else(|| Error::Eval(format!("non-numeric operand {av:?}")))?,
+                    bv.as_f64()
+                        .ok_or_else(|| Error::Eval(format!("non-numeric operand {bv:?}")))?,
                 );
                 let r = match op {
                     ArithOp::Add => x + y,
@@ -266,7 +257,10 @@ impl Expr {
                         x % y
                     }
                 };
-                if both_int && r.fract() == 0.0 && matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Mod) {
+                if both_int
+                    && r.fract() == 0.0
+                    && matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Mod)
+                {
                     Ok(Value::Int(r as i64))
                 } else if both_int && matches!(op, ArithOp::Div) {
                     // Pig integer division truncates.
@@ -276,8 +270,7 @@ impl Expr {
                 }
             }
             Expr::Func(f, args) => {
-                let vals: Result<Vec<Value>> =
-                    args.iter().map(|a| a.eval(t)).collect();
+                let vals: Result<Vec<Value>> = args.iter().map(|a| a.eval(t)).collect();
                 eval_scalar(*f, &vals?)
             }
         }
@@ -319,28 +312,19 @@ impl Expr {
             Expr::Neg(e) => Expr::Neg(Box::new(e.remap_cols(map)?)),
             Expr::Not(e) => Expr::Not(Box::new(e.remap_cols(map)?)),
             Expr::IsNull(e, w) => Expr::IsNull(Box::new(e.remap_cols(map)?), *w),
-            Expr::Arith(a, op, b) => Expr::Arith(
-                Box::new(a.remap_cols(map)?),
-                *op,
-                Box::new(b.remap_cols(map)?),
-            ),
-            Expr::Cmp(a, op, b) => Expr::Cmp(
-                Box::new(a.remap_cols(map)?),
-                *op,
-                Box::new(b.remap_cols(map)?),
-            ),
+            Expr::Arith(a, op, b) => {
+                Expr::Arith(Box::new(a.remap_cols(map)?), *op, Box::new(b.remap_cols(map)?))
+            }
+            Expr::Cmp(a, op, b) => {
+                Expr::Cmp(Box::new(a.remap_cols(map)?), *op, Box::new(b.remap_cols(map)?))
+            }
             Expr::And(a, b) => {
                 Expr::And(Box::new(a.remap_cols(map)?), Box::new(b.remap_cols(map)?))
             }
-            Expr::Or(a, b) => {
-                Expr::Or(Box::new(a.remap_cols(map)?), Box::new(b.remap_cols(map)?))
+            Expr::Or(a, b) => Expr::Or(Box::new(a.remap_cols(map)?), Box::new(b.remap_cols(map)?)),
+            Expr::Func(f, args) => {
+                Expr::Func(*f, args.iter().map(|a| a.remap_cols(map)).collect::<Option<Vec<_>>>()?)
             }
-            Expr::Func(f, args) => Expr::Func(
-                *f,
-                args.iter()
-                    .map(|a| a.remap_cols(map))
-                    .collect::<Option<Vec<_>>>()?,
-            ),
         })
     }
 
@@ -352,9 +336,7 @@ impl Expr {
             Expr::Arith(a, _, b) | Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
                 0.1 + a.cost_weight() + b.cost_weight()
             }
-            Expr::Func(_, args) => {
-                0.2 + args.iter().map(|a| a.cost_weight()).sum::<f64>()
-            }
+            Expr::Func(_, args) => 0.2 + args.iter().map(|a| a.cost_weight()).sum::<f64>(),
         }
     }
 }
@@ -422,12 +404,10 @@ fn eval_scalar(f: ScalarFunc, args: &[Value]) -> Result<Value> {
             Some(s) => Ok(Value::Str(s.trim().to_string())),
             None => Ok(Value::Null),
         },
-        ScalarFunc::StartsWith => {
-            match (arg0.as_str(), args.get(1).and_then(|v| v.as_str())) {
-                (Some(s), Some(p)) => Ok(Value::Int(s.starts_with(p) as i64)),
-                _ => Ok(Value::Null),
-            }
-        }
+        ScalarFunc::StartsWith => match (arg0.as_str(), args.get(1).and_then(|v| v.as_str())) {
+            (Some(s), Some(p)) => Ok(Value::Int(s.starts_with(p) as i64)),
+            _ => Ok(Value::Null),
+        },
     }
 }
 
@@ -446,34 +426,18 @@ mod tests {
     #[test]
     fn arithmetic_int_and_double() {
         let t = tuple![10, 4, 2.5];
-        let add = Expr::Arith(
-            Box::new(Expr::col(0)),
-            ArithOp::Add,
-            Box::new(Expr::col(1)),
-        );
+        let add = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Add, Box::new(Expr::col(1)));
         assert_eq!(add.eval(&t).unwrap(), Value::Int(14));
-        let div = Expr::Arith(
-            Box::new(Expr::col(0)),
-            ArithOp::Div,
-            Box::new(Expr::col(1)),
-        );
+        let div = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Div, Box::new(Expr::col(1)));
         assert_eq!(div.eval(&t).unwrap(), Value::Int(2)); // truncating
-        let mul = Expr::Arith(
-            Box::new(Expr::col(0)),
-            ArithOp::Mul,
-            Box::new(Expr::col(2)),
-        );
+        let mul = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Mul, Box::new(Expr::col(2)));
         assert_eq!(mul.eval(&t).unwrap(), Value::Double(25.0));
     }
 
     #[test]
     fn division_by_zero_is_null() {
         let t = tuple![1, 0];
-        let div = Expr::Arith(
-            Box::new(Expr::col(0)),
-            ArithOp::Div,
-            Box::new(Expr::col(1)),
-        );
+        let div = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Div, Box::new(Expr::col(1)));
         assert!(div.eval(&t).unwrap().is_null());
     }
 
@@ -506,10 +470,7 @@ mod tests {
         assert_eq!(round.eval(&t).unwrap(), Value::Int(3));
         let upper = Expr::Func(ScalarFunc::Upper, vec![Expr::col(1)]);
         assert_eq!(upper.eval(&t).unwrap(), Value::str("ABC"));
-        let concat = Expr::Func(
-            ScalarFunc::Concat,
-            vec![Expr::col(1), Expr::Lit(Value::str("!"))],
-        );
+        let concat = Expr::Func(ScalarFunc::Concat, vec![Expr::col(1), Expr::Lit(Value::str("!"))]);
         assert_eq!(concat.eval(&t).unwrap(), Value::str("aBc!"));
     }
 
@@ -529,15 +490,11 @@ mod tests {
             vec![Expr::col(1), Expr::Lit(3i64.into()), Expr::Lit(99i64.into())],
         );
         assert_eq!(sub2.eval(&t).unwrap(), Value::str("lo"));
-        let sw = Expr::Func(
-            ScalarFunc::StartsWith,
-            vec![Expr::col(1), Expr::Lit(Value::str("he"))],
-        );
+        let sw =
+            Expr::Func(ScalarFunc::StartsWith, vec![Expr::col(1), Expr::Lit(Value::str("he"))]);
         assert_eq!(sw.eval(&t).unwrap(), Value::Int(1));
-        let sw2 = Expr::Func(
-            ScalarFunc::StartsWith,
-            vec![Expr::col(1), Expr::Lit(Value::str("xx"))],
-        );
+        let sw2 =
+            Expr::Func(ScalarFunc::StartsWith, vec![Expr::col(1), Expr::Lit(Value::str("xx"))]);
         assert_eq!(sw2.eval(&t).unwrap(), Value::Int(0));
         // Null propagation.
         let nt = Tuple::from_values(vec![Value::Null]);
@@ -557,10 +514,8 @@ mod tests {
 
     #[test]
     fn aggregates_ignore_nulls() {
-        let bag = vec![
-            Tuple::from_values(vec![Value::Null]),
-            Tuple::from_values(vec![Value::Int(4)]),
-        ];
+        let bag =
+            vec![Tuple::from_values(vec![Value::Null]), Tuple::from_values(vec![Value::Int(4)])];
         assert_eq!(AggFunc::Count.apply(&bag, Some(0)), Value::Int(1));
         assert_eq!(AggFunc::Sum.apply(&bag, Some(0)), Value::Int(4));
         assert_eq!(AggFunc::Min.apply(&bag, Some(0)), Value::Int(4));
@@ -578,15 +533,19 @@ mod tests {
     fn referenced_cols_and_remap() {
         let e = Expr::And(
             Box::new(Expr::col_eq(3, 1i64)),
-            Box::new(Expr::Cmp(
-                Box::new(Expr::col(1)),
-                CmpOp::Lt,
-                Box::new(Expr::col(3)),
-            )),
+            Box::new(Expr::Cmp(Box::new(Expr::col(1)), CmpOp::Lt, Box::new(Expr::col(3)))),
         );
         assert_eq!(e.referenced_cols(), vec![1, 3]);
         let remapped = e
-            .remap_cols(&|c| if c == 3 { Some(0) } else if c == 1 { Some(9) } else { None })
+            .remap_cols(&|c| {
+                if c == 3 {
+                    Some(0)
+                } else if c == 1 {
+                    Some(9)
+                } else {
+                    None
+                }
+            })
             .unwrap();
         assert_eq!(remapped.referenced_cols(), vec![0, 9]);
         // Unmappable column kills the rewrite.
@@ -610,10 +569,7 @@ mod tests {
     #[test]
     fn cost_weight_grows_with_complexity() {
         let simple = Expr::col(0);
-        let complex = Expr::And(
-            Box::new(Expr::col_eq(0, 1i64)),
-            Box::new(Expr::col_eq(1, 2i64)),
-        );
+        let complex = Expr::And(Box::new(Expr::col_eq(0, 1i64)), Box::new(Expr::col_eq(1, 2i64)));
         assert!(complex.cost_weight() > simple.cost_weight());
     }
 

@@ -23,13 +23,13 @@ pub enum TokenKind {
     DoubleLit(f64),
     /// Positional field `$3`.
     Positional(usize),
-    Eq,        // ==
-    Neq,       // !=
-    Le,        // <=
-    Ge,        // >=
-    Lt,        // <
-    Gt,        // >
-    Assign,    // =
+    Eq,     // ==
+    Neq,    // !=
+    Le,     // <=
+    Ge,     // >=
+    Lt,     // <
+    Gt,     // >
+    Assign, // =
     Plus,
     Minus,
     Star,
@@ -139,13 +139,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
                 let text = std::str::from_utf8(&bytes[start..j]).unwrap();
                 let kind = if has_dot {
-                    TokenKind::DoubleLit(text.parse().map_err(|_| {
-                        Error::parse(line, col, format!("bad number {text:?}"))
-                    })?)
+                    TokenKind::DoubleLit(
+                        text.parse()
+                            .map_err(|_| Error::parse(line, col, format!("bad number {text:?}")))?,
+                    )
                 } else {
-                    TokenKind::IntLit(text.parse().map_err(|_| {
-                        Error::parse(line, col, format!("bad number {text:?}"))
-                    })?)
+                    TokenKind::IntLit(
+                        text.parse()
+                            .map_err(|_| Error::parse(line, col, format!("bad number {text:?}")))?,
+                    )
                 };
                 let len = j - start;
                 push!(kind, len);
@@ -153,9 +155,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let text = std::str::from_utf8(&bytes[start..j]).unwrap().to_string();
@@ -245,11 +245,7 @@ mod tests {
         let ks = kinds("A -- this is a comment\nB");
         assert_eq!(
             ks,
-            vec![
-                TokenKind::Ident("A".into()),
-                TokenKind::Ident("B".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Ident("A".into()), TokenKind::Ident("B".into()), TokenKind::Eof]
         );
     }
 
@@ -272,12 +268,7 @@ mod tests {
         // A single '-' is an operator; '--' starts a comment.
         assert_eq!(
             kinds("1 - 2"),
-            vec![
-                TokenKind::IntLit(1),
-                TokenKind::Minus,
-                TokenKind::IntLit(2),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::IntLit(1), TokenKind::Minus, TokenKind::IntLit(2), TokenKind::Eof]
         );
     }
 }

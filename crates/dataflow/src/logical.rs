@@ -142,10 +142,8 @@ impl Builder {
     fn build_rel(&mut self, _alias: &str, rel: &RelExpr) -> Result<LNodeId> {
         match rel {
             RelExpr::Load { path, schema } => {
-                let fields = schema
-                    .iter()
-                    .map(|(n, t)| Field::new(n.clone(), *t))
-                    .collect::<Vec<_>>();
+                let fields =
+                    schema.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect::<Vec<_>>();
                 let n = fields.len();
                 Ok(self.plan.add(LogicalNode {
                     op: LogicalOp::Load { path: path.clone() },
@@ -204,8 +202,7 @@ impl Builder {
                 }))
             }
             RelExpr::Union { inputs } => {
-                let ids: Result<Vec<LNodeId>> =
-                    inputs.iter().map(|a| self.alias(a)).collect();
+                let ids: Result<Vec<LNodeId>> = inputs.iter().map(|a| self.alias(a)).collect();
                 let ids = ids?;
                 let first = &self.plan.node(ids[0]);
                 let arity = first.schema.len();
@@ -247,9 +244,7 @@ impl Builder {
                 }
                 let arities: Vec<usize> = keys.iter().map(|k| k.len()).collect();
                 if arities.windows(2).any(|w| w[0] != w[1]) {
-                    return Err(Error::Plan(format!(
-                        "JOIN key arity mismatch: {arities:?}"
-                    )));
+                    return Err(Error::Plan(format!("JOIN key arity mismatch: {arities:?}")));
                 }
                 Ok(self.plan.add(LogicalNode {
                     op: LogicalOp::Join { keys },
@@ -308,9 +303,7 @@ impl Builder {
                 }
                 let arities: Vec<usize> = keys.iter().map(|k| k.len()).collect();
                 if arities.windows(2).any(|w| w[0] != w[1]) {
-                    return Err(Error::Plan(format!(
-                        "COGROUP key arity mismatch: {arities:?}"
-                    )));
+                    return Err(Error::Plan(format!("COGROUP key arity mismatch: {arities:?}")));
                 }
                 let mut fields = Vec::new();
                 let mut bags = Vec::new();
@@ -352,9 +345,9 @@ impl Builder {
         let in_bags = self.plan.node(in_id).bag_schemas.clone();
 
         let has_agg = items.iter().any(|i| is_aggregate_item(&i.expr));
-        let has_flatten = items.iter().any(|i| {
-            matches!(&i.expr, AstExpr::Call(n, _) if n.eq_ignore_ascii_case("FLATTEN"))
-        });
+        let has_flatten = items
+            .iter()
+            .any(|i| matches!(&i.expr, AstExpr::Call(n, _) if n.eq_ignore_ascii_case("FLATTEN")));
 
         if has_flatten {
             return self.build_flatten(in_id, items);
@@ -370,7 +363,8 @@ impl Builder {
         let mut bags = Vec::new();
         for item in items {
             let e = resolve_scalar(&item.expr, &in_schema)?;
-            let (name, ty, bag) = output_field(&item.expr, &e, item.rename.as_deref(), &in_schema, &in_bags);
+            let (name, ty, bag) =
+                output_field(&item.expr, &e, item.rename.as_deref(), &in_schema, &in_bags);
             fields.push(Field::new(name, ty));
             bags.push(bag);
             exprs.push(e);
@@ -403,9 +397,7 @@ impl Builder {
             match &item.expr {
                 AstExpr::Call(fname, args) => {
                     let func = AggFunc::parse(fname).ok_or_else(|| {
-                        Error::Plan(format!(
-                            "{fname:?} is not an aggregate function"
-                        ))
+                        Error::Plan(format!("{fname:?} is not an aggregate function"))
                     })?;
                     let (bag_col, field, default_name) =
                         resolve_agg_arg(args, &in_schema, &in_bags)?;
@@ -427,19 +419,14 @@ impl Builder {
                     if name == "group" && in_schema.index_of("group").is_none() =>
                 {
                     let key_cols: Vec<usize> = (0..in_schema.len())
-                        .filter(|&i| {
-                            in_schema.field(i).unwrap().name.starts_with("group::")
-                        })
+                        .filter(|&i| in_schema.field(i).unwrap().name.starts_with("group::"))
                         .collect();
                     if key_cols.is_empty() {
-                        return Err(Error::Plan(
-                            "`group` used outside a grouped relation".into(),
-                        ));
+                        return Err(Error::Plan("`group` used outside a grouped relation".into()));
                     }
                     for c in key_cols {
                         let f = in_schema.field(c).expect("resolved");
-                        let bare =
-                            f.name.strip_prefix("group::").unwrap_or(&f.name);
+                        let bare = f.name.strip_prefix("group::").unwrap_or(&f.name);
                         fields.push(Field::new(bare, f.ty));
                         agg_items.push(AggItem::Key(c));
                     }
@@ -499,8 +486,8 @@ impl Builder {
                 e => cols.push(resolve_col(e, &in_schema)?),
             }
         }
-        let bag_src = bag_col_src
-            .ok_or_else(|| Error::Plan("FLATTEN foreach without FLATTEN".into()))?;
+        let bag_src =
+            bag_col_src.ok_or_else(|| Error::Plan("FLATTEN foreach without FLATTEN".into()))?;
         let flatten_pos = flatten_pos.expect("set with bag_col_src");
         let elem_schema = in_bags
             .get(bag_src)
@@ -624,11 +611,9 @@ fn output_field(
             bags.get(*c).cloned().flatten(),
         );
     }
-    let name = rename.map(|r| r.to_string()).unwrap_or_else(|| {
-        match ast {
-            AstExpr::Call(n, _) => n.to_lowercase(),
-            _ => "expr".to_string(),
-        }
+    let name = rename.map(|r| r.to_string()).unwrap_or_else(|| match ast {
+        AstExpr::Call(n, _) => n.to_lowercase(),
+        _ => "expr".to_string(),
     });
     (name, FieldType::Bytearray, None)
 }
@@ -637,9 +622,7 @@ fn output_field(
 fn resolve_col(e: &AstExpr, schema: &Schema) -> Result<usize> {
     match resolve_scalar(e, schema)? {
         Expr::Col(c) => Ok(c),
-        other => Err(Error::Plan(format!(
-            "expected a field reference, got expression {other:?}"
-        ))),
+        other => Err(Error::Plan(format!("expected a field reference, got expression {other:?}"))),
     }
 }
 
@@ -648,29 +631,21 @@ fn resolve_col(e: &AstExpr, schema: &Schema) -> Result<usize> {
 pub fn resolve_scalar(e: &AstExpr, schema: &Schema) -> Result<Expr> {
     Ok(match e {
         AstExpr::Field(name) => Expr::Col(resolve_name(name, schema)?),
-        AstExpr::QualifiedField(a, f) => {
-            Expr::Col(resolve_name(&format!("{a}::{f}"), schema)?)
-        }
+        AstExpr::QualifiedField(a, f) => Expr::Col(resolve_name(&format!("{a}::{f}"), schema)?),
         AstExpr::Positional(p) => Expr::Col(*p),
         AstExpr::BagField(a, f) => {
-            return Err(Error::Plan(format!(
-                "bag field {a}.{f} is only valid inside an aggregate"
-            )))
+            return Err(Error::Plan(format!("bag field {a}.{f} is only valid inside an aggregate")))
         }
         AstExpr::Lit(v) => Expr::Lit(v.clone()),
         AstExpr::Neg(x) => Expr::Neg(Box::new(resolve_scalar(x, schema)?)),
         AstExpr::Not(x) => Expr::Not(Box::new(resolve_scalar(x, schema)?)),
-        AstExpr::IsNull(x, want) => {
-            Expr::IsNull(Box::new(resolve_scalar(x, schema)?), *want)
+        AstExpr::IsNull(x, want) => Expr::IsNull(Box::new(resolve_scalar(x, schema)?), *want),
+        AstExpr::And(a, b) => {
+            Expr::And(Box::new(resolve_scalar(a, schema)?), Box::new(resolve_scalar(b, schema)?))
         }
-        AstExpr::And(a, b) => Expr::And(
-            Box::new(resolve_scalar(a, schema)?),
-            Box::new(resolve_scalar(b, schema)?),
-        ),
-        AstExpr::Or(a, b) => Expr::Or(
-            Box::new(resolve_scalar(a, schema)?),
-            Box::new(resolve_scalar(b, schema)?),
-        ),
+        AstExpr::Or(a, b) => {
+            Expr::Or(Box::new(resolve_scalar(a, schema)?), Box::new(resolve_scalar(b, schema)?))
+        }
         AstExpr::Arith(a, op, b) => {
             let aop = match op {
                 '+' => ArithOp::Add,
@@ -710,8 +685,7 @@ pub fn resolve_scalar(e: &AstExpr, schema: &Schema) -> Result<Expr> {
             }
             let f = ScalarFunc::parse(name)
                 .ok_or_else(|| Error::Plan(format!("unknown function {name:?}")))?;
-            let rargs: Result<Vec<Expr>> =
-                args.iter().map(|a| resolve_scalar(a, schema)).collect();
+            let rargs: Result<Vec<Expr>> = args.iter().map(|a| resolve_scalar(a, schema)).collect();
             Expr::Func(f, rargs?)
         }
     })
@@ -723,9 +697,8 @@ fn resolve_name(name: &str, schema: &Schema) -> Result<usize> {
         return Ok(i);
     }
     let suffix = format!("::{name}");
-    let hits: Vec<usize> = (0..schema.len())
-        .filter(|&i| schema.field(i).unwrap().name.ends_with(&suffix))
-        .collect();
+    let hits: Vec<usize> =
+        (0..schema.len()).filter(|&i| schema.field(i).unwrap().name.ends_with(&suffix)).collect();
     match hits.as_slice() {
         [one] => Ok(*one),
         [] => schema.resolve(name), // reuse its error message
@@ -757,11 +730,7 @@ mod tests {
     #[test]
     fn q1_builds_with_resolved_join() {
         let p = build(Q1);
-        let join = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Join { .. }))
-            .unwrap();
+        let join = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Join { .. })).unwrap();
         match &join.op {
             LogicalOp::Join { keys } => assert_eq!(keys, &vec![vec![0], vec![0]]),
             _ => unreachable!(),
@@ -774,12 +743,9 @@ mod tests {
 
     #[test]
     fn simple_foreach_lowers_to_project() {
-        let p = build("A = load '/d' as (a, b, c); B = foreach A generate c, a; store B into '/o';");
-        let proj = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Project { .. }))
-            .unwrap();
+        let p =
+            build("A = load '/d' as (a, b, c); B = foreach A generate c, a; store B into '/o';");
+        let proj = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Project { .. })).unwrap();
         match &proj.op {
             LogicalOp::Project { cols } => assert_eq!(cols, &vec![2, 0]),
             _ => unreachable!(),
@@ -793,11 +759,7 @@ mod tests {
             "A = load '/d' as (a:int, b:int); B = foreach A generate a + b as s; store B into '/o';",
         );
         assert!(p.nodes.iter().any(|n| matches!(n.op, LogicalOp::Foreach { .. })));
-        let f = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Foreach { .. }))
-            .unwrap();
+        let f = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Foreach { .. })).unwrap();
         assert_eq!(f.schema.index_of("s"), Some(0));
     }
 
@@ -809,21 +771,13 @@ mod tests {
              S = foreach G generate group, SUM(A.r);
              store S into '/o';",
         );
-        let group = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Group { .. }))
-            .unwrap();
+        let group = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Group { .. })).unwrap();
         assert_eq!(group.schema.index_of("group"), Some(0));
         assert_eq!(group.schema.index_of("A"), Some(1));
         assert_eq!(group.schema.field(1).unwrap().ty, FieldType::Bag);
         assert!(group.bag_schemas[1].is_some());
 
-        let agg = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Aggregate { .. }))
-            .unwrap();
+        let agg = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Aggregate { .. })).unwrap();
         match &agg.op {
             LogicalOp::Aggregate { items } => {
                 assert_eq!(items[0], AggItem::Key(0));
@@ -844,11 +798,7 @@ mod tests {
              C = foreach G generate COUNT(A);
              store C into '/o';",
         );
-        let group = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Group { .. }))
-            .unwrap();
+        let group = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Group { .. })).unwrap();
         match &group.op {
             LogicalOp::Group { keys } => assert!(keys.is_empty()),
             _ => unreachable!(),
@@ -863,11 +813,7 @@ mod tests {
              C = cogroup A by u, B by v;
              store C into '/o';",
         );
-        let cg = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::CoGroup { .. }))
-            .unwrap();
+        let cg = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::CoGroup { .. })).unwrap();
         assert_eq!(cg.schema.len(), 3);
         assert_eq!(cg.schema.index_of("A"), Some(1));
         assert_eq!(cg.schema.index_of("B"), Some(2));
@@ -883,11 +829,7 @@ mod tests {
              D = foreach C generate FLATTEN(A);
              store D into '/o';",
         );
-        let fl = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Flatten { .. }))
-            .unwrap();
+        let fl = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Flatten { .. })).unwrap();
         assert_eq!(fl.schema.index_of("u"), Some(0));
         assert_eq!(fl.schema.index_of("x"), Some(1));
     }
@@ -900,20 +842,12 @@ mod tests {
              C = foreach G generate group, COUNT_DISTINCT(A.action);
              store C into '/o';",
         );
-        let agg = p
-            .nodes
-            .iter()
-            .find(|n| matches!(n.op, LogicalOp::Aggregate { .. }))
-            .unwrap();
+        let agg = p.nodes.iter().find(|n| matches!(n.op, LogicalOp::Aggregate { .. })).unwrap();
         match &agg.op {
             LogicalOp::Aggregate { items } => {
                 assert_eq!(
                     items[1],
-                    AggItem::Agg {
-                        func: AggFunc::CountDistinct,
-                        bag_col: 1,
-                        field: Some(1)
-                    }
+                    AggItem::Agg { func: AggFunc::CountDistinct, bag_col: 1, field: Some(1) }
                 );
             }
             _ => unreachable!(),
@@ -922,15 +856,13 @@ mod tests {
 
     #[test]
     fn errors_on_unknown_alias_and_field() {
-        let err = LogicalPlan::from_ast(
-            &parse("B = filter A by x > 1; store B into '/o';").unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            LogicalPlan::from_ast(&parse("B = filter A by x > 1; store B into '/o';").unwrap())
+                .unwrap_err();
         assert!(err.to_string().contains("unknown alias"));
 
         let err = LogicalPlan::from_ast(
-            &parse("A = load '/d' as (a); B = filter A by nope > 1; store B into '/o';")
-                .unwrap(),
+            &parse("A = load '/d' as (a); B = filter A by nope > 1; store B into '/o';").unwrap(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("nope"));
@@ -938,8 +870,7 @@ mod tests {
 
     #[test]
     fn errors_without_store() {
-        let err =
-            LogicalPlan::from_ast(&parse("A = load '/d' as (a);").unwrap()).unwrap_err();
+        let err = LogicalPlan::from_ast(&parse("A = load '/d' as (a);").unwrap()).unwrap_err();
         assert!(err.to_string().contains("no STORE"));
     }
 
@@ -951,11 +882,7 @@ mod tests {
              store Hi into '/hi';
              store Lo into '/lo';",
         );
-        let filters = p
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, LogicalOp::Filter { .. }))
-            .count();
+        let filters = p.nodes.iter().filter(|n| matches!(n.op, LogicalOp::Filter { .. })).count();
         assert_eq!(filters, 2);
         assert_eq!(p.stores().len(), 2);
         // Both filters read the same input node.

@@ -47,9 +47,7 @@ fn lower_node(
         LogicalOp::Join { keys } => PhysicalOp::Join { keys: keys.clone() },
         LogicalOp::Group { keys } => PhysicalOp::Group { keys: keys.clone() },
         LogicalOp::CoGroup { keys } => PhysicalOp::CoGroup { keys: keys.clone() },
-        LogicalOp::Aggregate { items } => {
-            PhysicalOp::Aggregate { items: items.clone() }
-        }
+        LogicalOp::Aggregate { items } => PhysicalOp::Aggregate { items: items.clone() },
         LogicalOp::Flatten { bag_col } => PhysicalOp::Flatten { bag_col: *bag_col },
         LogicalOp::Distinct => PhysicalOp::Distinct,
         LogicalOp::Union => PhysicalOp::Union,
@@ -84,10 +82,7 @@ mod tests {
         );
         assert_eq!(p.loads().len(), 2);
         assert_eq!(p.stores().len(), 1);
-        let join = p
-            .ids()
-            .find(|&id| matches!(p.op(id), PhysicalOp::Join { .. }))
-            .unwrap();
+        let join = p.ids().find(|&id| matches!(p.op(id), PhysicalOp::Join { .. })).unwrap();
         assert_eq!(p.inputs(join).len(), 2);
         // Both join inputs are projections over loads.
         for &i in p.inputs(join) {

@@ -37,6 +37,39 @@ pub struct CompiledWorkflow {
     pub tmp_paths: Vec<String>,
 }
 
+impl CompiledWorkflow {
+    /// Dependency waves: jobs grouped by the `JobControlCompiler`
+    /// iteration in which they would be submitted (all dependencies
+    /// satisfied by earlier waves). Jobs within one wave are mutually
+    /// independent and safe to execute concurrently. Stable within a wave
+    /// (job index order); errors on cycles.
+    pub fn waves(&self) -> Result<Vec<Vec<usize>>> {
+        let n = self.jobs.len();
+        let mut done = vec![false; n];
+        let mut waves = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let wave: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && self.jobs[i].deps.iter().all(|&d| done[d]))
+                .collect();
+            if wave.is_empty() {
+                return Err(Error::Workflow("cycle in compiled workflow".into()));
+            }
+            for &i in &wave {
+                done[i] = true;
+            }
+            remaining -= wave.len();
+            waves.push(wave);
+        }
+        Ok(waves)
+    }
+
+    /// A topological order of the jobs: the waves flattened.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        Ok(self.waves()?.into_iter().flatten().collect())
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Phase {
     Map,
@@ -172,9 +205,7 @@ impl<'a> Compiler<'a> {
                 if let Some(&n) = self.frags[target].node_map.get(&qload) {
                     return n;
                 }
-                let n = self.frags[target]
-                    .plan
-                    .add(PhysicalOp::Load { path }, vec![]);
+                let n = self.frags[target].plan.add(PhysicalOp::Load { path }, vec![]);
                 self.frags[target].node_map.insert(qload, n);
                 n
             }
@@ -185,9 +216,7 @@ impl<'a> Compiler<'a> {
                 // Cross-fragment: materialize and load.
                 let (tmp, producer) = self.close_output(q);
                 self.frags[target].deps.insert(producer);
-                let n = self.frags[target]
-                    .plan
-                    .add(PhysicalOp::Load { path: tmp }, vec![]);
+                let n = self.frags[target].plan.add(PhysicalOp::Load { path: tmp }, vec![]);
                 // Not memoized under the Load's query id (there is none);
                 // memoize under the producing query node so repeated
                 // branches reuse the same Load.
@@ -207,9 +236,7 @@ impl<'a> Compiler<'a> {
         let f = self.resolve(f);
         let tmp = self.fresh_tmp();
         let node = self.frags[f].node_map[&q];
-        self.frags[f]
-            .plan
-            .add(PhysicalOp::Store { path: tmp.clone() }, vec![node]);
+        self.frags[f].plan.add(PhysicalOp::Store { path: tmp.clone() }, vec![node]);
         self.closed.insert(q, (tmp.clone(), f));
         (tmp, f)
     }
@@ -226,8 +253,7 @@ impl<'a> Compiler<'a> {
         let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
         for id in b_frag.plan.topo_order() {
             let node = b_frag.plan.node(id);
-            let inputs: Vec<NodeId> =
-                node.inputs.iter().map(|i| remap[i]).collect();
+            let inputs: Vec<NodeId> = node.inputs.iter().map(|i| remap[i]).collect();
             let new_id = self.frags[a].plan.add(node.op.clone(), inputs);
             remap.insert(id, new_id);
         }
@@ -384,11 +410,8 @@ impl<'a> Compiler<'a> {
                 continue;
             }
             let ji = job_index[&i];
-            let mut deps: Vec<usize> = frag
-                .deps
-                .iter()
-                .map(|&d| job_index[&self.resolve(d)])
-                .collect();
+            let mut deps: Vec<usize> =
+                frag.deps.iter().map(|&d| job_index[&self.resolve(d)]).collect();
             deps.sort_unstable();
             deps.dedup();
             jobs[ji].deps = deps;
@@ -457,12 +480,8 @@ mod tests {
         // They communicate through the tmp path.
         assert_eq!(wf.tmp_paths.len(), 1);
         let tmp = &wf.tmp_paths[0];
-        assert!(j0.ids().any(
-            |i| matches!(j0.op(i), PhysicalOp::Store { path } if path == tmp)
-        ));
-        assert!(j1.ids().any(
-            |i| matches!(j1.op(i), PhysicalOp::Load { path } if path == tmp)
-        ));
+        assert!(j0.ids().any(|i| matches!(j0.op(i), PhysicalOp::Store { path } if path == tmp)));
+        assert!(j1.ids().any(|i| matches!(j1.op(i), PhysicalOp::Load { path } if path == tmp)));
     }
 
     #[test]

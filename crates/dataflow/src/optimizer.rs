@@ -94,17 +94,15 @@ fn drop_noop_projects(plan: &mut LogicalPlan) -> bool {
         };
         let input = plan.nodes[i].inputs[0];
         let arity = plan.nodes[input].schema.len();
-        let is_identity =
-            cols.len() == arity && cols.iter().enumerate().all(|(k, &c)| k == c);
+        let is_identity = cols.len() == arity && cols.iter().enumerate().all(|(k, &c)| k == c);
         // Keep identity projections that rename fields? Renames don't
         // affect physical execution, so they can go.
         if !is_identity {
             continue;
         }
         // Rewire all consumers of i to read from input directly.
-        let consumers: Vec<LNodeId> = (0..plan.nodes.len())
-            .filter(|&n| plan.nodes[n].inputs.contains(&i))
-            .collect();
+        let consumers: Vec<LNodeId> =
+            (0..plan.nodes.len()).filter(|&n| plan.nodes[n].inputs.contains(&i)).collect();
         if consumers.is_empty() {
             continue; // dead anyway
         }
@@ -188,10 +186,7 @@ mod tests {
             }
             other => panic!("expected filter, got {other:?}"),
         }
-        assert!(matches!(
-            p.nodes[p.nodes[filt].inputs[0]].op,
-            LogicalOp::Load { .. }
-        ));
+        assert!(matches!(p.nodes[p.nodes[filt].inputs[0]].op, LogicalOp::Load { .. }));
     }
 
     #[test]

@@ -160,9 +160,7 @@ impl Parser {
                 self.advance();
                 let input = self.ident()?;
                 match self.advance().kind {
-                    TokenKind::IntLit(n) if n >= 0 => {
-                        Ok(RelExpr::Limit { input, n: n as u64 })
-                    }
+                    TokenKind::IntLit(n) if n >= 0 => Ok(RelExpr::Limit { input, n: n as u64 }),
                     other => Err(self.err(format!("expected limit count, found {other:?}"))),
                 }
             }
@@ -208,9 +206,8 @@ impl Parser {
                 if matches!(&self.peek().kind, TokenKind::Ident(s) if s == ":") {
                     self.advance();
                     let tyname = self.ident()?;
-                    ty = FieldType::parse(&tyname).ok_or_else(|| {
-                        self.err(format!("unknown type {tyname:?}"))
-                    })?;
+                    ty = FieldType::parse(&tyname)
+                        .ok_or_else(|| self.err(format!("unknown type {tyname:?}")))?;
                 }
                 schema.push((name, ty));
                 if matches!(self.peek().kind, TokenKind::Comma) {
@@ -574,10 +571,7 @@ mod tests {
             E = limit D 10;
         ";
         let p = parse(q).unwrap();
-        assert!(matches!(
-            p.statements[0],
-            Statement::Assign { rel: RelExpr::Distinct { .. }, .. }
-        ));
+        assert!(matches!(p.statements[0], Statement::Assign { rel: RelExpr::Distinct { .. }, .. }));
         match &p.statements[2] {
             Statement::Assign { rel: RelExpr::OrderBy { keys, .. }, .. } => {
                 assert!(!keys[0].1); // desc
@@ -605,10 +599,8 @@ mod tests {
 
     #[test]
     fn parses_load_with_using_and_types() {
-        let p = parse(
-            "A = load '/d' using PigStorage('\\t') as (a:int, b:chararray, c:double);",
-        )
-        .unwrap();
+        let p = parse("A = load '/d' using PigStorage('\\t') as (a:int, b:chararray, c:double);")
+            .unwrap();
         match &p.statements[0] {
             Statement::Assign { rel: RelExpr::Load { path, schema }, .. } => {
                 assert_eq!(path, "/d");

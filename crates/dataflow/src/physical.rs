@@ -192,23 +192,17 @@ impl PhysicalPlan {
 
     /// Nodes consuming `id`'s output, in id order.
     pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
-        self.ids()
-            .filter(|&n| self.nodes[n.index()].inputs.contains(&id))
-            .collect()
+        self.ids().filter(|&n| self.nodes[n.index()].inputs.contains(&id)).collect()
     }
 
     /// All Load nodes, in id order.
     pub fn loads(&self) -> Vec<NodeId> {
-        self.ids()
-            .filter(|&n| matches!(self.op(n), PhysicalOp::Load { .. }))
-            .collect()
+        self.ids().filter(|&n| matches!(self.op(n), PhysicalOp::Load { .. })).collect()
     }
 
     /// All Store nodes, in id order.
     pub fn stores(&self) -> Vec<NodeId> {
-        self.ids()
-            .filter(|&n| matches!(self.op(n), PhysicalOp::Store { .. }))
-            .collect()
+        self.ids().filter(|&n| matches!(self.op(n), PhysicalOp::Store { .. })).collect()
     }
 
     /// Topological order (inputs before consumers). The arena is built
@@ -218,10 +212,8 @@ impl PhysicalPlan {
         let n = self.nodes.len();
         let mut remaining_inputs: Vec<usize> =
             self.nodes.iter().map(|nd| nd.inputs.len()).collect();
-        let mut ready: Vec<NodeId> = (0..n as u32)
-            .map(NodeId)
-            .filter(|id| remaining_inputs[id.index()] == 0)
-            .collect();
+        let mut ready: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|id| remaining_inputs[id.index()] == 0).collect();
         ready.reverse(); // pop from the low end first
         let mut order = Vec::with_capacity(n);
         while let Some(id) = ready.pop() {
@@ -269,11 +261,8 @@ impl PhysicalPlan {
         }
         in_cone[id.index()] = true;
         // Rewrites insert nodes out of id order, so walk topologically.
-        let keep: Vec<NodeId> = self
-            .topo_order()
-            .into_iter()
-            .filter(|n| in_cone[n.index()])
-            .collect();
+        let keep: Vec<NodeId> =
+            self.topo_order().into_iter().filter(|n| in_cone[n.index()]).collect();
         let mut out = PhysicalPlan::new();
         let mut remap: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
         for old in keep {
@@ -384,15 +373,13 @@ impl PhysicalPlan {
         let mut out = String::new();
         for id in self.topo_order() {
             let node = &self.nodes[id.index()];
-            let ins: Vec<String> =
-                node.inputs.iter().map(|i| format!("%{}", i.0)).collect();
+            let ins: Vec<String> = node.inputs.iter().map(|i| format!("%{}", i.0)).collect();
             out.push_str(&format!(
                 "%{} = {}{}{}\n",
                 id.0,
                 node.op.name(),
                 match &node.op {
-                    PhysicalOp::Load { path } | PhysicalOp::Store { path } =>
-                        format!("('{path}')"),
+                    PhysicalOp::Load { path } | PhysicalOp::Store { path } => format!("('{path}')"),
                     PhysicalOp::Project { cols } => format!("({cols:?})"),
                     PhysicalOp::Filter { pred } => format!("({pred:?})"),
                     PhysicalOp::MapExpr { exprs } => format!("({exprs:?})"),
@@ -405,11 +392,7 @@ impl PhysicalPlan {
                     PhysicalOp::Limit { n } => format!("({n})"),
                     _ => String::new(),
                 },
-                if ins.is_empty() {
-                    String::new()
-                } else {
-                    format!(" <- [{}]", ins.join(", "))
-                }
+                if ins.is_empty() { String::new() } else { format!(" <- [{}]", ins.join(", ")) }
             ));
         }
         out
@@ -428,10 +411,7 @@ mod tests {
         let proj = p.add(PhysicalOp::Project { cols: vec![0, 2] }, vec![load]);
         let split = p.add(PhysicalOp::Split, vec![proj]);
         let _side = p.add(PhysicalOp::Store { path: "/side".into() }, vec![split]);
-        let filt = p.add(
-            PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) },
-            vec![split],
-        );
+        let filt = p.add(PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) }, vec![split]);
         let _store = p.add(PhysicalOp::Store { path: "/out".into() }, vec![filt]);
         (p, load, proj, filt)
     }
@@ -509,10 +489,7 @@ mod tests {
         let mk = |out: &str| {
             let mut p = PhysicalPlan::new();
             let l = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
-            let f = p.add(
-                PhysicalOp::Filter { pred: Expr::col_eq(1, "x") },
-                vec![l],
-            );
+            let f = p.add(PhysicalOp::Filter { pred: Expr::col_eq(1, "x") }, vec![l]);
             p.add(PhysicalOp::Store { path: out.into() }, vec![f]);
             p
         };

@@ -8,12 +8,8 @@ use restore_dfs::{Dfs, DfsConfig};
 use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 3,
-        block_size: 256,
-        replication: 1,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 3, block_size: 256, replication: 1, node_capacity: None });
     Engine::new(
         dfs,
         ClusterConfig::default(),
@@ -36,9 +32,7 @@ fn read_sorted(eng: &Engine, path: &str) -> Vec<Tuple> {
 #[test]
 fn filter_that_drops_everything() {
     let eng = engine();
-    eng.dfs()
-        .write_all("/d", &codec::encode_all(&[tuple![1], tuple![2]]))
-        .unwrap();
+    eng.dfs().write_all("/d", &codec::encode_all(&[tuple![1], tuple![2]])).unwrap();
     run(
         &eng,
         "A = load '/d' as (n:int);
@@ -69,11 +63,7 @@ fn single_hot_key_group() {
 #[test]
 fn unicode_payloads_survive_the_stack() {
     let eng = engine();
-    let rows = vec![
-        tuple!["köln", "ü-data"],
-        tuple!["東京", "日本語"],
-        tuple!["köln", "émoji ✨"],
-    ];
+    let rows = vec![tuple!["köln", "ü-data"], tuple!["東京", "日本語"], tuple!["köln", "émoji ✨"]];
     eng.dfs().write_all("/d", &codec::encode_all(&rows)).unwrap();
     run(
         &eng,
@@ -82,19 +72,14 @@ fn unicode_payloads_survive_the_stack() {
          R = foreach G generate group, COUNT(A);
          store R into '/out/uni';",
     );
-    assert_eq!(
-        read_sorted(&eng, "/out/uni"),
-        vec![tuple!["köln", 2], tuple!["東京", 1]]
-    );
+    assert_eq!(read_sorted(&eng, "/out/uni"), vec![tuple!["köln", 2], tuple!["東京", 1]]);
 }
 
 #[test]
 fn wide_tuples_project_correctly() {
     let eng = engine();
     let wide: Vec<Value> = (0..40).map(Value::Int).collect();
-    eng.dfs()
-        .write_all("/d", &codec::encode_all(&[Tuple::from_values(wide)]))
-        .unwrap();
+    eng.dfs().write_all("/d", &codec::encode_all(&[Tuple::from_values(wide)])).unwrap();
     run(
         &eng,
         "A = load '/d' as (c0);
@@ -107,9 +92,7 @@ fn wide_tuples_project_correctly() {
 #[test]
 fn join_with_empty_side_is_empty() {
     let eng = engine();
-    eng.dfs()
-        .write_all("/a", &codec::encode_all(&[tuple!["x", 1]]))
-        .unwrap();
+    eng.dfs().write_all("/a", &codec::encode_all(&[tuple!["x", 1]])).unwrap();
     eng.dfs().write_all("/b", &codec::encode_all(&[])).unwrap();
     run(
         &eng,
@@ -158,18 +141,13 @@ fn distinct_on_duplicated_file() {
          C = distinct B;
          store C into '/out/dd';",
     );
-    assert_eq!(
-        read_sorted(&eng, "/out/dd"),
-        (0..5).map(|i| tuple![i]).collect::<Vec<_>>()
-    );
+    assert_eq!(read_sorted(&eng, "/out/dd"), (0..5).map(|i| tuple![i]).collect::<Vec<_>>());
 }
 
 #[test]
 fn limit_zero_produces_empty_output() {
     let eng = engine();
-    eng.dfs()
-        .write_all("/d", &codec::encode_all(&[tuple![1], tuple![2]]))
-        .unwrap();
+    eng.dfs().write_all("/d", &codec::encode_all(&[tuple![1], tuple![2]])).unwrap();
     run(
         &eng,
         "A = load '/d' as (n:int);
@@ -201,10 +179,7 @@ fn order_by_with_duplicate_keys_is_stable_output() {
          B = order A by n;
          store B into '/out/ord2';",
     );
-    assert_eq!(
-        eng.dfs().read_all("/out/ord").unwrap(),
-        eng.dfs().read_all("/out/ord2").unwrap()
-    );
+    assert_eq!(eng.dfs().read_all("/out/ord").unwrap(), eng.dfs().read_all("/out/ord2").unwrap());
 }
 
 #[test]
@@ -220,18 +195,13 @@ fn group_by_double_keys() {
          R = foreach G generate group, SUM(A.n);
          store R into '/out/fk';",
     );
-    assert_eq!(
-        read_sorted(&eng, "/out/fk"),
-        vec![tuple![0.5, 4], tuple![1.5, 2]]
-    );
+    assert_eq!(read_sorted(&eng, "/out/fk"), vec![tuple![0.5, 4], tuple![1.5, 2]]);
 }
 
 #[test]
 fn deeply_nested_expressions() {
     let eng = engine();
-    eng.dfs()
-        .write_all("/d", &codec::encode_all(&[tuple![3, 4]]))
-        .unwrap();
+    eng.dfs().write_all("/d", &codec::encode_all(&[tuple![3, 4]])).unwrap();
     run(
         &eng,
         "A = load '/d' as (a:int, b:int);

@@ -8,12 +8,8 @@ use restore_dfs::{Dfs, DfsConfig};
 use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 512,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 512, replication: 2, node_capacity: None });
     Engine::new(
         dfs,
         ClusterConfig::default(),
@@ -40,11 +36,7 @@ fn read_sorted(eng: &Engine, path: &str) -> Vec<Tuple> {
 #[test]
 fn split_statement_end_to_end() {
     let eng = engine();
-    write(
-        eng.dfs(),
-        "/d",
-        &[tuple![5, "a"], tuple![15, "b"], tuple![25, "c"], tuple![10, "d"]],
-    );
+    write(eng.dfs(), "/d", &[tuple![5, "a"], tuple![15, "b"], tuple![25, "c"], tuple![10, "d"]]);
     run(
         &eng,
         "A = load '/d' as (n:int, s);
@@ -77,11 +69,7 @@ fn split_branches_can_overlap() {
 #[test]
 fn string_functions_in_queries() {
     let eng = engine();
-    write(
-        eng.dfs(),
-        "/d",
-        &[tuple!["  alpha  ", "prefix-one"], tuple!["beta", "other-two"]],
-    );
+    write(eng.dfs(), "/d", &[tuple!["  alpha  ", "prefix-one"], tuple!["beta", "other-two"]]);
     run(
         &eng,
         "A = load '/d' as (raw, tagged);
@@ -129,10 +117,7 @@ fn three_way_join() {
          store J into '/out/j3';",
     );
     // Only k1 appears in all three inputs.
-    assert_eq!(
-        read_sorted(&eng, "/out/j3"),
-        vec![tuple!["k1", 1, "k1", 10.0, "k1", "x"]]
-    );
+    assert_eq!(read_sorted(&eng, "/out/j3"), vec![tuple!["k1", 1, "k1", 10.0, "k1", "x"]]);
 }
 
 #[test]
@@ -147,20 +132,13 @@ fn composite_key_join() {
          J = join A by (k1, k2), B by (k1, k2);
          store J into '/out/ck';",
     );
-    assert_eq!(
-        read_sorted(&eng, "/out/ck"),
-        vec![tuple!["u", 1, "left1", "u", 1, "right1"]]
-    );
+    assert_eq!(read_sorted(&eng, "/out/ck"), vec![tuple!["u", 1, "left1", "u", 1, "right1"]]);
 }
 
 #[test]
 fn order_by_two_keys_mixed_direction() {
     let eng = engine();
-    write(
-        eng.dfs(),
-        "/d",
-        &[tuple!["b", 1], tuple!["a", 2], tuple!["a", 1], tuple!["b", 2]],
-    );
+    write(eng.dfs(), "/d", &[tuple!["b", 1], tuple!["a", 2], tuple!["a", 1], tuple!["b", 2]]);
     run(
         &eng,
         "A = load '/d' as (s, n:int);
@@ -168,10 +146,7 @@ fn order_by_two_keys_mixed_direction() {
          store B into '/out/o';",
     );
     let rows = codec::decode_all(&eng.dfs().read_all("/out/o").unwrap()).unwrap();
-    assert_eq!(
-        rows,
-        vec![tuple!["a", 2], tuple!["a", 1], tuple!["b", 2], tuple!["b", 1]]
-    );
+    assert_eq!(rows, vec![tuple!["a", 2], tuple!["a", 1], tuple!["b", 2], tuple!["b", 1]]);
 }
 
 #[test]
@@ -208,10 +183,7 @@ fn arithmetic_projection_pipeline() {
          B = foreach A generate n * 2 as dbl, f + 1.0 as inc, n % 3 as rem;
          store B into '/out/math';",
     );
-    assert_eq!(
-        read_sorted(&eng, "/out/math"),
-        vec![tuple![6, 5.0, 0], tuple![20, 1.5, 1]]
-    );
+    assert_eq!(read_sorted(&eng, "/out/math"), vec![tuple![6, 5.0, 0], tuple![20, 1.5, 1]]);
 }
 
 #[test]

@@ -24,12 +24,7 @@ pub struct DfsConfig {
 
 impl Default for DfsConfig {
     fn default() -> Self {
-        DfsConfig {
-            nodes: 14,
-            block_size: 64 << 20,
-            replication: 3,
-            node_capacity: None,
-        }
+        DfsConfig { nodes: 14, block_size: 64 << 20, replication: 3, node_capacity: None }
     }
 }
 
@@ -197,8 +192,7 @@ impl Dfs {
     pub fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let blocks: Vec<BlockMeta> = {
             let nn = self.inner.namenode.read();
-            let meta =
-                nn.get(path).ok_or_else(|| Error::FileNotFound(path.into()))?;
+            let meta = nn.get(path).ok_or_else(|| Error::FileNotFound(path.into()))?;
             if offset + len > meta.len {
                 return Err(Error::Other(format!(
                     "read past end of {path}: offset {offset} + len {len} > {}",
@@ -346,9 +340,7 @@ impl Dfs {
             }
         }
 
-        self.inner
-            .metrics
-            .add_write(total_len, total_len * replication as u64);
+        self.inner.metrics.add_write(total_len, total_len * replication as u64);
         self.inner.metrics.files_created.fetch_add(1, Ordering::Relaxed);
 
         let mtime = self.tick();

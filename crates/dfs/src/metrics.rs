@@ -56,8 +56,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
-            logical_bytes_written: self.logical_bytes_written
-                - earlier.logical_bytes_written,
+            logical_bytes_written: self.logical_bytes_written - earlier.logical_bytes_written,
             blocks_created: self.blocks_created - earlier.blocks_created,
             files_created: self.files_created - earlier.files_created,
             files_deleted: self.files_deleted - earlier.files_deleted,

@@ -99,9 +99,9 @@ pub fn validate_path(path: &str) -> bool {
     if !path.starts_with('/') || path.len() < 2 {
         return false;
     }
-    path.split('/').skip(1).all(|seg| {
-        !seg.is_empty() && seg != "." && seg != ".." && !seg.contains('\0')
-    })
+    path.split('/')
+        .skip(1)
+        .all(|seg| !seg.is_empty() && seg != "." && seg != ".." && !seg.contains('\0'))
 }
 
 #[cfg(test)]

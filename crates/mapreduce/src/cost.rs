@@ -72,27 +72,20 @@ impl CostModel {
         let in_bytes = c.map_input_bytes as f64 * s;
         let in_records = c.map_input_records as f64 * s;
         t.load_s = in_bytes / m / self.cfg.disk_read_bps;
-        t.map_cpu_s =
-            in_records / m * spec.cpu_weight_map * self.cfg.cpu_per_record_weight;
+        t.map_cpu_s = in_records / m * spec.cpu_weight_map * self.cfg.cpu_per_record_weight;
 
         // Map-side writes: shuffle spill (written once locally), direct
         // output of map-only jobs (replicated DFS write), injected Stores
         // (at the slower side-store rate).
         let spill = c.map_output_bytes as f64 * s / m;
         let repl = self.cfg.replication as f64;
-        let direct_out = if c.reduce_tasks == 0 {
-            c.output_bytes as f64 * s * repl / m
-        } else {
-            0.0
-        };
-        let side_s =
-            c.map_side_bytes as f64 * s / m / self.cfg.side_store_bps;
-        t.map_write_s =
-            (spill + direct_out) / self.cfg.disk_write_bps + side_s;
+        let direct_out =
+            if c.reduce_tasks == 0 { c.output_bytes as f64 * s * repl / m } else { 0.0 };
+        let side_s = c.map_side_bytes as f64 * s / m / self.cfg.side_store_bps;
+        t.map_write_s = (spill + direct_out) / self.cfg.disk_write_bps + side_s;
 
         t.avg_map_task_s = t.load_s + t.map_cpu_s + t.map_write_s;
-        t.map_phase_s =
-            t.map_waves as f64 * (t.avg_map_task_s + self.cfg.wave_overhead_s);
+        t.map_phase_s = t.map_waves as f64 * (t.avg_map_task_s + self.cfg.wave_overhead_s);
 
         // ---- Reduce phase ----
         if c.reduce_tasks > 0 {
@@ -102,29 +95,24 @@ impl CostModel {
             let shuffle_bytes = c.map_output_bytes as f64 * s / r;
             let reduce_records = (c.reduce_input_records as f64 * s / r).max(1.0);
             t.sort_s = shuffle_bytes / self.cfg.shuffle_bps
-                + self.cfg.sort_cost_per_byte_log
-                    * shuffle_bytes
-                    * reduce_records.max(2.0).log2();
+                + self.cfg.sort_cost_per_byte_log * shuffle_bytes * reduce_records.max(2.0).log2();
             t.reduce_cpu_s = c.reduce_input_records as f64 * s / r
                 * spec.cpu_weight_reduce
                 * self.cfg.cpu_per_record_weight;
             let out = c.output_bytes as f64 * s * repl / r;
-            let side_s =
-                c.reduce_side_bytes as f64 * s / r / self.cfg.side_store_bps;
+            let side_s = c.reduce_side_bytes as f64 * s / r / self.cfg.side_store_bps;
             t.store_s = out / self.cfg.disk_write_bps + side_s;
 
             t.avg_reduce_task_s = t.sort_s + t.reduce_cpu_s + t.store_s;
-            t.reduce_phase_s = t.reduce_waves as f64
-                * (t.avg_reduce_task_s + self.cfg.wave_overhead_s);
+            t.reduce_phase_s =
+                t.reduce_waves as f64 * (t.avg_reduce_task_s + self.cfg.wave_overhead_s);
         }
 
         // Per-side-channel commit cost (extra files created by injected
         // Stores), charged once per job.
-        let commit_s =
-            c.side_output_bytes.len() as f64 * self.cfg.side_commit_s;
+        let commit_s = c.side_output_bytes.len() as f64 * self.cfg.side_commit_s;
 
-        t.total_s =
-            self.cfg.job_startup_s + t.map_phase_s + t.reduce_phase_s + commit_s;
+        t.total_s = self.cfg.job_startup_s + t.map_phase_s + t.reduce_phase_s + commit_s;
         t
     }
 }
@@ -238,11 +226,7 @@ mod tests {
 
     #[test]
     fn side_bytes_increase_map_write_time() {
-        let base = Counters {
-            map_tasks: 1,
-            map_input_bytes: 100,
-            ..Default::default()
-        };
+        let base = Counters { map_tasks: 1, map_input_bytes: 100, ..Default::default() };
         let with_side = Counters { map_side_bytes: 500, ..base.clone() };
         let model = CostModel::new(cfg());
         let t0 = model.job_times(&spec(), &base);
@@ -256,10 +240,7 @@ mod tests {
         let mut k = cfg();
         k.side_commit_s = 7.0;
         let base = Counters { map_tasks: 1, map_input_bytes: 100, ..Default::default() };
-        let with_channels = Counters {
-            side_output_bytes: vec![0, 0],
-            ..base.clone()
-        };
+        let with_channels = Counters { side_output_bytes: vec![0, 0], ..base.clone() };
         let model = CostModel::new(k);
         let t0 = model.job_times(&spec(), &base);
         let t1 = model.job_times(&spec(), &with_channels);

@@ -81,16 +81,10 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields_and_channels() {
-        let mut a = Counters {
-            map_input_records: 10,
-            side_output_bytes: vec![5],
-            ..Default::default()
-        };
-        let b = Counters {
-            map_input_records: 7,
-            side_output_bytes: vec![1, 2],
-            ..Default::default()
-        };
+        let mut a =
+            Counters { map_input_records: 10, side_output_bytes: vec![5], ..Default::default() };
+        let b =
+            Counters { map_input_records: 7, side_output_bytes: vec![1, 2], ..Default::default() };
         a.absorb(&b);
         assert_eq!(a.map_input_records, 17);
         assert_eq!(a.side_output_bytes, vec![6, 2]);

@@ -95,9 +95,7 @@ impl Engine {
         let reduce_tasks = if spec.is_map_only() {
             0
         } else {
-            spec.reduce_tasks
-                .unwrap_or(self.engine_cfg.default_reduce_tasks)
-                .max(1)
+            spec.reduce_tasks.unwrap_or(self.engine_cfg.default_reduce_tasks).max(1)
         };
         let n_side = spec.side_outputs.len();
 
@@ -124,8 +122,7 @@ impl Engine {
         let output_tuples: Vec<Tuple> = if reduce_tasks == 0 {
             map_outs.into_iter().flat_map(|o| o.direct).collect()
         } else {
-            let reduce_outs =
-                self.run_reduce_tasks(spec, map_outs, reduce_tasks, n_side)?;
+            let reduce_outs = self.run_reduce_tasks(spec, map_outs, reduce_tasks, n_side)?;
             let mut all = Vec::new();
             for out in reduce_outs {
                 counters.absorb(&out.counters);
@@ -184,14 +181,8 @@ impl Engine {
                         break;
                     }
                     let (tag, split, file_len) = &splits[idx];
-                    let out = self.run_one_map_task(
-                        spec,
-                        *tag,
-                        split,
-                        *file_len,
-                        reduce_tasks,
-                        n_side,
-                    );
+                    let out =
+                        self.run_one_map_task(spec, *tag, split, *file_len, reduce_tasks, n_side);
                     results.lock().push((idx, out));
                 });
             }
@@ -228,8 +219,7 @@ impl Engine {
             (0..reduce_tasks).map(|_| Vec::new()).collect();
         for (key, vtag, value) in ctx.shuffle {
             counters.map_output_records += 1;
-            counters.map_output_bytes +=
-                (key.encoded_len() + value.encoded_len()) as u64;
+            counters.map_output_bytes += (key.encoded_len() + value.encoded_len()) as u64;
             if reduce_tasks > 0 {
                 let p = partition_of(&key, reduce_tasks);
                 partitions[p].push((key, vtag, value));
@@ -237,8 +227,7 @@ impl Engine {
         }
         counters.map_direct_output_records = ctx.direct.len() as u64;
         for ts in &ctx.side {
-            counters.map_side_bytes +=
-                ts.iter().map(|t| t.encoded_len() as u64).sum::<u64>();
+            counters.map_side_bytes += ts.iter().map(|t| t.encoded_len() as u64).sum::<u64>();
         }
         Ok(MapTaskOut { partitions, direct: ctx.direct, side: ctx.side, counters })
     }
@@ -280,12 +269,7 @@ impl Engine {
                         break;
                     }
                     let recs = std::mem::take(&mut *partition_in[idx].lock());
-                    let out = run_one_reduce_task(
-                        reducer_factory.as_ref(),
-                        recs,
-                        n_tags,
-                        n_side,
-                    );
+                    let out = run_one_reduce_task(reducer_factory.as_ref(), recs, n_tags, n_side);
                     results.lock().push((idx, out));
                 });
             }
@@ -338,8 +322,7 @@ fn run_one_reduce_task(
     reducer.finish(&mut ctx)?;
 
     for ts in &ctx.side {
-        counters.reduce_side_bytes +=
-            ts.iter().map(|t| t.encoded_len() as u64).sum::<u64>();
+        counters.reduce_side_bytes += ts.iter().map(|t| t.encoded_len() as u64).sum::<u64>();
     }
     Ok(ReduceTaskOut { output: ctx.output, side: ctx.side, counters })
 }
@@ -353,12 +336,8 @@ mod tests {
     use std::sync::Arc;
 
     fn small_engine(threads: usize) -> Engine {
-        let dfs = Dfs::new(DfsConfig {
-            nodes: 4,
-            block_size: 64,
-            replication: 2,
-            node_capacity: None,
-        });
+        let dfs =
+            Dfs::new(DfsConfig { nodes: 4, block_size: 64, replication: 2, node_capacity: None });
         Engine::new(
             dfs,
             ClusterConfig::default(),
@@ -384,7 +363,12 @@ mod tests {
     }
     struct WcReduce;
     impl Reducer for WcReduce {
-        fn reduce(&mut self, key: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
+        fn reduce(
+            &mut self,
+            key: &Tuple,
+            bags: &[Vec<Tuple>],
+            ctx: &mut ReduceContext,
+        ) -> Result<()> {
             let count = bags[0].len() as i64;
             ctx.output(Tuple::from_values(vec![key.get(0).clone(), Value::Int(count)]));
             Ok(())
@@ -473,7 +457,12 @@ mod tests {
         }
         struct JoinReduce;
         impl Reducer for JoinReduce {
-            fn reduce(&mut self, _k: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
+            fn reduce(
+                &mut self,
+                _k: &Tuple,
+                bags: &[Vec<Tuple>],
+                ctx: &mut ReduceContext,
+            ) -> Result<()> {
                 for l in &bags[0] {
                     for r in &bags[1] {
                         ctx.output(l.concat(r));
@@ -515,11 +504,14 @@ mod tests {
         }
         struct TeeReduce;
         impl Reducer for TeeReduce {
-            fn reduce(&mut self, key: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
-                let t = Tuple::from_values(vec![
-                    key.get(0).clone(),
-                    Value::Int(bags[0].len() as i64),
-                ]);
+            fn reduce(
+                &mut self,
+                key: &Tuple,
+                bags: &[Vec<Tuple>],
+                ctx: &mut ReduceContext,
+            ) -> Result<()> {
+                let t =
+                    Tuple::from_values(vec![key.get(0).clone(), Value::Int(bags[0].len() as i64)]);
                 ctx.side(1, t.clone());
                 ctx.output(t);
                 Ok(())

@@ -101,13 +101,7 @@ mod tests {
     fn job_spec_construction() {
         let mapper: Arc<dyn MapperFactory> =
             Arc::new(|| Box::new(IdentityMapper) as Box<dyn Mapper>);
-        let job = JobSpec::new(
-            "j",
-            vec![JobInput::new("/in")],
-            "/out",
-            mapper,
-            None,
-        );
+        let job = JobSpec::new("j", vec![JobInput::new("/in")], "/out", mapper, None);
         assert!(job.is_map_only());
         assert_eq!(job.inputs[0].path, "/in");
         let dbg = format!("{job:?}");

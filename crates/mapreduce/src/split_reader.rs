@@ -44,8 +44,8 @@ pub fn read_split(dfs: &Dfs, split: &FileSplit, file_len: u64) -> Result<(Vec<Tu
     // contains its first byte, so when the byte just before this split is
     // not a record terminator, the leading bytes continue a record owned
     // by the previous split.
-    let continues_previous = split.offset > 0
-        && dfs.read_range(&split.path, split.offset - 1, 1)? != b"\n";
+    let continues_previous =
+        split.offset > 0 && dfs.read_range(&split.path, split.offset - 1, 1)? != b"\n";
     let start = if !continues_previous {
         0
     } else {
@@ -78,14 +78,8 @@ mod tests {
     /// the original records with no duplicates or losses, regardless of
     /// where block boundaries fall.
     fn check_partition(block_size: u64, rows: usize) {
-        let dfs = Dfs::new(DfsConfig {
-            nodes: 3,
-            block_size,
-            replication: 1,
-            node_capacity: None,
-        });
-        let tuples: Vec<Tuple> =
-            (0..rows).map(|i| tuple![i as i64, format!("row-{i}")]).collect();
+        let dfs = Dfs::new(DfsConfig { nodes: 3, block_size, replication: 1, node_capacity: None });
+        let tuples: Vec<Tuple> = (0..rows).map(|i| tuple![i as i64, format!("row-{i}")]).collect();
         let bytes = codec::encode_all(&tuples);
         dfs.write_all("/t", &bytes).unwrap();
         let file_len = dfs.file_len("/t").unwrap();
@@ -110,12 +104,8 @@ mod tests {
 
     #[test]
     fn single_record_larger_than_block() {
-        let dfs = Dfs::new(DfsConfig {
-            nodes: 2,
-            block_size: 8,
-            replication: 1,
-            node_capacity: None,
-        });
+        let dfs =
+            Dfs::new(DfsConfig { nodes: 2, block_size: 8, replication: 1, node_capacity: None });
         let t = tuple!["this-is-a-long-single-record-spanning-blocks"];
         dfs.write_all("/big", &codec::encode_all(std::slice::from_ref(&t))).unwrap();
         let file_len = dfs.file_len("/big").unwrap();

@@ -61,10 +61,7 @@ pub struct ReduceContext {
 
 impl ReduceContext {
     pub fn new(side_channels: usize) -> Self {
-        ReduceContext {
-            output: Vec::new(),
-            side: (0..side_channels).map(|_| Vec::new()).collect(),
-        }
+        ReduceContext { output: Vec::new(), side: (0..side_channels).map(|_| Vec::new()).collect() }
     }
 
     pub fn output(&mut self, value: Tuple) {

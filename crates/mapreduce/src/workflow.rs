@@ -95,8 +95,7 @@ impl Workflow {
         for (i, ds) in self.deps.iter().enumerate() {
             indegree[i] = ds.len();
         }
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = ready.pop() {
             order.push(i);
@@ -124,9 +123,8 @@ impl Workflow {
         let mut waves = Vec::new();
         let mut remaining = n;
         while remaining > 0 {
-            let wave: Vec<usize> = (0..n)
-                .filter(|&i| !done[i] && self.deps[i].iter().all(|&d| done[d]))
-                .collect();
+            let wave: Vec<usize> =
+                (0..n).filter(|&i| !done[i] && self.deps[i].iter().all(|&d| done[d])).collect();
             if wave.is_empty() {
                 return Err(Error::Workflow("dependency cycle detected".into()));
             }
@@ -173,15 +171,35 @@ impl Workflow {
 }
 
 impl Engine {
-    /// Execute an entire workflow in dependency waves, then compute
-    /// Equation (1) totals from the modeled per-job times.
+    /// Execute an entire workflow in dependency waves — the jobs of each
+    /// wave concurrently, since they share no dependency edges — then
+    /// compute Equation (1) totals from the modeled per-job times.
+    ///
+    /// Outputs are byte-identical to one-job-at-a-time execution: jobs
+    /// within a wave write disjoint files, and per-job execution is
+    /// already deterministic regardless of worker threading.
     pub fn run_workflow(&self, wf: &Workflow) -> Result<WorkflowResult> {
         let waves = wf.waves()?;
         let mut results: Vec<Option<JobResult>> = vec![None; wf.len()];
         for wave in waves {
-            for idx in wave {
-                let res = self.run(wf.job(idx))?;
-                results[idx] = Some(res);
+            let outcomes: Vec<Result<JobResult>> = if wave.len() == 1 {
+                vec![self.run(wf.job(wave[0]))]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&idx| scope.spawn(move || self.run(wf.job(idx))))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("wave job thread panicked"))
+                        .collect()
+                })
+            };
+            // Errors surface in job-index order, matching what strictly
+            // sequential submission would have reported first.
+            for (idx, outcome) in wave.into_iter().zip(outcomes) {
+                results[idx] = Some(outcome?);
             }
         }
         let job_results: Vec<JobResult> =
@@ -204,7 +222,12 @@ mod tests {
 
     struct PassThrough;
     impl Mapper for PassThrough {
-        fn map(&mut self, _tag: usize, record: Tuple, ctx: &mut MapContext) -> restore_common::Result<()> {
+        fn map(
+            &mut self,
+            _tag: usize,
+            record: Tuple,
+            ctx: &mut MapContext,
+        ) -> restore_common::Result<()> {
             ctx.output(record);
             Ok(())
         }
@@ -267,8 +290,7 @@ mod tests {
     fn equation_one_totals() {
         let wf = diamond();
         // ET: j0=10, j1=5, j2=20, j3=1.
-        let (totals, total, path) =
-            wf.total_times(&[10.0, 5.0, 20.0, 1.0]).unwrap();
+        let (totals, total, path) = wf.total_times(&[10.0, 5.0, 20.0, 1.0]).unwrap();
         assert_eq!(totals, vec![10.0, 15.0, 30.0, 31.0]);
         assert_eq!(total, 31.0);
         // Critical path goes through the slow branch j2.
@@ -276,13 +298,51 @@ mod tests {
     }
 
     #[test]
+    fn wave_parallel_engine_matches_sequential() {
+        let seed = |dfs: &Dfs| {
+            let rows: Vec<Tuple> =
+                (0..200).map(|i| tuple![format!("k{}", i % 13), i as i64]).collect();
+            dfs.write_all("/in", &codec::encode_all(&rows)).unwrap();
+        };
+        let mk_engine = |threads: usize| {
+            let dfs = Dfs::new(DfsConfig {
+                nodes: 3,
+                block_size: 128,
+                replication: 1,
+                node_capacity: None,
+            });
+            seed(&dfs);
+            Engine::new(
+                dfs,
+                ClusterConfig::default(),
+                EngineConfig { worker_threads: threads, default_reduce_tasks: 2 },
+            )
+        };
+        let wf = diamond();
+
+        // Wave-parallel execution through run_workflow.
+        let par = mk_engine(4);
+        par.run_workflow(&wf).unwrap();
+
+        // Strictly sequential: one job at a time, in topological order.
+        let seq = mk_engine(1);
+        for idx in wf.topo_order().unwrap() {
+            seq.run(wf.job(idx)).unwrap();
+        }
+
+        for path in ["/a", "/b", "/c", "/d"] {
+            assert_eq!(
+                par.dfs().read_all(path).unwrap(),
+                seq.dfs().read_all(path).unwrap(),
+                "output {path} diverged between wave-parallel and sequential"
+            );
+        }
+    }
+
+    #[test]
     fn run_workflow_end_to_end() {
-        let dfs = Dfs::new(DfsConfig {
-            nodes: 3,
-            block_size: 64,
-            replication: 1,
-            node_capacity: None,
-        });
+        let dfs =
+            Dfs::new(DfsConfig { nodes: 3, block_size: 64, replication: 1, node_capacity: None });
         let rows = vec![tuple![1, "x"], tuple![2, "y"]];
         dfs.write_all("/in", &codec::encode_all(&rows)).unwrap();
         let eng = Engine::new(

@@ -5,8 +5,8 @@
 use restore_common::{codec, tuple, Error, Result, Tuple};
 use restore_dfs::{Dfs, DfsConfig};
 use restore_mapreduce::{
-    ClusterConfig, Engine, EngineConfig, JobInput, JobSpec, MapContext, Mapper,
-    ReduceContext, Reducer,
+    ClusterConfig, Engine, EngineConfig, JobInput, JobSpec, MapContext, Mapper, ReduceContext,
+    Reducer,
 };
 use std::sync::Arc;
 
@@ -29,10 +29,7 @@ impl Mapper for KeyFirst {
 struct CountRed;
 impl Reducer for CountRed {
     fn reduce(&mut self, key: &Tuple, bags: &[Vec<Tuple>], ctx: &mut ReduceContext) -> Result<()> {
-        ctx.output(Tuple::from_values(vec![
-            key.get(0).clone(),
-            (bags[0].len() as i64).into(),
-        ]));
+        ctx.output(Tuple::from_values(vec![key.get(0).clone(), (bags[0].len() as i64).into()]));
         Ok(())
     }
 }
@@ -128,12 +125,8 @@ fn failed_job_commits_no_output() {
 
 #[test]
 fn out_of_capacity_fails_the_write() {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 2,
-        block_size: 64,
-        replication: 2,
-        node_capacity: Some(400),
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 2, block_size: 64, replication: 2, node_capacity: Some(400) });
     let rows: Vec<Tuple> = (0..40).map(|i| tuple![i, "data"]).collect();
     dfs.write_all("/in", &codec::encode_all(&rows)).unwrap();
     // The job output (plus shuffle-free identity copy) exceeds capacity.

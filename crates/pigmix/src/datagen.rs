@@ -56,8 +56,7 @@ pub fn generate(dfs: &Dfs, scale: &DataScale, seed: u64) -> Result<PigMixData> {
 
     // User pool, shared by page_views and users so that every page view
     // joins (the paper's L5 anti-join is ~empty: output 2 bytes).
-    let pool: Vec<String> =
-        (0..scale.users).map(|i| user_name(i, &root)).collect();
+    let pool: Vec<String> = (0..scale.users).map(|i| user_name(i, &root)).collect();
 
     // ---- users ----
     let mut rng = root.derive(1);
@@ -74,11 +73,8 @@ pub fn generate(dfs: &Dfs, scale: &DataScale, seed: u64) -> Result<PigMixData> {
 
     // ---- power_users: a deterministic subset from the *tail* of the
     // Zipf-ranked pool (rare users), keeping the L2 join selective ----
-    let power_rows: Vec<Tuple> = users_rows
-        .iter()
-        .skip(scale.users.saturating_sub(scale.power_users))
-        .cloned()
-        .collect();
+    let power_rows: Vec<Tuple> =
+        users_rows.iter().skip(scale.users.saturating_sub(scale.power_users)).cloned().collect();
     let power_users_bytes = write(dfs, POWER_USERS, &power_rows)?;
 
     // ---- page_views ----
@@ -146,12 +142,7 @@ mod tests {
     use restore_dfs::DfsConfig;
 
     fn dfs() -> Dfs {
-        Dfs::new(DfsConfig {
-            nodes: 4,
-            block_size: 4096,
-            replication: 1,
-            node_capacity: None,
-        })
+        Dfs::new(DfsConfig { nodes: 4, block_size: 4096, replication: 1, node_capacity: None })
     }
 
     #[test]

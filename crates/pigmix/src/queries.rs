@@ -146,9 +146,7 @@ pub fn l11_variant(second_table: &str, out: &str) -> String {
 /// data-set pairings. Returns (label, query-text) pairs.
 pub fn whole_job_workload(out_prefix: &str) -> Vec<(String, String)> {
     let mut out = Vec::new();
-    for (label, agg) in
-        [("L3", "SUM"), ("L3a", "AVG"), ("L3b", "MIN"), ("L3c", "COUNT")]
-    {
+    for (label, agg) in [("L3", "SUM"), ("L3a", "AVG"), ("L3b", "MIN"), ("L3c", "COUNT")] {
         out.push((label.to_string(), l3_variant(agg, &format!("{out_prefix}/{label}"))));
     }
     for (label, table) in [
@@ -190,12 +188,8 @@ mod tests {
     use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
 
     fn harness() -> ReStore {
-        let dfs = Dfs::new(DfsConfig {
-            nodes: 4,
-            block_size: 2048,
-            replication: 1,
-            node_capacity: None,
-        });
+        let dfs =
+            Dfs::new(DfsConfig { nodes: 4, block_size: 2048, replication: 1, node_capacity: None });
         generate(&dfs, &DataScale::tiny(), 99).unwrap();
         let engine = Engine::new(
             dfs,
@@ -208,14 +202,12 @@ mod tests {
     #[test]
     fn all_queries_compile() {
         for (label, q) in standard_workload("/out") {
-            restore_dataflow::compile(&q, "/wf").unwrap_or_else(|e| {
-                panic!("{label} failed to compile: {e}")
-            });
+            restore_dataflow::compile(&q, "/wf")
+                .unwrap_or_else(|e| panic!("{label} failed to compile: {e}"));
         }
         for (label, q) in whole_job_workload("/out") {
-            restore_dataflow::compile(&q, "/wf").unwrap_or_else(|e| {
-                panic!("{label} failed to compile: {e}")
-            });
+            restore_dataflow::compile(&q, "/wf")
+                .unwrap_or_else(|e| panic!("{label} failed to compile: {e}"));
         }
     }
 
@@ -234,50 +226,40 @@ mod tests {
 
     #[test]
     fn standard_workload_executes() {
-        let mut rs = harness();
+        let rs = harness();
         for (label, q) in standard_workload("/out/std") {
             let exec = rs
                 .execute_query(&q, &format!("/wf/{label}"))
                 .unwrap_or_else(|e| panic!("{label} failed: {e}"));
             assert!(exec.total_s > 0.0, "{label}");
-            assert!(
-                rs.engine().dfs().exists(&exec.final_output),
-                "{label} output missing"
-            );
+            assert!(rs.engine().dfs().exists(&exec.final_output), "{label} output missing");
         }
     }
 
     #[test]
     fn l5_antijoin_is_empty_on_pigmix_data() {
-        let mut rs = harness();
+        let rs = harness();
         let exec = rs.execute_query(&l5("/out/l5"), "/wf/l5").unwrap();
         assert_eq!(rs.engine().dfs().file_len(&exec.final_output).unwrap(), 0);
     }
 
     #[test]
     fn l8_output_is_single_row() {
-        let mut rs = harness();
+        let rs = harness();
         let exec = rs.execute_query(&l8("/out/l8"), "/wf/l8").unwrap();
-        let rows = codec::decode_all(
-            &rs.engine().dfs().read_all(&exec.final_output).unwrap(),
-        )
-        .unwrap();
+        let rows =
+            codec::decode_all(&rs.engine().dfs().read_all(&exec.final_output).unwrap()).unwrap();
         assert_eq!(rows.len(), 1);
         // COUNT equals the page_views row count.
-        assert_eq!(
-            rows[0].get(0).as_i64().unwrap(),
-            DataScale::tiny().page_views_rows as i64
-        );
+        assert_eq!(rows[0].get(0).as_i64().unwrap(), DataScale::tiny().page_views_rows as i64);
     }
 
     #[test]
     fn l11_output_is_distinct_union() {
-        let mut rs = harness();
+        let rs = harness();
         let exec = rs.execute_query(&l11("/out/l11"), "/wf/l11").unwrap();
-        let rows = codec::decode_all(
-            &rs.engine().dfs().read_all(&exec.final_output).unwrap(),
-        )
-        .unwrap();
+        let rows =
+            codec::decode_all(&rs.engine().dfs().read_all(&exec.final_output).unwrap()).unwrap();
         // All distinct.
         let mut sorted = rows.clone();
         sorted.sort();
@@ -291,23 +273,17 @@ mod tests {
 
     #[test]
     fn l3_sums_match_manual_computation() {
-        let mut rs = harness();
+        let rs = harness();
         let exec = rs.execute_query(&l3("/out/l3"), "/wf/l3").unwrap();
-        let rows = codec::decode_all(
-            &rs.engine().dfs().read_all(&exec.final_output).unwrap(),
-        )
-        .unwrap();
+        let rows =
+            codec::decode_all(&rs.engine().dfs().read_all(&exec.final_output).unwrap()).unwrap();
         // Manually aggregate from the raw fact table.
-        let pv = codec::decode_all(
-            &rs.engine().dfs().read_all(datagen::PAGE_VIEWS).unwrap(),
-        )
-        .unwrap();
-        let mut expected: std::collections::HashMap<String, f64> =
-            std::collections::HashMap::new();
+        let pv =
+            codec::decode_all(&rs.engine().dfs().read_all(datagen::PAGE_VIEWS).unwrap()).unwrap();
+        let mut expected: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
         for t in &pv {
-            *expected
-                .entry(t.get(0).as_str().unwrap().to_string())
-                .or_default() += t.get(3).as_f64().unwrap();
+            *expected.entry(t.get(0).as_str().unwrap().to_string()).or_default() +=
+                t.get(3).as_f64().unwrap();
         }
         assert_eq!(rows.len(), expected.len());
         for r in &rows {

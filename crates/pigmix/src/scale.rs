@@ -70,8 +70,7 @@ impl DataScale {
     /// paper's cluster saw (64 MB blocks over the paper-scale data).
     pub fn block_size(&self, actual_page_views_bytes: u64) -> u64 {
         let paper_block = 64u64 << 20;
-        let scaled =
-            (paper_block as f64 / self.byte_scale(actual_page_views_bytes)) as u64;
+        let scaled = (paper_block as f64 / self.byte_scale(actual_page_views_bytes)) as u64;
         scaled.clamp(4 << 10, paper_block)
     }
 }

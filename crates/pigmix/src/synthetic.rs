@@ -98,12 +98,7 @@ mod tests {
     use restore_dfs::DfsConfig;
 
     fn dfs() -> Dfs {
-        Dfs::new(DfsConfig {
-            nodes: 3,
-            block_size: 4096,
-            replication: 1,
-            node_capacity: None,
-        })
+        Dfs::new(DfsConfig { nodes: 3, block_size: 4096, replication: 1, node_capacity: None })
     }
 
     #[test]
@@ -112,10 +107,7 @@ mod tests {
         generate(&d, 20_000, 11).unwrap();
         let rows = codec::decode_all(&d.read_all(SYNTH).unwrap()).unwrap();
         for (field, _card, pct) in FILTER_FIELDS {
-            let hits = rows
-                .iter()
-                .filter(|t| t.get(field - 1).as_i64() == Some(0))
-                .count();
+            let hits = rows.iter().filter(|t| t.get(field - 1).as_i64() == Some(0)).count();
             let actual = hits as f64 / rows.len() as f64;
             assert!(
                 (actual - pct).abs() < pct * 0.25 + 0.004,
@@ -182,14 +174,12 @@ mod tests {
             ClusterConfig::default(),
             EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
         );
-        let mut rs = ReStore::new(eng, ReStoreConfig::baseline());
+        let rs = ReStore::new(eng, ReStoreConfig::baseline());
         for k in 1..=5 {
-            rs.execute_query(&qp(k, &format!("/out/qp{k}")), &format!("/wf/qp{k}"))
-                .unwrap();
+            rs.execute_query(&qp(k, &format!("/out/qp{k}")), &format!("/wf/qp{k}")).unwrap();
         }
         for (f, _, _) in FILTER_FIELDS {
-            rs.execute_query(&qf(f, &format!("/out/qf{f}")), &format!("/wf/qf{f}"))
-                .unwrap();
+            rs.execute_query(&qf(f, &format!("/out/qf{f}")), &format!("/wf/qf{f}")).unwrap();
         }
     }
 

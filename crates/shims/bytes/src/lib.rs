@@ -1,0 +1,129 @@
+//! Minimal API-compatible stand-in for the `bytes` crate.
+//!
+//! Provides the one type the workspace uses: [`Bytes`], an immutable,
+//! reference-counted byte buffer whose clones and sub-slices share the
+//! same backing allocation — exactly the property the simulated DFS
+//! relies on so block replicas cost one allocation, not three.
+
+use std::fmt;
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable bytes: an `Arc<[u8]>` plus a window.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static slice (no copy is observable; the slice is shared).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-slice sharing the same backing buffer.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_shares_backing() {
+        let b = Bytes::from(b"0123456789".to_vec());
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], b"234");
+        assert_eq!(s.slice(1..).as_slice(), b"34");
+        assert_eq!(b.len(), 10);
+        assert!(Arc::ptr_eq(&b.data, &s.data));
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        let c = Bytes::from_static(b"abc");
+        assert_eq!(c.slice(..).len(), 3);
+        assert_eq!(c.slice(3..3).len(), 0);
+    }
+}

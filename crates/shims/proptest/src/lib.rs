@@ -1,0 +1,729 @@
+//! Minimal API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! subset of proptest its tests use: the [`Strategy`] trait with
+//! `prop_map`, the `proptest!` / `prop_oneof!` / `prop_assert*` macros,
+//! ranges and `any::<T>()` as strategies, and the `collection`, `sample`,
+//! `option`, and string-regex strategy families.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   verbatim; cases are deterministic per test name, so failures
+//!   reproduce exactly on re-run.
+//! * **Fixed RNG.** SplitMix64 seeded from the test's module path (or the
+//!   `PROPTEST_SEED` environment variable), so runs are bit-reproducible.
+//! * The string strategy implements the character-class subset of regex
+//!   syntax (`[class]{lo,hi}` sequences), which is all the tests use.
+
+pub mod test_runner;
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// A source of random values of one type.
+///
+/// Object-safe so heterogeneous variants can be boxed by `prop_oneof!`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy behind a trait object.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `.prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies — built by `prop_oneof!`.
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.gen_u64_below(total.max(1));
+        for (w, s) in &self.variants {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.variants.last().unwrap().1.generate(rng)
+    }
+}
+
+// ---- ranges as strategies ----
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.gen_u64_below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.gen_f64() as f32 * (self.end - self.start)
+    }
+}
+
+// ---- any::<T>() ----
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite full-range doubles (no NaN/inf), like proptest's default.
+        f64::from_bits(rng.next_u64() & !(0x7ff << 52))
+            * if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 }
+    }
+}
+
+/// Marker strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- tuples of strategies ----
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- string regex-subset strategies ----
+
+enum Atom {
+    Class(Vec<char>),
+    Lit(char),
+}
+
+/// `&str` as a strategy: the pattern is parsed as a sequence of atoms
+/// (character class or literal), each with an optional `{lo,hi}` / `{n}` /
+/// `*` / `+` / `?` repetition. This covers the character-class patterns
+/// the workspace tests use; unsupported syntax panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let n = *lo as u64 + rng.gen_u64_below((*hi - *lo + 1) as u64);
+            for _ in 0..n {
+                match atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(cs) => out.push(cs[rng.gen_u64_below(cs.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, u32, u32)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z`: a bare dash between two class members.
+                    if i + 2 < chars.len()
+                        && chars[i] != '\\'
+                        && chars[i + 1] == '-'
+                        && chars[i + 2] != ']'
+                    {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        for x in c..=hi {
+                            set.push(x);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pat:?}");
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Lit(c)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in {pat:?}"
+                );
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Optional repetition.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close =
+                        chars[i..].iter().position(|&c| c == '}').expect("unterminated repetition")
+                            + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.parse().expect("bad repetition lower bound"),
+                            b.parse().expect("bad repetition upper bound"),
+                        ),
+                        None => {
+                            let n: u32 = body.parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+// ---- strategy families ----
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl SizeRange {
+        pub fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.gen_u64_below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+    use crate::collection::SizeRange;
+    use std::fmt::Debug;
+
+    /// An index into a collection of then-unknown size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(f64);
+
+    impl Index {
+        /// Project onto `0..len`. Panics on `len == 0` like real proptest.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 * len as f64) as usize).min(len - 1)
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.gen_f64())
+        }
+    }
+
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    /// Uniformly pick one of the given values.
+    pub fn select<T: Clone + Debug>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select from empty set");
+        Select { choices }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.gen_u64_below(self.choices.len() as u64) as usize].clone()
+        }
+    }
+
+    pub struct Subsequence<T> {
+        source: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Order-preserving random subsequence with size in the given range.
+    pub fn subsequence<T: Clone + Debug>(
+        source: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        let size = size.into();
+        assert!(size.hi <= source.len(), "subsequence larger than source");
+        Subsequence { source, size }
+    }
+
+    impl<T: Clone + Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let want = self.size.pick(rng);
+            // Reservoir-style pick of `want` positions, then sort to keep order.
+            let mut picks: Vec<usize> = (0..self.source.len()).collect();
+            for i in (1..picks.len()).rev() {
+                let j = rng.gen_u64_below((i + 1) as u64) as usize;
+                picks.swap(i, j);
+            }
+            picks.truncate(want);
+            picks.sort_unstable();
+            picks.into_iter().map(|i| self.source[i].clone()).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_u64_below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, BoxedStrategy, Just, Strategy};
+}
+
+// ---- macros ----
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let strategy = ($($strat,)+);
+            for case in 0..config.cases {
+                let values = $crate::Strategy::generate(&strategy, &mut rng);
+                let description = format!("{:?}", values);
+                let ($($arg,)+) = values;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        description
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (3i64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_count() {
+        let mut rng = TestRng::deterministic("strings");
+        let strat = "[a-c0-1\\-]{2,5}";
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc01-".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_union() {
+        let mut rng = TestRng::deterministic("oneof");
+        let strat = prop_oneof![4 => Just(1u8), 1 => Just(2u8)];
+        let mut ones = 0;
+        for _ in 0..500 {
+            if strat.generate(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 300, "weighted pick skewed the wrong way: {ones}");
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::deterministic("subseq");
+        let strat = crate::sample::subsequence(vec![1, 2, 3, 4, 5], 2..=4);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, asserts work, `?` propagates.
+        #[test]
+        fn macro_smoke(a in 0u8..10, v in prop::collection::vec(0i64..5, 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(v.len(), v.len());
+            helper(&v)?;
+        }
+    }
+
+    fn helper(v: &[i64]) -> Result<(), TestCaseError> {
+        prop_assert!(v.len() < 4, "vec too long");
+        Ok(())
+    }
+
+    use crate::test_runner::TestRng;
+    use crate::Strategy;
+}

@@ -23,12 +23,8 @@ const QUERY: &str = "
 ";
 
 fn main() {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 1024,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
     let rows: Vec<Tuple> = (0..500)
         .map(|i| {
             tuple![
@@ -41,17 +37,14 @@ fn main() {
         .collect();
     dfs.write_all("/data/sales", &codec::encode_all(&rows)).unwrap();
     let engine = Engine::new(dfs, ClusterConfig::default(), EngineConfig::default());
-    let mut rs = ReStore::new(engine, ReStoreConfig::default());
+    let rs = ReStore::new(engine, ReStoreConfig::default());
 
     println!("== dry run against an empty repository ==");
     print!("{}", rs.explain_query(QUERY, "/wf/x0").unwrap());
 
     println!("\n== execute once (populates the repository) ==");
     let e = rs.execute_query(QUERY, "/wf/run1").unwrap();
-    println!(
-        "modeled {:.1}s; {} sub-jobs stored",
-        e.total_s, e.candidates_stored
-    );
+    println!("modeled {:.1}s; {} sub-jobs stored", e.total_s, e.candidates_stored);
 
     println!("\n== dry run again: what a rerun would reuse ==");
     print!("{}", rs.explain_query(QUERY, "/wf/x1").unwrap());

@@ -10,26 +10,19 @@
 //! ```
 
 use restore_suite::core::{Heuristic, ReStore, ReStoreConfig};
+use restore_suite::dfs::{Dfs, DfsConfig};
 use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 use restore_suite::pigmix::{datagen, queries, DataScale};
-use restore_suite::dfs::{Dfs, DfsConfig};
 
 fn main() {
     // A small PigMix instance (see `restore-bench` for the full scales).
     let scale = DataScale::tiny();
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 8,
-        block_size: 4 << 10,
-        replication: 3,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 8, block_size: 4 << 10, replication: 3, node_capacity: None });
     let data = datagen::generate(&dfs, &scale, 7).unwrap();
     let byte_scale = scale.byte_scale(data.page_views_bytes);
-    let engine = Engine::new(
-        dfs,
-        ClusterConfig::paper_testbed(byte_scale),
-        EngineConfig::default(),
-    );
+    let engine =
+        Engine::new(dfs, ClusterConfig::paper_testbed(byte_scale), EngineConfig::default());
 
     let query = queries::l3("/out/l3");
 
@@ -46,7 +39,7 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
     for h in [Heuristic::Conservative, Heuristic::Aggressive, Heuristic::NoHeuristic] {
-        let mut rs = ReStore::new(
+        let rs = ReStore::new(
             engine.clone(),
             ReStoreConfig {
                 heuristic: h,

@@ -54,69 +54,72 @@ fn main() {
     // scales measured bytes back up (see DESIGN.md §4). A probe pass
     // sizes the data so the DFS block size matches the paper's 64 MB
     // blocks at the modeled scale (same number of input splits).
-    let probe = Dfs::new(DfsConfig {
-        nodes: 8,
-        block_size: 1 << 20,
-        replication: 1,
-        node_capacity: None,
-    });
+    let probe =
+        Dfs::new(DfsConfig { nodes: 8, block_size: 1 << 20, replication: 1, node_capacity: None });
     write_logs(&probe, 20_000);
     let actual = probe.file_len("/logs/app").unwrap();
     let byte_scale = (200u64 << 30) as f64 / actual as f64;
     let block_size = (((64u64 << 20) as f64 / byte_scale) as u64).clamp(512, 64 << 20);
 
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 8,
-        block_size,
-        replication: 3,
-        node_capacity: None,
-    });
+    let dfs = Dfs::new(DfsConfig { nodes: 8, block_size, replication: 3, node_capacity: None });
     write_logs(&dfs, 20_000);
-    let engine = Engine::new(
-        dfs,
-        ClusterConfig::paper_testbed(byte_scale),
-        EngineConfig::default(),
-    );
+    let engine =
+        Engine::new(dfs, ClusterConfig::paper_testbed(byte_scale), EngineConfig::default());
 
     // The analyst queries: all start from the shared error filter.
     let queries: Vec<(&str, String)> = vec![
-        ("errors per service", format!(
-            "{LOAD_AND_FILTER}
+        (
+            "errors per service",
+            format!(
+                "{LOAD_AND_FILTER}
              G = group E by service;
              R = foreach G generate group, COUNT(E);
              store R into '/out/per_service';"
-        )),
-        ("p-latency of errors", format!(
-            "{LOAD_AND_FILTER}
+            ),
+        ),
+        (
+            "p-latency of errors",
+            format!(
+                "{LOAD_AND_FILTER}
              P = foreach E generate service, latency;
              G = group P by service;
              R = foreach G generate group, MAX(P.latency), AVG(P.latency);
              store R into '/out/latency';"
-        )),
-        ("global error count", format!(
-            "{LOAD_AND_FILTER}
+            ),
+        ),
+        (
+            "global error count",
+            format!(
+                "{LOAD_AND_FILTER}
              G = group E all;
              R = foreach G generate COUNT(E);
              store R into '/out/total';"
-        )),
-        ("slow errors", format!(
-            "{LOAD_AND_FILTER}
+            ),
+        ),
+        (
+            "slow errors",
+            format!(
+                "{LOAD_AND_FILTER}
              S = filter E by latency > 1500;
              store S into '/out/slow';"
-        )),
-        ("billing errors", format!(
-            "{LOAD_AND_FILTER}
+            ),
+        ),
+        (
+            "billing errors",
+            format!(
+                "{LOAD_AND_FILTER}
              B = filter E by service == 'billing';
              G = group B all;
              R = foreach G generate COUNT(B);
              store R into '/out/billing';"
-        )),
+            ),
+        ),
     ];
 
     // Without ReStore: every query rescans the raw log.
     let mut plain_total = 0.0;
     {
-        let mut rs = ReStore::new(engine.clone(), ReStoreConfig::baseline());
+        let rs = ReStore::new(engine.clone(), ReStoreConfig::baseline());
         for (i, (_, q)) in queries.iter().enumerate() {
             plain_total += rs.execute_query(q, &format!("/wf/plain{i}")).unwrap().total_s;
         }
@@ -126,7 +129,7 @@ fn main() {
     // errors; the rest start from that file. The Conservative heuristic
     // fits this workload: the shared prefix is exactly a Filter.
     let mut restore_total = 0.0;
-    let mut rs = ReStore::new(
+    let rs = ReStore::new(
         engine.clone(),
         ReStoreConfig {
             heuristic: restore_suite::core::Heuristic::Conservative,

@@ -16,12 +16,8 @@ use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn main() {
     // 1. Bring up a simulated cluster: 4 datanodes, small blocks.
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 1024,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
 
     // 2. Load some data.
     let page_views: Vec<Tuple> = vec![
@@ -39,7 +35,7 @@ fn main() {
 
     // 3. Wrap the MapReduce engine with ReStore (Aggressive heuristic).
     let engine = Engine::new(dfs, ClusterConfig::default(), EngineConfig::default());
-    let mut restore = ReStore::new(engine, ReStoreConfig::default());
+    let restore = ReStore::new(engine, ReStoreConfig::default());
 
     // 4. Q1: the paper's example join (PigMix L2 shape).
     let q1 = "
@@ -51,8 +47,10 @@ fn main() {
         store C into '/out/q1';
     ";
     let e1 = restore.execute_query(q1, "/wf/q1").unwrap();
-    println!("Q1 executed: modeled time {:.1}s, {} sub-jobs materialized",
-        e1.total_s, e1.candidates_stored);
+    println!(
+        "Q1 executed: modeled time {:.1}s, {} sub-jobs materialized",
+        e1.total_s, e1.candidates_stored
+    );
     println!("Repository now holds {} plans:", restore.repository().len());
     for entry in restore.repository().entries() {
         println!(

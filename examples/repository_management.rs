@@ -39,34 +39,25 @@ fn print_repo(repo: &Repository) {
     for e in repo.entries() {
         println!(
             "  #{:<2} {:<26} out={:<8} used={} last_tick={}",
-            e.id,
-            e.output_path,
-            e.stats.output_bytes,
-            e.stats.use_count,
-            e.stats.last_used
+            e.id, e.output_path, e.stats.output_bytes, e.stats.use_count, e.stats.last_used
         );
     }
 }
 
 fn main() {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 2048,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 2048, replication: 2, node_capacity: None });
     seed(&dfs);
     let engine = Engine::new(dfs, ClusterConfig::default(), EngineConfig::default());
 
     // A strict policy: admission rules 1-2 on, 3-tick eviction window,
     // input version checks on.
-    let mut config = ReStoreConfig::default();
-    config.selection = SelectionPolicy::strict(3);
-    let mut rs = ReStore::new(engine, config);
+    let config = ReStoreConfig { selection: SelectionPolicy::strict(3), ..Default::default() };
+    let rs = ReStore::new(engine, config);
 
     println!("== run 1: populate the repository (strict admission) ==");
     rs.execute_query(QUERY, "/wf/run1").unwrap();
-    print_repo(rs.repository());
+    print_repo(&rs.repository());
     println!(
         "(rule 1 rejected any candidate whose output was not smaller than its\n\
          input; rule 2 any whose reload would be slower than recomputing)\n"
@@ -75,7 +66,7 @@ fn main() {
     println!("== run 2: the same query reuses the stored outputs ==");
     let e2 = rs.execute_query(QUERY, "/wf/run2").unwrap();
     println!("  rewrites applied: {}", e2.rewrites.len());
-    print_repo(rs.repository());
+    print_repo(&rs.repository());
 
     println!("\n== persistence: save and reload the repository ==");
     let saved = rs.repository().save();
@@ -90,7 +81,7 @@ fn main() {
     w.close().unwrap();
     let e3 = rs.execute_query(QUERY, "/wf/run3").unwrap();
     println!("  rewrites after overwrite: {} (stale entries evicted)", e3.rewrites.len());
-    print_repo(rs.repository());
+    print_repo(&rs.repository());
 
     println!("\n== rule 3: entries unused for >3 queries are evicted ==");
     // Run unrelated queries to advance the clock without touching the
@@ -104,7 +95,7 @@ fn main() {
         rs.execute_query(&q, &format!("/wf/probe{i}")).unwrap();
     }
     println!("  repository after 4 unrelated queries:");
-    print_repo(rs.repository());
+    print_repo(&rs.repository());
     println!(
         "\nEvicted outputs were deleted from the DFS; the repository only pays\n\
          for entries with a live chance of reuse."

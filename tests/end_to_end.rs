@@ -8,12 +8,8 @@ use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 use restore_suite::pigmix::{datagen, queries, DataScale};
 
 fn pigmix_engine() -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 6,
-        block_size: 4 << 10,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 6, block_size: 4 << 10, replication: 2, node_capacity: None });
     datagen::generate(&dfs, &DataScale::tiny(), 1234).unwrap();
     Engine::new(
         dfs,
@@ -35,7 +31,7 @@ fn pigmix_results_invariant_under_reuse() {
     // Golden results from the plain baseline.
     let golden: Vec<(String, Vec<Tuple>)> = {
         let engine = pigmix_engine();
-        let mut rs = ReStore::new(engine, ReStoreConfig::baseline());
+        let rs = ReStore::new(engine, ReStoreConfig::baseline());
         queries::standard_workload("/out/golden")
             .into_iter()
             .map(|(label, q)| {
@@ -47,24 +43,17 @@ fn pigmix_results_invariant_under_reuse() {
 
     for heuristic in [Heuristic::Conservative, Heuristic::Aggressive, Heuristic::NoHeuristic] {
         let engine = pigmix_engine();
-        let mut rs = ReStore::new(
-            engine,
-            ReStoreConfig { heuristic, ..Default::default() },
-        );
+        let rs = ReStore::new(engine, ReStoreConfig { heuristic, ..Default::default() });
         // Run the whole workload twice: cold (generating) and warm
         // (reusing). Both must match the golden answers.
         for round in 0..2 {
             for (i, (label, q)) in
                 queries::standard_workload(&format!("/out/r{round}")).into_iter().enumerate()
             {
-                let e = rs
-                    .execute_query(&q, &format!("/wf/{heuristic:?}-{round}-{label}"))
-                    .unwrap();
+                let e =
+                    rs.execute_query(&q, &format!("/wf/{heuristic:?}-{round}-{label}")).unwrap();
                 let got = read_sorted(rs.engine().dfs(), &e.final_output);
-                assert_eq!(
-                    got, golden[i].1,
-                    "{label} differs under {heuristic:?} round {round}"
-                );
+                assert_eq!(got, golden[i].1, "{label} differs under {heuristic:?} round {round}");
             }
         }
     }
@@ -75,7 +64,7 @@ fn pigmix_results_invariant_under_reuse() {
 #[test]
 fn chained_reuse_across_three_queries() {
     let engine = pigmix_engine();
-    let mut rs = ReStore::new(engine, ReStoreConfig::default());
+    let rs = ReStore::new(engine, ReStoreConfig::default());
 
     let q1 = queries::l2("/out/c1");
     rs.execute_query(&q1, "/wf/c1").unwrap();
@@ -93,11 +82,7 @@ fn chained_reuse_across_three_queries() {
         store E into '/out/c2';
     ";
     let e2 = rs.execute_query(q2, "/wf/c2").unwrap();
-    assert!(
-        !e2.rewrites.is_empty(),
-        "Q2 must reuse Q1's join: {:?}",
-        e2.rewrites
-    );
+    assert!(!e2.rewrites.is_empty(), "Q2 must reuse Q1's join: {:?}", e2.rewrites);
 
     // Q3 repeats Q2 — everything should come from the repository.
     let e3 = rs.execute_query(q2, "/wf/c3").unwrap();
@@ -113,13 +98,13 @@ fn chained_reuse_across_three_queries() {
 #[test]
 fn repository_persistence_mid_workload() {
     let engine = pigmix_engine();
-    let mut rs = ReStore::new(engine.clone(), ReStoreConfig::default());
+    let rs = ReStore::new(engine.clone(), ReStoreConfig::default());
     rs.execute_query(&queries::l3("/out/p1"), "/wf/p1").unwrap();
     let saved = rs.repository().save();
     let entries_before = rs.repository().len();
 
     // "New session": same DFS, fresh driver, reloaded repository.
-    let mut rs2 = ReStore::new(engine, ReStoreConfig::default());
+    let rs2 = ReStore::new(engine, ReStoreConfig::default());
     *rs2.repository_mut() = Repository::load(&saved).unwrap();
     assert_eq!(rs2.repository().len(), entries_before);
 
@@ -127,10 +112,7 @@ fn repository_persistence_mid_workload() {
     // on base-level plans directly, and L3's first job loads only base
     // data, so the whole-job match still fires.
     let e = rs2.execute_query(&queries::l3("/out/p2"), "/wf/p2").unwrap();
-    assert!(
-        !e.rewrites.is_empty(),
-        "reloaded repository must still produce rewrites"
-    );
+    assert!(!e.rewrites.is_empty(), "reloaded repository must still produce rewrites");
     assert_eq!(
         read_sorted(rs2.engine().dfs(), &e.final_output),
         read_sorted(rs2.engine().dfs(), "/out/p1"),
@@ -143,7 +125,7 @@ fn repository_persistence_mid_workload() {
 #[test]
 fn full_session_state_round_trips() {
     let engine = pigmix_engine();
-    let mut rs = ReStore::new(engine.clone(), ReStoreConfig::default());
+    let rs = ReStore::new(engine.clone(), ReStoreConfig::default());
     rs.execute_query(&queries::l2("/out/f1"), "/wf/f1").unwrap();
     rs.execute_query(&queries::l3("/out/f2"), "/wf/f2").unwrap();
     let state = rs.save_state();
@@ -152,7 +134,7 @@ fn full_session_state_round_trips() {
     let ref_exec = rs.execute_query(&queries::l7("/out/f3a"), "/wf/f3a").unwrap();
 
     // Resume from the snapshot in a "new process".
-    let mut resumed = ReStore::new(engine, ReStoreConfig::default());
+    let resumed = ReStore::new(engine, ReStoreConfig::default());
     resumed.load_state(&state).unwrap();
     assert!(!resumed.repository().is_empty());
     assert!(resumed.repository().len() <= rs.repository().len());
@@ -177,13 +159,12 @@ fn full_session_state_round_trips() {
 #[test]
 fn modeled_times_are_consistent() {
     let engine = pigmix_engine();
-    let mut rs = ReStore::new(engine, ReStoreConfig::baseline());
+    let rs = ReStore::new(engine, ReStoreConfig::baseline());
     for (label, q) in queries::standard_workload("/out/t") {
         let e = rs.execute_query(&q, &format!("/wf/t-{label}")).unwrap();
         // Equation (1): total is at least the largest single job and at
         // most the sum of all jobs.
-        let max_job =
-            e.job_results.iter().map(|r| r.times.total_s).fold(0.0f64, f64::max);
+        let max_job = e.job_results.iter().map(|r| r.times.total_s).fold(0.0f64, f64::max);
         let sum_jobs: f64 = e.job_results.iter().map(|r| r.times.total_s).sum();
         assert!(e.total_s >= max_job - 1e-9, "{label}");
         assert!(e.total_s <= sum_jobs + 1e-9, "{label}");
@@ -200,7 +181,7 @@ fn modeled_times_are_consistent() {
 fn storage_accounting() {
     let engine = pigmix_engine();
     let before = engine.dfs().bytes_under("/restore/");
-    let mut rs = ReStore::new(engine, ReStoreConfig::default());
+    let rs = ReStore::new(engine, ReStoreConfig::default());
     let e = rs.execute_query(&queries::l3("/out/s1"), "/wf/s1").unwrap();
     let after = rs.engine().dfs().bytes_under("/restore/");
     assert!(e.stored_candidate_bytes > 0);
@@ -208,7 +189,7 @@ fn storage_accounting() {
 
     // Baseline cleans its temporaries.
     let engine2 = pigmix_engine();
-    let mut base = ReStore::new(engine2, ReStoreConfig::baseline());
+    let base = ReStore::new(engine2, ReStoreConfig::baseline());
     base.execute_query(&queries::l3("/out/s2"), "/wf/s2base").unwrap();
     assert!(base.engine().dfs().list("/wf/s2base").is_empty());
 }
@@ -217,12 +198,8 @@ fn storage_accounting() {
 /// entire stack match a hand-rolled in-memory oracle.
 #[test]
 fn full_stack_matches_oracle() {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 3,
-        block_size: 256,
-        replication: 1,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 3, block_size: 256, replication: 1, node_capacity: None });
     let rows: Vec<Tuple> = (0..200)
         .map(|i| tuple![format!("k{}", i % 13), i as i64, ((i * 7) % 100) as f64])
         .collect();
@@ -232,7 +209,7 @@ fn full_stack_matches_oracle() {
         ClusterConfig::default(),
         EngineConfig { worker_threads: 2, default_reduce_tasks: 3 },
     );
-    let mut rs = ReStore::new(engine, ReStoreConfig::default());
+    let rs = ReStore::new(engine, ReStoreConfig::default());
     let e = rs
         .execute_query(
             "A = load '/d' as (k, n:int, v:double);
@@ -252,9 +229,6 @@ fn full_stack_matches_oracle() {
         e.0 += 1;
         e.1 += t.get(2).as_f64().unwrap();
     }
-    let want: Vec<Tuple> = oracle
-        .into_iter()
-        .map(|(k, (c, s))| tuple![k, c, s])
-        .collect();
+    let want: Vec<Tuple> = oracle.into_iter().map(|(k, (c, s))| tuple![k, c, s]).collect();
     assert_eq!(got, want);
 }

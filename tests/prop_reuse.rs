@@ -9,12 +9,8 @@ use restore_suite::dfs::{Dfs, DfsConfig};
 use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 
 fn engine_with(rows: &[Tuple]) -> Engine {
-    let dfs = Dfs::new(DfsConfig {
-        nodes: 4,
-        block_size: 128,
-        replication: 2,
-        node_capacity: None,
-    });
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 128, replication: 2, node_capacity: None });
     dfs.write_all("/d", &codec::encode_all(rows)).unwrap();
     Engine::new(
         dfs,
@@ -80,7 +76,7 @@ proptest! {
         // Baseline answers.
         let (want1, want2) = {
             let eng = engine_with(&data);
-            let mut rs = ReStore::new(eng, ReStoreConfig::baseline());
+            let rs = ReStore::new(eng, ReStoreConfig::baseline());
             let e1 = rs.execute_query(&q1, "/wf/b1").unwrap();
             let w1 = read_sorted(rs.engine().dfs(), &e1.final_output);
             let e2 = rs.execute_query(&q2, "/wf/b2").unwrap();
@@ -90,7 +86,7 @@ proptest! {
 
         // ReStore answers (cold then warm, then the cross-query reuse).
         let eng = engine_with(&data);
-        let mut rs = ReStore::new(
+        let rs = ReStore::new(
             eng,
             ReStoreConfig { heuristic, ..Default::default() },
         );
@@ -128,12 +124,12 @@ proptest! {
         );
         let want = {
             let eng = engine_with(&data);
-            let mut rs = ReStore::new(eng, ReStoreConfig::baseline());
+            let rs = ReStore::new(eng, ReStoreConfig::baseline());
             let e = rs.execute_query(&q, "/wf/pb").unwrap();
             read_sorted(rs.engine().dfs(), &e.final_output)
         };
         let eng = engine_with(&data);
-        let mut rs = ReStore::new(eng, ReStoreConfig::default());
+        let rs = ReStore::new(eng, ReStoreConfig::default());
         for round in 0..2 {
             let e = rs.execute_query(&q, &format!("/wf/pr{round}")).unwrap();
             prop_assert_eq!(
