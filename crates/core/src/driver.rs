@@ -21,11 +21,19 @@
 //! The repository and provenance table live behind `RwLock`s, and every
 //! public entry point takes `&self`, so **many threads can submit queries
 //! against one warmed repository**. Matching takes the read lock; entry
-//! registration, reuse accounting, and eviction sweeps serialize on the
-//! write lock. Job execution itself holds no lock at all, so long-running
-//! jobs never block matching in other sessions.
+//! registration (batched per wave), reuse accounting, and eviction sweeps
+//! serialize on the write lock. Job execution itself holds no lock at
+//! all, so long-running jobs never block matching in other sessions;
+//! outputs matched for reuse are pinned (see [`crate::pin`]) so a
+//! concurrent sweep cannot delete them mid-flight.
+//!
+//! Reuse state is kept **per tenant**: each tenant submitted through the
+//! `_as` entry points gets its own repository/provenance/pin namespace,
+//! so reuse, candidate materialization, and eviction never cross
+//! tenants. The tenant-less API uses the default namespace.
 
 use crate::enumerator::{inject_subjob_stores, Candidate, Heuristic};
+use crate::pin::PinSet;
 use crate::provenance::Provenance;
 use crate::repository::{RepoStats, Repository};
 use crate::rewriter::{apply_aliases, identity_copy, rewrite};
@@ -33,11 +41,13 @@ use crate::selector::SelectionPolicy;
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use restore_common::{Error, Result};
 use restore_dataflow::exec::{job_io, job_spec_for_plan};
-use restore_dataflow::mr_compiler::CompiledWorkflow;
+use restore_dataflow::mr_compiler::{CompiledWorkflow, WorkflowIoPaths};
 use restore_dataflow::physical::PhysicalPlan;
+use restore_dfs::Dfs;
 use restore_mapreduce::{Engine, JobResult, JobSpec};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// ReStore configuration.
 #[derive(Debug, Clone)]
@@ -169,12 +179,88 @@ pub struct ReStoreStats {
 /// ```
 pub struct ReStore {
     engine: Engine,
-    repo: RwLock<Repository>,
-    prov: RwLock<Provenance>,
+    /// The default namespace: repository, provenance, and pins used by
+    /// tenant-less submissions (and by the legacy single-tenant API).
+    space: Arc<Space>,
+    /// Per-tenant namespaces, created lazily on first use. A tenant's
+    /// matching, registration, and eviction sweeps only ever touch its
+    /// own space, so tenants cannot observe (or delete) each other's
+    /// outputs.
+    tenants: RwLock<HashMap<String, Arc<Space>>>,
     config: RwLock<ReStoreConfig>,
-    /// Query counter = the logical clock for usage statistics.
+    /// Query counter = the logical clock for usage statistics. Shared by
+    /// all tenants (one clock, many namespaces).
     tick: AtomicU64,
     cand_counter: AtomicU64,
+}
+
+/// One isolated repository namespace: the §2.2 repository, its
+/// provenance table, and the pin set protecting its in-flight matches.
+#[derive(Debug, Default)]
+pub(crate) struct Space {
+    pub(crate) repo: RwLock<Repository>,
+    pub(crate) prov: RwLock<Provenance>,
+    pub(crate) pins: PinSet,
+}
+
+/// Pins taken by one in-flight workflow. Dropping the guard releases
+/// them and performs any file deletions a sweep deferred in the
+/// meantime.
+struct PinGuard {
+    space: Arc<Space>,
+    dfs: Dfs,
+    paths: Vec<String>,
+}
+
+impl PinGuard {
+    fn new(space: Arc<Space>, dfs: Dfs) -> Self {
+        PinGuard { space, dfs, paths: Vec::new() }
+    }
+
+    fn pin(&mut self, path: &str) {
+        self.space.pins.pin(path);
+        self.paths.push(path.to_string());
+    }
+
+    /// Exempt a path from deferred deletion: it is being handed to the
+    /// caller as the workflow's `final_output`. Preservation lives in
+    /// the shared [`PinSet`], so it binds every in-flight guard of the
+    /// path, not just this one.
+    fn preserve(&mut self, path: &str) {
+        self.space.pins.preserve(path);
+    }
+
+    /// Release the most recently taken pin (a speculative match that made
+    /// no structural progress).
+    fn unpin_last(&mut self) {
+        if let Some(p) = self.paths.pop() {
+            let dfs = &self.dfs;
+            self.space.pins.unpin(&p, || {
+                dfs.delete(&p);
+            });
+        }
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            let dfs = &self.dfs;
+            self.space.pins.unpin(p, || {
+                dfs.delete(p);
+            });
+        }
+    }
+}
+
+/// Do the DFS footprints of two workflows interfere? True when either
+/// writes a path the other reads or writes. The cross-workflow scheduler
+/// of `restore-service` only overlaps workflows for which this probe
+/// returns `false`; such workflows cannot observe each other's files, so
+/// any interleaving of their jobs produces the same bytes as running
+/// them back to back.
+pub fn footprints_conflict(a: &WorkflowIoPaths, b: &WorkflowIoPaths) -> bool {
+    !a.disjoint(b)
 }
 
 /// A wave job that survived matching and is ready to execute.
@@ -198,8 +284,8 @@ impl ReStore {
     pub fn new(engine: Engine, config: ReStoreConfig) -> Self {
         ReStore {
             engine,
-            repo: RwLock::new(Repository::new()),
-            prov: RwLock::new(Provenance::new()),
+            space: Arc::new(Space::default()),
+            tenants: RwLock::new(HashMap::new()),
             config: RwLock::new(config),
             tick: AtomicU64::new(0),
             cand_counter: AtomicU64::new(0),
@@ -210,16 +296,115 @@ impl ReStore {
         &self.engine
     }
 
-    /// Read access to the shared repository. Holding the guard blocks
-    /// entry registration and eviction in other sessions; don't keep it
-    /// across query submissions.
-    pub fn repository(&self) -> RwLockReadGuard<'_, Repository> {
-        self.repo.read()
+    /// The namespace serving `tenant` (`None` = the default namespace),
+    /// created on first use. Only execution paths call this; read-only
+    /// introspection uses [`ReStore::space_snapshot`] so probing an
+    /// unknown tenant never leaks an empty namespace into the map.
+    fn space_for(&self, tenant: Option<&str>) -> Arc<Space> {
+        let Some(t) = tenant else {
+            return self.space.clone();
+        };
+        if let Some(s) = self.tenants.read().get(t) {
+            return s.clone();
+        }
+        self.tenants.write().entry(t.to_string()).or_default().clone()
     }
 
-    /// Exclusive access to the shared repository (blocks all sessions).
+    /// The tenant's namespace for read-only access: an unknown tenant
+    /// gets a detached empty space (reported as zero entries) instead of
+    /// being created.
+    fn space_snapshot(&self, tenant: Option<&str>) -> Arc<Space> {
+        let Some(t) = tenant else {
+            return self.space.clone();
+        };
+        self.tenants.read().get(t).cloned().unwrap_or_default()
+    }
+
+    /// Could a rewritten job in *any* namespace be served from `path`?
+    /// True when some namespace's provenance records a producing plan
+    /// for it. The service's cross-workflow scheduler refuses to overlap
+    /// a workflow that writes such a path with any other submission:
+    /// reuse rewriting can introduce Loads of registered paths that the
+    /// submit-time footprint cannot see.
+    pub fn serves_path(&self, path: &str) -> bool {
+        if self.space.prov.read().contains(path) {
+            return true;
+        }
+        self.tenants.read().values().any(|s| s.prov.read().contains(path))
+    }
+
+    /// Every namespace: the default space plus all tenant spaces.
+    fn all_spaces(&self) -> Vec<Arc<Space>> {
+        let mut spaces = vec![self.space.clone()];
+        spaces.extend(self.tenants.read().values().cloned());
+        spaces
+    }
+
+    /// A wave just (over)wrote these DFS paths. Any repository entry —
+    /// in *any* namespace — recorded as producing one of them now points
+    /// at foreign bytes: serving it would return the overwriting
+    /// workflow's data (a wrong answer, and across namespaces a
+    /// cross-tenant leak). Evict such entries and drop their provenance
+    /// records; the files themselves are left alone — they hold the new
+    /// workflow's live output.
+    fn invalidate_overwritten(&self, written: &[String]) {
+        for space in self.all_spaces() {
+            // Cheap read-only probe first: fresh output paths are almost
+            // never registered anywhere.
+            let hit = {
+                let prov = space.prov.read();
+                written.iter().any(|p| prov.contains(p))
+            } || {
+                let repo = space.repo.read();
+                repo.entries().iter().any(|e| written.contains(&e.output_path))
+            };
+            if !hit {
+                continue;
+            }
+            let mut prov = space.prov.write();
+            let mut repo = space.repo.write();
+            for p in written {
+                let stale: Vec<u64> =
+                    repo.entries().iter().filter(|e| &e.output_path == p).map(|e| e.id).collect();
+                for id in stale {
+                    repo.evict(id);
+                }
+                prov.forget(p);
+            }
+        }
+    }
+
+    /// Tenants that have a namespace (sorted; the default namespace is
+    /// not listed).
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.tenants.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Read access to the default-namespace repository. Holding the
+    /// guard blocks entry registration and eviction in other sessions;
+    /// don't keep it across query submissions.
+    pub fn repository(&self) -> RwLockReadGuard<'_, Repository> {
+        self.space.repo.read()
+    }
+
+    /// Exclusive access to the default-namespace repository (blocks all
+    /// sessions).
     pub fn repository_mut(&self) -> RwLockWriteGuard<'_, Repository> {
-        self.repo.write()
+        self.space.repo.write()
+    }
+
+    /// Run `f` with read access to a tenant's repository (`None` = the
+    /// default namespace).
+    pub fn with_repository_as<R>(
+        &self,
+        tenant: Option<&str>,
+        f: impl FnOnce(&Repository) -> R,
+    ) -> R {
+        let space = self.space_snapshot(tenant);
+        let repo = space.repo.read();
+        f(&repo)
     }
 
     /// Snapshot of the active configuration.
@@ -234,23 +419,51 @@ impl ReStore {
         *self.config.write() = config;
     }
 
-    /// Compile and execute a query text.
+    /// Compile and execute a query text in the default namespace.
     pub fn execute_query(&self, text: &str, out_prefix: &str) -> Result<QueryExecution> {
-        let wf = restore_dataflow::compile(text, out_prefix)?;
-        self.execute_workflow(wf)
+        self.execute_query_as(None, text, out_prefix)
     }
 
-    /// Execute a compiled workflow of MapReduce jobs through ReStore.
+    /// Compile and execute a query text in a tenant's namespace. Matching
+    /// only sees the tenant's own entries, candidate outputs materialize
+    /// under `{repo_prefix}/{tenant}/`, and eviction sweeps stay inside
+    /// the tenant's space.
+    pub fn execute_query_as(
+        &self,
+        tenant: Option<&str>,
+        text: &str,
+        out_prefix: &str,
+    ) -> Result<QueryExecution> {
+        let wf = restore_dataflow::compile(text, out_prefix)?;
+        self.execute_workflow_as(tenant, wf)
+    }
+
+    /// Execute a compiled workflow of MapReduce jobs through ReStore, in
+    /// the default namespace.
     pub fn execute_workflow(&self, wf: CompiledWorkflow) -> Result<QueryExecution> {
+        self.execute_workflow_as(None, wf)
+    }
+
+    /// Execute a compiled workflow in a tenant's namespace (see
+    /// [`ReStore::execute_query_as`]).
+    pub fn execute_workflow_as(
+        &self,
+        tenant: Option<&str>,
+        wf: CompiledWorkflow,
+    ) -> Result<QueryExecution> {
         let tick = self.tick.fetch_add(1, Ordering::SeqCst) + 1;
         let config = self.config();
+        let space = self.space_for(tenant);
+        // Pins taken at match time live until the whole workflow (whose
+        // later waves may Load the matched outputs) has executed.
+        let mut pins = PinGuard::new(space.clone(), self.engine.dfs().clone());
 
         // Eviction sweep (§5 rules 3–4) runs *before* matching so stale
         // entries (expired window, modified/deleted inputs) are never
         // reused in this workflow.
-        config.selection.sweep_shared(&self.repo, self.engine.dfs(), tick);
+        config.selection.sweep_shared(&space.repo, self.engine.dfs(), &space.pins, tick);
         {
-            let mut prov = self.prov.write();
+            let mut prov = space.prov.write();
             let dfs = self.engine.dfs();
             let dead: Vec<String> =
                 prov.iter_paths().filter(|p| !dfs.exists(p)).map(|p| p.to_string()).collect();
@@ -284,7 +497,18 @@ impl ReStore {
             // highest index) would have left it.
             let mut wave_outputs: Vec<(usize, String)> = Vec::new();
             for &idx in &wave {
-                match self.prepare_job(&wf, idx, tick, &config, &mut aliases, &mut rewrites)? {
+                let prep = self.prepare_job(
+                    &space,
+                    tenant,
+                    &wf,
+                    idx,
+                    tick,
+                    &config,
+                    &mut aliases,
+                    &mut rewrites,
+                    &mut pins,
+                )?;
+                match prep {
                     Prepared::Skipped { dst } => {
                         jobs_skipped += 1;
                         et[idx] = 0.0;
@@ -298,13 +522,48 @@ impl ReStore {
             let results = self.run_wave(&prepared, config.wave_parallel)?;
 
             // ---- Phase 3: register outputs (§2.2) and apply §5 rules ----
+            let mut wave_written: Vec<String> = Vec::new();
             for (job, result) in prepared.iter().zip(&results) {
                 et[job.idx] = result.times.total_s;
                 wave_outputs.push((job.idx, result.output.clone()));
-                let (cand_bytes, cand_stored) =
-                    self.register_outputs(&wf, job, result, tick, &config)?;
-                stored_candidate_bytes += cand_bytes;
-                candidates_stored += cand_stored;
+                wave_written.push(result.output.clone());
+                wave_written.extend(result.side_outputs.iter().cloned());
+                // A later wave of this workflow Loads this inter-job
+                // temporary. Registration (below) makes it evictable, so
+                // pin it first — otherwise a concurrent session's strict
+                // sweep could delete it before its consumer executes.
+                if wf.tmp_paths.contains(&result.output) {
+                    pins.pin(&result.output);
+                }
+            }
+            // Overwriting a registered path stales every entry that
+            // recorded the old bytes; invalidate before registering the
+            // new ones.
+            if !wave_written.is_empty() {
+                self.invalidate_overwritten(&wave_written);
+            }
+            // The whole wave's registrations share a single write-lock
+            // scope (in job-index order), instead of a lock round-trip
+            // per job: concurrent sessions see the wave land atomically,
+            // and the lock is acquired O(waves) instead of O(jobs) times.
+            let manage_outputs = config.reuse_enabled || config.heuristic != Heuristic::None;
+            if manage_outputs && !prepared.is_empty() {
+                let mut prov = space.prov.write();
+                let mut repo = space.repo.write();
+                for (job, result) in prepared.iter().zip(&results) {
+                    let (cand_bytes, cand_stored) = self.register_outputs_locked(
+                        &mut prov,
+                        &mut repo,
+                        &space.pins,
+                        &wf,
+                        job,
+                        result,
+                        tick,
+                        &config,
+                    )?;
+                    stored_candidate_bytes += cand_bytes;
+                    candidates_stored += cand_stored;
+                }
             }
             job_results.extend(results);
             if let Some((_, out)) = wave_outputs.into_iter().max_by_key(|(idx, _)| *idx) {
@@ -315,9 +574,19 @@ impl ReStore {
         // ---- plain-Pig tmp cleanup ----
         if config.delete_tmp {
             for tmp in &wf.tmp_paths {
-                self.engine.dfs().delete(tmp);
+                // Honour pins even here: a hand-built config combining
+                // delete_tmp with reuse could otherwise delete a tmp
+                // that a concurrent session matched and pinned.
+                if !space.pins.defer_delete(tmp) {
+                    self.engine.dfs().delete(tmp);
+                }
             }
         }
+
+        // The caller is handed `final_output` to read; if it aliases a
+        // pinned repository path that a sweep evicted mid-flight, leave
+        // the file on the DFS instead of deleting it under the reader.
+        pins.preserve(&final_output);
 
         let total_s = equation_one_total(&wf, &et)?;
         Ok(QueryExecution {
@@ -333,21 +602,25 @@ impl ReStore {
 
     /// Phase 1 for one job: alias rewriting, the §3 match loop, whole-job
     /// elimination, and §4 sub-job instrumentation.
+    #[allow(clippy::too_many_arguments)]
     fn prepare_job(
         &self,
+        space: &Space,
+        tenant: Option<&str>,
         wf: &CompiledWorkflow,
         idx: usize,
         tick: u64,
         config: &ReStoreConfig,
         aliases: &mut HashMap<String, String>,
         rewrites: &mut Vec<RewriteEvent>,
+        pins: &mut PinGuard,
     ) -> Result<Prepared> {
         let mut plan = wf.jobs[idx].plan.clone();
         apply_aliases(&mut plan, aliases);
 
         let mut job_rewrites = 0usize;
         if config.reuse_enabled {
-            self.match_loop(&mut plan, tick, true, |entry_id, reused_path| {
+            self.match_loop(space, &mut plan, tick, Some(pins), |entry_id, reused_path| {
                 rewrites.push(RewriteEvent {
                     job: idx,
                     entry_id,
@@ -369,11 +642,15 @@ impl ReStore {
             }
         }
 
-        // Sub-job enumeration (§4).
+        // Sub-job enumeration (§4). Candidate outputs are keyed under the
+        // tenant's prefix so namespaces never share materialized files.
         let candidates: Vec<Candidate> = if config.heuristic != Heuristic::None {
-            let prov = self.prov.read();
-            let repo = self.repo.read();
-            let prefix = config.repo_prefix.clone();
+            let prov = space.prov.read();
+            let repo = space.repo.read();
+            let prefix = match tenant {
+                Some(t) => format!("{}/{t}", config.repo_prefix),
+                None => config.repo_prefix.clone(),
+            };
             inject_subjob_stores(
                 &mut plan,
                 config.heuristic,
@@ -400,27 +677,36 @@ impl ReStore {
     /// The §3 scan: repeatedly lineage-expand the plan, take the first
     /// repository match that makes structural progress, and rewrite. No
     /// lock is held across iterations; `on_match` runs after each applied
-    /// rewrite. With `note_uses`, reuse statistics are updated under the
-    /// write lock.
+    /// rewrite. With `pins` present (a real execution, not a dry run),
+    /// reuse statistics are updated under the write lock and the reused
+    /// output is pinned against concurrent eviction until the workflow
+    /// finishes.
     fn match_loop(
         &self,
+        space: &Space,
         plan: &mut PhysicalPlan,
         tick: u64,
-        note_uses: bool,
+        mut pins: Option<&mut PinGuard>,
         mut on_match: impl FnMut(u64, &str),
     ) {
         // Entries whose rewrite made no structural progress (they match
         // only lineage the plan already loads) are skipped on the rescan;
         // progress clears the set.
         let mut unproductive: HashSet<u64> = HashSet::new();
-        let budget = 2 * plan.len() + 4 + 2 * self.repo.read().len();
+        let budget = 2 * plan.len() + 4 + 2 * space.repo.read().len();
         for _ in 0..budget {
-            let expanded = self.prov.read().expand(plan);
+            let expanded = space.prov.read().expand(plan);
             let found = {
-                let repo = self.repo.read();
+                let repo = space.repo.read();
                 repo.find_first_match_excluding(&expanded.plan, &unproductive).map(
                     |(entry_id, m)| {
                         let path = repo.get(entry_id).expect("matched entry").output_path.clone();
+                        // Pin while still holding the read lock: a sweep
+                        // needs the write lock, so no eviction can slip
+                        // between this match and the pin.
+                        if let Some(p) = pins.as_deref_mut() {
+                            p.pin(&path);
+                        }
                         (entry_id, m, path)
                     },
                 )
@@ -443,14 +729,18 @@ impl ReStore {
             let before_sig = plan.signature();
             let collapsed = exp.collapse_unused();
             if collapsed.signature() == before_sig {
-                // No structural progress: try the next entry.
+                // No structural progress: try the next entry. The
+                // speculative pin is no longer needed.
+                if let Some(p) = pins.as_deref_mut() {
+                    p.unpin_last();
+                }
                 unproductive.insert(entry_id);
                 continue;
             }
             unproductive.clear();
             *plan = collapsed;
-            if note_uses {
-                self.repo.write().note_use(entry_id, tick);
+            if pins.is_some() {
+                space.repo.write().note_use(entry_id, tick);
             }
             on_match(entry_id, &reused_path);
         }
@@ -472,20 +762,24 @@ impl ReStore {
     }
 
     /// Phase 3 for one executed job: register the whole-job entry, the
-    /// candidate sub-job entries, and their provenance, under the write
-    /// locks. Returns (bytes written by injected Stores, candidates kept).
-    fn register_outputs(
+    /// candidate sub-job entries, and their provenance. The caller holds
+    /// the namespace's provenance and repository write locks for the
+    /// whole wave, so concurrent sessions never observe a half-registered
+    /// job (e.g. provenance without the repository entry) or a
+    /// half-registered wave. Returns (bytes written by injected Stores,
+    /// candidates kept).
+    #[allow(clippy::too_many_arguments)]
+    fn register_outputs_locked(
         &self,
+        prov: &mut Provenance,
+        repo: &mut Repository,
+        pins: &PinSet,
         wf: &CompiledWorkflow,
         job: &PreparedJob,
         result: &JobResult,
         tick: u64,
         config: &ReStoreConfig,
     ) -> Result<(u64, usize)> {
-        let manage_outputs = config.reuse_enabled || config.heuristic != Heuristic::None;
-        if !manage_outputs {
-            return Ok((0, 0));
-        }
         let io = job_io(&job.plan)?;
         let input_files = self.input_versions(&io.inputs);
         // Final outputs (not inter-job temporaries) are only registered
@@ -499,12 +793,6 @@ impl ReStore {
 
         let mut stored_candidate_bytes = 0u64;
         let mut candidates_stored = 0usize;
-
-        // Expansion and registration stay under one write-lock scope so
-        // concurrent sessions never observe a half-registered job (e.g.
-        // provenance without the repository entry).
-        let mut prov = self.prov.write();
-        let mut repo = self.repo.write();
 
         // Whole-job entry: the main output with the job's plan.
         let whole_base = prov.expand(&whole_prefix).plan;
@@ -522,6 +810,9 @@ impl ReStore {
         if register_main && config.selection.should_keep(&whole_stats) {
             prov.register(&io.main_output, whole_base.clone());
             repo.insert(whole_base, &io.main_output, whole_stats);
+            // The path holds fresh bytes again: a deletion deferred from
+            // a pre-overwrite eviction must not fire on it later.
+            pins.cancel_deferred(&io.main_output);
         }
 
         // Candidate sub-job entries. A candidate that aliases the job's
@@ -563,6 +854,7 @@ impl ReStore {
                     if !prov.contains(&cand.store_path) {
                         prov.register(&cand.store_path, base);
                     }
+                    pins.cancel_deferred(&cand.store_path);
                     candidates_stored += 1;
                 }
             } else if !cand.already_stored {
@@ -578,10 +870,21 @@ impl ReStore {
     /// report lists, per job, the matches the §3 scan finds and whether
     /// the whole job would be eliminated.
     pub fn explain_query(&self, text: &str, out_prefix: &str) -> Result<String> {
+        self.explain_query_as(None, text, out_prefix)
+    }
+
+    /// [`ReStore::explain_query`] against a tenant's namespace.
+    pub fn explain_query_as(
+        &self,
+        tenant: Option<&str>,
+        text: &str,
+        out_prefix: &str,
+    ) -> Result<String> {
+        let space = self.space_snapshot(tenant);
         let wf = restore_dataflow::compile(text, out_prefix)?;
         let mut report = String::new();
         {
-            let repo = self.repo.read();
+            let repo = space.repo.read();
             report.push_str(&format!(
                 "workflow: {} job(s); repository: {} entr{}\n",
                 wf.jobs.len(),
@@ -603,8 +906,8 @@ impl ReStore {
             // usage statistics left untouched.
             let mut plan = job.plan.clone();
             let mut any = false;
-            self.match_loop(&mut plan, 0, false, |entry_id, reused_path| {
-                let repo = self.repo.read();
+            self.match_loop(&space, &mut plan, 0, None, |entry_id, reused_path| {
+                let repo = space.repo.read();
                 let (bytes, uses) = repo
                     .get(entry_id)
                     .map(|e| (e.stats.output_bytes, e.stats.use_count))
@@ -628,13 +931,22 @@ impl ReStore {
         Ok(report)
     }
 
-    /// Point-in-time summary of the repository and reuse activity.
+    /// Point-in-time summary of the default namespace's repository and
+    /// reuse activity.
     pub fn stats(&self) -> ReStoreStats {
+        self.stats_as(None)
+    }
+
+    /// Point-in-time summary of a tenant's repository and reuse activity.
+    /// `queries_executed` counts queries across all namespaces (the tick
+    /// clock is shared).
+    pub fn stats_as(&self, tenant: Option<&str>) -> ReStoreStats {
+        let space = self.space_snapshot(tenant);
         // Lock discipline: provenance before repository, never nested the
         // other way — registration takes prov.write then repo.write, so
         // holding repo while acquiring prov would be an ABBA deadlock.
-        let provenance_entries = self.prov.read().len();
-        let repo = self.repo.read();
+        let provenance_entries = space.prov.read().len();
+        let repo = space.repo.read();
         let entries = repo.entries();
         ReStoreStats {
             repository_entries: entries.len(),
@@ -646,17 +958,19 @@ impl ReStore {
         }
     }
 
-    /// Serialize the full ReStore session state: repository, provenance,
-    /// and counters. Paired with [`ReStore::load_state`], this lets a new
-    /// process resume with everything a previous session learned (§2.2's
-    /// repository is persistent in spirit; the DFS holds the outputs).
+    /// Serialize the ReStore session state: the default namespace's
+    /// repository and provenance plus the counters. Paired with
+    /// [`ReStore::load_state`], this lets a new process resume with
+    /// everything a previous session learned (§2.2's repository is
+    /// persistent in spirit; the DFS holds the outputs). Tenant
+    /// namespaces are not serialized; they are rebuilt from traffic.
     pub fn save_state(&self) -> String {
         format!(
             "restore-state v1\ntick {}\ncand {}\n--provenance--\n{}--repository--\n{}",
             self.tick.load(Ordering::SeqCst),
             self.cand_counter.load(Ordering::SeqCst),
-            self.prov.read().save(),
-            self.repo.read().save(),
+            self.space.prov.read().save(),
+            self.space.repo.read().save(),
         )
     }
 
@@ -688,8 +1002,8 @@ impl ReStore {
         let repo_text = rest[split + 1..].join("\n");
         let loaded_prov = Provenance::load(&prov_text)?;
         let loaded_repo = Repository::load(&repo_text)?;
-        *self.prov.write() = loaded_prov;
-        *self.repo.write() = loaded_repo;
+        *self.space.prov.write() = loaded_prov;
+        *self.space.repo.write() = loaded_repo;
         self.tick.store(tick, Ordering::SeqCst);
         self.cand_counter.store(cand, Ordering::SeqCst);
         Ok(())
@@ -748,4 +1062,126 @@ fn resolve_alias(aliases: &HashMap<String, String>, path: &str) -> String {
         }
     }
     cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_dfs::DfsConfig;
+    use restore_mapreduce::{ClusterConfig, EngineConfig};
+
+    /// Join then group: compiles to a two-job workflow whose second job
+    /// loads the first job's temporary output.
+    fn two_job_query(out: &str) -> String {
+        format!(
+            "A = load '/data/pv' as (user, revenue:int);
+             B = load '/data/users' as (name, city);
+             C = join B by name, A by user;
+             D = group C by $0;
+             E = foreach D generate group, SUM(C.revenue);
+             store E into '{out}';"
+        )
+    }
+
+    fn engine() -> Engine {
+        let dfs = Dfs::new(DfsConfig::small_for_tests());
+        dfs.write_all("/data/pv", b"alice\t4\nbob\t7\nalice\t1\n").unwrap();
+        dfs.write_all("/data/users", b"alice\tkitchener\nbob\ttoronto\n").unwrap();
+        Engine::new(dfs, ClusterConfig::default(), EngineConfig::default())
+    }
+
+    /// Regression for the match-then-evict race (ROADMAP "entry pinning
+    /// for eviction under concurrency"): session T1 matches a repository
+    /// entry during phase 1, then — before T1 executes the jobs that Load
+    /// the matched output — session T2's eviction sweep evicts that
+    /// entry. Without pins the sweep deleted the output file and T1
+    /// failed with `FileNotFound`; with pins the file deletion is
+    /// deferred until T1's workflow drops its pins.
+    #[test]
+    fn pinned_match_survives_concurrent_eviction_sweep() {
+        let config = ReStoreConfig {
+            selection: SelectionPolicy { eviction_window: Some(1), ..Default::default() },
+            ..Default::default()
+        };
+        let rs = ReStore::new(engine(), config);
+
+        // Cold run at tick 1 registers the join job's intermediate output.
+        rs.execute_query(&two_job_query("/out/cold"), "/wf/cold").unwrap();
+        assert!(!rs.repository().is_empty());
+
+        // T1 runs phase 1 of its first wave: the join job whole-job
+        // matches a stored entry and is skipped, pinning the reused path.
+        let wf = restore_dataflow::compile(&two_job_query("/out/warm"), "/wf/warm").unwrap();
+        let space = rs.space_for(None);
+        let mut pins = PinGuard::new(space.clone(), rs.engine().dfs().clone());
+        let mut aliases = HashMap::new();
+        let mut rewrites = Vec::new();
+        let cfg = rs.config();
+        let prep0 = rs
+            .prepare_job(&space, None, &wf, 0, 2, &cfg, &mut aliases, &mut rewrites, &mut pins)
+            .unwrap();
+        let Prepared::Skipped { dst } = prep0 else {
+            panic!("join job should be answered whole from the repository")
+        };
+        let reused = resolve_alias(&aliases, &dst);
+        assert!(rs.engine().dfs().exists(&reused));
+        assert!(space.pins.is_pinned(&reused));
+
+        // T2's sweep far outside the window evicts every entry while T1
+        // sits between match and execution.
+        let evicted = cfg.selection.sweep_shared(&space.repo, rs.engine().dfs(), &space.pins, 99);
+        assert!(!evicted.is_empty());
+        assert_eq!(space.repo.read().len(), 0);
+
+        // The pinned output survived the sweep (the old code deleted it
+        // here, and T1's group job then failed with FileNotFound)…
+        assert!(rs.engine().dfs().exists(&reused), "pinned output must survive the sweep");
+
+        // …so T1's second wave executes successfully against it.
+        let prep1 = rs
+            .prepare_job(&space, None, &wf, 1, 2, &cfg, &mut aliases, &mut rewrites, &mut pins)
+            .unwrap();
+        let Prepared::Run(job) = prep1 else { panic!("group job should execute") };
+        let results = rs.run_wave(std::slice::from_ref(&job), false).unwrap();
+        assert_eq!(results.len(), 1);
+
+        // Dropping the workflow's pins performs the deferred deletion.
+        drop(pins);
+        assert!(!rs.engine().dfs().exists(&reused), "deferred deletion runs at last unpin");
+    }
+
+    /// A path handed to the caller as `final_output` must survive the
+    /// pin release even when a mid-flight sweep deferred its deletion:
+    /// deleting it would hand the caller a dangling result.
+    #[test]
+    fn preserved_final_output_survives_deferred_deletion() {
+        let config = ReStoreConfig {
+            selection: SelectionPolicy { eviction_window: Some(1), ..Default::default() },
+            ..Default::default()
+        };
+        let rs = ReStore::new(engine(), config);
+        rs.execute_query(&two_job_query("/out/cold"), "/wf/cold").unwrap();
+
+        let wf = restore_dataflow::compile(&two_job_query("/out/warm"), "/wf/warm").unwrap();
+        let space = rs.space_for(None);
+        let mut pins = PinGuard::new(space.clone(), rs.engine().dfs().clone());
+        let mut aliases = HashMap::new();
+        let mut rewrites = Vec::new();
+        let cfg = rs.config();
+        let prep0 = rs
+            .prepare_job(&space, None, &wf, 0, 2, &cfg, &mut aliases, &mut rewrites, &mut pins)
+            .unwrap();
+        let Prepared::Skipped { dst } = prep0 else { panic!("join job should be skipped") };
+        let reused = resolve_alias(&aliases, &dst);
+
+        // Sweep evicts the entry and defers the pinned file's deletion —
+        // but this workflow hands `reused` to its caller.
+        cfg.selection.sweep_shared(&space.repo, rs.engine().dfs(), &space.pins, 99);
+        pins.preserve(&reused);
+        drop(pins);
+        assert!(
+            rs.engine().dfs().exists(&reused),
+            "a preserved final output is orphaned, never deleted under the reader"
+        );
+    }
 }

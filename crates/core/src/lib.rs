@@ -24,13 +24,15 @@
 pub mod driver;
 pub mod enumerator;
 pub mod matcher;
+pub mod pin;
 pub mod plan_text;
 pub mod provenance;
 pub mod repository;
 pub mod rewriter;
 pub mod selector;
 
-pub use driver::{QueryExecution, ReStore, ReStoreConfig, ReStoreStats};
+pub use driver::{footprints_conflict, QueryExecution, ReStore, ReStoreConfig, ReStoreStats};
 pub use enumerator::Heuristic;
+pub use pin::PinSet;
 pub use repository::{RepoEntry, RepoStats, Repository};
 pub use selector::SelectionPolicy;

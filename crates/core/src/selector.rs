@@ -12,6 +12,7 @@
 //! (`store_all`), and so does the default policy here; the rules are
 //! exercised by their own tests, benches, and an example.
 
+use crate::pin::PinSet;
 use crate::repository::{RepoStats, Repository};
 use parking_lot::RwLock;
 use restore_dfs::Dfs;
@@ -81,8 +82,11 @@ impl SelectionPolicy {
     }
 
     /// Eviction sweep (rules 3 and 4). Evicted outputs are deleted from
-    /// the DFS. Returns the evicted entry ids.
-    pub fn sweep(&self, repo: &mut Repository, dfs: &Dfs, now: u64) -> Vec<u64> {
+    /// the DFS — except outputs pinned by an in-flight workflow, whose
+    /// file deletion is deferred to the last unpin (the repository entry
+    /// itself is removed immediately either way). Returns the evicted
+    /// entry ids.
+    pub fn sweep(&self, repo: &mut Repository, dfs: &Dfs, pins: &PinSet, now: u64) -> Vec<u64> {
         let mut victims = Vec::new();
         for e in repo.entries() {
             // Rule 3: unused within the window (entries never used are
@@ -109,7 +113,9 @@ impl SelectionPolicy {
         }
         for &id in &victims {
             if let Some(entry) = repo.evict(id) {
-                dfs.delete(&entry.output_path);
+                if !pins.defer_delete(&entry.output_path) {
+                    dfs.delete(&entry.output_path);
+                }
             }
         }
         victims
@@ -119,11 +125,17 @@ impl SelectionPolicy {
     /// sessions. Skips taking the write lock entirely when no eviction
     /// rule is active (the common store-everything configuration), so
     /// per-query sweeps never serialize read-mostly traffic.
-    pub fn sweep_shared(&self, repo: &RwLock<Repository>, dfs: &Dfs, now: u64) -> Vec<u64> {
+    pub fn sweep_shared(
+        &self,
+        repo: &RwLock<Repository>,
+        dfs: &Dfs,
+        pins: &PinSet,
+        now: u64,
+    ) -> Vec<u64> {
         if self.eviction_window.is_none() && !self.check_input_versions {
             return Vec::new();
         }
-        self.sweep(&mut repo.write(), dfs, now)
+        self.sweep(&mut repo.write(), dfs, pins, now)
     }
 }
 
@@ -197,7 +209,7 @@ mod tests {
         repo.insert(plan("/fresh"), "/repo/fresh", s_new);
 
         let policy = SelectionPolicy { eviction_window: Some(5), ..Default::default() };
-        let evicted = policy.sweep(&mut repo, &dfs, 10);
+        let evicted = policy.sweep(&mut repo, &dfs, &PinSet::default(), 10);
         assert_eq!(evicted.len(), 1);
         assert_eq!(repo.len(), 1);
         assert!(!dfs.exists("/repo/old"), "evicted output deleted from DFS");
@@ -216,12 +228,12 @@ mod tests {
 
         let policy = SelectionPolicy { check_input_versions: true, ..Default::default() };
         // Input untouched: nothing happens.
-        assert!(policy.sweep(&mut repo, &dfs, 1).is_empty());
+        assert!(policy.sweep(&mut repo, &dfs, &PinSet::default(), 1).is_empty());
         // Overwrite the input: version bumps, entry evicted.
         let mut w = dfs.create_overwrite("/data/in").unwrap();
         w.write(b"v1");
         w.close().unwrap();
-        let evicted = policy.sweep(&mut repo, &dfs, 2);
+        let evicted = policy.sweep(&mut repo, &dfs, &PinSet::default(), 2);
         assert_eq!(evicted.len(), 1);
         assert!(repo.is_empty());
     }
@@ -237,7 +249,7 @@ mod tests {
         repo.insert(plan("/x"), "/repo/out", s);
         dfs.delete("/data/in");
         let policy = SelectionPolicy { check_input_versions: true, ..Default::default() };
-        assert_eq!(policy.sweep(&mut repo, &dfs, 1).len(), 1);
+        assert_eq!(policy.sweep(&mut repo, &dfs, &PinSet::default(), 1).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Per-tenant namespace isolation in the driver: matching, candidate
+//! materialization, statistics, and eviction sweeps are confined to the
+//! submitting tenant's space.
+
+use restore_core::{ReStore, ReStoreConfig, SelectionPolicy};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+
+fn engine() -> Engine {
+    let dfs = Dfs::new(DfsConfig::small_for_tests());
+    dfs.write_all("/data/pv", b"alice\t4\nbob\t7\nalice\t1\ncarol\t9\n").unwrap();
+    Engine::new(dfs, ClusterConfig::default(), EngineConfig::default())
+}
+
+fn sum_query(out: &str) -> String {
+    format!(
+        "A = load '/data/pv' as (user, n:int);
+         G = group A by user;
+         R = foreach G generate group, SUM(A.n);
+         store R into '{out}';"
+    )
+}
+
+#[test]
+fn tenants_never_reuse_each_others_entries() {
+    let rs = ReStore::new(engine(), ReStoreConfig::default());
+
+    // Tenant "ana" runs the query cold.
+    let a1 = rs.execute_query_as(Some("ana"), &sum_query("/out/a1"), "/wf/a1").unwrap();
+    assert_eq!(a1.jobs_skipped, 0);
+
+    // Tenant "bo" submits the identical query: no cross-tenant reuse, so
+    // it also runs cold.
+    let b1 = rs.execute_query_as(Some("bo"), &sum_query("/out/b1"), "/wf/b1").unwrap();
+    assert_eq!(b1.jobs_skipped, 0, "tenant bo must not see ana's entries");
+    assert_eq!(b1.rewrites.len(), 0);
+
+    // Within a tenant, reuse works as usual.
+    let a2 = rs.execute_query_as(Some("ana"), &sum_query("/out/a2"), "/wf/a2").unwrap();
+    assert_eq!(a2.jobs_skipped, 1, "ana's rerun is answered from ana's repository");
+
+    // The default namespace is untouched by tenant traffic.
+    assert_eq!(rs.stats().repository_entries, 0);
+    assert!(rs.stats_as(Some("ana")).repository_entries > 0);
+    assert!(rs.stats_as(Some("bo")).repository_entries > 0);
+    assert_eq!(rs.tenant_ids(), vec!["ana".to_string(), "bo".to_string()]);
+}
+
+#[test]
+fn tenant_candidate_outputs_live_under_tenant_prefix() {
+    let rs = ReStore::new(engine(), ReStoreConfig::default());
+    rs.execute_query_as(Some("ana"), &sum_query("/out/ap"), "/wf/ap").unwrap();
+    rs.with_repository_as(Some("ana"), |repo| {
+        for e in repo.entries() {
+            if e.output_path.starts_with("/restore/") {
+                assert!(
+                    e.output_path.starts_with("/restore/ana/"),
+                    "candidate {} must be keyed under the tenant prefix",
+                    e.output_path
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn overwriting_a_registered_path_invalidates_stale_entries() {
+    let rs = ReStore::new(engine(), ReStoreConfig::default());
+
+    // ana's query registers its final output at /out/shared.
+    rs.execute_query_as(Some("ana"), &sum_query("/out/shared"), "/wf/a").unwrap();
+    assert!(rs.serves_path("/out/shared"));
+    let ana_bytes = rs.engine().dfs().read_all("/out/shared").unwrap();
+
+    // bo runs a *different* query storing to the same path, overwriting
+    // ana's bytes on the DFS.
+    let other = "A = load '/data/pv' as (user, n:int);
+                 B = filter A by n > 4;
+                 G = group B by user;
+                 R = foreach G generate group, COUNT(B);
+                 store R into '/out/shared';";
+    rs.execute_query_as(Some("bo"), other, "/wf/b").unwrap();
+    let bo_bytes = rs.engine().dfs().read_all("/out/shared").unwrap();
+    assert_ne!(ana_bytes, bo_bytes, "bo really overwrote the file");
+
+    // ana's stale entry must be gone: rerunning her query re-executes
+    // instead of serving bo's bytes from the repository.
+    assert!(
+        !rs.with_repository_as(Some("ana"), |repo| repo
+            .entries()
+            .iter()
+            .any(|e| e.output_path == "/out/shared")),
+        "stale entry pointing at overwritten bytes must be evicted"
+    );
+    let rerun = rs.execute_query_as(Some("ana"), &sum_query("/out/a2"), "/wf/a2").unwrap();
+    let rerun_bytes = rs.engine().dfs().read_all(&rerun.final_output).unwrap();
+    assert_eq!(rerun_bytes, ana_bytes, "ana gets her own answer, not bo's");
+}
+
+#[test]
+fn tenant_sweep_never_evicts_other_tenants() {
+    let config = ReStoreConfig {
+        selection: SelectionPolicy { eviction_window: Some(2), ..Default::default() },
+        ..Default::default()
+    };
+    let rs = ReStore::new(engine(), config);
+
+    // Tick 1: bo stores entries, then goes idle.
+    rs.execute_query_as(Some("bo"), &sum_query("/out/b"), "/wf/b").unwrap();
+    let bo_entries = rs.stats_as(Some("bo")).repository_entries;
+    assert!(bo_entries > 0);
+
+    // Ticks 2..=8: ana hammers the system; each of her queries runs an
+    // eviction sweep far past bo's last activity — in ana's space only.
+    for i in 2..=8u32 {
+        rs.execute_query_as(Some("ana"), &sum_query(&format!("/out/a{i}")), &format!("/wf/a{i}"))
+            .unwrap();
+    }
+
+    // bo's entries (created at tick 1, idle for 7 ticks, well past the
+    // window) survive untouched, files included.
+    assert_eq!(rs.stats_as(Some("bo")).repository_entries, bo_entries);
+    rs.with_repository_as(Some("bo"), |repo| {
+        for e in repo.entries() {
+            assert!(
+                rs.engine().dfs().exists(&e.output_path),
+                "ana's sweep must not delete bo's output {}",
+                e.output_path
+            );
+        }
+    });
+
+    // bo's own next query does sweep bo's stale entries — isolation, not
+    // immortality.
+    rs.execute_query_as(Some("bo"), &sum_query("/out/b2"), "/wf/b2").unwrap();
+    let after = rs.stats_as(Some("bo")).repository_entries;
+    assert!(after > 0, "fresh entries from the new query are present");
+}

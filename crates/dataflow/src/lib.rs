@@ -32,7 +32,7 @@ pub mod physical;
 
 pub use expr::{AggFunc, CmpOp, Expr, ScalarFunc};
 pub use logical::LogicalPlan;
-pub use mr_compiler::{CompiledJob, CompiledWorkflow};
+pub use mr_compiler::{CompiledJob, CompiledWorkflow, WorkflowIoPaths};
 pub use physical::{NodeId, PhysicalOp, PhysicalPlan};
 
 use restore_common::Result;

@@ -68,6 +68,52 @@ impl CompiledWorkflow {
     pub fn topo_order(&self) -> Result<Vec<usize>> {
         Ok(self.waves()?.into_iter().flatten().collect())
     }
+
+    /// Every DFS path this workflow reads and writes, across all of its
+    /// jobs. Inter-job temporaries appear in both sets (one job writes
+    /// them, a later job reads them). A cross-workflow scheduler uses
+    /// these sets to decide whether two queued workflows may overlap:
+    /// disjoint footprints cannot observe each other's files.
+    pub fn io_path_sets(&self) -> WorkflowIoPaths {
+        let mut io = WorkflowIoPaths::default();
+        for job in &self.jobs {
+            for l in job.plan.loads() {
+                if let PhysicalOp::Load { path } = job.plan.op(l) {
+                    io.reads.insert(path.clone());
+                }
+            }
+            for s in job.plan.stores() {
+                if let PhysicalOp::Store { path } = job.plan.op(s) {
+                    io.writes.insert(path.clone());
+                }
+            }
+        }
+        for tmp in &self.tmp_paths {
+            io.writes.insert(tmp.clone());
+        }
+        io
+    }
+}
+
+/// The DFS footprint of a compiled workflow (see
+/// [`CompiledWorkflow::io_path_sets`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkflowIoPaths {
+    /// Paths some job of the workflow Loads.
+    pub reads: BTreeSet<String>,
+    /// Paths some job of the workflow Stores (including temporaries).
+    pub writes: BTreeSet<String>,
+}
+
+impl WorkflowIoPaths {
+    /// True when neither footprint writes a path the other reads or
+    /// writes. Two workflows with disjoint footprints are free to execute
+    /// concurrently in any order.
+    pub fn disjoint(&self, other: &WorkflowIoPaths) -> bool {
+        self.writes.is_disjoint(&other.writes)
+            && self.writes.is_disjoint(&other.reads)
+            && self.reads.is_disjoint(&other.writes)
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

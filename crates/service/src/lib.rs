@@ -1,0 +1,84 @@
+//! # restore-service
+//!
+//! A multi-tenant query-submission service over the shared
+//! [`ReStore`](restore_core::ReStore) driver — the "long-lived system"
+//! deployment the paper sketches in
+//! §3/§6, where ReStore sits between the query compiler and the cluster
+//! and serves *many submitted workflows over time*.
+//!
+//! The driver itself is a passive `&self` session object: callers bring
+//! their own threads and there is no queueing, fairness, or isolation.
+//! This crate adds the serving layer:
+//!
+//! ```text
+//!   submit(tenant, query) ──► admission control ──► bounded queue
+//!                              │ queue full → Overloaded               │
+//!                              │ tenant at cap → TenantOverloaded      ▼
+//!                                                  cross-workflow scheduler
+//!                                                  (footprint conflict probe)
+//!                                                               │
+//!                                            fixed worker pool ─┴─► ReStore
+//!                                                  (per-tenant namespaces)
+//! ```
+//!
+//! * **Admission control** — the submission queue is bounded
+//!   ([`ServiceConfig::queue_depth`]); a full queue *sheds* load with
+//!   [`ServiceError::Overloaded`] instead of blocking the caller, and a
+//!   tenant exceeding [`ServiceConfig::max_inflight_per_tenant`] is
+//!   rejected with [`ServiceError::TenantOverloaded`] so one tenant
+//!   cannot monopolize the pool.
+//! * **Cross-workflow scheduling** — workers may dispatch a queued
+//!   workflow ahead of earlier ones whenever its DFS footprint
+//!   ([`CompiledWorkflow::io_path_sets`]) conflicts with neither the
+//!   in-flight workflows nor any earlier-queued workflow still waiting.
+//!   Conflicting workflows keep their submission order, so results are
+//!   byte-identical to sequential submission; disjoint workflows overlap
+//!   freely, extending wave parallelism *within* a workflow to
+//!   throughput *across* workflows.
+//! * **Tenant isolation** — every submission names a tenant; the driver
+//!   keeps one repository namespace per tenant, so reuse, candidate
+//!   materialization, and eviction sweeps never cross tenants.
+//!
+//! [`CompiledWorkflow::io_path_sets`]: restore_dataflow::CompiledWorkflow::io_path_sets
+
+mod scheduler;
+mod service;
+mod ticket;
+
+pub use service::{RestoreService, ServiceConfig, ServiceStats, TenantServiceStats};
+pub use ticket::SubmitHandle;
+
+/// Errors surfaced by the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The bounded submission queue is full; the query was shed, not
+    /// queued. Retry later or raise [`ServiceConfig::queue_depth`].
+    Overloaded {
+        /// The configured queue bound that was hit.
+        queue_depth: usize,
+    },
+    /// The tenant already has `max_inflight` workflows queued or
+    /// running.
+    TenantOverloaded { tenant: String, max_inflight: usize },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// Compilation or execution of the query failed.
+    Query(restore_common::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_depth } => {
+                write!(f, "service overloaded: submission queue full ({queue_depth} deep)")
+            }
+            ServiceError::TenantOverloaded { tenant, max_inflight } => {
+                write!(f, "tenant {tenant:?} at its in-flight limit ({max_inflight})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

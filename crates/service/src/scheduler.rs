@@ -1,0 +1,192 @@
+//! Cross-workflow scheduling state: the bounded queue, the in-flight
+//! set, and the conflict-aware pick rule.
+
+use crate::ticket::Ticket;
+use restore_core::footprints_conflict;
+use restore_dataflow::{CompiledWorkflow, WorkflowIoPaths};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One queued submission.
+pub(crate) struct QueuedWorkflow {
+    pub id: u64,
+    pub tenant: Option<String>,
+    pub wf: CompiledWorkflow,
+    pub footprint: WorkflowIoPaths,
+    pub ticket: Arc<Ticket>,
+}
+
+/// Per-tenant serving counters (the `""` key is the default namespace).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct TenantCounters {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+}
+
+/// Everything the workers and the submit path share, under one mutex.
+#[derive(Default)]
+pub(crate) struct SchedulerState {
+    pub queue: VecDeque<QueuedWorkflow>,
+    /// Footprints of workflows currently executing on a worker.
+    pub inflight: Vec<(u64, WorkflowIoPaths)>,
+    /// Running workflows that write a repository-registered path (see
+    /// [`pick`]): while one is in flight, nothing else dispatches.
+    pub inflight_barriers: usize,
+    /// Queued + running workflows per tenant key.
+    pub tenant_load: HashMap<String, usize>,
+    pub per_tenant: HashMap<String, TenantCounters>,
+    pub paused: bool,
+    pub shutdown: bool,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+}
+
+/// The map key for a tenant (`None` = default namespace).
+pub(crate) fn tenant_key(tenant: Option<&str>) -> String {
+    tenant.unwrap_or("").to_string()
+}
+
+/// Pick the queue index the next free worker should run, or `None` when
+/// nothing is currently runnable.
+///
+/// With `cross_workflow` enabled, the queue is scanned in FIFO order and
+/// the first entry whose footprint conflicts with neither the in-flight
+/// workflows nor any earlier-queued (still waiting) workflow is chosen.
+/// Skipped entries add their footprints to the blocked set, so two
+/// conflicting submissions always execute in submission order — the
+/// overlap is only ever between workflows that cannot observe each
+/// other's files.
+///
+/// Without it, only the queue head is eligible, and only once it no
+/// longer conflicts with anything in flight (strict FIFO dispatch).
+///
+/// `is_barrier` flags workflows whose declared writes hit a
+/// repository-registered path (`ReStore::serves_path`). Reuse rewriting
+/// can splice Loads of registered paths into *any* workflow at run time
+/// — reads the submit-time footprint cannot see — so a barrier workflow
+/// orders against everything: it dispatches only when nothing is in
+/// flight and nothing earlier waits, nothing overtakes it, and while it
+/// runs nothing else starts.
+/// Returns `(queue index, is_barrier)`; the caller must use the
+/// returned verdict for its barrier accounting rather than re-probing
+/// (the probe reads driver state that mutates concurrently, so a second
+/// evaluation could disagree with the decision this dispatch was made
+/// under).
+pub(crate) fn pick(
+    state: &SchedulerState,
+    cross_workflow: bool,
+    is_barrier: impl Fn(&QueuedWorkflow) -> bool,
+) -> Option<(usize, bool)> {
+    if state.inflight_barriers > 0 {
+        return None;
+    }
+    let mut blocked: Vec<&WorkflowIoPaths> = state.inflight.iter().map(|(_, f)| f).collect();
+    for (i, q) in state.queue.iter().enumerate() {
+        if is_barrier(q) {
+            return if blocked.is_empty() { Some((i, true)) } else { None };
+        }
+        if blocked.iter().all(|b| !footprints_conflict(b, &q.footprint)) {
+            return Some((i, false));
+        }
+        if !cross_workflow {
+            return None;
+        }
+        blocked.push(&q.footprint);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restore_dataflow::WorkflowIoPaths;
+
+    fn fp(reads: &[&str], writes: &[&str]) -> WorkflowIoPaths {
+        WorkflowIoPaths {
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn queued(id: u64, footprint: WorkflowIoPaths) -> QueuedWorkflow {
+        QueuedWorkflow {
+            id,
+            tenant: None,
+            wf: CompiledWorkflow { jobs: Vec::new(), tmp_paths: Vec::new() },
+            footprint,
+            ticket: Arc::default(),
+        }
+    }
+
+    #[test]
+    fn disjoint_workflows_overlap() {
+        let mut st = SchedulerState::default();
+        st.inflight.push((1, fp(&["/in/a"], &["/out/a"])));
+        st.queue.push_back(queued(2, fp(&["/in/b"], &["/out/b"])));
+        assert_eq!(pick(&st, true, |_| false), Some((0, false)));
+        assert_eq!(pick(&st, false, |_| false), Some((0, false)));
+    }
+
+    #[test]
+    fn read_of_inflight_write_blocks() {
+        let mut st = SchedulerState::default();
+        st.inflight.push((1, fp(&["/in/a"], &["/out/a"])));
+        st.queue.push_back(queued(2, fp(&["/out/a"], &["/out/b"])));
+        assert_eq!(pick(&st, true, |_| false), None);
+    }
+
+    #[test]
+    fn later_disjoint_workflow_jumps_blocked_head() {
+        let mut st = SchedulerState::default();
+        st.inflight.push((1, fp(&["/in/a"], &["/out/a"])));
+        // Head conflicts with in-flight; the next entry is disjoint.
+        st.queue.push_back(queued(2, fp(&["/out/a"], &["/out/b"])));
+        st.queue.push_back(queued(3, fp(&["/in/c"], &["/out/c"])));
+        assert_eq!(
+            pick(&st, true, |_| false),
+            Some((1, false)),
+            "cross-workflow mode overtakes a blocked head"
+        );
+        assert_eq!(pick(&st, false, |_| false), None, "strict FIFO waits for the head");
+    }
+
+    #[test]
+    fn conflicting_queue_entries_keep_submission_order() {
+        let mut st = SchedulerState::default();
+        st.inflight.push((1, fp(&[], &["/out/a"])));
+        // Entry 2 is blocked by in-flight; entry 3 writes what 2 reads,
+        // so it must not overtake 2 even though it is disjoint from the
+        // in-flight workflow.
+        st.queue.push_back(queued(2, fp(&["/out/a"], &["/out/b"])));
+        st.queue.push_back(queued(3, fp(&[], &["/out/b"])));
+        assert_eq!(pick(&st, true, |_| false), None, "order within a conflict group is preserved");
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        let st = SchedulerState::default();
+        assert_eq!(pick(&st, true, |_| false), None);
+    }
+
+    #[test]
+    fn barrier_orders_against_everything() {
+        let is_barrier = |q: &QueuedWorkflow| q.id == 9;
+        // Nothing outstanding: the barrier dispatches.
+        let mut st = SchedulerState::default();
+        st.queue.push_back(queued(9, fp(&[], &["/repo/x"])));
+        st.queue.push_back(queued(2, fp(&[], &["/out/b"])));
+        assert_eq!(pick(&st, true, is_barrier), Some((0, true)));
+
+        // Anything in flight — even with a disjoint footprint — holds
+        // the barrier back, and nothing overtakes it.
+        st.inflight.push((1, fp(&[], &["/out/elsewhere"])));
+        assert_eq!(pick(&st, true, is_barrier), None);
+        st.inflight.clear();
+
+        // An in-flight barrier freezes all dispatch.
+        st.inflight_barriers = 1;
+        assert_eq!(pick(&st, true, |_| false), None);
+    }
+}

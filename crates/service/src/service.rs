@@ -1,0 +1,325 @@
+//! The service object: admission control, the worker pool, and
+//! introspection.
+
+use crate::scheduler::{pick, tenant_key, QueuedWorkflow, SchedulerState};
+use crate::ticket::{SubmitHandle, Ticket};
+use crate::ServiceError;
+use restore_core::{ReStore, ReStoreStats};
+use restore_dataflow::CompiledWorkflow;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Fixed worker-pool size (minimum 1).
+    pub workers: usize,
+    /// Bound of the submission queue; a full queue sheds new work with
+    /// [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Maximum workflows one tenant may have queued + running; beyond it
+    /// submissions are rejected with [`ServiceError::TenantOverloaded`].
+    pub max_inflight_per_tenant: usize,
+    /// Overlap queued workflows with disjoint DFS footprints. Disabling
+    /// reverts to strict FIFO dispatch (still pipelined across workers
+    /// when consecutive submissions are disjoint).
+    pub cross_workflow: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_inflight_per_tenant: 16,
+            cross_workflow: true,
+        }
+    }
+}
+
+/// Snapshot of one tenant's serving activity (see
+/// [`RestoreService::stats`]).
+#[derive(Debug, Clone)]
+pub struct TenantServiceStats {
+    /// Tenant name; empty string = the default namespace.
+    pub tenant: String,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    /// Workflows currently queued or running for this tenant.
+    pub inflight: usize,
+    /// The tenant's repository, as the driver reports it.
+    pub repository: ReStoreStats,
+}
+
+/// Point-in-time service introspection.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    pub workers: usize,
+    pub queued: usize,
+    pub running: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantServiceStats>,
+}
+
+struct Shared {
+    state: Mutex<SchedulerState>,
+    /// Workers wait here for runnable queue entries.
+    work: Condvar,
+    /// `drain` waiters park here until queue and in-flight are empty.
+    idle: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, SchedulerState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The query-submission service. Owns a [`ReStore`] session and a fixed
+/// pool of worker threads; see the crate docs for the architecture.
+pub struct RestoreService {
+    restore: Arc<ReStore>,
+    config: ServiceConfig,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RestoreService {
+    /// Start the service over a fresh driver session.
+    pub fn new(restore: ReStore, config: ServiceConfig) -> Self {
+        Self::over(Arc::new(restore), config)
+    }
+
+    /// Start the service over an existing (possibly shared) session.
+    pub fn over(restore: Arc<ReStore>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedulerState::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let restore = restore.clone();
+                let shared = shared.clone();
+                let cross = config.cross_workflow;
+                std::thread::spawn(move || worker_loop(restore, shared, cross))
+            })
+            .collect();
+        RestoreService { restore, config, shared, workers }
+    }
+
+    /// The underlying driver session (e.g. for DFS access or
+    /// repository introspection).
+    pub fn restore(&self) -> &ReStore {
+        &self.restore
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Compile `query` and enqueue it for execution as `tenant`.
+    /// Admission control runs *before* queueing: a full queue or a
+    /// tenant at its in-flight cap is rejected immediately — the call
+    /// never blocks on capacity.
+    pub fn submit(
+        &self,
+        tenant: Option<&str>,
+        query: &str,
+        out_prefix: &str,
+    ) -> Result<SubmitHandle, ServiceError> {
+        let wf = restore_dataflow::compile(query, out_prefix).map_err(ServiceError::Query)?;
+        self.submit_workflow(tenant, wf)
+    }
+
+    /// Enqueue an already-compiled workflow (see [`RestoreService::submit`]).
+    pub fn submit_workflow(
+        &self,
+        tenant: Option<&str>,
+        wf: CompiledWorkflow,
+    ) -> Result<SubmitHandle, ServiceError> {
+        // An empty tenant name and `None` both mean the default
+        // namespace; normalize so admission accounting and the driver
+        // agree on which namespace serves the workflow.
+        let tenant = tenant.filter(|t| !t.is_empty());
+        let footprint = wf.io_path_sets();
+        let key = tenant_key(tenant);
+        let mut st = self.shared.lock();
+        if st.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if st.queue.len() >= self.config.queue_depth {
+            st.rejected += 1;
+            st.per_tenant.entry(key).or_default().rejected += 1;
+            return Err(ServiceError::Overloaded { queue_depth: self.config.queue_depth });
+        }
+        let load = st.tenant_load.get(&key).copied().unwrap_or(0);
+        if load >= self.config.max_inflight_per_tenant {
+            st.rejected += 1;
+            st.per_tenant.entry(key.clone()).or_default().rejected += 1;
+            return Err(ServiceError::TenantOverloaded {
+                tenant: key,
+                max_inflight: self.config.max_inflight_per_tenant,
+            });
+        }
+        st.submitted += 1;
+        let id = st.submitted;
+        let counters = st.per_tenant.entry(key.clone()).or_default();
+        counters.submitted += 1;
+        *st.tenant_load.entry(key).or_default() += 1;
+        let ticket = Arc::new(Ticket::default());
+        st.queue.push_back(QueuedWorkflow {
+            id,
+            tenant: tenant.map(str::to_string),
+            wf,
+            footprint,
+            ticket: ticket.clone(),
+        });
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(SubmitHandle { id, tenant: tenant.map(str::to_string), ticket })
+    }
+
+    /// Stop dispatching queued workflows (already-running ones finish).
+    /// Useful as a maintenance window — e.g. around
+    /// [`ReStore::save_state`] — and for deterministic admission tests.
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Resume dispatching after [`RestoreService::pause`].
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Block until the queue is empty and no workflow is running. Call
+    /// only while dispatch is active (not paused), or it never returns.
+    pub fn drain(&self) {
+        let mut st = self.shared.lock();
+        while !(st.queue.is_empty() && st.inflight.is_empty()) {
+            st = self.shared.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Service-level and per-tenant counters plus each tenant's
+    /// repository statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let (queued, running, submitted, completed, rejected, mut tenants) = {
+            let st = self.shared.lock();
+            let tenants: Vec<(String, crate::scheduler::TenantCounters, usize)> = st
+                .per_tenant
+                .iter()
+                .map(|(k, c)| (k.clone(), c.clone(), st.tenant_load.get(k).copied().unwrap_or(0)))
+                .collect();
+            (st.queue.len(), st.inflight.len(), st.submitted, st.completed, st.rejected, tenants)
+        };
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        let tenants = tenants
+            .into_iter()
+            .map(|(tenant, c, inflight)| {
+                let repository =
+                    self.restore.stats_as(if tenant.is_empty() { None } else { Some(&tenant) });
+                TenantServiceStats {
+                    tenant,
+                    submitted: c.submitted,
+                    completed: c.completed,
+                    rejected: c.rejected,
+                    inflight,
+                    repository,
+                }
+            })
+            .collect();
+        ServiceStats {
+            workers: self.workers.len(),
+            queued,
+            running,
+            submitted,
+            completed,
+            rejected,
+            tenants,
+        }
+    }
+
+    /// Stop accepting new work, finish everything queued, and join the
+    /// worker pool.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            // A paused service must still drain on shutdown.
+            st.paused = false;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for RestoreService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(restore: Arc<ReStore>, shared: Arc<Shared>, cross_workflow: bool) {
+    // A workflow that writes a repository-registered path is a
+    // scheduling barrier: reuse rewriting could make any other workflow
+    // Load that path at run time, invisibly to submit-time footprints.
+    let is_barrier = |q: &QueuedWorkflow| q.footprint.writes.iter().any(|w| restore.serves_path(w));
+    loop {
+        let (entry, barrier) = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown && st.queue.is_empty() {
+                    return;
+                }
+                if !st.paused {
+                    if let Some((i, barrier)) = pick(&st, cross_workflow, is_barrier) {
+                        let entry = st.queue.remove(i).expect("picked index exists");
+                        st.inflight.push((entry.id, entry.footprint.clone()));
+                        st.inflight_barriers += usize::from(barrier);
+                        break (entry, barrier);
+                    }
+                }
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let QueuedWorkflow { id, tenant, wf, ticket, .. } = entry;
+        // Contain panics: a poisoned workflow must not kill the worker or
+        // leave its footprint stuck in the in-flight set (which would
+        // block every conflicting submission forever).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            restore.execute_workflow_as(tenant.as_deref(), wf)
+        }))
+        .unwrap_or_else(|_| Err(restore_common::Error::Job("workflow execution panicked".into())))
+        .map_err(ServiceError::Query);
+        {
+            let mut st = shared.lock();
+            st.inflight.retain(|(fid, _)| *fid != id);
+            st.inflight_barriers -= usize::from(barrier);
+            let key = tenant_key(tenant.as_deref());
+            if let Some(load) = st.tenant_load.get_mut(&key) {
+                *load = load.saturating_sub(1);
+            }
+            st.completed += 1;
+            st.per_tenant.entry(key).or_default().completed += 1;
+        }
+        // A completion can unblock a conflicting queue entry for every
+        // waiting worker, and `drain` may be watching.
+        shared.work.notify_all();
+        shared.idle.notify_all();
+        ticket.complete(result);
+    }
+}

@@ -1,0 +1,67 @@
+//! Completion tickets: futures-free handles on submitted workflows.
+
+use crate::ServiceError;
+use restore_core::QueryExecution;
+use std::sync::{Condvar, Mutex};
+
+/// Shared slot a worker fills when the workflow finishes.
+#[derive(Debug, Default)]
+pub(crate) struct Ticket {
+    slot: Mutex<Option<Result<QueryExecution, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Ticket {
+    pub(crate) fn complete(&self, result: Result<QueryExecution, ServiceError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<QueryExecution, ServiceError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+}
+
+/// Handle on one submitted workflow. Obtained from
+/// [`RestoreService::submit`](crate::RestoreService::submit); redeem it
+/// with [`SubmitHandle::wait`].
+#[derive(Debug)]
+pub struct SubmitHandle {
+    pub(crate) id: u64,
+    pub(crate) tenant: Option<String>,
+    pub(crate) ticket: std::sync::Arc<Ticket>,
+}
+
+impl SubmitHandle {
+    /// Service-assigned submission id (monotonic per service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tenant this submission executes as.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// Has the workflow finished (successfully or not)?
+    pub fn is_done(&self) -> bool {
+        self.ticket.is_done()
+    }
+
+    /// Block until the workflow completes and return its result. The
+    /// handle is consumed: the execution result moves to the caller.
+    pub fn wait(self) -> Result<QueryExecution, ServiceError> {
+        self.ticket.wait()
+    }
+}

@@ -1,0 +1,265 @@
+//! Service-layer guarantees:
+//!
+//! 1. admission control sheds load with `Overloaded` /
+//!    `TenantOverloaded` instead of blocking or panicking;
+//! 2. tenants are isolated: one tenant's reuse and sweeps never touch
+//!    another's entries;
+//! 3. cross-workflow scheduling produces byte-identical outputs to
+//!    submitting the same queries sequentially through the plain driver.
+
+use restore_core::{ReStore, ReStoreConfig, SelectionPolicy};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_pigmix::{datagen, queries, DataScale};
+use restore_service::{RestoreService, ServiceConfig, ServiceError};
+
+const SEED: u64 = 0x5EED;
+
+fn engine() -> Engine {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
+    datagen::generate(&dfs, &DataScale::tiny(), SEED).expect("data generation");
+    Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 3 },
+    )
+}
+
+fn service(config: ServiceConfig) -> RestoreService {
+    RestoreService::new(ReStore::new(engine(), ReStoreConfig::default()), config)
+}
+
+/// The per-tenant query mix: one multi-job workflow plus single-job
+/// queries that exercise sub-job reuse.
+fn mix(tag: &str) -> Vec<(String, String)> {
+    vec![
+        (queries::l3(&format!("/out/{tag}/l3")), format!("/wf/{tag}/l3")),
+        (queries::l7(&format!("/out/{tag}/l7")), format!("/wf/{tag}/l7")),
+        (queries::l8(&format!("/out/{tag}/l8")), format!("/wf/{tag}/l8")),
+        (queries::l11(&format!("/out/{tag}/l11")), format!("/wf/{tag}/l11")),
+    ]
+}
+
+#[test]
+fn queue_saturation_sheds_with_overloaded() {
+    let svc = service(ServiceConfig { workers: 2, queue_depth: 3, ..Default::default() });
+    // Pausing dispatch makes saturation deterministic: nothing drains.
+    svc.pause();
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let h = svc
+            .submit(Some("ana"), &queries::l7(&format!("/out/q{i}")), &format!("/wf/q{i}"))
+            .expect("queue has room");
+        handles.push(h);
+    }
+    // The fourth submission is shed, not blocked.
+    let over = svc.submit(Some("ana"), &queries::l7("/out/q3"), "/wf/q3");
+    assert_eq!(over.unwrap_err(), ServiceError::Overloaded { queue_depth: 3 });
+    let stats = svc.stats();
+    assert_eq!((stats.queued, stats.rejected), (3, 1));
+
+    // Resuming drains the queue; every accepted query completes.
+    svc.resume();
+    for h in handles {
+        h.wait().expect("accepted query completes");
+    }
+    // Capacity is available again.
+    svc.submit(Some("ana"), &queries::l7("/out/q4"), "/wf/q4").unwrap().wait().unwrap();
+}
+
+#[test]
+fn tenant_inflight_cap_rejects_tenant_only() {
+    let svc = service(ServiceConfig {
+        workers: 2,
+        queue_depth: 16,
+        max_inflight_per_tenant: 1,
+        ..Default::default()
+    });
+    svc.pause();
+    let a = svc.submit(Some("ana"), &queries::l7("/out/a0"), "/wf/a0").unwrap();
+    let denied = svc.submit(Some("ana"), &queries::l7("/out/a1"), "/wf/a1");
+    assert_eq!(
+        denied.unwrap_err(),
+        ServiceError::TenantOverloaded { tenant: "ana".into(), max_inflight: 1 }
+    );
+    // Another tenant is unaffected by ana's cap.
+    let b = svc.submit(Some("bo"), &queries::l7("/out/b0"), "/wf/b0").unwrap();
+    svc.resume();
+    a.wait().unwrap();
+    b.wait().unwrap();
+    // With ana's workflow done, her slot frees up.
+    svc.submit(Some("ana"), &queries::l7("/out/a2"), "/wf/a2").unwrap().wait().unwrap();
+}
+
+#[test]
+fn tenant_sweeps_and_reuse_are_isolated() {
+    let config = ReStoreConfig {
+        selection: SelectionPolicy { eviction_window: Some(2), ..Default::default() },
+        ..Default::default()
+    };
+    let svc = RestoreService::new(
+        ReStore::new(engine(), config),
+        ServiceConfig { workers: 2, ..Default::default() },
+    );
+
+    // bo populates his namespace, then goes idle.
+    svc.submit(Some("bo"), &queries::l7("/out/bo/l7"), "/wf/bo/l7").unwrap().wait().unwrap();
+    let bo_entries = svc.restore().stats_as(Some("bo")).repository_entries;
+    assert!(bo_entries > 0);
+
+    // ana's traffic advances the shared clock far past bo's window; each
+    // of her queries runs an eviction sweep — in ana's space only.
+    for i in 0..8 {
+        svc.submit(Some("ana"), &queries::l7(&format!("/out/ana/{i}")), &format!("/wf/ana/{i}"))
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+
+    assert_eq!(
+        svc.restore().stats_as(Some("bo")).repository_entries,
+        bo_entries,
+        "ana's sweeps must not evict bo's entries"
+    );
+    svc.restore().with_repository_as(Some("bo"), |repo| {
+        for e in repo.entries() {
+            assert!(
+                svc.restore().engine().dfs().exists(&e.output_path),
+                "bo's output {} deleted by another tenant's sweep",
+                e.output_path
+            );
+        }
+    });
+
+    // No cross-tenant reuse: bo rerunning ana's exact query text (fresh
+    // output path) still executes jobs.
+    let cold = svc.submit(Some("carol"), &queries::l7("/out/carol/l7"), "/wf/carol/l7").unwrap();
+    let exec = cold.wait().unwrap();
+    assert_eq!(exec.jobs_skipped, 0, "carol must not reuse ana's or bo's entries");
+}
+
+/// The acceptance bar: an 8-worker mixed-tenant run with cross-workflow
+/// scheduling produces byte-identical outputs to the same queries
+/// submitted sequentially through the plain driver.
+#[test]
+fn cross_workflow_scheduling_matches_sequential_driver() {
+    let tenants = ["ana", "bo", "carol"];
+
+    // Baseline: plain driver, strictly sequential submission order.
+    let baseline = ReStore::new(engine(), ReStoreConfig::default());
+    let mut expected: Vec<Vec<u8>> = Vec::new();
+    for t in &tenants {
+        for (q, prefix) in mix(t) {
+            let e = baseline.execute_query_as(Some(t), &q, &prefix).unwrap();
+            expected.push(baseline.engine().dfs().read_all(&e.final_output).unwrap());
+        }
+    }
+
+    // Service: same queries, 8 workers, cross-workflow overlap enabled.
+    let svc = service(ServiceConfig {
+        workers: 8,
+        queue_depth: 64,
+        max_inflight_per_tenant: 16,
+        cross_workflow: true,
+    });
+    let mut handles = Vec::new();
+    for t in &tenants {
+        for (q, prefix) in mix(t) {
+            handles.push(svc.submit(Some(t), &q, &prefix).unwrap());
+        }
+    }
+    let mut got = Vec::new();
+    for h in handles {
+        let e = h.wait().expect("service query completes");
+        got.push(svc.restore().engine().dfs().read_all(&e.final_output).unwrap());
+    }
+    assert_eq!(got, expected, "service outputs must be byte-identical to sequential driver");
+
+    let stats = svc.stats();
+    assert_eq!(stats.completed, (tenants.len() * 4) as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.tenants.len(), tenants.len());
+}
+
+/// Two identical submissions racing on the same paths: the footprint
+/// probe serializes them, so the second is answered from the first's
+/// repository entries instead of colliding on the DFS.
+#[test]
+fn conflicting_submissions_serialize_in_order() {
+    let svc = service(ServiceConfig { workers: 4, ..Default::default() });
+    let q = queries::l3("/out/same");
+    let first = svc.submit(Some("ana"), &q, "/wf/same").unwrap();
+    let second = svc.submit(Some("ana"), &q, "/wf/same").unwrap();
+    let e1 = first.wait().expect("first run executes");
+    let e2 = second.wait().expect("second run must not race the first");
+    assert_eq!(e1.jobs_skipped, 0);
+    assert!(e2.jobs_skipped > 0, "second identical query is served from the repository");
+    assert_eq!(
+        svc.restore().engine().dfs().read_all(&e1.final_output).unwrap(),
+        svc.restore().engine().dfs().read_all(&e2.final_output).unwrap(),
+    );
+}
+
+/// Strict-§5 stress: many rounds of multi-job workflows race over 8
+/// workers while every query runs an eviction sweep with a 1-tick
+/// window. Entry pinning must keep both matched outputs *and* each
+/// workflow's own registered intermediates alive until consumed — any
+/// regression surfaces as a `FileNotFound` here.
+#[test]
+fn strict_eviction_under_service_concurrency_never_loses_files() {
+    let strict = ReStoreConfig {
+        selection: SelectionPolicy { eviction_window: Some(1), ..Default::default() },
+        // Paper-experiment mode: final outputs stay user-owned so they
+        // are never swept and remain readable below.
+        register_final_outputs: false,
+        ..Default::default()
+    };
+    let svc = RestoreService::new(
+        ReStore::new(engine(), strict),
+        ServiceConfig {
+            workers: 8,
+            queue_depth: 64,
+            max_inflight_per_tenant: 64,
+            ..Default::default()
+        },
+    );
+    let mut handles = Vec::new();
+    for round in 0..4 {
+        for t in ["ana", "bo"] {
+            for (q, prefix) in mix(&format!("r{round}/{t}")) {
+                handles.push(svc.submit(Some(t), &q, &prefix).unwrap());
+            }
+        }
+    }
+    let mut outputs: Vec<Vec<restore_common::Tuple>> = Vec::new();
+    for h in handles {
+        let e = h.wait().expect("strict-policy query must not hit FileNotFound");
+        let bytes = svc.restore().engine().dfs().read_all(&e.final_output).unwrap();
+        let mut t = restore_common::codec::decode_all(&bytes).unwrap();
+        t.sort();
+        outputs.push(t);
+    }
+    // Every round answers each query identically.
+    let per_round = 8;
+    for r in 1..4 {
+        for i in 0..per_round {
+            assert_eq!(outputs[r * per_round + i], outputs[i], "round {r} query {i} diverged");
+        }
+    }
+}
+
+#[test]
+fn shutdown_drains_accepted_work() {
+    let svc = service(ServiceConfig { workers: 2, ..Default::default() });
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            svc.submit(Some("ana"), &queries::l8(&format!("/out/s{i}")), &format!("/wf/s{i}"))
+                .unwrap()
+        })
+        .collect();
+    svc.shutdown();
+    for h in handles {
+        h.wait().expect("accepted work completes before shutdown returns");
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`mapreduce`] | `restore-mapreduce` | MR engine + cluster cost model |
 //! | [`dataflow`] | `restore-dataflow` | Pig-Latin subset compiler |
 //! | [`core`] | `restore-core` | the ReStore system itself |
+//! | [`service`] | `restore-service` | multi-tenant query-submission service |
 //! | [`pigmix`] | `restore-pigmix` | PigMix workloads and data generators |
 
 pub use restore_common as common;
@@ -24,3 +25,4 @@ pub use restore_dataflow as dataflow;
 pub use restore_dfs as dfs;
 pub use restore_mapreduce as mapreduce;
 pub use restore_pigmix as pigmix;
+pub use restore_service as service;
