@@ -34,6 +34,10 @@ pub enum Error {
     Workflow(String),
     /// Repository (de)serialization failure.
     Repository(String),
+    /// A serialized `restore-state` document failed to parse. Carries
+    /// the 1-based line number and the offending line so operators can
+    /// pinpoint corruption in a snapshot file.
+    State { line: usize, msg: String },
     /// Record decoding failure when reading DFS files.
     Codec(String),
     /// Catch-all with context.
@@ -60,6 +64,9 @@ impl fmt::Display for Error {
             Error::Job(m) => write!(f, "job error: {m}"),
             Error::Workflow(m) => write!(f, "workflow error: {m}"),
             Error::Repository(m) => write!(f, "repository error: {m}"),
+            Error::State { line, msg } => {
+                write!(f, "restore-state parse error at line {line}: {msg}")
+            }
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Other(m) => write!(f, "{m}"),
         }

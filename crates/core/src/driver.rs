@@ -50,7 +50,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// ReStore configuration.
-#[derive(Debug, Clone)]
+///
+/// One instance is the session-wide default; each tenant namespace may
+/// carry its own override (see [`ReStore::set_config_as`]), and every
+/// execution path — the reuse heuristic, §5 selection, eviction sweeps,
+/// candidate prefixes — reads the submitting tenant's effective policy.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReStoreConfig {
     /// Rewrite incoming jobs to reuse repository outputs (§3).
     pub reuse_enabled: bool,
@@ -195,12 +200,14 @@ pub struct ReStore {
 }
 
 /// One isolated repository namespace: the §2.2 repository, its
-/// provenance table, and the pin set protecting its in-flight matches.
+/// provenance table, the pin set protecting its in-flight matches, and
+/// the tenant's policy override (`None` = follow the global default).
 #[derive(Debug, Default)]
 pub(crate) struct Space {
     pub(crate) repo: RwLock<Repository>,
     pub(crate) prov: RwLock<Provenance>,
     pub(crate) pins: PinSet,
+    pub(crate) config: RwLock<Option<ReStoreConfig>>,
 }
 
 /// Pins taken by one in-flight workflow. Dropping the guard releases
@@ -296,12 +303,20 @@ impl ReStore {
         &self.engine
     }
 
+    /// An empty tenant name means the default namespace — the same
+    /// normalization the service applies at admission, so the two layers
+    /// always agree on which namespace (and which policy) serves a
+    /// submission.
+    fn normalize(tenant: Option<&str>) -> Option<&str> {
+        tenant.filter(|t| !t.is_empty())
+    }
+
     /// The namespace serving `tenant` (`None` = the default namespace),
     /// created on first use. Only execution paths call this; read-only
     /// introspection uses [`ReStore::space_snapshot`] so probing an
     /// unknown tenant never leaks an empty namespace into the map.
     fn space_for(&self, tenant: Option<&str>) -> Arc<Space> {
-        let Some(t) = tenant else {
+        let Some(t) = Self::normalize(tenant) else {
             return self.space.clone();
         };
         if let Some(s) = self.tenants.read().get(t) {
@@ -314,7 +329,7 @@ impl ReStore {
     /// gets a detached empty space (reported as zero entries) instead of
     /// being created.
     fn space_snapshot(&self, tenant: Option<&str>) -> Arc<Space> {
-        let Some(t) = tenant else {
+        let Some(t) = Self::normalize(tenant) else {
             return self.space.clone();
         };
         self.tenants.read().get(t).cloned().unwrap_or_default()
@@ -407,16 +422,95 @@ impl ReStore {
         f(&repo)
     }
 
-    /// Snapshot of the active configuration.
+    /// Run `f` with exclusive access to a tenant's repository (`None` =
+    /// the default namespace; the namespace is created if absent).
+    /// Blocks matching and registration in that namespace while `f`
+    /// runs.
+    pub fn with_repository_mut_as<R>(
+        &self,
+        tenant: Option<&str>,
+        f: impl FnOnce(&mut Repository) -> R,
+    ) -> R {
+        let space = self.space_for(tenant);
+        let mut repo = space.repo.write();
+        f(&mut repo)
+    }
+
+    /// Run `f` with read access to a tenant's provenance table (`None` =
+    /// the default namespace).
+    pub fn with_provenance_as<R>(
+        &self,
+        tenant: Option<&str>,
+        f: impl FnOnce(&Provenance) -> R,
+    ) -> R {
+        let space = self.space_snapshot(tenant);
+        let prov = space.prov.read();
+        f(&prov)
+    }
+
+    /// Run `f` with exclusive access to a tenant's provenance table
+    /// (`None` = the default namespace; the namespace is created if
+    /// absent).
+    pub fn with_provenance_mut_as<R>(
+        &self,
+        tenant: Option<&str>,
+        f: impl FnOnce(&mut Provenance) -> R,
+    ) -> R {
+        let space = self.space_for(tenant);
+        let mut prov = space.prov.write();
+        f(&mut prov)
+    }
+
+    /// Snapshot of the global (default) configuration.
     pub fn config(&self) -> ReStoreConfig {
         self.config.read().clone()
     }
 
-    /// Change configuration between queries (experiments flip reuse and
-    /// heuristics while keeping the warmed repository). Queries already
-    /// in flight keep the configuration they started with.
+    /// Change the global configuration between queries (experiments flip
+    /// reuse and heuristics while keeping the warmed repository).
+    /// Queries already in flight keep the configuration they started
+    /// with; tenants with an override (see [`ReStore::set_config_as`])
+    /// are unaffected.
     pub fn set_config(&self, config: ReStoreConfig) {
         *self.config.write() = config;
+    }
+
+    /// The effective configuration for `tenant`: its override when one
+    /// is set, the global default otherwise (`None` or an empty name =
+    /// the default namespace, which always follows the global config).
+    pub fn config_as(&self, tenant: Option<&str>) -> ReStoreConfig {
+        match Self::normalize(tenant) {
+            None => self.config(),
+            Some(_) => {
+                let space = self.space_snapshot(tenant);
+                let override_cfg = space.config.read().clone();
+                override_cfg.unwrap_or_else(|| self.config())
+            }
+        }
+    }
+
+    /// Set a tenant's policy override: that tenant's queries now run
+    /// with `config` — heuristic, §5 selection, eviction sweeps, quotas
+    /// — independent of the global default. With `tenant = None` (or an
+    /// empty name) this sets the global configuration itself. Queries
+    /// already in flight keep the configuration they started with.
+    pub fn set_config_as(&self, tenant: Option<&str>, config: ReStoreConfig) {
+        match Self::normalize(tenant) {
+            None => self.set_config(config),
+            Some(_) => {
+                let space = self.space_for(tenant);
+                *space.config.write() = Some(config);
+            }
+        }
+    }
+
+    /// Drop a tenant's policy override; its queries follow the global
+    /// default again. A no-op for unknown tenants and for the default
+    /// namespace.
+    pub fn clear_config_as(&self, tenant: &str) {
+        if let Some(space) = self.tenants.read().get(tenant) {
+            *space.config.write() = None;
+        }
     }
 
     /// Compile and execute a query text in the default namespace.
@@ -452,8 +546,11 @@ impl ReStore {
         wf: CompiledWorkflow,
     ) -> Result<QueryExecution> {
         let tick = self.tick.fetch_add(1, Ordering::SeqCst) + 1;
-        let config = self.config();
         let space = self.space_for(tenant);
+        // The submitting tenant's policy governs this execution end to
+        // end: reuse, heuristic, §5 selection, sweeps, and candidate
+        // placement all read this snapshot.
+        let config = space.config.read().clone().unwrap_or_else(|| self.config());
         // Pins taken at match time live until the whole workflow (whose
         // later waves may Load the matched outputs) has executed.
         let mut pins = PinGuard::new(space.clone(), self.engine.dfs().clone());
@@ -958,54 +1055,141 @@ impl ReStore {
         }
     }
 
-    /// Serialize the ReStore session state: the default namespace's
-    /// repository and provenance plus the counters. Paired with
+    /// Serialize the full ReStore session state (`restore-state v2`):
+    /// the counters, the global configuration, and **every** namespace —
+    /// default and per-tenant — with its repository, provenance table,
+    /// and (when set) its policy override. Paired with
     /// [`ReStore::load_state`], this lets a new process resume with
     /// everything a previous session learned (§2.2's repository is
-    /// persistent in spirit; the DFS holds the outputs). Tenant
-    /// namespaces are not serialized; they are rebuilt from traffic.
+    /// persistent in spirit; the DFS holds the outputs).
+    ///
+    /// Snapshots are consistent under load: each namespace is captured
+    /// under its own locks with the pin set consulted first, so entries
+    /// whose files have a **pending deferred deletion** (evicted while
+    /// pinned by an in-flight workflow) — or are already gone from the
+    /// DFS — are excluded rather than serialized as dangling paths.
+    /// Tenants are written in sorted order, so re-saving a loaded state
+    /// is byte-identical.
     pub fn save_state(&self) -> String {
-        format!(
-            "restore-state v1\ntick {}\ncand {}\n--provenance--\n{}--repository--\n{}",
+        let mut out = format!(
+            "{}\ntick {}\ncand {}\n--config--\n{}",
+            crate::state::V2_HEADER,
             self.tick.load(Ordering::SeqCst),
             self.cand_counter.load(Ordering::SeqCst),
-            self.space.prov.read().save(),
-            self.space.repo.read().save(),
+            crate::state::encode_config(&self.config()),
+        );
+        out.push_str(&self.save_space("", &self.space));
+        let mut tenants: Vec<(String, Arc<Space>)> =
+            self.tenants.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, space) in tenants {
+            out.push_str(&self.save_space(&name, &space));
+        }
+        out
+    }
+
+    /// Serialize the session in the **legacy v1 format**: counters plus
+    /// the default namespace only, no configuration. Kept for
+    /// compatibility tooling and round-trip tests; new snapshots should
+    /// use [`ReStore::save_state`].
+    pub fn save_state_v1(&self) -> String {
+        let (prov_text, repo_text) = self.capture_space_tables(&self.space);
+        format!(
+            "{}\ntick {}\ncand {}\n--provenance--\n{}--repository--\n{}",
+            crate::state::V1_HEADER,
+            self.tick.load(Ordering::SeqCst),
+            self.cand_counter.load(Ordering::SeqCst),
+            prov_text,
+            repo_text,
         )
     }
 
-    /// Restore a session serialized by [`ReStore::save_state`]. The DFS
-    /// handle (and the stored output files in it) come from the engine
-    /// this instance was built with.
+    /// Serialize one namespace's provenance and repository with
+    /// condemned paths excluded. The deferred-deletion set is captured
+    /// **while holding the table read locks**: deferrals come from
+    /// eviction sweeps, which hold the repository write lock, so none
+    /// can land between the capture and the serialization — a deferral
+    /// either completed before we locked (and its path is excluded) or
+    /// is blocked until we finish. A path in the set still exists on
+    /// the DFS right now but is deleted the moment its last pin drops,
+    /// so serializing it would hand a restarted session dangling
+    /// references.
+    fn capture_space_tables(&self, space: &Space) -> (String, String) {
+        // Lock discipline: provenance before repository (see stats_as).
+        let prov = space.prov.read();
+        let repo = space.repo.read();
+        let deferred: HashSet<String> = space.pins.deferred_paths().into_iter().collect();
+        let dfs = self.engine.dfs();
+        let live = |p: &str| !deferred.contains(p) && dfs.exists(p);
+        (prov.save_filtered(live), repo.save_filtered(live))
+    }
+
+    /// One `--space--` section: the namespace's policy override (if
+    /// any), provenance, and repository, with condemned paths excluded.
+    fn save_space(&self, name: &str, space: &Space) -> String {
+        let config = space.config.read().clone();
+        let (prov_text, repo_text) = self.capture_space_tables(space);
+        let mut out = format!("--space {name:?}--\n");
+        if let Some(c) = config {
+            out.push_str("--config--\n");
+            out.push_str(&crate::state::encode_config(&c));
+        }
+        out.push_str("--provenance--\n");
+        out.push_str(&prov_text);
+        out.push_str("--repository--\n");
+        out.push_str(&repo_text);
+        out
+    }
+
+    /// Restore a session serialized by [`ReStore::save_state`] (v2) or
+    /// by a pre-v2 release ([`ReStore::save_state_v1`]'s format). The
+    /// DFS handle (and the stored output files in it) come from the
+    /// engine this instance was built with.
+    ///
+    /// A v2 document replaces the whole session: global config, every
+    /// tenant namespace (existing tenant state is dropped), and the
+    /// counters. A v1 document predates tenant serialization and loads
+    /// into the default namespace only, leaving tenants and the global
+    /// config untouched.
+    ///
+    /// Call on a quiesced session (no workflows in flight) — the
+    /// service's `restore` entry point arranges that. Malformed input
+    /// yields [`Error::State`] naming the offending line.
     pub fn load_state(&self, text: &str) -> Result<()> {
-        let header_err = || Error::Repository("malformed restore-state".into());
-        let mut lines = text.lines();
-        if lines.next() != Some("restore-state v1") {
-            return Err(header_err());
+        let loaded = crate::state::parse(text)?;
+        if let Some(global) = loaded.global_config {
+            // v2: a full-session restore. Reset the default namespace
+            // up front so a document without a `--space ""--` section
+            // (e.g. hand-pruned) still replaces the whole session
+            // instead of leaving stale default-namespace state behind.
+            self.set_config(global);
+            *self.space.prov.write() = Provenance::default();
+            *self.space.repo.write() = Repository::default();
+            *self.space.config.write() = None;
+            let mut tenants = self.tenants.write();
+            tenants.clear();
+            for sp in loaded.spaces {
+                if sp.name.is_empty() {
+                    *self.space.prov.write() = sp.prov;
+                    *self.space.repo.write() = sp.repo;
+                    *self.space.config.write() = None;
+                } else {
+                    let space = Arc::new(Space::default());
+                    *space.prov.write() = sp.prov;
+                    *space.repo.write() = sp.repo;
+                    *space.config.write() = sp.config;
+                    tenants.insert(sp.name, space);
+                }
+            }
+        } else {
+            // v1: default namespace only.
+            for sp in loaded.spaces {
+                *self.space.prov.write() = sp.prov;
+                *self.space.repo.write() = sp.repo;
+            }
         }
-        let tick: u64 = lines
-            .next()
-            .and_then(|l| l.strip_prefix("tick "))
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(header_err)?;
-        let cand: u64 = lines
-            .next()
-            .and_then(|l| l.strip_prefix("cand "))
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(header_err)?;
-        if lines.next() != Some("--provenance--") {
-            return Err(header_err());
-        }
-        let rest: Vec<&str> = lines.collect();
-        let split = rest.iter().position(|&l| l == "--repository--").ok_or_else(header_err)?;
-        let prov_text = rest[..split].join("\n");
-        let repo_text = rest[split + 1..].join("\n");
-        let loaded_prov = Provenance::load(&prov_text)?;
-        let loaded_repo = Repository::load(&repo_text)?;
-        *self.space.prov.write() = loaded_prov;
-        *self.space.repo.write() = loaded_repo;
-        self.tick.store(tick, Ordering::SeqCst);
-        self.cand_counter.store(cand, Ordering::SeqCst);
+        self.tick.store(loaded.tick, Ordering::SeqCst);
+        self.cand_counter.store(loaded.cand, Ordering::SeqCst);
         Ok(())
     }
 
@@ -1148,6 +1332,83 @@ mod tests {
         // Dropping the workflow's pins performs the deferred deletion.
         drop(pins);
         assert!(!rs.engine().dfs().exists(&reused), "deferred deletion runs at last unpin");
+    }
+
+    /// A snapshot taken while a deferred deletion is pending must not
+    /// serialize the condemned path: its file still exists at save time
+    /// but is deleted the moment the pinning workflow finishes, so a
+    /// restarted session would hold dangling references.
+    #[test]
+    fn snapshot_excludes_paths_with_pending_deferred_deletion() {
+        let config = ReStoreConfig {
+            selection: SelectionPolicy { eviction_window: Some(1), ..Default::default() },
+            ..Default::default()
+        };
+        let rs = ReStore::new(engine(), config);
+        rs.execute_query(&two_job_query("/out/cold"), "/wf/cold").unwrap();
+
+        // T1 matches and pins the stored join output.
+        let wf = restore_dataflow::compile(&two_job_query("/out/warm"), "/wf/warm").unwrap();
+        let space = rs.space_for(None);
+        let mut pins = PinGuard::new(space.clone(), rs.engine().dfs().clone());
+        let mut aliases = HashMap::new();
+        let mut rewrites = Vec::new();
+        let cfg = rs.config();
+        let prep = rs
+            .prepare_job(&space, None, &wf, 0, 2, &cfg, &mut aliases, &mut rewrites, &mut pins)
+            .unwrap();
+        let Prepared::Skipped { dst } = prep else { panic!("join job should be skipped") };
+        let reused = resolve_alias(&aliases, &dst);
+
+        // Before any eviction, the path is serialized (control).
+        assert!(rs.save_state().contains(&format!("{reused:?}")));
+
+        // T2's sweep evicts everything; the pinned file's deletion is
+        // deferred, so it still exists on the DFS…
+        cfg.selection.sweep_shared(&space.repo, rs.engine().dfs(), &space.pins, 99);
+        assert!(rs.engine().dfs().exists(&reused));
+
+        // …but a snapshot taken now must exclude it everywhere.
+        let state = rs.save_state();
+        assert!(
+            !state.contains(&format!("{reused:?}")),
+            "a condemned path must not enter the snapshot:\n{state}"
+        );
+        let resumed = ReStore::new(engine(), ReStoreConfig::default());
+        resumed.load_state(&state).unwrap();
+        resumed.with_provenance_as(None, |prov| assert!(!prov.contains(&reused)));
+        resumed.with_repository_as(None, |repo| {
+            assert!(repo.entries().iter().all(|e| e.output_path != reused));
+        });
+
+        // The legacy writer applies the same exclusion.
+        assert!(!rs.save_state_v1().contains(&format!("{reused:?}")));
+        drop(pins);
+        assert!(!rs.engine().dfs().exists(&reused), "deferred deletion still fires");
+    }
+
+    /// Paths whose files are already gone from the DFS (deleted out of
+    /// band, e.g. by an operator) are likewise excluded from snapshots.
+    #[test]
+    fn snapshot_excludes_paths_missing_from_the_dfs() {
+        let rs = ReStore::new(engine(), ReStoreConfig::default());
+        rs.execute_query(&two_job_query("/out/cold"), "/wf/cold").unwrap();
+        let stored: Vec<String> =
+            rs.repository().entries().iter().map(|e| e.output_path.clone()).collect();
+        assert!(!stored.is_empty());
+        let victim = stored[0].clone();
+        rs.engine().dfs().delete(&victim);
+        let state = rs.save_state();
+        assert!(
+            !state.contains(&format!("{victim:?}")),
+            "a path with no file behind it must not enter the snapshot"
+        );
+        // The snapshot still loads and serves the surviving entries.
+        let resumed = ReStore::new(engine(), ReStoreConfig::default());
+        resumed.load_state(&state).unwrap();
+        resumed.with_repository_as(None, |repo| {
+            assert_eq!(repo.len(), stored.len() - 1);
+        });
     }
 
     /// A path handed to the caller as `final_output` must survive the

@@ -30,9 +30,11 @@ pub mod provenance;
 pub mod repository;
 pub mod rewriter;
 pub mod selector;
+mod state;
 
 pub use driver::{footprints_conflict, QueryExecution, ReStore, ReStoreConfig, ReStoreStats};
 pub use enumerator::Heuristic;
 pub use pin::PinSet;
+pub use provenance::Provenance;
 pub use repository::{RepoEntry, RepoStats, Repository};
 pub use selector::SelectionPolicy;

@@ -65,6 +65,14 @@ impl PinSet {
         self.inner.lock().preserved.insert(path.to_string());
     }
 
+    /// Paths with a deletion deferred to their last unpin. Their files
+    /// still exist right now, but are already condemned: a snapshot
+    /// must not serialize them, or it would reference dangling paths
+    /// the moment the in-flight workflows finish.
+    pub fn deferred_paths(&self) -> Vec<String> {
+        self.inner.lock().deferred.iter().cloned().collect()
+    }
+
     /// Ask to delete `path`. If it is pinned, the deletion is deferred
     /// until the last pin drops and `true` is returned; otherwise the
     /// caller owns the deletion and `false` is returned.

@@ -81,7 +81,13 @@ impl Provenance {
 
     /// Serialize the table (paths sorted for determinism).
     pub fn save(&self) -> String {
-        let mut paths: Vec<&String> = self.plans.keys().collect();
+        self.save_filtered(|_| true)
+    }
+
+    /// Like [`Provenance::save`], but only records whose path satisfies
+    /// `keep` are written (see `Repository::save_filtered`).
+    pub fn save_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
+        let mut paths: Vec<&String> = self.plans.keys().filter(|p| keep(p)).collect();
         paths.sort();
         let mut out = String::new();
         for p in paths {

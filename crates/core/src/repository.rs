@@ -260,8 +260,20 @@ impl Repository {
 
     /// Serialize the repository (plans, paths, stats) to a durable string.
     pub fn save(&self) -> String {
+        self.save_filtered(|_| true)
+    }
+
+    /// Like [`Repository::save`], but only entries whose output path
+    /// satisfies `keep` are written. The driver's `save_state` passes a
+    /// liveness predicate so entries condemned by a pending deferred
+    /// deletion (or already gone from the DFS) never enter a snapshot
+    /// as dangling paths.
+    pub fn save_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
         let mut out = String::new();
         for e in &self.entries {
+            if !keep(&e.output_path) {
+                continue;
+            }
             out.push_str(&format!(
                 "entry {} {:?} {} {} {} {} {} {} {} {}\n",
                 e.id,

@@ -18,7 +18,12 @@ use parking_lot::RwLock;
 use restore_dfs::Dfs;
 
 /// Configuration of the §5 rules.
-#[derive(Debug, Clone)]
+///
+/// With per-tenant policies (see `ReStore::set_config_as`) each tenant
+/// namespace can carry its own instance: sweeps run with the submitting
+/// tenant's rules, and the policy is serialized with the tenant's state
+/// in `restore-state v2` (`PartialEq` lets round-trip tests compare).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectionPolicy {
     /// Store every candidate regardless of rules 1–2 (the paper's
     /// experimental setting: "we store the outputs of all candidate jobs

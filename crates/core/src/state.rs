@@ -1,0 +1,354 @@
+//! `restore-state` (de)serialization: the durable session format.
+//!
+//! Two wire versions exist:
+//!
+//! * **v1** (legacy) — tick/cand counters plus the *default* namespace's
+//!   provenance and repository. Written by earlier releases; still
+//!   accepted by [`ReStore::load_state`](crate::ReStore::load_state),
+//!   which loads it into the default namespace.
+//! * **v2** (current) — everything a shared session knows: the global
+//!   configuration, the counters, and **every** namespace (default and
+//!   per-tenant) with its repository, provenance table, and — when the
+//!   tenant carries a policy override — its `ReStoreConfig`.
+//!
+//! The format is line-oriented. Section headers are `--config--`,
+//! `--provenance--`, `--repository--`, and `--space "<tenant>"--` (the
+//! empty name is the default namespace); body lines never begin with
+//! `--`, so sections split unambiguously. Tenants are written in sorted
+//! order and config fields in a fixed order, which makes
+//! `save_state → load_state → save_state` byte-identical.
+//!
+//! Parse failures surface as [`Error::State`] carrying the 1-based line
+//! number and the offending line, so a corrupt snapshot points at
+//! itself instead of a generic "malformed restore-state".
+
+use crate::driver::ReStoreConfig;
+use crate::enumerator::Heuristic;
+use crate::provenance::Provenance;
+use crate::repository::Repository;
+use restore_common::{Error, Result};
+use restore_dataflow::physical::PhysicalOp;
+
+pub(crate) const V1_HEADER: &str = "restore-state v1";
+pub(crate) const V2_HEADER: &str = "restore-state v2";
+
+/// One deserialized namespace (`name == ""` is the default).
+pub(crate) struct LoadedSpace {
+    pub name: String,
+    pub config: Option<ReStoreConfig>,
+    pub prov: Provenance,
+    pub repo: Repository,
+}
+
+/// A fully deserialized `restore-state` document.
+pub(crate) struct LoadedState {
+    pub tick: u64,
+    pub cand: u64,
+    /// The global (default) policy; `None` for v1 documents, which
+    /// predate config serialization.
+    pub global_config: Option<ReStoreConfig>,
+    pub spaces: Vec<LoadedSpace>,
+}
+
+/// Typed parse error pointing at a 1-based document line.
+fn err_at(line_idx: usize, msg: impl Into<String>) -> Error {
+    Error::State { line: line_idx + 1, msg: msg.into() }
+}
+
+// ---- config codec ----
+
+fn heuristic_name(h: Heuristic) -> &'static str {
+    match h {
+        Heuristic::None => "none",
+        Heuristic::Conservative => "conservative",
+        Heuristic::Aggressive => "aggressive",
+        Heuristic::NoHeuristic => "no-heuristic",
+    }
+}
+
+fn heuristic_from(name: &str) -> Option<Heuristic> {
+    match name {
+        "none" => Some(Heuristic::None),
+        "conservative" => Some(Heuristic::Conservative),
+        "aggressive" => Some(Heuristic::Aggressive),
+        "no-heuristic" => Some(Heuristic::NoHeuristic),
+        _ => None,
+    }
+}
+
+/// Serialize a configuration as `key value` lines in fixed order (the
+/// fixed order is what makes re-saving a loaded state byte-identical).
+pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
+    let window = match c.selection.eviction_window {
+        Some(w) => w.to_string(),
+        None => "none".to_string(),
+    };
+    format!(
+        "reuse_enabled {}\nheuristic {}\nrepo_prefix {:?}\ndelete_tmp {}\n\
+         register_final_outputs {}\nwave_parallel {}\nstore_all {}\n\
+         require_size_reduction {}\nrequire_time_benefit {}\nreload_read_bps {}\n\
+         eviction_window {}\ncheck_input_versions {}\n",
+        c.reuse_enabled,
+        heuristic_name(c.heuristic),
+        c.repo_prefix,
+        c.delete_tmp,
+        c.register_final_outputs,
+        c.wave_parallel,
+        c.selection.store_all,
+        c.selection.require_size_reduction,
+        c.selection.require_time_benefit,
+        c.selection.reload_read_bps,
+        window,
+        c.selection.check_input_versions,
+    )
+}
+
+/// Decode `key value` config lines. `base` is the document index of the
+/// first line, used for error positions. Unknown keys and malformed
+/// values are errors; missing keys keep their defaults (older snapshots
+/// stay loadable if fields are added later).
+pub(crate) fn decode_config(lines: &[&str], base: usize) -> Result<ReStoreConfig> {
+    let mut c = ReStoreConfig::default();
+    for (i, line) in lines.iter().enumerate() {
+        let at = base + i;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| err_at(at, format!("config line has no value: {line:?}")))?;
+        let bad = || err_at(at, format!("bad value for config key {key}: {line:?}"));
+        let parse_bool = |v: &str| match v {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            _ => Err(bad()),
+        };
+        match key {
+            "reuse_enabled" => c.reuse_enabled = parse_bool(value)?,
+            "heuristic" => c.heuristic = heuristic_from(value).ok_or_else(bad)?,
+            "repo_prefix" => c.repo_prefix = unquote(value, at)?,
+            "delete_tmp" => c.delete_tmp = parse_bool(value)?,
+            "register_final_outputs" => c.register_final_outputs = parse_bool(value)?,
+            "wave_parallel" => c.wave_parallel = parse_bool(value)?,
+            "store_all" => c.selection.store_all = parse_bool(value)?,
+            "require_size_reduction" => c.selection.require_size_reduction = parse_bool(value)?,
+            "require_time_benefit" => c.selection.require_time_benefit = parse_bool(value)?,
+            "reload_read_bps" => c.selection.reload_read_bps = value.parse().map_err(|_| bad())?,
+            "eviction_window" => {
+                c.selection.eviction_window = match value {
+                    "none" => None,
+                    v => Some(v.parse().map_err(|_| bad())?),
+                }
+            }
+            "check_input_versions" => c.selection.check_input_versions = parse_bool(value)?,
+            _ => return Err(err_at(at, format!("unknown config key {key:?}"))),
+        }
+    }
+    Ok(c)
+}
+
+/// Invert `{:?}` string quoting (reuses the plan-text unquoter, the
+/// same shim the provenance loader uses). The input must actually be
+/// quoted — the plan-text parser also accepts bare tokens, which would
+/// let malformed headers slip through.
+fn unquote(s: &str, at: usize) -> Result<String> {
+    if !(s.len() >= 2 && s.starts_with('"') && s.ends_with('"')) {
+        return Err(err_at(at, format!("expected a quoted string, got {s}")));
+    }
+    let plan = crate::plan_text::decode_plan(&format!("0 load {s}\n"))
+        .map_err(|_| err_at(at, format!("bad quoted string {s}")))?;
+    match plan.op(plan.loads()[0]) {
+        PhysicalOp::Load { path } => Ok(path.clone()),
+        _ => Err(err_at(at, format!("bad quoted string {s}"))),
+    }
+}
+
+// ---- document structure ----
+
+/// Is this line a section header (`--…--`)?
+fn is_header(line: &str) -> bool {
+    line.len() >= 4 && line.starts_with("--") && line.ends_with("--")
+}
+
+/// Collect body lines from `idx` until the next section header (or the
+/// end of the document); returns the body slice bounds.
+fn body_end(lines: &[&str], mut idx: usize) -> usize {
+    while idx < lines.len() && !is_header(lines[idx]) {
+        idx += 1;
+    }
+    idx
+}
+
+fn parse_counter(lines: &[&str], idx: usize, key: &str) -> Result<u64> {
+    lines
+        .get(idx)
+        .and_then(|l| l.strip_prefix(key))
+        .and_then(|l| l.strip_prefix(' '))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| {
+            err_at(
+                idx,
+                format!("expected \"{key} <number>\", got {:?}", lines.get(idx).unwrap_or(&"")),
+            )
+        })
+}
+
+/// Parse a `--provenance--` + `--repository--` pair starting at `idx`.
+/// Returns the loaded tables and the index just past the repository
+/// body.
+fn parse_tables(lines: &[&str], idx: usize) -> Result<(Provenance, Repository, usize)> {
+    if lines.get(idx).copied() != Some("--provenance--") {
+        return Err(err_at(
+            idx,
+            format!("expected --provenance--, got {:?}", lines.get(idx).unwrap_or(&"<eof>")),
+        ));
+    }
+    let prov_end = body_end(lines, idx + 1);
+    let prov = Provenance::load(&lines[idx + 1..prov_end].join("\n"))
+        .map_err(|e| err_at(idx, format!("in --provenance-- section: {e}")))?;
+    if lines.get(prov_end).copied() != Some("--repository--") {
+        return Err(err_at(
+            prov_end,
+            format!("expected --repository--, got {:?}", lines.get(prov_end).unwrap_or(&"<eof>")),
+        ));
+    }
+    let repo_end = body_end(lines, prov_end + 1);
+    let repo = Repository::load(&lines[prov_end + 1..repo_end].join("\n"))
+        .map_err(|e| err_at(prov_end, format!("in --repository-- section: {e}")))?;
+    Ok((prov, repo, repo_end))
+}
+
+/// Parse either wire version into a [`LoadedState`].
+pub(crate) fn parse(text: &str) -> Result<LoadedState> {
+    let lines: Vec<&str> = text.lines().collect();
+    match lines.first().copied() {
+        Some(V1_HEADER) => parse_v1(&lines),
+        Some(V2_HEADER) => parse_v2(&lines),
+        other => Err(err_at(
+            0,
+            format!(
+                "expected \"{V1_HEADER}\" or \"{V2_HEADER}\", got {:?}",
+                other.unwrap_or("<empty document>")
+            ),
+        )),
+    }
+}
+
+fn parse_v1(lines: &[&str]) -> Result<LoadedState> {
+    let tick = parse_counter(lines, 1, "tick")?;
+    let cand = parse_counter(lines, 2, "cand")?;
+    let (prov, repo, end) = parse_tables(lines, 3)?;
+    if end != lines.len() {
+        return Err(err_at(end, format!("unexpected trailing section {:?}", lines[end])));
+    }
+    Ok(LoadedState {
+        tick,
+        cand,
+        global_config: None,
+        spaces: vec![LoadedSpace { name: String::new(), config: None, prov, repo }],
+    })
+}
+
+fn parse_v2(lines: &[&str]) -> Result<LoadedState> {
+    let tick = parse_counter(lines, 1, "tick")?;
+    let cand = parse_counter(lines, 2, "cand")?;
+    if lines.get(3).copied() != Some("--config--") {
+        return Err(err_at(
+            3,
+            format!("expected --config--, got {:?}", lines.get(3).unwrap_or(&"<eof>")),
+        ));
+    }
+    let cfg_end = body_end(lines, 4);
+    let global_config = Some(decode_config(&lines[4..cfg_end], 4)?);
+
+    let mut spaces = Vec::new();
+    let mut idx = cfg_end;
+    while idx < lines.len() {
+        let header = lines[idx];
+        let bad_header = || err_at(idx, format!("expected --space \"<tenant>\"--, got {header:?}"));
+        let name = header
+            .strip_prefix("--space ")
+            .and_then(|r| r.strip_suffix("--"))
+            .ok_or_else(bad_header)
+            .and_then(|quoted| unquote(quoted, idx).map_err(|_| bad_header()))?;
+        if spaces.iter().any(|s: &LoadedSpace| s.name == name) {
+            return Err(err_at(idx, format!("duplicate --space-- section for {name:?}")));
+        }
+        idx += 1;
+        let config = if lines.get(idx).copied() == Some("--config--") {
+            let end = body_end(lines, idx + 1);
+            let c = decode_config(&lines[idx + 1..end], idx + 1)?;
+            idx = end;
+            Some(c)
+        } else {
+            None
+        };
+        let (prov, repo, end) = parse_tables(lines, idx)?;
+        idx = end;
+        spaces.push(LoadedSpace { name, config, prov, repo });
+    }
+    Ok(LoadedState { tick, cand, global_config, spaces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::SelectionPolicy;
+
+    #[test]
+    fn config_codec_round_trips_every_field() {
+        let config = ReStoreConfig {
+            reuse_enabled: false,
+            heuristic: Heuristic::Conservative,
+            selection: SelectionPolicy {
+                store_all: false,
+                require_size_reduction: true,
+                require_time_benefit: true,
+                reload_read_bps: 12345.5,
+                eviction_window: Some(42),
+                check_input_versions: true,
+            },
+            repo_prefix: "/re store/\"x\"".to_string(),
+            delete_tmp: true,
+            register_final_outputs: false,
+            wave_parallel: false,
+        };
+        let text = encode_config(&config);
+        let lines: Vec<&str> = text.lines().collect();
+        let back = decode_config(&lines, 0).unwrap();
+        assert_eq!(back, config);
+        // And encoding is canonical: re-encoding is byte-identical.
+        assert_eq!(encode_config(&back), text);
+    }
+
+    #[test]
+    fn config_codec_default_round_trips() {
+        let text = encode_config(&ReStoreConfig::default());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(decode_config(&lines, 0).unwrap(), ReStoreConfig::default());
+    }
+
+    #[test]
+    fn unknown_config_key_names_its_line() {
+        let e = decode_config(&["reuse_enabled true", "frobnicate 7"], 10).unwrap_err();
+        match e {
+            Error::State { line, msg } => {
+                assert_eq!(line, 12, "1-based document line of the bad key");
+                assert!(msg.contains("frobnicate"), "{msg}");
+            }
+            other => panic!("expected Error::State, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_config_value_names_key_and_line() {
+        let e = decode_config(&["wave_parallel maybe"], 0).unwrap_err();
+        match e {
+            Error::State { line, msg } => {
+                assert_eq!(line, 1);
+                assert!(msg.contains("wave_parallel"), "{msg}");
+            }
+            other => panic!("expected Error::State, got {other:?}"),
+        }
+    }
+}

@@ -38,6 +38,15 @@
 //! * **Tenant isolation** — every submission names a tenant; the driver
 //!   keeps one repository namespace per tenant, so reuse, candidate
 //!   materialization, and eviction sweeps never cross tenants.
+//! * **Per-tenant policy** — [`RestoreService::set_tenant_config`]
+//!   gives a tenant its own `ReStoreConfig` (heuristic, §5 selection,
+//!   retention); its workflows run under that policy while everyone
+//!   else follows the global default.
+//! * **Durability** — [`RestoreService::snapshot`] drain-quiesces the
+//!   pool and serializes the whole session (every namespace, policies,
+//!   counters) as `restore-state v2`; [`RestoreService::restore`]
+//!   rebuilds a service from such a snapshot with warm-hit parity
+//!   after a process restart.
 //!
 //! [`CompiledWorkflow::io_path_sets`]: restore_dataflow::CompiledWorkflow::io_path_sets
 

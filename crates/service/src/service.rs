@@ -86,6 +86,11 @@ pub struct RestoreService {
     config: ServiceConfig,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Serializes quiesced admin operations (`snapshot`, `restore`):
+    /// two quiescers overlapping would both observe an idle pool and
+    /// run their critical sections — e.g. a restore swapping state
+    /// mid-snapshot — so only one may hold the pool quiesced at a time.
+    quiesce: Mutex<()>,
 }
 
 impl RestoreService {
@@ -109,12 +114,12 @@ impl RestoreService {
                 std::thread::spawn(move || worker_loop(restore, shared, cross))
             })
             .collect();
-        RestoreService { restore, config, shared, workers }
+        RestoreService { restore, config, shared, workers, quiesce: Mutex::new(()) }
     }
 
     /// The underlying driver session (e.g. for DFS access or
     /// repository introspection).
-    pub fn restore(&self) -> &ReStore {
+    pub fn driver(&self) -> &ReStore {
         &self.restore
     }
 
@@ -204,6 +209,65 @@ impl RestoreService {
         while !(st.queue.is_empty() && st.inflight.is_empty()) {
             st = self.shared.idle.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Run `f` against a quiesced driver: dispatch is paused and no
+    /// workflow is in flight, so nothing mutates repository, provenance,
+    /// config, or DFS reuse state while `f` runs. Queued submissions
+    /// stay queued; dispatch resumes afterwards unless the service was
+    /// already paused by the caller. Concurrent quiescers serialize on
+    /// the quiesce mutex (calling [`RestoreService::resume`] from a
+    /// third thread during a snapshot still un-pauses dispatch — pair
+    /// `resume` with your own `pause`, not with admin operations).
+    fn with_quiesced<R>(&self, f: impl FnOnce(&ReStore) -> R) -> R {
+        let _admin = self.quiesce.lock().unwrap_or_else(|e| e.into_inner());
+        let was_paused;
+        {
+            let mut st = self.shared.lock();
+            was_paused = st.paused;
+            st.paused = true;
+            while !st.inflight.is_empty() {
+                st = self.shared.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let out = f(&self.restore);
+        if !was_paused {
+            self.resume();
+        }
+        out
+    }
+
+    /// Take a consistent `restore-state v2` snapshot of the whole
+    /// session: pause dispatch, wait for in-flight workflows to drain,
+    /// serialize every tenant namespace (state, provenance, per-tenant
+    /// policy, counters), and resume. Submissions arriving during the
+    /// snapshot are queued, not rejected, and dispatch picks them up as
+    /// soon as the snapshot is written.
+    pub fn snapshot(&self) -> String {
+        self.with_quiesced(|rs| rs.save_state())
+    }
+
+    /// Restore session state serialized by [`RestoreService::snapshot`]
+    /// (or [`ReStore::save_state`], or a legacy v1 document): quiesce
+    /// in-flight work, load the state into the driver, and resume.
+    /// Queued submissions then execute against the restored state.
+    pub fn restore(&self, state: &str) -> Result<(), ServiceError> {
+        self.with_quiesced(|rs| rs.load_state(state)).map_err(ServiceError::Query)
+    }
+
+    /// Set `tenant`'s policy override: subsequent submissions from that
+    /// tenant run with `config` (heuristic, §5 selection, quotas)
+    /// instead of the global default. `None` (or an empty name) sets
+    /// the global configuration. Workflows already dispatched keep the
+    /// policy they started with.
+    pub fn set_tenant_config(&self, tenant: Option<&str>, config: restore_core::ReStoreConfig) {
+        self.restore.set_config_as(tenant, config);
+    }
+
+    /// The effective policy for `tenant` (its override, or the global
+    /// default).
+    pub fn tenant_config(&self, tenant: Option<&str>) -> restore_core::ReStoreConfig {
+        self.restore.config_as(tenant)
     }
 
     /// Service-level and per-tenant counters plus each tenant's

@@ -105,7 +105,7 @@ fn tenant_sweeps_and_reuse_are_isolated() {
 
     // bo populates his namespace, then goes idle.
     svc.submit(Some("bo"), &queries::l7("/out/bo/l7"), "/wf/bo/l7").unwrap().wait().unwrap();
-    let bo_entries = svc.restore().stats_as(Some("bo")).repository_entries;
+    let bo_entries = svc.driver().stats_as(Some("bo")).repository_entries;
     assert!(bo_entries > 0);
 
     // ana's traffic advances the shared clock far past bo's window; each
@@ -118,14 +118,14 @@ fn tenant_sweeps_and_reuse_are_isolated() {
     }
 
     assert_eq!(
-        svc.restore().stats_as(Some("bo")).repository_entries,
+        svc.driver().stats_as(Some("bo")).repository_entries,
         bo_entries,
         "ana's sweeps must not evict bo's entries"
     );
-    svc.restore().with_repository_as(Some("bo"), |repo| {
+    svc.driver().with_repository_as(Some("bo"), |repo| {
         for e in repo.entries() {
             assert!(
-                svc.restore().engine().dfs().exists(&e.output_path),
+                svc.driver().engine().dfs().exists(&e.output_path),
                 "bo's output {} deleted by another tenant's sweep",
                 e.output_path
             );
@@ -172,7 +172,7 @@ fn cross_workflow_scheduling_matches_sequential_driver() {
     let mut got = Vec::new();
     for h in handles {
         let e = h.wait().expect("service query completes");
-        got.push(svc.restore().engine().dfs().read_all(&e.final_output).unwrap());
+        got.push(svc.driver().engine().dfs().read_all(&e.final_output).unwrap());
     }
     assert_eq!(got, expected, "service outputs must be byte-identical to sequential driver");
 
@@ -196,8 +196,8 @@ fn conflicting_submissions_serialize_in_order() {
     assert_eq!(e1.jobs_skipped, 0);
     assert!(e2.jobs_skipped > 0, "second identical query is served from the repository");
     assert_eq!(
-        svc.restore().engine().dfs().read_all(&e1.final_output).unwrap(),
-        svc.restore().engine().dfs().read_all(&e2.final_output).unwrap(),
+        svc.driver().engine().dfs().read_all(&e1.final_output).unwrap(),
+        svc.driver().engine().dfs().read_all(&e2.final_output).unwrap(),
     );
 }
 
@@ -235,7 +235,7 @@ fn strict_eviction_under_service_concurrency_never_loses_files() {
     let mut outputs: Vec<Vec<restore_common::Tuple>> = Vec::new();
     for h in handles {
         let e = h.wait().expect("strict-policy query must not hit FileNotFound");
-        let bytes = svc.restore().engine().dfs().read_all(&e.final_output).unwrap();
+        let bytes = svc.driver().engine().dfs().read_all(&e.final_output).unwrap();
         let mut t = restore_common::codec::decode_all(&bytes).unwrap();
         t.sort();
         outputs.push(t);

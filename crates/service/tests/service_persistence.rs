@@ -1,0 +1,293 @@
+//! Durable multi-tenant serving: crash-restart parity, snapshots under
+//! load, and per-tenant policy submission through the service.
+
+use restore_core::{Heuristic, ReStore, ReStoreConfig, ReStoreStats, SelectionPolicy};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_service::{RestoreService, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TENANTS: [&str; 4] = ["ana", "bo", "cy", "dee"];
+
+fn fresh_dfs() -> Dfs {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 256, replication: 2, node_capacity: None });
+    dfs.write_all("/data/pv", b"alice\t4\nbob\t7\nalice\t1\ncarol\t9\ndan\t2\n").unwrap();
+    dfs.write_all("/data/users", b"alice\tkitchener\nbob\ttoronto\ncarol\twaterloo\n").unwrap();
+    dfs
+}
+
+fn engine_over(dfs: Dfs) -> Engine {
+    Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
+    )
+}
+
+fn service_over(dfs: Dfs, config: ReStoreConfig) -> RestoreService {
+    RestoreService::new(
+        ReStore::new(engine_over(dfs), config),
+        ServiceConfig { workers: 4, queue_depth: 256, ..Default::default() },
+    )
+}
+
+/// Each tenant runs its own query shape; `round` varies only the output
+/// location, so reruns are answerable from the tenant's repository.
+fn tenant_query(tenant: &str, round: usize) -> (String, String) {
+    let out = format!("/out/{tenant}/r{round}");
+    let q = match tenant {
+        "ana" => format!(
+            "A = load '/data/pv' as (user, n:int);
+             G = group A by user;
+             R = foreach G generate group, SUM(A.n);
+             store R into '{out}';"
+        ),
+        "bo" => format!(
+            "A = load '/data/pv' as (user, revenue:int);
+             B = load '/data/users' as (name, city);
+             C = join B by name, A by user;
+             D = group C by $0;
+             E = foreach D generate group, SUM(C.revenue);
+             store E into '{out}';"
+        ),
+        "cy" => format!(
+            "A = load '/data/pv' as (user, n:int);
+             B = filter A by n > 2;
+             G = group B by user;
+             R = foreach G generate group, COUNT(B);
+             store R into '{out}';"
+        ),
+        _ => format!(
+            "A = load '/data/users' as (name, city);
+             P = foreach A generate city;
+             D = distinct P;
+             store D into '{out}';"
+        ),
+    };
+    (q, format!("/wf/{tenant}/r{round}"))
+}
+
+/// Observable outcome of one tenant's submission.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    tenant: String,
+    jobs_skipped: usize,
+    rewrites: usize,
+    output: Vec<u8>,
+}
+
+fn submit_round(svc: &RestoreService, round: usize) -> Vec<Outcome> {
+    let handles: Vec<_> = TENANTS
+        .iter()
+        .map(|t| {
+            let (q, wf) = tenant_query(t, round);
+            (t.to_string(), svc.submit(Some(t), &q, &wf).expect("admitted"))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|(tenant, h)| {
+            let e = h.wait().expect("workflow completes");
+            let output = svc.driver().engine().dfs().read_all(&e.final_output).unwrap();
+            Outcome { tenant, jobs_skipped: e.jobs_skipped, rewrites: e.rewrites.len(), output }
+        })
+        .collect()
+}
+
+fn install_overrides(svc: &RestoreService) {
+    // ana materializes conservatively; dee registers nothing final.
+    svc.set_tenant_config(
+        Some("ana"),
+        ReStoreConfig { heuristic: Heuristic::Conservative, ..Default::default() },
+    );
+    svc.set_tenant_config(
+        Some("dee"),
+        ReStoreConfig { heuristic: Heuristic::None, ..Default::default() },
+    );
+}
+
+/// Run the mixed 4-tenant workload: round 1 cold, then — with or
+/// without a simulated process restart in between — round 2 warm.
+/// Returns the round-2 outcomes, the per-tenant repository statistics,
+/// and each tenant's effective config.
+fn run_scenario(restart: bool) -> (Vec<Outcome>, Vec<ReStoreStats>, Vec<ReStoreConfig>) {
+    let dfs = fresh_dfs();
+    let svc = service_over(dfs.clone(), ReStoreConfig::default());
+    install_overrides(&svc);
+    submit_round(&svc, 1);
+
+    let svc = if restart {
+        // Simulated crash/restart: snapshot, tear the whole process
+        // state down, and bring up a fresh service over the surviving
+        // DFS from the snapshot alone.
+        let snap = svc.snapshot();
+        svc.shutdown();
+        let svc2 = service_over(dfs.clone(), ReStoreConfig::default());
+        svc2.restore(&snap).expect("snapshot restores");
+        svc2
+    } else {
+        svc
+    };
+
+    let outcomes = submit_round(&svc, 2);
+    let stats = TENANTS.iter().map(|t| svc.driver().stats_as(Some(t))).collect();
+    let configs = TENANTS.iter().map(|t| svc.tenant_config(Some(t))).collect();
+    svc.shutdown();
+    (outcomes, stats, configs)
+}
+
+/// The crash-restart suite's core claim: a service rebuilt from a
+/// snapshot serves round 2 exactly as the uninterrupted service would
+/// have — same per-tenant warm-hit statistics, same output bytes, same
+/// repository state, same effective policies.
+#[test]
+fn crash_restart_matches_uninterrupted_run() {
+    let (u_out, u_stats, u_cfg) = run_scenario(false);
+    let (r_out, r_stats, r_cfg) = run_scenario(true);
+
+    assert_eq!(u_out, r_out, "per-tenant warm hits and output bytes must match");
+    assert_eq!(u_stats, r_stats, "per-tenant repository statistics must match");
+    assert_eq!(u_cfg, r_cfg, "per-tenant policies must survive the restart");
+
+    // And the parity is not vacuous: round 2 really is warm.
+    for o in &u_out {
+        assert!(
+            o.jobs_skipped > 0 || o.rewrites > 0,
+            "tenant {} should be served from its restored repository: {o:?}",
+            o.tenant
+        );
+    }
+}
+
+/// `save_state` raced against strict-eviction sweeps and in-flight
+/// workflows: every snapshot loads cleanly, and a quiesced snapshot
+/// never references a path that does not exist in the DFS.
+#[test]
+fn snapshot_under_load_never_serializes_dead_paths() {
+    let dfs = fresh_dfs();
+    // Aggressive retention: anything unused for 2 ticks is evicted (and
+    // its file deleted — deferred when pinned by an in-flight workflow).
+    let config = ReStoreConfig {
+        selection: SelectionPolicy { eviction_window: Some(2), ..Default::default() },
+        ..Default::default()
+    };
+    let svc = Arc::new(service_over(dfs.clone(), config));
+
+    let mut handles = Vec::new();
+    for wave in 0..6 {
+        for t in &TENANTS {
+            let (q, wf) = tenant_query(t, 100 + wave);
+            handles.push(svc.submit(Some(t), &q, &wf).expect("admitted"));
+        }
+
+        // Snapshot while workflows are in flight: must always load
+        // cleanly into a fresh session, whatever the race.
+        let live = svc.driver().save_state();
+        let scratch = ReStore::new(engine_over(dfs.clone()), ReStoreConfig::default());
+        scratch.load_state(&live).unwrap_or_else(|e| {
+            panic!("snapshot taken under load must stay loadable: {e}\n{live}")
+        });
+
+        // Quiesced snapshot: with dispatch paused and nothing running,
+        // nothing mutates the DFS, so the existence check is race-free.
+        svc.pause();
+        while svc.stats().running > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = svc.driver().save_state();
+        assert_all_paths_live(&snap, &dfs);
+        svc.resume();
+    }
+    for h in handles {
+        h.wait().expect("workflow completes despite snapshots and sweeps");
+    }
+    let final_snap = svc.snapshot();
+    assert_all_paths_live(&final_snap, &dfs);
+}
+
+/// Load `snap` into a scratch session and assert every repository and
+/// provenance path in every namespace has a file behind it.
+fn assert_all_paths_live(snap: &str, dfs: &Dfs) {
+    let scratch = ReStore::new(engine_over(dfs.clone()), ReStoreConfig::default());
+    scratch.load_state(snap).expect("snapshot loads");
+    let mut namespaces: Vec<Option<String>> = vec![None];
+    namespaces.extend(scratch.tenant_ids().into_iter().map(Some));
+    for ns in namespaces {
+        let t = ns.as_deref();
+        scratch.with_repository_as(t, |repo| {
+            for e in repo.entries() {
+                assert!(
+                    dfs.exists(&e.output_path),
+                    "snapshot serialized dangling repository path {} (tenant {t:?})",
+                    e.output_path
+                );
+            }
+        });
+        scratch.with_provenance_as(t, |prov| {
+            for p in prov.iter_paths() {
+                assert!(
+                    dfs.exists(p),
+                    "snapshot serialized dangling provenance path {p} (tenant {t:?})"
+                );
+            }
+        });
+    }
+}
+
+/// Submissions arriving while a snapshot quiesces the pool are queued —
+/// not rejected — and execute once dispatch resumes.
+#[test]
+fn snapshot_queues_concurrent_submissions() {
+    let dfs = fresh_dfs();
+    let svc = Arc::new(service_over(dfs, ReStoreConfig::default()));
+    let (q, wf) = tenant_query("ana", 1);
+    svc.submit(Some("ana"), &q, &wf).unwrap().wait().unwrap();
+
+    // A snapshotting thread and a submitting thread race.
+    let snap = std::thread::scope(|s| {
+        let svc2 = svc.clone();
+        let snapper = s.spawn(move || svc2.snapshot());
+        let (q2, wf2) = tenant_query("ana", 2);
+        let h = svc.submit(Some("ana"), &q2, &wf2).expect("queued, not rejected");
+        let e = h.wait().expect("completes after the snapshot resumes dispatch");
+        assert_eq!(e.jobs_skipped, 1, "warm hit straddling a snapshot");
+        snapper.join().expect("snapshot thread")
+    });
+    assert!(snap.starts_with("restore-state v2\n"));
+}
+
+/// The service's per-tenant config APIs change behaviour for that
+/// tenant only, and overrides ride along in snapshots.
+#[test]
+fn per_tenant_policy_submission_via_service() {
+    let dfs = fresh_dfs();
+    let svc = service_over(dfs.clone(), ReStoreConfig::default());
+    let frugal = ReStoreConfig {
+        heuristic: Heuristic::None,
+        register_final_outputs: false,
+        ..Default::default()
+    };
+    svc.set_tenant_config(Some("frugal"), frugal.clone());
+    assert_eq!(svc.tenant_config(Some("frugal")), frugal);
+    assert_eq!(svc.tenant_config(Some("ana")), svc.driver().config());
+
+    let (q, _) = tenant_query("ana", 1);
+    svc.submit(Some("frugal"), &q, "/wf/f1").unwrap().wait().unwrap();
+    svc.submit(Some("ana"), &q, "/wf/a1").unwrap().wait().unwrap();
+    assert_eq!(
+        svc.driver().stats_as(Some("frugal")).repository_entries,
+        0,
+        "frugal's policy stores nothing"
+    );
+    assert!(svc.driver().stats_as(Some("ana")).repository_entries > 0);
+
+    // The override is part of the durable state.
+    let snap = svc.snapshot();
+    svc.shutdown();
+    let svc2 = service_over(dfs, ReStoreConfig::default());
+    svc2.restore(&snap).unwrap();
+    assert_eq!(svc2.tenant_config(Some("frugal")), frugal);
+    svc2.shutdown();
+}
