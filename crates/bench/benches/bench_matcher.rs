@@ -33,8 +33,8 @@ fn query_plan(i: usize) -> PhysicalPlan {
 }
 
 fn repo_of(n: usize, indexed: bool) -> Repository {
-    let mut repo = Repository::new();
-    repo.use_fingerprint_index = indexed;
+    let repo = Repository::new();
+    repo.set_fingerprint_index(indexed);
     for i in 0..n {
         repo.insert(
             entry_plan(i),

@@ -1,0 +1,211 @@
+//! Concurrent repository-matching throughput: the pre-refactor locked
+//! design vs the RCU snapshot design, across repository sizes and
+//! submitting threads.
+//!
+//! Two ablation arms, identical match kernels:
+//!
+//! * `locked_scan` — the old architecture: every match takes a
+//!   repository-wide `RwLock` read guard and runs the paper's §3
+//!   sequential scan under it; every *hit* then takes the **write**
+//!   guard to bump the reuse statistics, serializing all readers.
+//! * `snapshot_indexed` — the current architecture: each match grabs
+//!   the RCU snapshot (lock-free), filters candidates through the
+//!   inverted tip-signature index, and records the reuse through the
+//!   entry's shared atomics. No lock is ever taken; the bench asserts
+//!   the publish counter stays frozen.
+//!
+//! Repository sizes default to 10² / 10³ / 10⁴ entries and 1/2/4/8
+//! threads; `MATCHING_SIZES` (comma-separated) trims the matrix — CI
+//! smoke runs `MATCHING_SIZES=100`. Results archive as
+//! `BENCH_matching.json` via `CRITERION_JSON`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::RwLock;
+use restore_core::{RepoStats, Repository};
+use restore_dataflow::expr::Expr;
+use restore_dataflow::physical::{PhysicalOp, PhysicalPlan};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+/// Queries per thread per measured round.
+const QUERIES_PER_THREAD: usize = 20;
+
+/// A distinct Load→Filter→Project→Store plan per index.
+fn entry_plan(i: usize) -> PhysicalPlan {
+    let mut p = PhysicalPlan::new();
+    let l = p.add(PhysicalOp::Load { path: format!("/data/t{}", i % 7) }, vec![]);
+    let f = p.add(PhysicalOp::Filter { pred: Expr::col_eq(i % 5, i as i64) }, vec![l]);
+    let pr = p.add(PhysicalOp::Project { cols: vec![0, (i % 3) + 1] }, vec![f]);
+    p.add(PhysicalOp::Store { path: format!("/repo/{i}") }, vec![pr]);
+    p
+}
+
+/// A query whose prefix matches exactly repository entry `i`.
+fn query_plan(i: usize) -> PhysicalPlan {
+    let mut p = entry_plan(i);
+    let tip = p.stores()[0];
+    let before = p.inputs(tip)[0];
+    let g = p.add(PhysicalOp::Group { keys: vec![0] }, vec![before]);
+    p.add(PhysicalOp::Store { path: "/out".into() }, vec![g]);
+    p
+}
+
+/// Build an `n`-entry repository whose order equals insertion order
+/// (decreasing reduction ratio and job time), so high-index queries are
+/// the sequential scan's worst case.
+fn repo_of(n: usize) -> Repository {
+    let repo = Repository::new();
+    repo.batch(|b| {
+        for i in 0..n {
+            b.insert(
+                entry_plan(i),
+                format!("/repo/{i}"),
+                RepoStats {
+                    input_bytes: 10 * n as u64 - i as u64,
+                    output_bytes: 100,
+                    job_time_s: (n - i) as f64,
+                    ..Default::default()
+                },
+            );
+        }
+    });
+    repo
+}
+
+/// The query mix of one thread: hits spread over the last quarter of
+/// the repository (the scan's expensive region) plus one guaranteed
+/// miss, cycled `QUERIES_PER_THREAD` times.
+fn thread_queries(n: usize, t: usize) -> Vec<PhysicalPlan> {
+    let mut qs = Vec::with_capacity(QUERIES_PER_THREAD);
+    for k in 0..QUERIES_PER_THREAD {
+        if k % 5 == 4 {
+            // A miss: load path outside the repository's universe.
+            let mut p = PhysicalPlan::new();
+            let l = p.add(PhysicalOp::Load { path: "/data/miss".into() }, vec![]);
+            let g = p.add(PhysicalOp::Group { keys: vec![0] }, vec![l]);
+            p.add(PhysicalOp::Store { path: "/out".into() }, vec![g]);
+            qs.push(p);
+        } else {
+            let back = (t * 13 + k * 7) % (n / 4).max(1);
+            qs.push(query_plan(n - 1 - back));
+        }
+    }
+    qs
+}
+
+fn sizes() -> Vec<usize> {
+    match std::env::var("MATCHING_SIZES") {
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        Err(_) => vec![100, 1_000, 10_000],
+    }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    for &n in &sizes() {
+        let repo = repo_of(n);
+        let tick = std::sync::atomic::AtomicU64::new(1);
+
+        // ---- locked_scan: RwLock-serialized sequential scan ----
+        {
+            let lock = RwLock::new(&repo);
+            let mut group = c.benchmark_group(format!("matching_locked_scan/n{n}"));
+            for &threads in &[1usize, 2, 4, 8] {
+                group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+                let queries: Vec<Vec<PhysicalPlan>> =
+                    (0..threads).map(|t| thread_queries(n, t)).collect();
+                group.bench_with_input(
+                    BenchmarkId::new("threads", threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter(|| {
+                            std::thread::scope(|scope| {
+                                for qs in queries.iter().take(threads) {
+                                    let lock = &lock;
+                                    let tick = &tick;
+                                    scope.spawn(move || {
+                                        let none = HashSet::new();
+                                        for q in qs {
+                                            // Old read path: scan under the
+                                            // repository-wide read guard.
+                                            let hit = {
+                                                let guard = lock.read();
+                                                let snap = guard.snapshot();
+                                                black_box(
+                                                    snap.find_first_match_scan(q, &none)
+                                                        .map(|(id, _)| id),
+                                                )
+                                            };
+                                            // Old accounting: a write-guard
+                                            // round-trip per hit.
+                                            if let Some(id) = hit {
+                                                let t = tick.fetch_add(
+                                                    1,
+                                                    std::sync::atomic::Ordering::Relaxed,
+                                                );
+                                                lock.write().note_use(id, t);
+                                            }
+                                        }
+                                    });
+                                }
+                            });
+                        });
+                    },
+                );
+            }
+            group.finish();
+        }
+
+        // ---- snapshot_indexed: RCU snapshot + inverted index ----
+        {
+            let publishes_before = repo.publish_count();
+            let mut group = c.benchmark_group(format!("matching_snapshot_indexed/n{n}"));
+            for &threads in &[1usize, 2, 4, 8] {
+                group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+                let queries: Vec<Vec<PhysicalPlan>> =
+                    (0..threads).map(|t| thread_queries(n, t)).collect();
+                group.bench_with_input(
+                    BenchmarkId::new("threads", threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter(|| {
+                            std::thread::scope(|scope| {
+                                for qs in queries.iter().take(threads) {
+                                    let repo = &repo;
+                                    let tick = &tick;
+                                    scope.spawn(move || {
+                                        let none = HashSet::new();
+                                        for q in qs {
+                                            let snap = repo.snapshot();
+                                            let hit = black_box(
+                                                snap.find_first_match_indexed(q, &none)
+                                                    .map(|(id, _)| id),
+                                            );
+                                            if let Some(id) = hit {
+                                                let t = tick.fetch_add(
+                                                    1,
+                                                    std::sync::atomic::Ordering::Relaxed,
+                                                );
+                                                repo.note_use(id, t);
+                                            }
+                                        }
+                                    });
+                                }
+                            });
+                        });
+                    },
+                );
+            }
+            group.finish();
+            // Zero write-side acquisitions on the match path: matching
+            // and reuse accounting published no snapshot.
+            assert_eq!(
+                repo.publish_count(),
+                publishes_before,
+                "the snapshot match path must be write-free"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

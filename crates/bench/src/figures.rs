@@ -275,9 +275,9 @@ pub fn matcher_ablation() -> Vec<AblationRow> {
 
     let mut rows = Vec::new();
     for &n in &[8usize, 32, 128, 512] {
-        let mut scan = Repository::new();
-        let mut indexed = Repository::new();
-        indexed.use_fingerprint_index = true;
+        let scan = Repository::new();
+        let indexed = Repository::new();
+        indexed.set_fingerprint_index(true);
         for i in 0..n {
             // Decreasing reduction ratio and job time with i, so entry
             // n-1 sorts *last* — the scan's worst case.

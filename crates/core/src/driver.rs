@@ -18,14 +18,25 @@
 //!    statistics enter the repository and the provenance table (§2.2),
 //!    and the §5 selection rules are applied.
 //!
-//! The repository and provenance table live behind `RwLock`s, and every
+//! The repository and provenance table are published as **RCU
+//! snapshots** (see [`crate::rcu`] and [`crate::repository`]), and every
 //! public entry point takes `&self`, so **many threads can submit queries
-//! against one warmed repository**. Matching takes the read lock; entry
-//! registration (batched per wave), reuse accounting, and eviction sweeps
-//! serialize on the write lock. Job execution itself holds no lock at
-//! all, so long-running jobs never block matching in other sessions;
-//! outputs matched for reuse are pinned (see [`crate::pin`]) so a
-//! concurrent sweep cannot delete them mid-flight.
+//! against one warmed repository**. The match path is entirely
+//! lock-free: each match attempt grabs the current repository snapshot
+//! and provenance snapshot once (lock-free loads) and works against
+//! them — candidate filtering, path resolution, and the scan budget all
+//! come from the snapshot — while reuse accounting (`use_count` /
+//! `last_used`) is carried by atomics shared across snapshots, so a
+//! match never takes a repository lock, let alone a write lock. Entry
+//! registration (batched per wave) and eviction sweeps serialize among
+//! themselves and publish new snapshots without ever blocking readers.
+//! Job execution itself holds no lock at all, so long-running jobs never
+//! block matching in other sessions; outputs matched for reuse are
+//! pinned (see [`crate::pin`]) so a concurrent sweep cannot delete them
+//! mid-flight. Because a match can be made against a snapshot that a
+//! concurrent sweep has already superseded, the match loop **pins, then
+//! revalidates** the matched entry against a fresh snapshot before
+//! using it (see [`ReStore`]'s match loop for the race argument).
 //!
 //! Reuse state is kept **per tenant**: each tenant submitted through the
 //! `_as` entry points gets its own repository/provenance/pin namespace,
@@ -35,10 +46,11 @@
 use crate::enumerator::{inject_subjob_stores, Candidate, Heuristic};
 use crate::pin::PinSet;
 use crate::provenance::Provenance;
-use crate::repository::{RepoStats, Repository};
+use crate::rcu::Rcu;
+use crate::repository::{RepoBatch, RepoSnapshot, RepoStats, Repository};
 use crate::rewriter::{apply_aliases, identity_copy, rewrite};
 use crate::selector::SelectionPolicy;
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::RwLock;
 use restore_common::{Error, Result};
 use restore_dataflow::exec::{job_io, job_spec_for_plan};
 use restore_dataflow::mr_compiler::{CompiledWorkflow, WorkflowIoPaths};
@@ -202,10 +214,16 @@ pub struct ReStore {
 /// One isolated repository namespace: the §2.2 repository, its
 /// provenance table, the pin set protecting its in-flight matches, and
 /// the tenant's policy override (`None` = follow the global default).
+///
+/// Both tables are RCU-published: readers load snapshots lock-free,
+/// mutators serialize internally. When a mutation spans both tables
+/// (wave registration, overwrite invalidation, restore), the writer
+/// sides are entered **provenance first, repository second** —
+/// one fixed order, so cross-table writers can never deadlock.
 #[derive(Debug, Default)]
 pub(crate) struct Space {
-    pub(crate) repo: RwLock<Repository>,
-    pub(crate) prov: RwLock<Provenance>,
+    pub(crate) repo: Repository,
+    pub(crate) prov: Rcu<Provenance>,
     pub(crate) pins: PinSet,
     pub(crate) config: RwLock<Option<ReStoreConfig>>,
 }
@@ -342,10 +360,12 @@ impl ReStore {
     /// reuse rewriting can introduce Loads of registered paths that the
     /// submit-time footprint cannot see.
     pub fn serves_path(&self, path: &str) -> bool {
-        if self.space.prov.read().contains(path) {
+        // Wait-free provenance snapshots: the scheduler probes this per
+        // queued workflow, so it must never sit behind a registration.
+        if self.space.prov.load().contains(path) {
             return true;
         }
-        self.tenants.read().values().any(|s| s.prov.read().contains(path))
+        self.tenants.read().values().any(|s| s.prov.load().contains(path))
     }
 
     /// Every namespace: the default space plus all tenant spaces.
@@ -364,28 +384,36 @@ impl ReStore {
     /// workflow's live output.
     fn invalidate_overwritten(&self, written: &[String]) {
         for space in self.all_spaces() {
-            // Cheap read-only probe first: fresh output paths are almost
+            // Cheap lock-free probe first: fresh output paths are almost
             // never registered anywhere.
             let hit = {
-                let prov = space.prov.read();
+                let prov = space.prov.load();
                 written.iter().any(|p| prov.contains(p))
             } || {
-                let repo = space.repo.read();
+                let repo = space.repo.snapshot();
                 repo.entries().iter().any(|e| written.contains(&e.output_path))
             };
             if !hit {
                 continue;
             }
-            let mut prov = space.prov.write();
-            let mut repo = space.repo.write();
-            for p in written {
-                let stale: Vec<u64> =
-                    repo.entries().iter().filter(|e| &e.output_path == p).map(|e| e.id).collect();
-                for id in stale {
-                    repo.evict(id);
-                }
-                prov.forget(p);
-            }
+            // Writer order: provenance before repository (see [`Space`]).
+            space.prov.update(|prov| {
+                space.repo.batch(|repo| {
+                    for p in written {
+                        let stale: Vec<u64> = repo
+                            .pending()
+                            .entries()
+                            .iter()
+                            .filter(|e| &e.output_path == p)
+                            .map(|e| e.id)
+                            .collect();
+                        for id in stale {
+                            repo.evict(id);
+                        }
+                        prov.forget(p);
+                    }
+                });
+            });
         }
     }
 
@@ -397,46 +425,42 @@ impl ReStore {
         ids
     }
 
-    /// Read access to the default-namespace repository. Holding the
-    /// guard blocks entry registration and eviction in other sessions;
-    /// don't keep it across query submissions.
-    pub fn repository(&self) -> RwLockReadGuard<'_, Repository> {
-        self.space.repo.read()
+    /// The current snapshot of the default-namespace repository:
+    /// lock-free, immutable, safe to hold — later registrations and
+    /// evictions publish new snapshots and never mutate this one.
+    pub fn repository(&self) -> Arc<RepoSnapshot> {
+        self.space.repo.snapshot()
     }
 
-    /// Exclusive access to the default-namespace repository (blocks all
-    /// sessions).
-    pub fn repository_mut(&self) -> RwLockWriteGuard<'_, Repository> {
-        self.space.repo.write()
-    }
-
-    /// Run `f` with read access to a tenant's repository (`None` = the
-    /// default namespace).
+    /// Run `f` against a tenant's repository (`None` = the default
+    /// namespace). The handle's read methods are lock-free.
     pub fn with_repository_as<R>(
         &self,
         tenant: Option<&str>,
         f: impl FnOnce(&Repository) -> R,
     ) -> R {
         let space = self.space_snapshot(tenant);
-        let repo = space.repo.read();
-        f(&repo)
+        f(&space.repo)
     }
 
-    /// Run `f` with exclusive access to a tenant's repository (`None` =
-    /// the default namespace; the namespace is created if absent).
-    /// Blocks matching and registration in that namespace while `f`
-    /// runs.
+    /// Run `f` against a tenant's repository with mutation intent.
+    /// Since the repository is interior-concurrent, the handle has the
+    /// same capabilities as [`ReStore::with_repository_as`]; the one
+    /// behavioral difference is that this variant **creates the
+    /// namespace if absent** (`None` = the default namespace), where
+    /// the read variant hands an unknown tenant a detached empty space.
+    /// Mutations made through the handle serialize with registration
+    /// and sweeps but never block matching.
     pub fn with_repository_mut_as<R>(
         &self,
         tenant: Option<&str>,
-        f: impl FnOnce(&mut Repository) -> R,
+        f: impl FnOnce(&Repository) -> R,
     ) -> R {
         let space = self.space_for(tenant);
-        let mut repo = space.repo.write();
-        f(&mut repo)
+        f(&space.repo)
     }
 
-    /// Run `f` with read access to a tenant's provenance table (`None` =
+    /// Run `f` with a snapshot of a tenant's provenance table (`None` =
     /// the default namespace).
     pub fn with_provenance_as<R>(
         &self,
@@ -444,21 +468,20 @@ impl ReStore {
         f: impl FnOnce(&Provenance) -> R,
     ) -> R {
         let space = self.space_snapshot(tenant);
-        let prov = space.prov.read();
+        let prov = space.prov.load();
         f(&prov)
     }
 
-    /// Run `f` with exclusive access to a tenant's provenance table
-    /// (`None` = the default namespace; the namespace is created if
-    /// absent).
+    /// Run `f` with mutable access to a copy of a tenant's provenance
+    /// table, publishing the result (`None` = the default namespace;
+    /// the namespace is created if absent).
     pub fn with_provenance_mut_as<R>(
         &self,
         tenant: Option<&str>,
         f: impl FnOnce(&mut Provenance) -> R,
     ) -> R {
         let space = self.space_for(tenant);
-        let mut prov = space.prov.write();
-        f(&mut prov)
+        space.prov.update(f)
     }
 
     /// Snapshot of the global (default) configuration.
@@ -558,14 +581,21 @@ impl ReStore {
         // Eviction sweep (§5 rules 3–4) runs *before* matching so stale
         // entries (expired window, modified/deleted inputs) are never
         // reused in this workflow.
-        config.selection.sweep_shared(&space.repo, self.engine.dfs(), &space.pins, tick);
+        config.selection.sweep(&space.repo, self.engine.dfs(), &space.pins, tick);
         {
-            let mut prov = space.prov.write();
+            // Wait-free probe; only publish a new provenance snapshot
+            // when something actually died.
             let dfs = self.engine.dfs();
-            let dead: Vec<String> =
-                prov.iter_paths().filter(|p| !dfs.exists(p)).map(|p| p.to_string()).collect();
-            for p in dead {
-                prov.forget(&p);
+            let dead: Vec<String> = {
+                let prov = space.prov.load();
+                prov.iter_paths().filter(|p| !dfs.exists(p)).map(|p| p.to_string()).collect()
+            };
+            if !dead.is_empty() {
+                space.prov.update(|prov| {
+                    for p in &dead {
+                        prov.forget(p);
+                    }
+                });
             }
         }
 
@@ -639,25 +669,38 @@ impl ReStore {
             if !wave_written.is_empty() {
                 self.invalidate_overwritten(&wave_written);
             }
-            // The whole wave's registrations share a single write-lock
-            // scope (in job-index order), instead of a lock round-trip
-            // per job: concurrent sessions see the wave land atomically,
-            // and the lock is acquired O(waves) instead of O(jobs) times.
+            // The whole wave's registrations land as one published
+            // provenance snapshot and one published repository snapshot
+            // (in job-index order), instead of a publish per job:
+            // concurrent sessions see the wave land atomically, and the
+            // writer side is entered O(waves) instead of O(jobs) times.
+            // Readers keep matching against the previous snapshots
+            // throughout — registration never blocks the match path.
             let manage_outputs = config.reuse_enabled || config.heuristic != Heuristic::None;
             if manage_outputs && !prepared.is_empty() {
-                let mut prov = space.prov.write();
-                let mut repo = space.repo.write();
-                for (job, result) in prepared.iter().zip(&results) {
-                    let (cand_bytes, cand_stored) = self.register_outputs_locked(
-                        &mut prov,
-                        &mut repo,
-                        &space.pins,
-                        &wf,
-                        job,
-                        result,
-                        tick,
-                        &config,
-                    )?;
+                // Writer order: provenance before repository (see
+                // [`Space`]).
+                let registered: Result<Vec<(u64, usize)>> = space.prov.update(|prov| {
+                    space.repo.batch(|repo| {
+                        prepared
+                            .iter()
+                            .zip(&results)
+                            .map(|(job, result)| {
+                                self.register_outputs_batched(
+                                    prov,
+                                    repo,
+                                    &space.pins,
+                                    &wf,
+                                    job,
+                                    result,
+                                    tick,
+                                    &config,
+                                )
+                            })
+                            .collect()
+                    })
+                });
+                for (cand_bytes, cand_stored) in registered? {
                     stored_candidate_bytes += cand_bytes;
                     candidates_stored += cand_stored;
                 }
@@ -742,8 +785,8 @@ impl ReStore {
         // Sub-job enumeration (§4). Candidate outputs are keyed under the
         // tenant's prefix so namespaces never share materialized files.
         let candidates: Vec<Candidate> = if config.heuristic != Heuristic::None {
-            let prov = space.prov.read();
-            let repo = space.repo.read();
+            let prov = space.prov.load();
+            let repo = space.repo.snapshot();
             let prefix = match tenant {
                 Some(t) => format!("{}/{t}", config.repo_prefix),
                 None => config.repo_prefix.clone(),
@@ -772,12 +815,26 @@ impl ReStore {
     }
 
     /// The §3 scan: repeatedly lineage-expand the plan, take the first
-    /// repository match that makes structural progress, and rewrite. No
-    /// lock is held across iterations; `on_match` runs after each applied
-    /// rewrite. With `pins` present (a real execution, not a dry run),
-    /// reuse statistics are updated under the write lock and the reused
-    /// output is pinned against concurrent eviction until the workflow
-    /// finishes.
+    /// repository match that makes structural progress, and rewrite.
+    /// Entirely lock-free: each iteration loads the current repository
+    /// and provenance snapshots (lock-free), and reuse statistics are
+    /// recorded through the entries' shared atomics; `on_match` runs
+    /// after each applied rewrite. With `pins` present (a real
+    /// execution, not a dry run), the reused output is pinned against
+    /// concurrent eviction until the workflow finishes.
+    ///
+    /// **Pin-then-revalidate.** A match can be found in a snapshot that
+    /// a concurrent sweep has already superseded — by the time we pin,
+    /// the entry may be evicted and its file deleted (the sweep saw no
+    /// pin). So after pinning we re-check the entry against a *fresh*
+    /// snapshot: if it is still present, any later eviction must
+    /// publish after this check, hence run its pin-checked file
+    /// deletion after our pin is visible, and the deletion is deferred
+    /// — the file is safe for the lifetime of the workflow. If it is
+    /// gone, we unpin, skip the entry, and rescan. Eviction publishes
+    /// the entry's removal **before** deleting the file (see
+    /// `SelectionPolicy::sweep`), which is what makes the revalidation
+    /// conclusive.
     fn match_loop(
         &self,
         space: &Space,
@@ -790,28 +847,38 @@ impl ReStore {
         // only lineage the plan already loads) are skipped on the rescan;
         // progress clears the set.
         let mut unproductive: HashSet<u64> = HashSet::new();
-        let budget = 2 * plan.len() + 4 + 2 * space.repo.read().len();
+        // An unproductive rescan leaves `plan` untouched, so its lineage
+        // expansion is reused instead of being recomputed.
+        let mut cached_expansion: Option<crate::provenance::ExpandedPlan> = None;
+        let budget = 2 * plan.len() + 4 + 2 * space.repo.len();
         for _ in 0..budget {
-            let expanded = space.prov.read().expand(plan);
-            let found = {
-                let repo = space.repo.read();
-                repo.find_first_match_excluding(&expanded.plan, &unproductive).map(
-                    |(entry_id, m)| {
-                        let path = repo.get(entry_id).expect("matched entry").output_path.clone();
-                        // Pin while still holding the read lock: a sweep
-                        // needs the write lock, so no eviction can slip
-                        // between this match and the pin.
-                        if let Some(p) = pins.as_deref_mut() {
-                            p.pin(&path);
-                        }
-                        (entry_id, m, path)
-                    },
-                )
-            };
-            let Some((entry_id, m, reused_path)) = found else {
+            let expanded =
+                cached_expansion.take().unwrap_or_else(|| space.prov.load().expand(plan));
+            let snap = space.repo.snapshot();
+            let Some((entry_id, m)) =
+                snap.find_first_match_excluding(&expanded.plan, &unproductive)
+            else {
                 break;
             };
-            let mut exp = expanded;
+            let reused_path = snap.get(entry_id).expect("matched entry").output_path.clone();
+            if let Some(p) = pins.as_deref_mut() {
+                p.pin(&reused_path);
+                // Revalidate against a fresh snapshot now that the pin
+                // is visible (see the method docs). A vanished entry is
+                // absent from every later snapshot, so the retry makes
+                // progress; results are unchanged because the entry
+                // could equally have been evicted a moment before our
+                // first snapshot.
+                if !space.repo.snapshot().contains_id(entry_id) {
+                    p.unpin_last();
+                    cached_expansion = Some(expanded);
+                    continue;
+                }
+            }
+            // Keep the pre-rewrite expansion: an unproductive rewrite
+            // leaves `plan` unchanged, and then this clone is reused
+            // instead of re-expanding.
+            let mut exp = expanded.clone();
             let remap = rewrite(&mut exp.plan, &m, &reused_path);
             // Translate expansion tips through the GC remap; an expansion
             // whose tip vanished was consumed by the matched region and
@@ -827,17 +894,22 @@ impl ReStore {
             let collapsed = exp.collapse_unused();
             if collapsed.signature() == before_sig {
                 // No structural progress: try the next entry. The
-                // speculative pin is no longer needed.
+                // speculative pin is no longer needed, and the plan is
+                // unchanged, so the rescan reuses the expansion we
+                // already computed.
                 if let Some(p) = pins.as_deref_mut() {
                     p.unpin_last();
                 }
                 unproductive.insert(entry_id);
+                cached_expansion = Some(expanded);
                 continue;
             }
             unproductive.clear();
             *plan = collapsed;
             if pins.is_some() {
-                space.repo.write().note_use(entry_id, tick);
+                // Write-free reuse accounting: atomics shared by every
+                // snapshot of the entry — never a repository lock.
+                space.repo.note_use(entry_id, tick);
             }
             on_match(entry_id, &reused_path);
         }
@@ -859,17 +931,17 @@ impl ReStore {
     }
 
     /// Phase 3 for one executed job: register the whole-job entry, the
-    /// candidate sub-job entries, and their provenance. The caller holds
-    /// the namespace's provenance and repository write locks for the
-    /// whole wave, so concurrent sessions never observe a half-registered
-    /// job (e.g. provenance without the repository entry) or a
-    /// half-registered wave. Returns (bytes written by injected Stores,
-    /// candidates kept).
+    /// candidate sub-job entries, and their provenance. The caller runs
+    /// the whole wave inside one provenance update and one repository
+    /// batch, both published when the wave completes, so concurrent
+    /// sessions never observe a half-registered job (e.g. provenance
+    /// without the repository entry) or a half-registered wave. Returns
+    /// (bytes written by injected Stores, candidates kept).
     #[allow(clippy::too_many_arguments)]
-    fn register_outputs_locked(
+    fn register_outputs_batched(
         &self,
         prov: &mut Provenance,
-        repo: &mut Repository,
+        repo: &mut RepoBatch<'_>,
         pins: &PinSet,
         wf: &CompiledWorkflow,
         job: &PreparedJob,
@@ -981,7 +1053,7 @@ impl ReStore {
         let wf = restore_dataflow::compile(text, out_prefix)?;
         let mut report = String::new();
         {
-            let repo = space.repo.read();
+            let repo = space.repo.snapshot();
             report.push_str(&format!(
                 "workflow: {} job(s); repository: {} entr{}\n",
                 wf.jobs.len(),
@@ -1004,10 +1076,10 @@ impl ReStore {
             let mut plan = job.plan.clone();
             let mut any = false;
             self.match_loop(&space, &mut plan, 0, None, |entry_id, reused_path| {
-                let repo = space.repo.read();
-                let (bytes, uses) = repo
+                let (bytes, uses) = space
+                    .repo
                     .get(entry_id)
-                    .map(|e| (e.stats.output_bytes, e.stats.use_count))
+                    .map(|e| (e.stats().output_bytes, e.use_count()))
                     .unwrap_or((0, 0));
                 report.push_str(&format!(
                     "  would reuse entry #{} -> {} ({}, used {} time(s))\n",
@@ -1039,17 +1111,16 @@ impl ReStore {
     /// clock is shared).
     pub fn stats_as(&self, tenant: Option<&str>) -> ReStoreStats {
         let space = self.space_snapshot(tenant);
-        // Lock discipline: provenance before repository, never nested the
-        // other way — registration takes prov.write then repo.write, so
-        // holding repo while acquiring prov would be an ABBA deadlock.
-        let provenance_entries = space.prov.read().len();
-        let repo = space.repo.read();
+        // Wait-free: one provenance snapshot, one repository snapshot;
+        // no lock ordering to respect and no writer ever blocked.
+        let provenance_entries = space.prov.load().len();
+        let repo = space.repo.snapshot();
         let entries = repo.entries();
         ReStoreStats {
             repository_entries: entries.len(),
             stored_bytes: repo.stored_bytes(),
-            total_uses: entries.iter().map(|e| e.stats.use_count).sum(),
-            never_used: entries.iter().filter(|e| e.stats.use_count == 0).count(),
+            total_uses: entries.iter().map(|e| e.use_count()).sum(),
+            never_used: entries.iter().filter(|e| e.use_count() == 0).count(),
             queries_executed: self.tick.load(Ordering::SeqCst),
             provenance_entries,
         }
@@ -1105,23 +1176,27 @@ impl ReStore {
     }
 
     /// Serialize one namespace's provenance and repository with
-    /// condemned paths excluded. The deferred-deletion set is captured
-    /// **while holding the table read locks**: deferrals come from
-    /// eviction sweeps, which hold the repository write lock, so none
-    /// can land between the capture and the serialization — a deferral
-    /// either completed before we locked (and its path is excluded) or
-    /// is blocked until we finish. A path in the set still exists on
-    /// the DFS right now but is deleted the moment its last pin drops,
-    /// so serializing it would hand a restarted session dangling
-    /// references.
+    /// condemned paths excluded. The capture **freezes both writer
+    /// sides** (no snapshot can be published while it runs): deferrals
+    /// come from eviction sweeps, which must enter the repository
+    /// writer, so none can land between the capture of the deferred
+    /// set and the serialization — a deferral either completed before
+    /// we froze (and its path is excluded) or is blocked until we
+    /// finish. Readers (matching, stats) are not blocked; only
+    /// mutations wait, and only for the duration of the serialization.
+    /// A path in the deferred set still exists on the DFS right now but
+    /// is deleted the moment its last pin drops, so serializing it
+    /// would hand a restarted session dangling references.
     fn capture_space_tables(&self, space: &Space) -> (String, String) {
-        // Lock discipline: provenance before repository (see stats_as).
-        let prov = space.prov.read();
-        let repo = space.repo.read();
-        let deferred: HashSet<String> = space.pins.deferred_paths().into_iter().collect();
-        let dfs = self.engine.dfs();
-        let live = |p: &str| !deferred.contains(p) && dfs.exists(p);
-        (prov.save_filtered(live), repo.save_filtered(live))
+        // Writer order: provenance before repository (see [`Space`]).
+        space.prov.freeze(|prov| {
+            space.repo.freeze(|repo| {
+                let deferred: HashSet<String> = space.pins.deferred_paths().into_iter().collect();
+                let dfs = self.engine.dfs();
+                let live = |p: &str| !deferred.contains(p) && dfs.exists(p);
+                (prov.save_filtered(live), repo.save_filtered(live))
+            })
+        })
     }
 
     /// One `--space--` section: the namespace's policy override (if
@@ -1163,20 +1238,20 @@ impl ReStore {
             // (e.g. hand-pruned) still replaces the whole session
             // instead of leaving stale default-namespace state behind.
             self.set_config(global);
-            *self.space.prov.write() = Provenance::default();
-            *self.space.repo.write() = Repository::default();
+            self.space.prov.store(Provenance::default());
+            self.space.repo.adopt(Repository::default());
             *self.space.config.write() = None;
             let mut tenants = self.tenants.write();
             tenants.clear();
             for sp in loaded.spaces {
                 if sp.name.is_empty() {
-                    *self.space.prov.write() = sp.prov;
-                    *self.space.repo.write() = sp.repo;
+                    self.space.prov.store(sp.prov);
+                    self.space.repo.adopt(sp.repo);
                     *self.space.config.write() = None;
                 } else {
                     let space = Arc::new(Space::default());
-                    *space.prov.write() = sp.prov;
-                    *space.repo.write() = sp.repo;
+                    space.prov.store(sp.prov);
+                    space.repo.adopt(sp.repo);
                     *space.config.write() = sp.config;
                     tenants.insert(sp.name, space);
                 }
@@ -1184,8 +1259,8 @@ impl ReStore {
         } else {
             // v1: default namespace only.
             for sp in loaded.spaces {
-                *self.space.prov.write() = sp.prov;
-                *self.space.repo.write() = sp.repo;
+                self.space.prov.store(sp.prov);
+                self.space.repo.adopt(sp.repo);
             }
         }
         self.tick.store(loaded.tick, Ordering::SeqCst);
@@ -1313,9 +1388,9 @@ mod tests {
 
         // T2's sweep far outside the window evicts every entry while T1
         // sits between match and execution.
-        let evicted = cfg.selection.sweep_shared(&space.repo, rs.engine().dfs(), &space.pins, 99);
+        let evicted = cfg.selection.sweep(&space.repo, rs.engine().dfs(), &space.pins, 99);
         assert!(!evicted.is_empty());
-        assert_eq!(space.repo.read().len(), 0);
+        assert_eq!(space.repo.len(), 0);
 
         // The pinned output survived the sweep (the old code deleted it
         // here, and T1's group job then failed with FileNotFound)…
@@ -1365,7 +1440,7 @@ mod tests {
 
         // T2's sweep evicts everything; the pinned file's deletion is
         // deferred, so it still exists on the DFS…
-        cfg.selection.sweep_shared(&space.repo, rs.engine().dfs(), &space.pins, 99);
+        cfg.selection.sweep(&space.repo, rs.engine().dfs(), &space.pins, 99);
         assert!(rs.engine().dfs().exists(&reused));
 
         // …but a snapshot taken now must exclude it everywhere.
@@ -1437,7 +1512,7 @@ mod tests {
 
         // Sweep evicts the entry and defers the pinned file's deletion —
         // but this workflow hands `reused` to its caller.
-        cfg.selection.sweep_shared(&space.repo, rs.engine().dfs(), &space.pins, 99);
+        cfg.selection.sweep(&space.repo, rs.engine().dfs(), &space.pins, 99);
         pins.preserve(&reused);
         drop(pins);
         assert!(

@@ -27,6 +27,7 @@ pub mod matcher;
 pub mod pin;
 pub mod plan_text;
 pub mod provenance;
+pub mod rcu;
 pub mod repository;
 pub mod rewriter;
 pub mod selector;
@@ -36,5 +37,6 @@ pub use driver::{footprints_conflict, QueryExecution, ReStore, ReStoreConfig, Re
 pub use enumerator::Heuristic;
 pub use pin::PinSet;
 pub use provenance::Provenance;
-pub use repository::{RepoEntry, RepoStats, Repository};
+pub use rcu::Rcu;
+pub use repository::{RepoBatch, RepoEntry, RepoSnapshot, RepoStats, Repository};
 pub use selector::SelectionPolicy;

@@ -9,11 +9,16 @@
 
 use restore_dataflow::physical::{NodeId, PhysicalOp, PhysicalPlan};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Path → base-level single-Store plan that produced it.
+///
+/// Plans are held behind `Arc`s so cloning the whole table — which the
+/// driver's RCU publication does on every mutation — copies pointers,
+/// not plans.
 #[derive(Debug, Clone, Default)]
 pub struct Provenance {
-    plans: HashMap<String, PhysicalPlan>,
+    plans: HashMap<String, Arc<PhysicalPlan>>,
 }
 
 /// An expansion performed by [`Provenance::expand`]: the `Load` of `path`
@@ -50,11 +55,11 @@ impl Provenance {
             }),
             "provenance plans must be base-level"
         );
-        self.plans.insert(path.into(), plan);
+        self.plans.insert(path.into(), Arc::new(plan));
     }
 
     pub fn get(&self, path: &str) -> Option<&PhysicalPlan> {
-        self.plans.get(path)
+        self.plans.get(path).map(|p| &**p)
     }
 
     pub fn contains(&self, path: &str) -> bool {
@@ -131,7 +136,7 @@ impl Provenance {
                 plan_src.push('\n');
             }
             let plan = crate::plan_text::decode_plan(&plan_src)?;
-            prov.plans.insert(path, plan);
+            prov.plans.insert(path, Arc::new(plan));
         }
         Ok(prov)
     }

@@ -9,15 +9,46 @@
 //! Entries are kept **ordered** so the sequential scan's first match is
 //! the best match (§3): plans that subsume others come first; among
 //! incomparable plans, higher input/output reduction ratio, then longer
-//! job execution time, win. An optional fingerprint index accelerates
-//! lookup (an ablation over the paper's sequential scan; results are
-//! identical because candidates are verified with the full traversal).
+//! job execution time, win.
+//!
+//! # Concurrency: RCU snapshots
+//!
+//! The repository is the hottest shared structure in a multi-session
+//! deployment, and its read/write mix is extreme: every job of every
+//! workflow matches against it (reads), while only executed waves and
+//! eviction sweeps mutate it. It is therefore published as immutable
+//! [`RepoSnapshot`]s through an [`Rcu`](crate::rcu::Rcu) cell:
+//!
+//! * **readers** ([`Repository::snapshot`]) get the current snapshot
+//!   lock-free — no lock, no contention with mutations — and match,
+//!   resolve paths, and read statistics entirely from it;
+//! * **writers** ([`Repository::insert`], [`Repository::evict`],
+//!   [`Repository::batch`]) clone the snapshot, mutate the clone, and
+//!   publish it; concurrent readers keep their old snapshot;
+//! * **reuse accounting** ([`Repository::note_use`]) touches neither
+//!   side: `use_count`/`last_used` live in atomics shared by every
+//!   snapshot that contains the entry, so recording a reuse is a pair
+//!   of atomic RMWs — no snapshot is rebuilt and no writer is blocked.
+//!
+//! Inside a snapshot, lookups that the locked design recomputed per
+//! call are precomputed at publish time: an id → position map (O(1)
+//! [`RepoSnapshot::get`]), a cached tip signature per entry, an inverted
+//! tip-signature → candidates multimap (the `find_first_match_indexed`
+//! pre-filter runs in O(1) per input node instead of O(entries)), and a
+//! running `stored_bytes` total maintained on insert/evict instead of
+//! re-summed per call. The paper's sequential scan
+//! ([`RepoSnapshot::find_first_match_scan`]) remains the verification /
+//! ablation path; both return byte-identical results because indexed
+//! candidates are verified with the full traversal in repository order.
 
-use crate::matcher::{pairwise_plan_traversal, subsumes, PlanMatch};
+use crate::matcher::{pairwise_plan_traversal, plan_tip, subsumes, PlanMatch};
 use crate::plan_text;
+use crate::rcu::Rcu;
 use restore_common::{Error, Result};
 use restore_dataflow::physical::PhysicalPlan;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
 
 /// Execution statistics of a stored job output (§2.2, §5).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -50,17 +81,73 @@ impl RepoStats {
     }
 }
 
+/// Live reuse counters, shared by every snapshot (and every refreshed
+/// duplicate) of one entry. Recording a reuse is two atomic RMWs — no
+/// repository lock, no snapshot republish.
+#[derive(Debug, Default)]
+struct Usage {
+    count: AtomicU64,
+    last_used: AtomicU64,
+}
+
 /// One stored job output.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RepoEntry {
     pub id: u64,
     /// Base-level physical plan (single Store).
     pub plan: PhysicalPlan,
     /// Merkle signature of `plan` (Store paths excluded).
     pub signature: u64,
+    /// Cached signature of the operator feeding the plan's Store (`None`
+    /// for degenerate multi-Store plans). Computed once at insertion;
+    /// the fingerprint index keys candidates by it.
+    pub tip_signature: Option<u64>,
     /// Where the output lives in the DFS.
     pub output_path: String,
-    pub stats: RepoStats,
+    /// Statistics at creation/refresh time. `use_count`/`last_used` in
+    /// here are the *persisted baseline*; the live values come from the
+    /// shared atomics (see [`RepoEntry::stats`]).
+    base: RepoStats,
+    usage: Arc<Usage>,
+}
+
+impl RepoEntry {
+    fn new(id: u64, plan: PhysicalPlan, output_path: String, stats: RepoStats) -> RepoEntry {
+        let signature = plan.signature();
+        let tip_signature = plan_tip(&plan).map(|t| plan.node_signature(t));
+        let usage = Arc::new(Usage {
+            count: AtomicU64::new(stats.use_count),
+            last_used: AtomicU64::new(stats.last_used),
+        });
+        RepoEntry { id, plan, signature, tip_signature, output_path, base: stats, usage }
+    }
+
+    /// Point-in-time statistics: the stored baseline with the live
+    /// `use_count`/`last_used` read from the shared atomics.
+    pub fn stats(&self) -> RepoStats {
+        let mut s = self.base.clone();
+        s.use_count = self.usage.count.load(SeqCst);
+        s.last_used = self.usage.last_used.load(SeqCst);
+        s
+    }
+
+    /// Live reuse count.
+    pub fn use_count(&self) -> u64 {
+        self.usage.count.load(SeqCst)
+    }
+
+    /// Logical tick of the most recent reuse (0 = never).
+    pub fn last_used(&self) -> u64 {
+        self.usage.last_used.load(SeqCst)
+    }
+
+    fn note_use(&self, tick: u64) {
+        self.usage.count.fetch_add(1, SeqCst);
+        // `fetch_max`, not `store`: concurrent recorders with different
+        // ticks must leave the *latest* reuse behind regardless of
+        // interleaving.
+        self.usage.last_used.fetch_max(tick, SeqCst);
+    }
 }
 
 /// Outcome of an insertion attempt.
@@ -72,24 +159,30 @@ pub enum InsertOutcome {
     Duplicate(u64),
 }
 
-/// The ordered repository.
-#[derive(Debug, Default)]
-pub struct Repository {
-    entries: Vec<RepoEntry>,
-    next_id: u64,
-    /// signature → entry id (deduplication and the fingerprint index).
+/// One immutable published state of the repository. Matching, path
+/// resolution, statistics, and serialization all run against a snapshot
+/// without ever touching a lock; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct RepoSnapshot {
+    /// Entries in match-priority order.
+    entries: Vec<Arc<RepoEntry>>,
+    /// id → position in `entries` (O(1) `get`).
+    by_id: HashMap<u64, usize>,
+    /// plan signature → entry id (deduplication).
     by_signature: HashMap<u64, u64>,
-    /// Use the fingerprint index for matching instead of the paper's
-    /// sequential scan. Results are identical; speed differs (see the
-    /// `bench_matcher` ablation).
-    pub use_fingerprint_index: bool,
+    /// tip signature → positions (ascending) of entries carrying it —
+    /// the inverted index behind `find_first_match_indexed`.
+    tip_index: HashMap<u64, Vec<usize>>,
+    /// Running total of `output_bytes`, maintained on insert/evict
+    /// instead of summed per call.
+    stored_bytes: u64,
+    /// Serve matches through the fingerprint index instead of the
+    /// paper's sequential scan. Results are identical; speed differs
+    /// (see the `bench_matching` ablation).
+    indexed: bool,
 }
 
-impl Repository {
-    pub fn new() -> Self {
-        Repository::default()
-    }
-
+impl RepoSnapshot {
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -99,16 +192,18 @@ impl Repository {
     }
 
     /// Entries in match-priority order.
-    pub fn entries(&self) -> &[RepoEntry] {
+    pub fn entries(&self) -> &[Arc<RepoEntry>] {
         &self.entries
     }
 
-    pub fn get(&self, id: u64) -> Option<&RepoEntry> {
-        self.entries.iter().find(|e| e.id == id)
+    /// O(1) lookup by entry id.
+    pub fn get(&self, id: u64) -> Option<&Arc<RepoEntry>> {
+        self.by_id.get(&id).map(|&pos| &self.entries[pos])
     }
 
-    pub fn get_mut(&mut self, id: u64) -> Option<&mut RepoEntry> {
-        self.entries.iter_mut().find(|e| e.id == id)
+    /// Is the entry still present in this snapshot?
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.by_id.contains_key(&id)
     }
 
     /// Does any entry already compute this plan?
@@ -116,32 +211,101 @@ impl Repository {
         self.by_signature.get(&plan.signature()).copied()
     }
 
-    /// Insert an entry, maintaining the §3 ordering rules. Deduplicates
-    /// by plan signature (the later execution refreshes statistics).
-    pub fn insert(
-        &mut self,
-        plan: PhysicalPlan,
-        output_path: impl Into<String>,
-        stats: RepoStats,
-    ) -> InsertOutcome {
-        let signature = plan.signature();
-        if let Some(&dup) = self.by_signature.get(&signature) {
-            if let Some(e) = self.get_mut(dup) {
-                // Refresh stats but keep usage history.
-                let (uses, last) = (e.stats.use_count, e.stats.last_used);
-                e.stats = stats;
-                e.stats.use_count = uses;
-                e.stats.last_used = last;
-            }
-            return InsertOutcome::Duplicate(dup);
+    /// Total bytes of stored outputs (repository footprint). A running
+    /// counter, not a scan.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Is this snapshot serving matches through the fingerprint index?
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
+    /// §3: return the first entry (in repository order) whose plan is
+    /// contained in `input_plan`, with the match. Dispatches to the
+    /// configured lookup strategy; both produce identical results.
+    pub fn find_first_match(&self, input_plan: &PhysicalPlan) -> Option<(u64, PlanMatch)> {
+        self.find_first_match_excluding(input_plan, &HashSet::new())
+    }
+
+    /// Like [`RepoSnapshot::find_first_match`] but skipping the listed
+    /// entries. The driver excludes entries whose rewrite made no
+    /// structural progress (e.g. an entry matching only its own lineage
+    /// expansion) and rescans for the next-best match.
+    pub fn find_first_match_excluding(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        if self.indexed {
+            self.find_first_match_indexed(input_plan, exclude)
+        } else {
+            self.find_first_match_scan(input_plan, exclude)
         }
-        let id = self.next_id;
-        self.next_id += 1;
-        let entry = RepoEntry { id, plan, signature, output_path: output_path.into(), stats };
-        let pos = self.insert_position(&entry);
-        self.entries.insert(pos, entry);
-        self.by_signature.insert(signature, id);
-        InsertOutcome::Inserted(id)
+    }
+
+    /// The paper's sequential scan: try every entry in repository order.
+    /// Kept as the verification / ablation baseline.
+    pub fn find_first_match_scan(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        for e in &self.entries {
+            if exclude.contains(&e.id) {
+                continue;
+            }
+            if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
+                return Some((e.id, m));
+            }
+        }
+        None
+    }
+
+    /// Fingerprint-index variant: an entry can only match when its
+    /// cached tip signature equals the signature of some node of the
+    /// input plan, so candidates come from the inverted tip-signature
+    /// index in O(1) per input node. Candidates are verified with the
+    /// full traversal in ascending repository order — identical results
+    /// to the sequential scan, sub-linear candidate filtering.
+    pub fn find_first_match_indexed(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        let mut candidates: Vec<usize> = Vec::new();
+        for id in input_plan.ids() {
+            if let Some(positions) = self.tip_index.get(&input_plan.node_signature(id)) {
+                candidates.extend_from_slice(positions);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for pos in candidates {
+            let e = &self.entries[pos];
+            if exclude.contains(&e.id) {
+                continue;
+            }
+            if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
+                return Some((e.id, m));
+            }
+        }
+        None
+    }
+
+    // ---- mutation internals (called with the Rcu writer serialized) ----
+
+    /// Rebuild the position-dependent indexes after a structural change.
+    fn reindex(&mut self) {
+        self.by_id.clear();
+        self.tip_index.clear();
+        for (pos, e) in self.entries.iter().enumerate() {
+            self.by_id.insert(e.id, pos);
+            if let Some(tip) = e.tip_signature {
+                self.tip_index.entry(tip).or_default().push(pos);
+            }
+        }
     }
 
     /// Position respecting: (rule 1) subsuming plans first; (rule 2)
@@ -165,10 +329,10 @@ impl Repository {
             hi = lo;
         }
         let score = |s: &RepoStats| (s.reduction_ratio(), s.job_time_s);
-        let new_score = score(&new.stats);
+        let new_score = score(&new.base);
         let mut pos = lo;
         while pos < hi {
-            let existing = score(&self.entries[pos].stats);
+            let existing = score(&self.entries[pos].base);
             if existing < new_score {
                 break;
             }
@@ -177,83 +341,47 @@ impl Repository {
         pos
     }
 
-    /// §3: scan the ordered repository and return the first entry whose
-    /// plan is contained in `input_plan`, with the match.
-    pub fn find_first_match(&self, input_plan: &PhysicalPlan) -> Option<(u64, PlanMatch)> {
-        self.find_first_match_excluding(input_plan, &std::collections::HashSet::new())
+    /// Batch-internal insert. Position lookups scan `entries` directly
+    /// (the position maps may be stale mid-batch); the caller reindexes
+    /// once before publishing — see [`Repository::batch_then`].
+    fn do_insert(&mut self, entry: RepoEntry) -> InsertOutcome {
+        if let Some(&dup) = self.by_signature.get(&entry.signature) {
+            if let Some(pos) = self.entries.iter().position(|e| e.id == dup) {
+                // Refresh stats but keep usage history: the replacement
+                // shares the old entry's atomic counters, so reuses
+                // recorded against a stale snapshot still land here.
+                let old = &self.entries[pos];
+                let refreshed = RepoEntry {
+                    id: old.id,
+                    plan: old.plan.clone(),
+                    signature: old.signature,
+                    tip_signature: old.tip_signature,
+                    output_path: old.output_path.clone(),
+                    base: entry.base,
+                    usage: old.usage.clone(),
+                };
+                self.stored_bytes =
+                    self.stored_bytes - old.base.output_bytes + refreshed.base.output_bytes;
+                self.entries[pos] = Arc::new(refreshed);
+            }
+            return InsertOutcome::Duplicate(dup);
+        }
+        let pos = self.insert_position(&entry);
+        let id = entry.id;
+        self.by_signature.insert(entry.signature, id);
+        self.stored_bytes += entry.base.output_bytes;
+        self.entries.insert(pos, Arc::new(entry));
+        InsertOutcome::Inserted(id)
     }
 
-    /// Like [`Repository::find_first_match`] but skipping the listed
-    /// entries. The driver excludes entries whose rewrite made no
-    /// structural progress (e.g. an entry matching only its own lineage
-    /// expansion) and rescans for the next-best match.
-    pub fn find_first_match_excluding(
-        &self,
-        input_plan: &PhysicalPlan,
-        exclude: &std::collections::HashSet<u64>,
-    ) -> Option<(u64, PlanMatch)> {
-        if self.use_fingerprint_index {
-            return self.find_first_match_indexed(input_plan, exclude);
-        }
-        for e in &self.entries {
-            if exclude.contains(&e.id) {
-                continue;
-            }
-            if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
-                return Some((e.id, m));
-            }
-        }
-        None
-    }
-
-    /// Fingerprint-index variant: compute the signature of every node of
-    /// the input plan; an entry can only match when its tip signature
-    /// appears. Candidates are verified with the full traversal, and the
-    /// earliest entry in repository order wins — identical results to the
-    /// sequential scan, sub-linear candidate filtering.
-    fn find_first_match_indexed(
-        &self,
-        input_plan: &PhysicalPlan,
-        exclude: &std::collections::HashSet<u64>,
-    ) -> Option<(u64, PlanMatch)> {
-        use std::collections::HashSet;
-        let input_sigs: HashSet<u64> =
-            input_plan.ids().map(|id| input_plan.node_signature(id)).collect();
-        for e in &self.entries {
-            if exclude.contains(&e.id) {
-                continue;
-            }
-            let tip_sig = crate::matcher::plan_tip(&e.plan).map(|t| e.plan.node_signature(t));
-            let Some(tip_sig) = tip_sig else { continue };
-            if !input_sigs.contains(&tip_sig) {
-                continue;
-            }
-            if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
-                return Some((e.id, m));
-            }
-        }
-        None
-    }
-
-    /// Record a reuse of entry `id` at logical time `tick`.
-    pub fn note_use(&mut self, id: u64, tick: u64) {
-        if let Some(e) = self.get_mut(id) {
-            e.stats.use_count += 1;
-            e.stats.last_used = tick;
-        }
-    }
-
-    /// Remove an entry, returning it.
-    pub fn evict(&mut self, id: u64) -> Option<RepoEntry> {
+    /// Batch-internal evict; same staleness contract as
+    /// [`RepoSnapshot::do_insert`].
+    fn do_evict(&mut self, id: u64) -> Option<Arc<RepoEntry>> {
         let pos = self.entries.iter().position(|e| e.id == id)?;
         let e = self.entries.remove(pos);
         self.by_signature.remove(&e.signature);
+        self.stored_bytes -= e.base.output_bytes;
         Some(e)
-    }
-
-    /// Total bytes of stored outputs (repository footprint).
-    pub fn stored_bytes(&self) -> u64 {
-        self.entries.iter().map(|e| e.stats.output_bytes).sum()
     }
 
     // ---- persistence ----
@@ -263,7 +391,7 @@ impl Repository {
         self.save_filtered(|_| true)
     }
 
-    /// Like [`Repository::save`], but only entries whose output path
+    /// Like [`RepoSnapshot::save`], but only entries whose output path
     /// satisfies `keep` are written. The driver's `save_state` passes a
     /// liveness predicate so entries condemned by a pending deferred
     /// deletion (or already gone from the DFS) never enter a snapshot
@@ -274,20 +402,21 @@ impl Repository {
             if !keep(&e.output_path) {
                 continue;
             }
+            let stats = e.stats();
             out.push_str(&format!(
                 "entry {} {:?} {} {} {} {} {} {} {} {}\n",
                 e.id,
                 e.output_path,
-                e.stats.input_bytes,
-                e.stats.output_bytes,
-                e.stats.job_time_s,
-                e.stats.avg_map_time_s,
-                e.stats.avg_reduce_time_s,
-                e.stats.use_count,
-                e.stats.last_used,
-                e.stats.created,
+                stats.input_bytes,
+                stats.output_bytes,
+                stats.job_time_s,
+                stats.avg_map_time_s,
+                stats.avg_reduce_time_s,
+                stats.use_count,
+                stats.last_used,
+                stats.created,
             ));
-            for (p, v) in &e.stats.input_files {
+            for (p, v) in &stats.input_files {
                 out.push_str(&format!("input {p:?} {v}\n"));
             }
             out.push_str("plan\n");
@@ -300,11 +429,200 @@ impl Repository {
         }
         out
     }
+}
+
+/// The ordered, concurrently shared repository.
+///
+/// All methods take `&self`: reads are lock-free against the current
+/// [`RepoSnapshot`], mutations serialize internally and publish a new
+/// snapshot (see the module docs). For several mutations that must land
+/// atomically — a wave's registrations, an eviction sweep — use
+/// [`Repository::batch`], which publishes once.
+#[derive(Debug, Default)]
+pub struct Repository {
+    snap: Rcu<RepoSnapshot>,
+    next_id: AtomicU64,
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// The current published snapshot: lock-free, immutable, and stable
+    /// for as long as the caller holds it. One snapshot per match
+    /// attempt is the intended usage.
+    pub fn snapshot(&self) -> Arc<RepoSnapshot> {
+        self.snap.load()
+    }
+
+    /// Number of snapshots published so far. Hot paths documented as
+    /// write-free (matching, reuse accounting) can assert it stays put.
+    pub fn publish_count(&self) -> u64 {
+        self.snap.version()
+    }
+
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Entries of the current snapshot, in match-priority order.
+    pub fn entries(&self) -> Vec<Arc<RepoEntry>> {
+        self.snapshot().entries.clone()
+    }
+
+    /// O(1) lookup by id in the current snapshot.
+    pub fn get(&self, id: u64) -> Option<Arc<RepoEntry>> {
+        self.snapshot().get(id).cloned()
+    }
+
+    /// Does any entry already compute this plan?
+    pub fn contains_plan(&self, plan: &PhysicalPlan) -> Option<u64> {
+        self.snapshot().contains_plan(plan)
+    }
+
+    /// Total bytes of stored outputs (running counter).
+    pub fn stored_bytes(&self) -> u64 {
+        self.snapshot().stored_bytes()
+    }
+
+    /// Route matches through the fingerprint index (`true`) or the
+    /// paper's sequential scan (`false`, the default). Published with
+    /// the snapshot, so in-flight readers keep the strategy they
+    /// started with.
+    pub fn set_fingerprint_index(&self, indexed: bool) {
+        self.snap.update(|s| s.indexed = indexed);
+    }
+
+    /// Is the fingerprint index active?
+    pub fn use_fingerprint_index(&self) -> bool {
+        self.snapshot().indexed
+    }
+
+    /// Insert an entry, maintaining the §3 ordering rules. Deduplicates
+    /// by plan signature (the later execution refreshes statistics).
+    pub fn insert(
+        &self,
+        plan: PhysicalPlan,
+        output_path: impl Into<String>,
+        stats: RepoStats,
+    ) -> InsertOutcome {
+        self.batch(|b| b.insert(plan, output_path, stats))
+    }
+
+    /// Record a reuse of entry `id` at logical time `tick`. Entirely
+    /// atomic: no lock is taken and no snapshot is republished, so a
+    /// match never blocks or is blocked by registration.
+    pub fn note_use(&self, id: u64, tick: u64) {
+        if let Some(e) = self.snapshot().get(id) {
+            e.note_use(tick);
+        }
+    }
+
+    /// Remove an entry, returning it.
+    pub fn evict(&self, id: u64) -> Option<Arc<RepoEntry>> {
+        self.batch(|b| b.evict(id))
+    }
+
+    /// Apply several mutations as one atomically published snapshot:
+    /// concurrent readers see either none or all of the batch. Mutation
+    /// batches serialize on the internal writer lock.
+    pub fn batch<R>(&self, f: impl FnOnce(&mut RepoBatch<'_>) -> R) -> R {
+        self.batch_then(f, |r| r)
+    }
+
+    /// Like [`Repository::batch`], but runs `after` once the batch is
+    /// published and **before** the writer side is released. Readers
+    /// already see the mutation while `after` runs; other mutations and
+    /// [`Repository::freeze`] captures wait for it. Eviction sweeps
+    /// hang their pin-checked file deletions here: publish-then-delete
+    /// is what makes the match loop's pin revalidation conclusive,
+    /// while staying inside the writer section is what keeps a
+    /// concurrent `save_state` from serializing a path that is about to
+    /// be condemned.
+    ///
+    /// The position-dependent indexes (id → position, tip index) are
+    /// rebuilt **once** per batch just before publishing, not per
+    /// mutation — a k-item wave registration pays one O(n) reindex.
+    pub fn batch_then<A, B>(
+        &self,
+        f: impl FnOnce(&mut RepoBatch<'_>) -> A,
+        after: impl FnOnce(A) -> B,
+    ) -> B {
+        self.snap.update_then(
+            |snap| {
+                let (a, dirty) = {
+                    let mut b = RepoBatch { snap, next_id: &self.next_id, dirty: false };
+                    let a = f(&mut b);
+                    let dirty = b.dirty;
+                    (a, dirty)
+                };
+                if dirty {
+                    snap.reindex();
+                }
+                a
+            },
+            after,
+        )
+    }
+
+    /// Run `f` against the current snapshot with all mutations (inserts,
+    /// evictions, sweeps) blocked for the duration. `save_state` uses
+    /// this to capture multi-table state no sweep can interleave with;
+    /// plain readers should use [`Repository::snapshot`] instead.
+    pub fn freeze<R>(&self, f: impl FnOnce(&RepoSnapshot) -> R) -> R {
+        self.snap.freeze(f)
+    }
+
+    /// Replace this repository's contents with `other`'s (state
+    /// restore). The snapshot replacement and the id-counter adoption
+    /// happen inside one writer critical section, so a concurrent batch
+    /// can neither interleave between them (reserving restored ids
+    /// against pre-restore entries) nor land a mutation that this
+    /// replacement silently wipes.
+    pub fn adopt(&self, other: Repository) {
+        let next = other.next_id.load(SeqCst);
+        let snap = other.snapshot();
+        self.snap.update_then(|s| *s = (*snap).clone(), |_| self.next_id.store(next, SeqCst));
+    }
+
+    /// §3 first-match against the current snapshot. Prefer taking a
+    /// [`Repository::snapshot`] explicitly when issuing several lookups
+    /// that must agree.
+    pub fn find_first_match(&self, input_plan: &PhysicalPlan) -> Option<(u64, PlanMatch)> {
+        self.snapshot().find_first_match(input_plan)
+    }
+
+    /// See [`RepoSnapshot::find_first_match_excluding`].
+    pub fn find_first_match_excluding(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        self.snapshot().find_first_match_excluding(input_plan, exclude)
+    }
+
+    // ---- persistence ----
+
+    /// Serialize the current snapshot.
+    pub fn save(&self) -> String {
+        self.snapshot().save()
+    }
+
+    /// See [`RepoSnapshot::save_filtered`].
+    pub fn save_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
+        self.snapshot().save_filtered(keep)
+    }
 
     /// Reload a repository serialized by [`Repository::save`]. Ordering
     /// is preserved verbatim (it was valid when saved).
     pub fn load(text: &str) -> Result<Repository> {
-        let mut repo = Repository::new();
+        let mut entries: Vec<Arc<RepoEntry>> = Vec::new();
+        let mut next_id = 0u64;
         let mut lines = text.lines().peekable();
         while let Some(line) = lines.next() {
             let line = line.trim_end();
@@ -370,12 +688,70 @@ impl Repository {
                 plan_src.push('\n');
             }
             let plan = plan_text::decode_plan(&plan_src)?;
-            let signature = plan.signature();
-            repo.entries.push(RepoEntry { id, plan, signature, output_path, stats });
-            repo.by_signature.insert(signature, id);
-            repo.next_id = repo.next_id.max(id + 1);
+            next_id = next_id.max(id + 1);
+            entries.push(Arc::new(RepoEntry::new(id, plan, output_path, stats)));
         }
+        let mut snap = RepoSnapshot {
+            stored_bytes: entries.iter().map(|e| e.base.output_bytes).sum(),
+            ..Default::default()
+        };
+        for e in &entries {
+            snap.by_signature.insert(e.signature, e.id);
+        }
+        snap.entries = entries;
+        snap.reindex();
+        let repo = Repository { snap: Rcu::new(snap), next_id: AtomicU64::new(next_id) };
         Ok(repo)
+    }
+}
+
+/// Mutation scope over one pending snapshot; every change lands in a
+/// single publish when the [`Repository::batch`] closure returns, and
+/// the position-dependent indexes are rebuilt once at that point.
+pub struct RepoBatch<'a> {
+    snap: &'a mut RepoSnapshot,
+    next_id: &'a AtomicU64,
+    /// A structural mutation happened: reindex before publishing.
+    dirty: bool,
+}
+
+impl RepoBatch<'_> {
+    /// Insert an entry (see [`Repository::insert`]).
+    pub fn insert(
+        &mut self,
+        plan: PhysicalPlan,
+        output_path: impl Into<String>,
+        stats: RepoStats,
+    ) -> InsertOutcome {
+        // Reserve the id optimistically; duplicates leave a gap in the
+        // id space, which nothing depends on.
+        let id = self.next_id.fetch_add(1, SeqCst);
+        let outcome = self.snap.do_insert(RepoEntry::new(id, plan, output_path.into(), stats));
+        if matches!(outcome, InsertOutcome::Inserted(_)) {
+            self.dirty = true;
+        } else {
+            // Roll the reservation back when we were the only claimant.
+            let _ = self.next_id.compare_exchange(id + 1, id, SeqCst, SeqCst);
+        }
+        outcome
+    }
+
+    /// Remove an entry, returning it (see [`Repository::evict`]).
+    pub fn evict(&mut self, id: u64) -> Option<Arc<RepoEntry>> {
+        let e = self.snap.do_evict(id);
+        if e.is_some() {
+            self.dirty = true;
+        }
+        e
+    }
+
+    /// The batch's pending view (prior mutations of this batch
+    /// visible). Mid-batch, `entries()`, `contains_plan`, and
+    /// `stored_bytes` are current, but the position-dependent lookups
+    /// (`get`, `contains_id`, the match strategies) may lag behind this
+    /// batch's own structural changes — they are rebuilt at publish.
+    pub fn pending(&self) -> &RepoSnapshot {
+        self.snap
     }
 }
 
@@ -438,7 +814,7 @@ mod tests {
 
     #[test]
     fn insert_and_match() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(load_project("/pv", vec![0, 2]), "/repo/b", stats(100, 10, 5.0));
         let (id, m) = repo.find_first_match(&q1_plan()).unwrap();
         assert_eq!(repo.get(id).unwrap().output_path, "/repo/b");
@@ -447,7 +823,7 @@ mod tests {
 
     #[test]
     fn duplicate_signature_refreshes_stats() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         let a = repo.insert(load_project("/pv", vec![0]), "/r/1", stats(100, 10, 5.0));
         let InsertOutcome::Inserted(id) = a else { panic!() };
         repo.note_use(id, 3);
@@ -455,20 +831,40 @@ mod tests {
         assert_eq!(b, InsertOutcome::Duplicate(id));
         assert_eq!(repo.len(), 1);
         let e = repo.get(id).unwrap();
-        assert_eq!(e.stats.output_bytes, 12); // refreshed
-        assert_eq!(e.stats.use_count, 1); // history kept
+        assert_eq!(e.stats().output_bytes, 12); // refreshed
+        assert_eq!(e.stats().use_count, 1); // history kept
         assert_eq!(e.output_path, "/r/1"); // original output retained
+        assert_eq!(repo.stored_bytes(), 12); // counter follows the refresh
+    }
+
+    #[test]
+    fn refreshed_entry_shares_usage_with_stale_snapshots() {
+        let repo = Repository::new();
+        let InsertOutcome::Inserted(id) =
+            repo.insert(load_project("/pv", vec![0]), "/r/1", stats(100, 10, 5.0))
+        else {
+            panic!()
+        };
+        // A reader holds the pre-refresh snapshot…
+        let stale = repo.snapshot();
+        repo.insert(load_project("/pv", vec![0]), "/r/2", stats(100, 12, 6.0));
+        // …and records a reuse against it. The refreshed entry must see
+        // it: the counters are shared, not copied.
+        stale.get(id).unwrap().note_use(9);
+        assert_eq!(repo.get(id).unwrap().use_count(), 1);
+        assert_eq!(repo.get(id).unwrap().last_used(), 9);
     }
 
     #[test]
     fn subsuming_plan_ordered_first() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         // Insert the small plan first…
         repo.insert(load_project("/pv", vec![0, 2]), "/r/sub", stats(100, 50, 2.0));
         // …then the Q1 plan that subsumes it.
         repo.insert(q1_plan(), "/r/q1", stats(200, 20, 30.0));
-        assert_eq!(repo.entries()[0].output_path, "/r/q1");
-        assert_eq!(repo.entries()[1].output_path, "/r/sub");
+        let snap = repo.snapshot();
+        assert_eq!(snap.entries()[0].output_path, "/r/q1");
+        assert_eq!(snap.entries()[1].output_path, "/r/sub");
         // A fresh Q1-shaped query now matches the *whole* Q1 plan first
         // (the paper's "first match is best match").
         let (id, _) = repo.find_first_match(&q1_plan()).unwrap();
@@ -477,21 +873,21 @@ mod tests {
 
     #[test]
     fn incomparable_plans_ordered_by_reduction_then_time() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(load_project("/a", vec![0]), "/r/low", stats(100, 50, 9.0));
         repo.insert(load_project("/b", vec![0]), "/r/high", stats(100, 5, 1.0));
         // ratio 20 beats ratio 2 despite lower time.
-        assert_eq!(repo.entries()[0].output_path, "/r/high");
+        assert_eq!(repo.snapshot().entries()[0].output_path, "/r/high");
         // Same ratio: longer time first.
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(load_project("/a", vec![0]), "/r/fast", stats(100, 10, 1.0));
         repo.insert(load_project("/b", vec![0]), "/r/slow", stats(100, 10, 9.0));
-        assert_eq!(repo.entries()[0].output_path, "/r/slow");
+        assert_eq!(repo.snapshot().entries()[0].output_path, "/r/slow");
     }
 
     #[test]
     fn eviction_removes_entry_and_signature() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         let InsertOutcome::Inserted(id) =
             repo.insert(load_project("/a", vec![0]), "/r/a", stats(1, 1, 1.0))
         else {
@@ -499,6 +895,7 @@ mod tests {
         };
         assert!(repo.evict(id).is_some());
         assert!(repo.is_empty());
+        assert_eq!(repo.stored_bytes(), 0);
         // Same plan can be inserted again afterwards.
         let again = repo.insert(load_project("/a", vec![0]), "/r/a2", stats(1, 1, 1.0));
         assert!(matches!(again, InsertOutcome::Inserted(_)));
@@ -506,9 +903,9 @@ mod tests {
 
     #[test]
     fn fingerprint_index_agrees_with_scan() {
-        let mut scan = Repository::new();
-        let mut indexed = Repository::new();
-        indexed.use_fingerprint_index = true;
+        let scan = Repository::new();
+        let indexed = Repository::new();
+        indexed.set_fingerprint_index(true);
         for (i, cols) in [vec![0], vec![1], vec![0, 2], vec![2]].into_iter().enumerate() {
             let s = stats(100 + i as u64, 10, i as f64);
             scan.insert(load_project("/pv", cols.clone()), format!("/r/{i}"), s.clone());
@@ -523,11 +920,51 @@ mod tests {
         let other = load_project("/nowhere", vec![9]);
         assert!(scan.find_first_match(&other).is_none());
         assert!(indexed.find_first_match(&other).is_none());
+        // The two strategies are also exposed side by side on one
+        // snapshot, for the ablation bench and parity tests.
+        let snap = scan.snapshot();
+        let none = HashSet::new();
+        assert_eq!(
+            snap.find_first_match_scan(&q, &none).map(|(id, m)| (id, m.tip)),
+            snap.find_first_match_indexed(&q, &none).map(|(id, m)| (id, m.tip)),
+        );
+    }
+
+    #[test]
+    fn snapshot_readers_are_isolated_from_mutations() {
+        let repo = Repository::new();
+        repo.insert(load_project("/pv", vec![0, 2]), "/r/b", stats(100, 10, 5.0));
+        let before = repo.snapshot();
+        repo.batch(|b| {
+            b.insert(load_project("/x", vec![1]), "/r/x", stats(50, 5, 1.0));
+            b.insert(load_project("/y", vec![1]), "/r/y", stats(50, 5, 1.0));
+        });
+        assert_eq!(before.len(), 1, "held snapshot unchanged");
+        assert_eq!(repo.len(), 3, "batch landed atomically");
+        // The old snapshot still matches correctly.
+        assert!(before.find_first_match(&q1_plan()).is_some());
+    }
+
+    #[test]
+    fn note_use_publishes_no_snapshot() {
+        let repo = Repository::new();
+        let InsertOutcome::Inserted(id) =
+            repo.insert(load_project("/pv", vec![0]), "/r/1", stats(100, 10, 5.0))
+        else {
+            panic!()
+        };
+        let publishes = repo.publish_count();
+        for t in 1..=100 {
+            repo.note_use(id, t);
+        }
+        assert_eq!(repo.publish_count(), publishes, "reuse accounting is write-free");
+        assert_eq!(repo.get(id).unwrap().use_count(), 100);
+        assert_eq!(repo.get(id).unwrap().last_used(), 100);
     }
 
     #[test]
     fn save_load_round_trip() {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         repo.insert(
             q1_plan(),
             "/r/q1",
@@ -547,18 +984,29 @@ mod tests {
         let text = repo.save();
         let back = Repository::load(&text).unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!(back.entries()[0].output_path, repo.entries()[0].output_path);
-        assert_eq!(back.entries()[0].signature, repo.entries()[0].signature);
-        assert_eq!(back.entries()[0].stats, repo.entries()[0].stats);
+        let (b, r) = (back.snapshot(), repo.snapshot());
+        assert_eq!(b.entries()[0].output_path, r.entries()[0].output_path);
+        assert_eq!(b.entries()[0].signature, r.entries()[0].signature);
+        assert_eq!(b.entries()[0].stats(), r.entries()[0].stats());
+        assert_eq!(b.entries()[0].tip_signature, r.entries()[0].tip_signature);
+        assert_eq!(b.stored_bytes(), r.stored_bytes());
         // Loaded repository still matches.
         assert!(back.find_first_match(&q1_plan()).is_some());
+        // And re-saving is byte-identical (usage counters round-trip).
+        assert_eq!(back.save(), text);
     }
 
     #[test]
-    fn stored_bytes_sums_outputs() {
-        let mut repo = Repository::new();
+    fn stored_bytes_is_maintained_incrementally() {
+        let repo = Repository::new();
         repo.insert(load_project("/a", vec![0]), "/r/a", stats(100, 30, 1.0));
-        repo.insert(load_project("/b", vec![0]), "/r/b", stats(100, 12, 1.0));
+        let InsertOutcome::Inserted(b) =
+            repo.insert(load_project("/b", vec![0]), "/r/b", stats(100, 12, 1.0))
+        else {
+            panic!()
+        };
         assert_eq!(repo.stored_bytes(), 42);
+        repo.evict(b);
+        assert_eq!(repo.stored_bytes(), 30);
     }
 }

@@ -14,7 +14,6 @@
 
 use crate::pin::PinSet;
 use crate::repository::{RepoStats, Repository};
-use parking_lot::RwLock;
 use restore_dfs::Dfs;
 
 /// Configuration of the §5 rules.
@@ -91,13 +90,27 @@ impl SelectionPolicy {
     /// file deletion is deferred to the last unpin (the repository entry
     /// itself is removed immediately either way). Returns the evicted
     /// entry ids.
-    pub fn sweep(&self, repo: &mut Repository, dfs: &Dfs, pins: &PinSet, now: u64) -> Vec<u64> {
+    ///
+    /// Concurrency: the sweep never blocks matching. Victims are chosen
+    /// from a lock-free snapshot, removed in one atomically published
+    /// batch, and only **then** are files deleted (pin-checked) — so by
+    /// the time a file can disappear, no fresh snapshot still carries
+    /// its entry. Sessions matching against an older snapshot are
+    /// protected by the pin-then-revalidate protocol in the driver's
+    /// match loop. Returns immediately (no writer serialization) when no
+    /// eviction rule is active — the common store-everything policy.
+    pub fn sweep(&self, repo: &Repository, dfs: &Dfs, pins: &PinSet, now: u64) -> Vec<u64> {
+        if self.eviction_window.is_none() && !self.check_input_versions {
+            return Vec::new();
+        }
+        let snap = repo.snapshot();
         let mut victims = Vec::new();
-        for e in repo.entries() {
+        for e in snap.entries() {
+            let stats = e.stats();
             // Rule 3: unused within the window (entries never used are
             // judged from their creation tick).
             if let Some(w) = self.eviction_window {
-                let last_activity = e.stats.last_used.max(e.stats.created);
+                let last_activity = stats.last_used.max(stats.created);
                 if now.saturating_sub(last_activity) > w {
                     victims.push(e.id);
                     continue;
@@ -105,7 +118,7 @@ impl SelectionPolicy {
             }
             // Rule 4: an input was deleted or modified.
             if self.check_input_versions {
-                let invalidated = e.stats.input_files.iter().any(|(path, version)| {
+                let invalidated = stats.input_files.iter().any(|(path, version)| {
                     match dfs.status(path) {
                         Ok(st) => st.version != *version,
                         Err(_) => true, // deleted
@@ -116,31 +129,30 @@ impl SelectionPolicy {
                 }
             }
         }
-        for &id in &victims {
-            if let Some(entry) = repo.evict(id) {
-                if !pins.defer_delete(&entry.output_path) {
-                    dfs.delete(&entry.output_path);
+        if victims.is_empty() {
+            return victims;
+        }
+        // Remove every victim in one published batch, then perform the
+        // pin-checked file deletions *after* the publish but still
+        // inside the writer section (see `Repository::batch_then`): a
+        // session that pinned a match and revalidates sees either the
+        // entry (so its pin defers our deletion) or its absence (so it
+        // skips the entry) — never a deleted file behind a live entry.
+        // An id already evicted by a racing sweep simply comes back
+        // `None` and is skipped.
+        repo.batch_then(
+            |b| victims.iter().filter_map(|&id| b.evict(id)).collect::<Vec<_>>(),
+            |evicted| {
+                let mut swept = Vec::with_capacity(evicted.len());
+                for entry in evicted {
+                    if !pins.defer_delete(&entry.output_path) {
+                        dfs.delete(&entry.output_path);
+                    }
+                    swept.push(entry.id);
                 }
-            }
-        }
-        victims
-    }
-
-    /// Eviction sweep against a repository shared between concurrent
-    /// sessions. Skips taking the write lock entirely when no eviction
-    /// rule is active (the common store-everything configuration), so
-    /// per-query sweeps never serialize read-mostly traffic.
-    pub fn sweep_shared(
-        &self,
-        repo: &RwLock<Repository>,
-        dfs: &Dfs,
-        pins: &PinSet,
-        now: u64,
-    ) -> Vec<u64> {
-        if self.eviction_window.is_none() && !self.check_input_versions {
-            return Vec::new();
-        }
-        self.sweep(&mut repo.write(), dfs, pins, now)
+                swept
+            },
+        )
     }
 }
 
@@ -204,7 +216,7 @@ mod tests {
         let dfs = Dfs::new(DfsConfig::small_for_tests());
         dfs.write_all("/repo/old", b"x").unwrap();
         dfs.write_all("/repo/fresh", b"y").unwrap();
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         let mut s_old = stats(10, 1, 1.0);
         s_old.created = 1;
         s_old.last_used = 2;
@@ -214,7 +226,7 @@ mod tests {
         repo.insert(plan("/fresh"), "/repo/fresh", s_new);
 
         let policy = SelectionPolicy { eviction_window: Some(5), ..Default::default() };
-        let evicted = policy.sweep(&mut repo, &dfs, &PinSet::default(), 10);
+        let evicted = policy.sweep(&repo, &dfs, &PinSet::default(), 10);
         assert_eq!(evicted.len(), 1);
         assert_eq!(repo.len(), 1);
         assert!(!dfs.exists("/repo/old"), "evicted output deleted from DFS");
@@ -226,19 +238,19 @@ mod tests {
         let dfs = Dfs::new(DfsConfig::small_for_tests());
         dfs.write_all("/data/in", b"v0").unwrap();
         dfs.write_all("/repo/out", b"r").unwrap();
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         let mut s = stats(10, 1, 1.0);
         s.input_files = vec![("/data/in".into(), 0)];
         repo.insert(plan("/x"), "/repo/out", s);
 
         let policy = SelectionPolicy { check_input_versions: true, ..Default::default() };
         // Input untouched: nothing happens.
-        assert!(policy.sweep(&mut repo, &dfs, &PinSet::default(), 1).is_empty());
+        assert!(policy.sweep(&repo, &dfs, &PinSet::default(), 1).is_empty());
         // Overwrite the input: version bumps, entry evicted.
         let mut w = dfs.create_overwrite("/data/in").unwrap();
         w.write(b"v1");
         w.close().unwrap();
-        let evicted = policy.sweep(&mut repo, &dfs, &PinSet::default(), 2);
+        let evicted = policy.sweep(&repo, &dfs, &PinSet::default(), 2);
         assert_eq!(evicted.len(), 1);
         assert!(repo.is_empty());
     }
@@ -248,13 +260,13 @@ mod tests {
         let dfs = Dfs::new(DfsConfig::small_for_tests());
         dfs.write_all("/data/in", b"v0").unwrap();
         dfs.write_all("/repo/out", b"r").unwrap();
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         let mut s = stats(10, 1, 1.0);
         s.input_files = vec![("/data/in".into(), 0)];
         repo.insert(plan("/x"), "/repo/out", s);
         dfs.delete("/data/in");
         let policy = SelectionPolicy { check_input_versions: true, ..Default::default() };
-        assert_eq!(policy.sweep(&mut repo, &dfs, &PinSet::default(), 1).len(), 1);
+        assert_eq!(policy.sweep(&repo, &dfs, &PinSet::default(), 1).len(), 1);
     }
 
     #[test]

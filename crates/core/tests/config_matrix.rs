@@ -49,7 +49,7 @@ fn fingerprint_index_is_transparent() {
     let run = |indexed: bool| {
         let eng = engine();
         let rs = ReStore::new(eng, ReStoreConfig::default());
-        rs.repository_mut().use_fingerprint_index = indexed;
+        rs.with_repository_mut_as(None, |repo| repo.set_fingerprint_index(indexed));
         let mut log = Vec::new();
         for i in 0..3 {
             let e = rs.execute_query(Q, &format!("/wf/{i}")).unwrap();
@@ -157,7 +157,7 @@ fn eviction_window_mid_workload() {
     }
     // The Q entries are gone (idle), and their DFS files with them.
     let repo = rs.repository();
-    let still_q: Vec<_> = repo.entries().iter().filter(|e| e.stats.created == 1).collect();
+    let still_q: Vec<_> = repo.entries().iter().filter(|e| e.stats().created == 1).collect();
     assert!(still_q.is_empty(), "tick-1 entries must be evicted: {still_q:?}");
     drop(repo);
 

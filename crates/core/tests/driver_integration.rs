@@ -110,7 +110,7 @@ fn whole_job_reuse_q1_then_q2() {
     // Reuse is reflected in repository statistics.
     let repo = rs.repository();
     let reused = repo.get(e2.rewrites[0].entry_id).unwrap();
-    assert_eq!(reused.stats.use_count, 1);
+    assert_eq!(reused.stats().use_count, 1);
 }
 
 #[test]

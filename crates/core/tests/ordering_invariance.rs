@@ -48,7 +48,7 @@ fn first_match_is_insertion_order_invariant() {
     let orders: [[usize; 3]; 6] =
         [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
     for order in orders {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         for &i in &order {
             repo.insert(plans[i].1.clone(), format!("/out/{}", plans[i].0), stats(2));
         }
@@ -80,7 +80,7 @@ fn rule2_order_is_insertion_order_invariant() {
         vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![2, 0, 3, 1], vec![1, 3, 0, 2]];
     let mut reference: Option<Vec<String>> = None;
     for order in orders {
-        let mut repo = Repository::new();
+        let repo = Repository::new();
         for &i in &order {
             let (path, ratio) = entries[i];
             repo.insert(mk(path), format!("/out{path}"), stats(ratio));
@@ -99,7 +99,7 @@ fn rule2_order_is_insertion_order_invariant() {
 #[test]
 fn eviction_preserves_relative_order() {
     let (full, sub_a, sub_b) = q1_family();
-    let mut repo = Repository::new();
+    let repo = Repository::new();
     repo.insert(sub_a, "/out/subA", stats(2));
     let full_id = match repo.insert(full, "/out/full", stats(3)) {
         restore_core::repository::InsertOutcome::Inserted(id) => id,
@@ -109,6 +109,6 @@ fn eviction_preserves_relative_order() {
     assert_eq!(repo.entries()[0].output_path, "/out/full");
     repo.evict(full_id);
     // Sub-plans retain their rule-2 order (subB has higher ratio).
-    let paths: Vec<&str> = repo.entries().iter().map(|e| e.output_path.as_str()).collect();
+    let paths: Vec<String> = repo.entries().iter().map(|e| e.output_path.clone()).collect();
     assert_eq!(paths, vec!["/out/subB", "/out/subA"]);
 }

@@ -119,9 +119,9 @@ proptest! {
         pick in any::<prop::sample::Index>(),
     ) {
         use restore_core::{RepoStats, Repository};
-        let mut scan = Repository::new();
-        let mut indexed = Repository::new();
-        indexed.use_fingerprint_index = true;
+        let scan = Repository::new();
+        let indexed = Repository::new();
+        indexed.set_fingerprint_index(true);
         for (i, plan) in entries.iter().enumerate() {
             // Register prefixes of random plans: realistic sub-job shapes.
             let nodes = op_nodes(plan);

@@ -76,8 +76,8 @@ fn v1_fixture_from_before_this_pr_still_loads() {
     rs.with_repository_as(None, |repo| {
         let e = &repo.entries()[0];
         assert_eq!(e.output_path, "/repo/b");
-        assert_eq!(e.stats.use_count, 3);
-        assert_eq!(e.stats.input_files, vec![("/data/pv".to_string(), 0)]);
+        assert_eq!(e.stats().use_count, 3);
+        assert_eq!(e.stats().input_files, vec![("/data/pv".to_string(), 0)]);
     });
     rs.with_provenance_as(None, |prov| assert!(prov.contains("/repo/b")));
 

@@ -57,7 +57,7 @@ fn main() {
             "  #{:<2} {:<22} {:>6} bytes  ({} operators)",
             entry.id,
             entry.output_path,
-            entry.stats.output_bytes,
+            entry.stats().output_bytes,
             entry.plan.effective_len(),
         );
     }

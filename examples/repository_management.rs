@@ -12,7 +12,7 @@
 //! ```
 
 use restore_suite::common::{codec, tuple, Tuple};
-use restore_suite::core::{ReStore, ReStoreConfig, Repository, SelectionPolicy};
+use restore_suite::core::{ReStore, ReStoreConfig, RepoSnapshot, Repository, SelectionPolicy};
 use restore_suite::dfs::{Dfs, DfsConfig};
 use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 
@@ -31,7 +31,7 @@ const QUERY: &str = "
     store R into '/out/scores';
 ";
 
-fn print_repo(repo: &Repository) {
+fn print_repo(repo: &RepoSnapshot) {
     if repo.is_empty() {
         println!("  (empty)");
         return;
@@ -39,7 +39,11 @@ fn print_repo(repo: &Repository) {
     for e in repo.entries() {
         println!(
             "  #{:<2} {:<26} out={:<8} used={} last_tick={}",
-            e.id, e.output_path, e.stats.output_bytes, e.stats.use_count, e.stats.last_used
+            e.id,
+            e.output_path,
+            e.stats().output_bytes,
+            e.stats().use_count,
+            e.stats().last_used
         );
     }
 }

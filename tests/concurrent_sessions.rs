@@ -131,7 +131,10 @@ fn concurrent_sessions_preserve_answers() {
                 entry.output_path
             );
         }
-        assert_eq!(stats.total_uses, repo.entries().iter().map(|e| e.stats.use_count).sum::<u64>());
+        assert_eq!(
+            stats.total_uses,
+            repo.entries().iter().map(|e| e.stats().use_count).sum::<u64>()
+        );
     }
 
     // The session state survives a save/load round trip.

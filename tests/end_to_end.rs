@@ -105,7 +105,7 @@ fn repository_persistence_mid_workload() {
 
     // "New session": same DFS, fresh driver, reloaded repository.
     let rs2 = ReStore::new(engine, ReStoreConfig::default());
-    *rs2.repository_mut() = Repository::load(&saved).unwrap();
+    rs2.with_repository_mut_as(None, |repo| repo.adopt(Repository::load(&saved).unwrap()));
     assert_eq!(rs2.repository().len(), entries_before);
 
     // The fresh driver has no provenance, but repository matching works
