@@ -18,6 +18,14 @@
 //! threads; `MATCHING_SIZES` (comma-separated) trims the matrix — CI
 //! smoke runs `MATCHING_SIZES=100`. Results archive as
 //! `BENCH_matching.json` via `CRITERION_JSON`.
+//!
+//! A third arm, `matching_bulk_indexed`, pushes the snapshot design to
+//! 10⁵ entries (override with `MATCHING_BULK_SIZES`): ordered
+//! insertion is O(n²) in pairwise subsumption checks, so the corpus is
+//! built with [`Repository::bulk_load`] — O(n log n) rule-2 ordering,
+//! valid because the generated plans are pairwise incomparable. Only
+//! the indexed match path runs at this size (the locked sequential
+//! scan would take minutes per round).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parking_lot::RwLock;
@@ -97,6 +105,78 @@ fn sizes() -> Vec<usize> {
     match std::env::var("MATCHING_SIZES") {
         Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         Err(_) => vec![100, 1_000, 10_000],
+    }
+}
+
+fn bulk_sizes() -> Vec<usize> {
+    match std::env::var("MATCHING_BULK_SIZES") {
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        Err(_) => vec![100_000],
+    }
+}
+
+/// 10⁵-entry arm: bulk-loaded corpus, snapshot + inverted index only.
+fn bench_matching_bulk(c: &mut Criterion) {
+    for &n in &bulk_sizes() {
+        let items: Vec<_> = (0..n)
+            .map(|i| {
+                (
+                    entry_plan(i),
+                    format!("/repo/{i}"),
+                    RepoStats {
+                        input_bytes: 10 * n as u64 - i as u64,
+                        output_bytes: 100,
+                        job_time_s: (n - i) as f64,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let repo = Repository::bulk_load(items);
+        assert_eq!(repo.len(), n, "generated plans must be signature-distinct");
+        let tick = std::sync::atomic::AtomicU64::new(1);
+        let publishes_before = repo.publish_count();
+        let mut group = c.benchmark_group(format!("matching_bulk_indexed/n{n}"));
+        for &threads in &[1usize, 8] {
+            group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+            let queries: Vec<Vec<PhysicalPlan>> =
+                (0..threads).map(|t| thread_queries(n, t)).collect();
+            group.bench_with_input(
+                BenchmarkId::new("threads", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        std::thread::scope(|scope| {
+                            for qs in queries.iter().take(threads) {
+                                let repo = &repo;
+                                let tick = &tick;
+                                scope.spawn(move || {
+                                    let none = HashSet::new();
+                                    for q in qs {
+                                        let snap = repo.snapshot();
+                                        let hit = black_box(
+                                            snap.find_first_match_indexed(q, &none)
+                                                .map(|(id, _)| id),
+                                        );
+                                        if let Some(id) = hit {
+                                            let t = tick
+                                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                            repo.note_use(id, t);
+                                        }
+                                    }
+                                });
+                            }
+                        });
+                    });
+                },
+            );
+        }
+        group.finish();
+        assert_eq!(
+            repo.publish_count(),
+            publishes_before,
+            "the bulk-loaded match path must be write-free"
+        );
     }
 }
 
@@ -207,5 +287,5 @@ fn bench_matching(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_matching);
+criterion_group!(benches, bench_matching, bench_matching_bulk);
 criterion_main!(benches);

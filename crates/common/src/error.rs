@@ -38,6 +38,11 @@ pub enum Error {
     /// the 1-based line number and the offending line so operators can
     /// pinpoint corruption in a snapshot file.
     State { line: usize, msg: String },
+    /// A snapshot-journal segment failed to decode. Carries the 0-based
+    /// segment index and the 1-based record ordinal within it, so a
+    /// corrupt journal points at the offending record instead of a
+    /// generic "malformed journal".
+    Journal { segment: usize, record: usize, msg: String },
     /// Record decoding failure when reading DFS files.
     Codec(String),
     /// Catch-all with context.
@@ -66,6 +71,9 @@ impl fmt::Display for Error {
             Error::Repository(m) => write!(f, "repository error: {m}"),
             Error::State { line, msg } => {
                 write!(f, "restore-state parse error at line {line}: {msg}")
+            }
+            Error::Journal { segment, record, msg } => {
+                write!(f, "journal error in segment {segment} record {record}: {msg}")
             }
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Other(m) => write!(f, "{m}"),

@@ -44,10 +44,11 @@
 //! tenants. The tenant-less API uses the default namespace.
 
 use crate::enumerator::{inject_subjob_stores, Candidate, Heuristic};
+use crate::journal::{self, Journal, JournalConfig, JournalStats, Record, RecoveryReport};
 use crate::pin::PinSet;
 use crate::provenance::Provenance;
 use crate::rcu::Rcu;
-use crate::repository::{RepoBatch, RepoSnapshot, RepoStats, Repository};
+use crate::repository::{RepoBatch, RepoOp, RepoSnapshot, RepoStats, Repository};
 use crate::rewriter::{apply_aliases, identity_copy, rewrite};
 use crate::selector::SelectionPolicy;
 use parking_lot::RwLock;
@@ -202,13 +203,17 @@ pub struct ReStore {
     /// Per-tenant namespaces, created lazily on first use. A tenant's
     /// matching, registration, and eviction sweeps only ever touch its
     /// own space, so tenants cannot observe (or delete) each other's
-    /// outputs.
-    tenants: RwLock<HashMap<String, Arc<Space>>>,
+    /// outputs. RCU-published like the tables themselves: lookups are
+    /// lock-free, creation (rare) publishes a new map.
+    tenants: Rcu<HashMap<String, Arc<Space>>>,
     config: RwLock<ReStoreConfig>,
     /// Query counter = the logical clock for usage statistics. Shared by
     /// all tenants (one clock, many namespaces).
     tick: AtomicU64,
     cand_counter: AtomicU64,
+    /// The snapshot journal behind incremental checkpoints (see
+    /// [`crate::journal`]); disabled until [`ReStore::enable_journal`].
+    journal: Arc<Journal>,
 }
 
 /// One isolated repository namespace: the §2.2 repository, its
@@ -225,7 +230,10 @@ pub(crate) struct Space {
     pub(crate) repo: Repository,
     pub(crate) prov: Rcu<Provenance>,
     pub(crate) pins: PinSet,
-    pub(crate) config: RwLock<Option<ReStoreConfig>>,
+    /// The tenant's policy override, RCU-published so the per-query
+    /// read on the execution path is lock-free like every other shared
+    /// map in the session.
+    pub(crate) config: Rcu<Option<ReStoreConfig>>,
 }
 
 /// Pins taken by one in-flight workflow. Dropping the guard releases
@@ -310,15 +318,69 @@ impl ReStore {
         ReStore {
             engine,
             space: Arc::new(Space::default()),
-            tenants: RwLock::new(HashMap::new()),
+            tenants: Rcu::new(HashMap::new()),
             config: RwLock::new(config),
             tick: AtomicU64::new(0),
             cand_counter: AtomicU64::new(0),
+            journal: Arc::new(Journal::default()),
         }
     }
 
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Turn on the snapshot journal: from here on, every structural
+    /// mutation (wave registrations, evictions, provenance changes,
+    /// tenant/config changes) is recorded, reuse counters are
+    /// dirty-tracked, and [`ReStore::save_state_delta`] captures cheap
+    /// deltas. Take a base checkpoint ([`ReStore::save_state`]) *after*
+    /// enabling — mutations from before the journal was on are only in
+    /// the base, never in a delta.
+    pub fn enable_journal(&self, config: JournalConfig) {
+        self.journal.enable(config);
+        Self::wire_space(&self.journal, "", &self.space);
+        // Wire existing tenants inside the tenant map's writer section:
+        // tenant creation serializes on the same writer, so a namespace
+        // racing this enable either is in the map when the closure runs
+        // (wired here) or is created by a later-serialized `space_for`
+        // whose `make_space` reads `enabled() == true` (wired there).
+        // Wiring from a plain `load()` would let a concurrently created
+        // space slip through both checks and journal nothing, silently.
+        self.tenants.update(|m| {
+            for (name, space) in m.iter() {
+                Self::wire_space(&self.journal, name, space);
+            }
+        });
+    }
+
+    /// Is the snapshot journal recording?
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.enabled()
+    }
+
+    /// Journal introspection (sequence number, buffered bytes).
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal.stats()
+    }
+
+    /// Install the journal sink on a namespace's repository so its
+    /// batches emit `repo-batch` records at publish time.
+    fn wire_space(journal: &Arc<Journal>, name: &str, space: &Space) {
+        let j = journal.clone();
+        let n = name.to_string();
+        space
+            .repo
+            .set_journal_sink(Some(Arc::new(move |ops: &[RepoOp]| j.append_repo_batch(&n, ops))));
+    }
+
+    /// A fresh namespace, journal-wired when the journal is on.
+    fn make_space(&self, name: &str) -> Arc<Space> {
+        let space = Arc::new(Space::default());
+        if self.journal.enabled() {
+            Self::wire_space(&self.journal, name, &space);
+        }
+        space
     }
 
     /// An empty tenant name means the default namespace — the same
@@ -337,10 +399,28 @@ impl ReStore {
         let Some(t) = Self::normalize(tenant) else {
             return self.space.clone();
         };
-        if let Some(s) = self.tenants.read().get(t) {
+        // Lock-free fast path: the tenant already has a namespace.
+        if let Some(s) = self.tenants.load().get(t) {
             return s.clone();
         }
-        self.tenants.write().entry(t.to_string()).or_default().clone()
+        let mut created = false;
+        let space = self.tenants.update(|m| {
+            m.entry(t.to_string())
+                .or_insert_with(|| {
+                    created = true;
+                    self.make_space(t)
+                })
+                .clone()
+        });
+        if created {
+            // Belt and braces for replay: records touching the space
+            // auto-create it, but a tenant whose only state is a config
+            // override needs the creation on record. Ordering with a
+            // racing first mutation of the space is harmless — replay's
+            // auto-creation makes the record idempotent.
+            self.journal.append_tenant_create(t);
+        }
+        space
     }
 
     /// The tenant's namespace for read-only access: an unknown tenant
@@ -350,7 +430,7 @@ impl ReStore {
         let Some(t) = Self::normalize(tenant) else {
             return self.space.clone();
         };
-        self.tenants.read().get(t).cloned().unwrap_or_default()
+        self.tenants.load().get(t).cloned().unwrap_or_default()
     }
 
     /// Could a rewritten job in *any* namespace be served from `path`?
@@ -365,13 +445,14 @@ impl ReStore {
         if self.space.prov.load().contains(path) {
             return true;
         }
-        self.tenants.read().values().any(|s| s.prov.load().contains(path))
+        self.tenants.load().values().any(|s| s.prov.load().contains(path))
     }
 
-    /// Every namespace: the default space plus all tenant spaces.
-    fn all_spaces(&self) -> Vec<Arc<Space>> {
-        let mut spaces = vec![self.space.clone()];
-        spaces.extend(self.tenants.read().values().cloned());
+    /// Every namespace with its name: the default space (`""`) plus all
+    /// tenant spaces.
+    fn all_spaces(&self) -> Vec<(String, Arc<Space>)> {
+        let mut spaces = vec![(String::new(), self.space.clone())];
+        spaces.extend(self.tenants.load().iter().map(|(k, v)| (k.clone(), v.clone())));
         spaces
     }
 
@@ -383,7 +464,7 @@ impl ReStore {
     /// records; the files themselves are left alone — they hold the new
     /// workflow's live output.
     fn invalidate_overwritten(&self, written: &[String]) {
-        for space in self.all_spaces() {
+        for (name, space) in self.all_spaces() {
             // Cheap lock-free probe first: fresh output paths are almost
             // never registered anywhere.
             let hit = {
@@ -397,30 +478,41 @@ impl ReStore {
                 continue;
             }
             // Writer order: provenance before repository (see [`Space`]).
-            space.prov.update(|prov| {
-                space.repo.batch(|repo| {
-                    for p in written {
-                        let stale: Vec<u64> = repo
-                            .pending()
-                            .entries()
-                            .iter()
-                            .filter(|e| &e.output_path == p)
-                            .map(|e| e.id)
-                            .collect();
-                        for id in stale {
-                            repo.evict(id);
+            // The repository evictions journal themselves through the
+            // batch sink; the provenance forgets are journaled here, in
+            // the writer section, once the update has published.
+            space.prov.update_then(
+                |prov| {
+                    let mut forgets = Vec::new();
+                    space.repo.batch(|repo| {
+                        for p in written {
+                            let stale: Vec<u64> = repo
+                                .pending()
+                                .entries()
+                                .iter()
+                                .filter(|e| &e.output_path == p)
+                                .map(|e| e.id)
+                                .collect();
+                            for id in stale {
+                                repo.evict(id);
+                            }
+                            if prov.contains(p) {
+                                prov.forget(p);
+                                forgets.push(p.clone());
+                            }
                         }
-                        prov.forget(p);
-                    }
-                });
-            });
+                    });
+                    forgets
+                },
+                |forgets| self.journal.append_prov_batch(&name, &[], &forgets),
+            );
         }
     }
 
     /// Tenants that have a namespace (sorted; the default namespace is
     /// not listed).
     pub fn tenant_ids(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self.tenants.read().keys().cloned().collect();
+        let mut ids: Vec<String> = self.tenants.load().keys().cloned().collect();
         ids.sort();
         ids
     }
@@ -474,14 +566,37 @@ impl ReStore {
 
     /// Run `f` with mutable access to a copy of a tenant's provenance
     /// table, publishing the result (`None` = the default namespace;
-    /// the namespace is created if absent).
+    /// the namespace is created if absent). An arbitrary mutation has
+    /// no op-level record, so with the journal on the whole resulting
+    /// table is journaled as one `prov-replace` record.
     pub fn with_provenance_mut_as<R>(
         &self,
         tenant: Option<&str>,
         f: impl FnOnce(&mut Provenance) -> R,
     ) -> R {
         let space = self.space_for(tenant);
-        space.prov.update(f)
+        let name = Self::normalize(tenant).unwrap_or("").to_string();
+        space.prov.update_then(
+            |prov| {
+                let r = f(prov);
+                // Sample the journal *inside* the writer section: a
+                // `checkpoint_begin` racing this call either captured
+                // its base before we entered (then `active()` is
+                // already true here and the mutation is journaled) or
+                // its base capture freezes behind this writer section
+                // and includes the mutation. Sampling before the
+                // section could read `false`, then lose the mutation
+                // to a base captured in the gap.
+                let table = if self.journal.active() { Some(prov.save()) } else { None };
+                (r, table)
+            },
+            |(r, table)| {
+                if let Some(t) = table {
+                    self.journal.append_prov_replace(&name, &t);
+                }
+                r
+            },
+        )
     }
 
     /// Snapshot of the global (default) configuration.
@@ -495,7 +610,11 @@ impl ReStore {
     /// with; tenants with an override (see [`ReStore::set_config_as`])
     /// are unaffected.
     pub fn set_config(&self, config: ReStoreConfig) {
-        *self.config.write() = config;
+        let mut guard = self.config.write();
+        // Journal while still holding the write guard, so record order
+        // matches application order under racing setters.
+        self.journal.append_global_config(&config);
+        *guard = config;
     }
 
     /// The effective configuration for `tenant`: its override when one
@@ -506,7 +625,7 @@ impl ReStore {
             None => self.config(),
             Some(_) => {
                 let space = self.space_snapshot(tenant);
-                let override_cfg = space.config.read().clone();
+                let override_cfg = (*space.config.load()).clone();
                 override_cfg.unwrap_or_else(|| self.config())
             }
         }
@@ -520,9 +639,12 @@ impl ReStore {
     pub fn set_config_as(&self, tenant: Option<&str>, config: ReStoreConfig) {
         match Self::normalize(tenant) {
             None => self.set_config(config),
-            Some(_) => {
+            Some(t) => {
                 let space = self.space_for(tenant);
-                *space.config.write() = Some(config);
+                space.config.update_then(
+                    |c| *c = Some(config.clone()),
+                    |_| self.journal.append_tenant_config(t, Some(&config)),
+                );
             }
         }
     }
@@ -531,8 +653,10 @@ impl ReStore {
     /// default again. A no-op for unknown tenants and for the default
     /// namespace.
     pub fn clear_config_as(&self, tenant: &str) {
-        if let Some(space) = self.tenants.read().get(tenant) {
-            *space.config.write() = None;
+        if let Some(space) = self.tenants.load().get(tenant) {
+            space
+                .config
+                .update_then(|c| *c = None, |_| self.journal.append_tenant_config(tenant, None));
         }
     }
 
@@ -570,10 +694,11 @@ impl ReStore {
     ) -> Result<QueryExecution> {
         let tick = self.tick.fetch_add(1, Ordering::SeqCst) + 1;
         let space = self.space_for(tenant);
+        let space_name = Self::normalize(tenant).unwrap_or("");
         // The submitting tenant's policy governs this execution end to
         // end: reuse, heuristic, §5 selection, sweeps, and candidate
         // placement all read this snapshot.
-        let config = space.config.read().clone().unwrap_or_else(|| self.config());
+        let config = (*space.config.load()).clone().unwrap_or_else(|| self.config());
         // Pins taken at match time live until the whole workflow (whose
         // later waves may Load the matched outputs) has executed.
         let mut pins = PinGuard::new(space.clone(), self.engine.dfs().clone());
@@ -591,11 +716,14 @@ impl ReStore {
                 prov.iter_paths().filter(|p| !dfs.exists(p)).map(|p| p.to_string()).collect()
             };
             if !dead.is_empty() {
-                space.prov.update(|prov| {
-                    for p in &dead {
-                        prov.forget(p);
-                    }
-                });
+                space.prov.update_then(
+                    |prov| {
+                        for p in &dead {
+                            prov.forget(p);
+                        }
+                    },
+                    |()| self.journal.append_prov_batch(space_name, &[], &dead),
+                );
             }
         }
 
@@ -679,27 +807,40 @@ impl ReStore {
             let manage_outputs = config.reuse_enabled || config.heuristic != Heuristic::None;
             if manage_outputs && !prepared.is_empty() {
                 // Writer order: provenance before repository (see
-                // [`Space`]).
-                let registered: Result<Vec<(u64, usize)>> = space.prov.update(|prov| {
-                    space.repo.batch(|repo| {
-                        prepared
-                            .iter()
-                            .zip(&results)
-                            .map(|(job, result)| {
-                                self.register_outputs_batched(
-                                    prov,
-                                    repo,
-                                    &space.pins,
-                                    &wf,
-                                    job,
-                                    result,
-                                    tick,
-                                    &config,
-                                )
-                            })
-                            .collect()
-                    })
-                });
+                // [`Space`]). The repository batch journals itself at
+                // publish; the wave's provenance registrations are
+                // journaled here as one `prov-batch` record — both
+                // inside the provenance writer section, so journal
+                // order equals publish order.
+                let registered: Result<Vec<(u64, usize)>> = space.prov.update_then(
+                    |prov| {
+                        let mut registers: Vec<(String, Arc<PhysicalPlan>)> = Vec::new();
+                        let result = space.repo.batch(|repo| {
+                            prepared
+                                .iter()
+                                .zip(&results)
+                                .map(|(job, result)| {
+                                    self.register_outputs_batched(
+                                        prov,
+                                        repo,
+                                        &space.pins,
+                                        &wf,
+                                        job,
+                                        result,
+                                        tick,
+                                        &config,
+                                        &mut registers,
+                                    )
+                                })
+                                .collect()
+                        });
+                        (result, registers)
+                    },
+                    |(result, registers)| {
+                        self.journal.append_prov_batch(space_name, &registers, &[]);
+                        result
+                    },
+                );
                 for (cand_bytes, cand_stored) in registered? {
                     stored_candidate_bytes += cand_bytes;
                     candidates_stored += cand_stored;
@@ -948,6 +1089,7 @@ impl ReStore {
         result: &JobResult,
         tick: u64,
         config: &ReStoreConfig,
+        registers: &mut Vec<(String, Arc<PhysicalPlan>)>,
     ) -> Result<(u64, usize)> {
         let io = job_io(&job.plan)?;
         let input_files = self.input_versions(&io.inputs);
@@ -978,6 +1120,9 @@ impl ReStore {
         };
         if register_main && config.selection.should_keep(&whole_stats) {
             prov.register(&io.main_output, whole_base.clone());
+            if let Some(plan) = prov.get_arc(&io.main_output) {
+                registers.push((io.main_output.clone(), plan));
+            }
             repo.insert(whole_base, &io.main_output, whole_stats);
             // The path holds fresh bytes again: a deletion deferred from
             // a pre-overwrite eviction must not fire on it later.
@@ -1022,6 +1167,9 @@ impl ReStore {
                 } else {
                     if !prov.contains(&cand.store_path) {
                         prov.register(&cand.store_path, base);
+                        if let Some(plan) = prov.get_arc(&cand.store_path) {
+                            registers.push((cand.store_path.clone(), plan));
+                        }
                     }
                     pins.cancel_deferred(&cand.store_path);
                     candidates_stored += 1;
@@ -1126,13 +1274,14 @@ impl ReStore {
         }
     }
 
-    /// Serialize the full ReStore session state (`restore-state v2`):
-    /// the counters, the global configuration, and **every** namespace —
-    /// default and per-tenant — with its repository, provenance table,
-    /// and (when set) its policy override. Paired with
-    /// [`ReStore::load_state`], this lets a new process resume with
-    /// everything a previous session learned (§2.2's repository is
-    /// persistent in spirit; the DFS holds the outputs).
+    /// Serialize the full ReStore session state (`restore-state v3`):
+    /// the counters, the journal anchor, the global configuration, and
+    /// **every** namespace — default and per-tenant — with its
+    /// repository, provenance table, and (when set) its policy
+    /// override. Paired with [`ReStore::load_state`], this lets a new
+    /// process resume with everything a previous session learned
+    /// (§2.2's repository is persistent in spirit; the DFS holds the
+    /// outputs).
     ///
     /// Snapshots are consistent under load: each namespace is captured
     /// under its own locks with the pin set consulted first, so entries
@@ -1141,22 +1290,178 @@ impl ReStore {
     /// DFS — are excluded rather than serialized as dangling paths.
     /// Tenants are written in sorted order, so re-saving a loaded state
     /// is byte-identical.
+    ///
+    /// With the journal on, the dump doubles as a **base checkpoint**:
+    /// the `seq` line is the journal sequence read *before* any table
+    /// is captured, so every record at or below it is reflected in the
+    /// dump (its writer section completes before the capture's freeze),
+    /// and records after it replay idempotently on top. No workflow
+    /// drain is required — only per-namespace writer freezes.
     pub fn save_state(&self) -> String {
+        // Serialize with delta captures: a delta drains dirty usage
+        // into absolute-valued `note-use` records stamped *after* this
+        // base's anchor; if that drain interleaved with this capture,
+        // replay could regress a counter the base already saw newer.
+        // Writer-section-emitted records (repo/prov batches) are
+        // race-free by construction; the capture lock extends the same
+        // guarantee to the lazily drained ones.
+        let _capture = self.journal.capture.lock();
+        let seq = self.journal.seq();
         let mut out = format!(
-            "{}\ntick {}\ncand {}\n--config--\n{}",
-            crate::state::V2_HEADER,
+            "{}\ntick {}\ncand {}\nseq {}\n--config--\n{}",
+            crate::state::V3_HEADER,
             self.tick.load(Ordering::SeqCst),
             self.cand_counter.load(Ordering::SeqCst),
+            seq,
             crate::state::encode_config(&self.config()),
         );
         out.push_str(&self.save_space("", &self.space));
         let mut tenants: Vec<(String, Arc<Space>)> =
-            self.tenants.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            self.tenants.load().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         tenants.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, space) in tenants {
             out.push_str(&self.save_space(&name, &space));
         }
         out
+    }
+
+    /// Capture an **incremental checkpoint**: every journal record
+    /// accumulated since the previous capture — structural mutations
+    /// recorded at publish time, plus the lazily dirty-tracked state
+    /// flushed here (per-space `note-use` batches for entries whose
+    /// reuse counters moved, and a `counters` record when tick/cand
+    /// advanced). Returns the sealed segments, which the caller
+    /// persists alongside its base checkpoint; an idle session yields
+    /// an empty list. Cost is proportional to what changed, never to
+    /// repository size, and nothing is drained or frozen — submissions
+    /// keep flowing.
+    ///
+    /// Requires [`ReStore::enable_journal`]; recovery is
+    /// [`ReStore::recover`] with a base taken at or after the enable.
+    pub fn save_state_delta(&self) -> Result<Vec<String>> {
+        if !self.journal.enabled() {
+            return Err(Error::Other(
+                "incremental snapshots require ReStore::enable_journal".into(),
+            ));
+        }
+        let _capture = self.journal.capture.lock();
+        for (name, space) in self.all_spaces() {
+            let uses = space.repo.drain_dirty_usage();
+            self.journal.append_note_use(&name, &uses);
+        }
+        self.journal.append_counters_if_changed(
+            self.tick.load(Ordering::SeqCst),
+            self.cand_counter.load(Ordering::SeqCst),
+        );
+        Ok(self.journal.cut())
+    }
+
+    /// Rebuild session state from a base checkpoint plus journal
+    /// segments: load the base (any wire version), then replay every
+    /// record with a sequence number past the base's anchor, in order.
+    /// A torn tail in the **final** segment — the crash artifact of a
+    /// process dying mid-append — is truncated and reported; any other
+    /// malformation fails with [`Error::Journal`] naming the segment
+    /// and record, leaving whatever prefix already applied (call on a
+    /// fresh or quiesced session, like [`ReStore::load_state`]).
+    pub fn recover(&self, base: &str, segments: &[String]) -> Result<RecoveryReport> {
+        let _capture = self.journal.capture.lock();
+        // Replay drives the normal mutation paths; pause the journal so
+        // they do not re-record what they apply.
+        let _pause = self.journal.pause();
+        let base_seq = self.load_state_inner(base)?;
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        let mut torn_tail = None;
+        let mut last_seq = base_seq;
+        for (i, segment) in segments.iter().enumerate() {
+            let is_final = i + 1 == segments.len();
+            let (records, torn) = journal::decode_segment(segment, i, is_final)?;
+            for (ordinal, (seq, record)) in records.into_iter().enumerate() {
+                if seq <= base_seq {
+                    skipped += 1;
+                    continue;
+                }
+                if seq < last_seq {
+                    return Err(Error::Journal {
+                        segment: i,
+                        record: ordinal + 1,
+                        msg: format!("out-of-order record seq {seq} after {last_seq}"),
+                    });
+                }
+                last_seq = seq;
+                self.apply_record(record)?;
+                applied += 1;
+            }
+            torn_tail = torn;
+        }
+        self.journal.advance_seq(last_seq);
+        Ok(RecoveryReport {
+            base_seq,
+            records_applied: applied,
+            records_skipped: skipped,
+            torn_tail,
+        })
+    }
+
+    /// Apply one decoded journal record. Every application is
+    /// idempotent: puts carry full entries, note-use carries absolute
+    /// counters, and space/tenant creation is keyed by name.
+    fn apply_record(&self, record: Record) -> Result<()> {
+        use crate::journal::{ProvRecOp, RepoRecOp};
+        match record {
+            Record::Counters { tick, cand } => {
+                self.tick.store(tick, Ordering::SeqCst);
+                self.cand_counter.store(cand, Ordering::SeqCst);
+            }
+            Record::TenantCreate { space } => {
+                let _ = self.space_for(Some(&space));
+            }
+            Record::TenantConfigSet { space, config } => {
+                self.set_config_as(Some(&space), config);
+            }
+            Record::TenantConfigClear { space } => self.clear_config_as(&space),
+            Record::GlobalConfig { config } => self.set_config(config),
+            Record::RepoBatch { space, ops } => {
+                let sp = self.space_for(Some(&space));
+                sp.repo.batch(|b| {
+                    for op in ops {
+                        match op {
+                            RepoRecOp::Put(e) => b.put(e.id, e.plan, e.output_path, e.stats),
+                            RepoRecOp::Evict(id) => {
+                                b.evict(id);
+                            }
+                        }
+                    }
+                });
+            }
+            Record::NoteUse { space, uses } => {
+                let sp = self.space_for(Some(&space));
+                for (id, count, last_used) in uses {
+                    sp.repo.set_usage(id, count, last_used);
+                }
+            }
+            Record::ProvBatch { space, ops } => {
+                let sp = self.space_for(Some(&space));
+                sp.prov.update(|prov| {
+                    for op in &ops {
+                        match op {
+                            ProvRecOp::Register { path, plan } => {
+                                prov.register_replay(path.clone(), plan.clone())
+                            }
+                            ProvRecOp::Forget { path } => prov.forget(path),
+                        }
+                    }
+                });
+            }
+            Record::ProvReplace { space, table } => {
+                self.space_for(Some(&space)).prov.store(table);
+            }
+            Record::Replace { state } => {
+                self.load_state_inner(&state)?;
+            }
+        }
+        Ok(())
     }
 
     /// Serialize the session in the **legacy v1 format**: counters plus
@@ -1202,7 +1507,7 @@ impl ReStore {
     /// One `--space--` section: the namespace's policy override (if
     /// any), provenance, and repository, with condemned paths excluded.
     fn save_space(&self, name: &str, space: &Space) -> String {
-        let config = space.config.read().clone();
+        let config = (*space.config.load()).clone();
         let (prov_text, repo_text) = self.capture_space_tables(space);
         let mut out = format!("--space {name:?}--\n");
         if let Some(c) = config {
@@ -1216,12 +1521,12 @@ impl ReStore {
         out
     }
 
-    /// Restore a session serialized by [`ReStore::save_state`] (v2) or
-    /// by a pre-v2 release ([`ReStore::save_state_v1`]'s format). The
-    /// DFS handle (and the stored output files in it) come from the
-    /// engine this instance was built with.
+    /// Restore a session serialized by [`ReStore::save_state`] (v3 or
+    /// the earlier v2) or by a pre-v2 release ([`ReStore::save_state_v1`]'s
+    /// format). The DFS handle (and the stored output files in it) come
+    /// from the engine this instance was built with.
     ///
-    /// A v2 document replaces the whole session: global config, every
+    /// A v2/v3 document replaces the whole session: global config, every
     /// tenant namespace (existing tenant state is dropped), and the
     /// counters. A v1 document predates tenant serialization and loads
     /// into the default namespace only, leaving tenants and the global
@@ -1229,33 +1534,47 @@ impl ReStore {
     ///
     /// Call on a quiesced session (no workflows in flight) — the
     /// service's `restore` entry point arranges that. Malformed input
-    /// yields [`Error::State`] naming the offending line.
+    /// yields [`Error::State`] naming the offending line. With the
+    /// journal on, the wholesale replacement is recorded as one
+    /// `replace` record, so later deltas still recover correctly.
     pub fn load_state(&self, text: &str) -> Result<()> {
+        self.load_state_inner(text)?;
+        self.journal.append_replace(text);
+        Ok(())
+    }
+
+    /// The load itself, journal suspended (shared by [`ReStore::load_state`]
+    /// and recovery, which must not re-record what they apply). Returns
+    /// the document's journal anchor (0 for v1/v2).
+    fn load_state_inner(&self, text: &str) -> Result<u64> {
+        let _pause = self.journal.pause();
         let loaded = crate::state::parse(text)?;
         if let Some(global) = loaded.global_config {
-            // v2: a full-session restore. Reset the default namespace
-            // up front so a document without a `--space ""--` section
-            // (e.g. hand-pruned) still replaces the whole session
-            // instead of leaving stale default-namespace state behind.
+            // v2/v3: a full-session restore. Reset the default
+            // namespace up front so a document without a `--space ""--`
+            // section (e.g. hand-pruned) still replaces the whole
+            // session instead of leaving stale default-namespace state
+            // behind.
             self.set_config(global);
             self.space.prov.store(Provenance::default());
             self.space.repo.adopt(Repository::default());
-            *self.space.config.write() = None;
-            let mut tenants = self.tenants.write();
-            tenants.clear();
+            self.space.config.store(None);
+            let mut tenants: HashMap<String, Arc<Space>> = HashMap::new();
             for sp in loaded.spaces {
                 if sp.name.is_empty() {
                     self.space.prov.store(sp.prov);
                     self.space.repo.adopt(sp.repo);
-                    *self.space.config.write() = None;
+                    self.space.config.store(None);
                 } else {
-                    let space = Arc::new(Space::default());
+                    let space = self.make_space(&sp.name);
                     space.prov.store(sp.prov);
                     space.repo.adopt(sp.repo);
-                    *space.config.write() = sp.config;
+                    space.config.store(sp.config);
                     tenants.insert(sp.name, space);
                 }
             }
+            // One publish replaces the whole tenant map atomically.
+            self.tenants.store(tenants);
         } else {
             // v1: default namespace only.
             for sp in loaded.spaces {
@@ -1265,7 +1584,10 @@ impl ReStore {
         }
         self.tick.store(loaded.tick, Ordering::SeqCst);
         self.cand_counter.store(loaded.cand, Ordering::SeqCst);
-        Ok(())
+        // Sequence numbers stay monotonic across restores: never hand
+        // out a seq a base checkpoint already covers.
+        self.journal.advance_seq(loaded.seq);
+        Ok(loaded.seq)
     }
 
     fn input_versions(&self, inputs: &[String]) -> Vec<(String, u64)> {

@@ -23,6 +23,7 @@
 
 pub mod driver;
 pub mod enumerator;
+pub mod journal;
 pub mod matcher;
 pub mod pin;
 pub mod plan_text;
@@ -35,6 +36,7 @@ mod state;
 
 pub use driver::{footprints_conflict, QueryExecution, ReStore, ReStoreConfig, ReStoreStats};
 pub use enumerator::Heuristic;
+pub use journal::{JournalConfig, JournalStats, RecoveryReport, TornTail};
 pub use pin::PinSet;
 pub use provenance::Provenance;
 pub use rcu::Rcu;

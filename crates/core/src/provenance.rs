@@ -58,8 +58,23 @@ impl Provenance {
         self.plans.insert(path.into(), Arc::new(plan));
     }
 
+    /// Journal replay of a recorded registration: the invariants were
+    /// checked when the record was emitted, so replay applies it
+    /// verbatim (re-applying a record over a base checkpoint that
+    /// already contains later registrations must not re-run the
+    /// base-level check against the *future* table).
+    pub(crate) fn register_replay(&mut self, path: String, plan: PhysicalPlan) {
+        self.plans.insert(path, Arc::new(plan));
+    }
+
     pub fn get(&self, path: &str) -> Option<&PhysicalPlan> {
         self.plans.get(path).map(|p| &**p)
+    }
+
+    /// The producing plan behind its shared `Arc` (cheap to hand to the
+    /// journal without cloning the plan).
+    pub(crate) fn get_arc(&self, path: &str) -> Option<Arc<PhysicalPlan>> {
+        self.plans.get(path).cloned()
     }
 
     pub fn contains(&self, path: &str) -> bool {
@@ -96,13 +111,7 @@ impl Provenance {
         paths.sort();
         let mut out = String::new();
         for p in paths {
-            out.push_str(&format!("path {p:?}\n"));
-            for line in crate::plan_text::encode_plan(&self.plans[p]).lines() {
-                out.push_str("  ");
-                out.push_str(line);
-                out.push('\n');
-            }
-            out.push_str("end\n");
+            encode_record_into(&mut out, p, &self.plans[p]);
         }
         out
     }
@@ -111,32 +120,12 @@ impl Provenance {
     pub fn load(text: &str) -> restore_common::Result<Provenance> {
         use restore_common::Error;
         let mut prov = Provenance::new();
-        let mut lines = text.lines();
-        while let Some(line) = lines.next() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let rest = line
-                .strip_prefix("path ")
-                .ok_or_else(|| Error::Repository(format!("expected 'path', got {line:?}")))?;
-            // Reuse plan_text's string unquoting through a Load shim.
-            let path = match crate::plan_text::decode_plan(&format!("0 load {rest}\n")) {
-                Ok(p) => match p.op(p.loads()[0]) {
-                    PhysicalOp::Load { path } => path.clone(),
-                    _ => unreachable!(),
-                },
-                Err(e) => return Err(e),
-            };
-            let mut plan_src = String::new();
-            for l in lines.by_ref() {
-                if l == "end" {
-                    break;
-                }
-                plan_src.push_str(l.trim_start());
-                plan_src.push('\n');
-            }
-            let plan = crate::plan_text::decode_plan(&plan_src)?;
+        let mut lines = text.lines().peekable();
+        while let Some((path, plan)) = parse_record_lines(&mut lines)? {
             prov.plans.insert(path, Arc::new(plan));
+        }
+        if let Some(line) = lines.next() {
+            return Err(Error::Repository(format!("expected 'path', got {line:?}")));
         }
         Ok(prov)
     }
@@ -166,6 +155,57 @@ impl Provenance {
         }
         ExpandedPlan { plan: out, expansions }
     }
+}
+
+/// Append one `path …` record in the durable format. Shared by
+/// [`Provenance::save_filtered`] and the snapshot journal's
+/// `prov-batch` records.
+pub(crate) fn encode_record_into(out: &mut String, path: &str, plan: &PhysicalPlan) {
+    out.push_str(&format!("path {path:?}\n"));
+    for line in crate::plan_text::encode_plan(plan).lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("end\n");
+}
+
+/// Parse the next `path …` record off the line iterator. Returns
+/// `Ok(None)` — consuming nothing — when the next non-empty line does
+/// not start a record, so callers with mixed bodies (the journal) can
+/// dispatch on the leading keyword.
+pub(crate) fn parse_record_lines(
+    lines: &mut std::iter::Peekable<std::str::Lines<'_>>,
+) -> restore_common::Result<Option<(String, PhysicalPlan)>> {
+    while let Some(l) = lines.peek() {
+        if l.trim().is_empty() {
+            lines.next();
+        } else {
+            break;
+        }
+    }
+    let Some(line) = lines.peek() else { return Ok(None) };
+    let Some(rest) = line.strip_prefix("path ") else { return Ok(None) };
+    let rest = rest.to_string();
+    lines.next();
+    // Reuse plan_text's string unquoting through a Load shim.
+    let path = match crate::plan_text::decode_plan(&format!("0 load {rest}\n")) {
+        Ok(p) => match p.op(p.loads()[0]) {
+            PhysicalOp::Load { path } => path.clone(),
+            _ => unreachable!(),
+        },
+        Err(e) => return Err(e),
+    };
+    let mut plan_src = String::new();
+    for l in lines.by_ref() {
+        if l == "end" {
+            break;
+        }
+        plan_src.push_str(l.trim_start());
+        plan_src.push('\n');
+    }
+    let plan = crate::plan_text::decode_plan(&plan_src)?;
+    Ok(Some((path, plan)))
 }
 
 /// Copy `producer` (minus its Store) into `target`, returning the node

@@ -44,10 +44,11 @@
 use crate::matcher::{pairwise_plan_traversal, plan_tip, subsumes, PlanMatch};
 use crate::plan_text;
 use crate::rcu::Rcu;
+use parking_lot::{Mutex, RwLock};
 use restore_common::{Error, Result};
 use restore_dataflow::physical::PhysicalPlan;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// Execution statistics of a stored job output (§2.2, §5).
@@ -83,11 +84,15 @@ impl RepoStats {
 
 /// Live reuse counters, shared by every snapshot (and every refreshed
 /// duplicate) of one entry. Recording a reuse is two atomic RMWs — no
-/// repository lock, no snapshot republish.
+/// repository lock, no snapshot republish. `dirty` is the per-entry
+/// dirty bit behind incremental snapshots: the first reuse after a
+/// delta capture flips it and enrolls the entry id in the repository's
+/// dirty set, so a delta serializes only entries whose counters moved.
 #[derive(Debug, Default)]
 struct Usage {
     count: AtomicU64,
     last_used: AtomicU64,
+    dirty: AtomicBool,
 }
 
 /// One stored job output.
@@ -118,6 +123,7 @@ impl RepoEntry {
         let usage = Arc::new(Usage {
             count: AtomicU64::new(stats.use_count),
             last_used: AtomicU64::new(stats.last_used),
+            dirty: AtomicBool::new(false),
         });
         RepoEntry { id, plan, signature, tip_signature, output_path, base: stats, usage }
     }
@@ -343,9 +349,12 @@ impl RepoSnapshot {
 
     /// Batch-internal insert. Position lookups scan `entries` directly
     /// (the position maps may be stale mid-batch); the caller reindexes
-    /// once before publishing — see [`Repository::batch_then`].
-    fn do_insert(&mut self, entry: RepoEntry) -> InsertOutcome {
+    /// once before publishing — see [`Repository::batch_then`]. Returns
+    /// the outcome and the `Arc` of the entry as stored (inserted or
+    /// refreshed), which the batch's journal op log records.
+    fn do_insert(&mut self, entry: RepoEntry) -> (InsertOutcome, Option<Arc<RepoEntry>>) {
         if let Some(&dup) = self.by_signature.get(&entry.signature) {
+            let mut stored = None;
             if let Some(pos) = self.entries.iter().position(|e| e.id == dup) {
                 // Refresh stats but keep usage history: the replacement
                 // shares the old entry's atomic counters, so reuses
@@ -362,16 +371,19 @@ impl RepoSnapshot {
                 };
                 self.stored_bytes =
                     self.stored_bytes - old.base.output_bytes + refreshed.base.output_bytes;
-                self.entries[pos] = Arc::new(refreshed);
+                let arc = Arc::new(refreshed);
+                self.entries[pos] = arc.clone();
+                stored = Some(arc);
             }
-            return InsertOutcome::Duplicate(dup);
+            return (InsertOutcome::Duplicate(dup), stored);
         }
         let pos = self.insert_position(&entry);
         let id = entry.id;
         self.by_signature.insert(entry.signature, id);
         self.stored_bytes += entry.base.output_bytes;
-        self.entries.insert(pos, Arc::new(entry));
-        InsertOutcome::Inserted(id)
+        let arc = Arc::new(entry);
+        self.entries.insert(pos, arc.clone());
+        (InsertOutcome::Inserted(id), Some(arc))
     }
 
     /// Batch-internal evict; same staleness contract as
@@ -402,32 +414,148 @@ impl RepoSnapshot {
             if !keep(&e.output_path) {
                 continue;
             }
-            let stats = e.stats();
-            out.push_str(&format!(
-                "entry {} {:?} {} {} {} {} {} {} {} {}\n",
-                e.id,
-                e.output_path,
-                stats.input_bytes,
-                stats.output_bytes,
-                stats.job_time_s,
-                stats.avg_map_time_s,
-                stats.avg_reduce_time_s,
-                stats.use_count,
-                stats.last_used,
-                stats.created,
-            ));
-            for (p, v) in &stats.input_files {
-                out.push_str(&format!("input {p:?} {v}\n"));
-            }
-            out.push_str("plan\n");
-            for line in plan_text::encode_plan(&e.plan).lines() {
-                out.push_str("  ");
-                out.push_str(line);
-                out.push('\n');
-            }
-            out.push_str("end\n");
+            encode_entry_into(&mut out, e);
         }
         out
+    }
+}
+
+/// Append one entry in the durable `entry …` block format. Shared by
+/// [`RepoSnapshot::save_filtered`] and the snapshot journal's
+/// `repo-batch` records, so a journaled insert and a full dump agree
+/// byte for byte.
+pub(crate) fn encode_entry_into(out: &mut String, e: &RepoEntry) {
+    let stats = e.stats();
+    out.push_str(&format!(
+        "entry {} {:?} {} {} {} {} {} {} {} {}\n",
+        e.id,
+        e.output_path,
+        stats.input_bytes,
+        stats.output_bytes,
+        stats.job_time_s,
+        stats.avg_map_time_s,
+        stats.avg_reduce_time_s,
+        stats.use_count,
+        stats.last_used,
+        stats.created,
+    ));
+    for (p, v) in &stats.input_files {
+        out.push_str(&format!("input {p:?} {v}\n"));
+    }
+    out.push_str("plan\n");
+    for line in plan_text::encode_plan(&e.plan).lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("end\n");
+}
+
+/// One decoded `entry …` block (see [`parse_entry_lines`]).
+#[derive(Debug)]
+pub(crate) struct ParsedEntry {
+    pub id: u64,
+    pub output_path: String,
+    pub stats: RepoStats,
+    pub plan: PhysicalPlan,
+}
+
+/// Parse the next `entry …` block off the line iterator. Returns
+/// `Ok(None)` — consuming nothing — when the next non-empty line does
+/// not start an entry block, so callers with mixed-record bodies (the
+/// journal) can dispatch on the leading keyword.
+pub(crate) fn parse_entry_lines(
+    lines: &mut std::iter::Peekable<std::str::Lines<'_>>,
+) -> Result<Option<ParsedEntry>> {
+    while let Some(l) = lines.peek() {
+        if l.trim_end().is_empty() {
+            lines.next();
+        } else {
+            break;
+        }
+    }
+    let Some(line) = lines.peek() else { return Ok(None) };
+    let Some(rest) = line.trim_end().strip_prefix("entry ") else { return Ok(None) };
+    let rest = rest.to_string();
+    lines.next();
+    let (id_str, rest) =
+        rest.split_once(' ').ok_or_else(|| Error::Repository("truncated entry header".into()))?;
+    let id: u64 = id_str.parse().map_err(|_| Error::Repository("bad entry id".into()))?;
+    // Path is Rust-quoted and may contain spaces: find closing quote.
+    let close = find_close_quote(rest)?;
+    let output_path = unquote_header(&rest[..=close])?;
+    let nums: Vec<&str> = rest[close + 1..].split_whitespace().collect();
+    if nums.len() != 8 {
+        return Err(Error::Repository(format!("expected 8 stat fields, got {}", nums.len())));
+    }
+    let parse_u = |s: &str| s.parse::<u64>().map_err(|_| Error::Repository("bad stat".into()));
+    let parse_f = |s: &str| s.parse::<f64>().map_err(|_| Error::Repository("bad stat".into()));
+    let mut stats = RepoStats {
+        input_bytes: parse_u(nums[0])?,
+        output_bytes: parse_u(nums[1])?,
+        job_time_s: parse_f(nums[2])?,
+        avg_map_time_s: parse_f(nums[3])?,
+        avg_reduce_time_s: parse_f(nums[4])?,
+        use_count: parse_u(nums[5])?,
+        last_used: parse_u(nums[6])?,
+        created: parse_u(nums[7])?,
+        input_files: Vec::new(),
+    };
+    // Optional input lines, then "plan".
+    loop {
+        let l = lines.next().ok_or_else(|| Error::Repository("truncated entry".into()))?;
+        if l == "plan" {
+            break;
+        }
+        let rest = l
+            .strip_prefix("input ")
+            .ok_or_else(|| Error::Repository(format!("unexpected line {l:?}")))?;
+        let close = find_close_quote(rest)?;
+        let path = unquote_header(&rest[..=close])?;
+        let version: u64 = rest[close + 1..]
+            .trim()
+            .parse()
+            .map_err(|_| Error::Repository("bad input version".into()))?;
+        stats.input_files.push((path, version));
+    }
+    let mut plan_src = String::new();
+    loop {
+        let l = lines.next().ok_or_else(|| Error::Repository("truncated plan".into()))?;
+        if l == "end" {
+            break;
+        }
+        plan_src.push_str(l.trim_start());
+        plan_src.push('\n');
+    }
+    let plan = plan_text::decode_plan(&plan_src)?;
+    Ok(Some(ParsedEntry { id, output_path, stats, plan }))
+}
+
+/// One structural mutation of a published batch, in application order.
+/// The journal sink receives the batch's ops at publish time and turns
+/// them into one `repo-batch` record.
+#[derive(Debug, Clone)]
+pub enum RepoOp {
+    /// An entry was inserted or refreshed; the `Arc` is the entry as
+    /// stored (so the sink serializes exactly what readers see).
+    Put(Arc<RepoEntry>),
+    /// An entry was evicted.
+    Evict(u64),
+}
+
+/// Callback invoked inside the writer section, after a batch publishes,
+/// with the batch's structural ops. Installed by the driver when
+/// incremental snapshots are enabled.
+pub type RepoSink = Arc<dyn Fn(&[RepoOp]) + Send + Sync>;
+
+/// The sink cell; a newtype so `Repository` keeps its derived traits
+/// (`dyn Fn` is neither `Debug` nor `Default`).
+#[derive(Default)]
+struct SinkCell(RwLock<Option<RepoSink>>);
+
+impl std::fmt::Debug for SinkCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SinkCell").field(&self.0.read().is_some()).finish()
     }
 }
 
@@ -442,6 +570,15 @@ impl RepoSnapshot {
 pub struct Repository {
     snap: Rcu<RepoSnapshot>,
     next_id: AtomicU64,
+    /// Journal sink for structural mutations (see [`RepoSink`]).
+    sink: SinkCell,
+    /// Record which entries' usage counters moved since the last delta
+    /// capture (see [`Repository::drain_dirty_usage`]). Off unless
+    /// incremental snapshots are enabled, keeping the match path free
+    /// of even the uncontended first-use push.
+    track_usage: AtomicBool,
+    /// Ids whose usage dirty bit was freshly set; drained per delta.
+    dirty_used: Mutex<Vec<u64>>,
 }
 
 impl Repository {
@@ -516,10 +653,64 @@ impl Repository {
 
     /// Record a reuse of entry `id` at logical time `tick`. Entirely
     /// atomic: no lock is taken and no snapshot is republished, so a
-    /// match never blocks or is blocked by registration.
+    /// match never blocks or is blocked by registration. With usage
+    /// tracking on (incremental snapshots), the *first* reuse after a
+    /// delta capture additionally enrolls the id in the dirty set — an
+    /// uncontended mutex push amortized over the checkpoint interval;
+    /// every further reuse of the entry stays lock-free.
     pub fn note_use(&self, id: u64, tick: u64) {
         if let Some(e) = self.snapshot().get(id) {
             e.note_use(tick);
+            if self.track_usage.load(Relaxed) && !e.usage.dirty.swap(true, SeqCst) {
+                self.dirty_used.lock().push(id);
+            }
+        }
+    }
+
+    /// Install (or clear) the journal sink receiving each published
+    /// batch's structural ops, and start tracking dirty usage. Crate
+    /// internal: only the driver's journal wiring may install sinks.
+    pub(crate) fn set_journal_sink(&self, sink: Option<RepoSink>) {
+        self.track_usage.store(sink.is_some(), Relaxed);
+        *self.sink.0.write() = sink;
+    }
+
+    /// Drain the entries whose reuse counters moved since the previous
+    /// drain, returning `(id, use_count, last_used)` triples — the body
+    /// of a `note-use` journal record. Cost is proportional to the
+    /// number of *dirty* entries, not the repository size. A reuse
+    /// racing the drain either lands in the returned values or re-marks
+    /// the entry dirty for the next delta; the recorded values are
+    /// absolute, so replaying both is idempotent. Crate internal: the
+    /// drain is destructive (it clears the dirty set), so only the
+    /// driver's delta capture may call it — an outside caller would
+    /// silently lose the pending `note-use` delta.
+    pub(crate) fn drain_dirty_usage(&self) -> Vec<(u64, u64, u64)> {
+        let ids = std::mem::take(&mut *self.dirty_used.lock());
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let snap = self.snapshot();
+        ids.into_iter()
+            .filter_map(|id| {
+                snap.get(id).map(|e| {
+                    // Clear the dirty bit *before* reading the counters:
+                    // a racing reuse after the clear re-marks the entry,
+                    // so its bump is never lost between deltas.
+                    e.usage.dirty.store(false, SeqCst);
+                    (id, e.usage.count.load(SeqCst), e.usage.last_used.load(SeqCst))
+                })
+            })
+            .collect()
+    }
+
+    /// Set an entry's reuse counters to absolute values (journal
+    /// replay of a `note-use` record). Touches only the shared atomics;
+    /// no snapshot is published.
+    pub(crate) fn set_usage(&self, id: u64, count: u64, last_used: u64) {
+        if let Some(e) = self.snapshot().get(id) {
+            e.usage.count.store(count, SeqCst);
+            e.usage.last_used.store(last_used, SeqCst);
         }
     }
 
@@ -555,18 +746,34 @@ impl Repository {
     ) -> B {
         self.snap.update_then(
             |snap| {
-                let (a, dirty) = {
-                    let mut b = RepoBatch { snap, next_id: &self.next_id, dirty: false };
+                let (a, dirty, ops) = {
+                    let mut b =
+                        RepoBatch { snap, next_id: &self.next_id, dirty: false, ops: Vec::new() };
                     let a = f(&mut b);
                     let dirty = b.dirty;
-                    (a, dirty)
+                    let ops = b.ops;
+                    (a, dirty, ops)
                 };
                 if dirty {
                     snap.reindex();
                 }
-                a
+                (a, ops)
             },
-            after,
+            |(a, ops)| {
+                // Journal the batch *after* it published but still
+                // inside the writer section: the record lands before
+                // any later batch's, so journal order equals publish
+                // order, and a base checkpoint whose seq was read
+                // before this record was appended is guaranteed to
+                // contain the mutation (the capture's freeze waits for
+                // this writer section).
+                if !ops.is_empty() {
+                    if let Some(sink) = self.sink.0.read().clone() {
+                        sink(&ops);
+                    }
+                }
+                after(a)
+            },
         )
     }
 
@@ -624,73 +831,19 @@ impl Repository {
         let mut entries: Vec<Arc<RepoEntry>> = Vec::new();
         let mut next_id = 0u64;
         let mut lines = text.lines().peekable();
-        while let Some(line) = lines.next() {
-            let line = line.trim_end();
-            if line.is_empty() {
-                continue;
-            }
-            let rest = line
-                .strip_prefix("entry ")
-                .ok_or_else(|| Error::Repository(format!("expected 'entry', got {line:?}")))?;
-            let (id_str, rest) = rest
-                .split_once(' ')
-                .ok_or_else(|| Error::Repository("truncated entry header".into()))?;
-            let id: u64 = id_str.parse().map_err(|_| Error::Repository("bad entry id".into()))?;
-            // Path is Rust-quoted and may contain spaces: find closing quote.
-            let close = find_close_quote(rest)?;
-            let output_path = unquote_header(&rest[..=close])?;
-            let nums: Vec<&str> = rest[close + 1..].split_whitespace().collect();
-            if nums.len() != 8 {
-                return Err(Error::Repository(format!(
-                    "expected 8 stat fields, got {}",
-                    nums.len()
-                )));
-            }
-            let parse_u =
-                |s: &str| s.parse::<u64>().map_err(|_| Error::Repository("bad stat".into()));
-            let parse_f =
-                |s: &str| s.parse::<f64>().map_err(|_| Error::Repository("bad stat".into()));
-            let mut stats = RepoStats {
-                input_bytes: parse_u(nums[0])?,
-                output_bytes: parse_u(nums[1])?,
-                job_time_s: parse_f(nums[2])?,
-                avg_map_time_s: parse_f(nums[3])?,
-                avg_reduce_time_s: parse_f(nums[4])?,
-                use_count: parse_u(nums[5])?,
-                last_used: parse_u(nums[6])?,
-                created: parse_u(nums[7])?,
-                input_files: Vec::new(),
-            };
-            // Optional input lines, then "plan".
-            loop {
-                let l = lines.next().ok_or_else(|| Error::Repository("truncated entry".into()))?;
-                if l == "plan" {
-                    break;
-                }
-                let rest = l
-                    .strip_prefix("input ")
-                    .ok_or_else(|| Error::Repository(format!("unexpected line {l:?}")))?;
-                let close = find_close_quote(rest)?;
-                let path = unquote_header(&rest[..=close])?;
-                let version: u64 = rest[close + 1..]
-                    .trim()
-                    .parse()
-                    .map_err(|_| Error::Repository("bad input version".into()))?;
-                stats.input_files.push((path, version));
-            }
-            let mut plan_src = String::new();
-            loop {
-                let l = lines.next().ok_or_else(|| Error::Repository("truncated plan".into()))?;
-                if l == "end" {
-                    break;
-                }
-                plan_src.push_str(l.trim_start());
-                plan_src.push('\n');
-            }
-            let plan = plan_text::decode_plan(&plan_src)?;
-            next_id = next_id.max(id + 1);
-            entries.push(Arc::new(RepoEntry::new(id, plan, output_path, stats)));
+        while let Some(p) = parse_entry_lines(&mut lines)? {
+            next_id = next_id.max(p.id + 1);
+            entries.push(Arc::new(RepoEntry::new(p.id, p.plan, p.output_path, p.stats)));
         }
+        if let Some(line) = lines.next() {
+            return Err(Error::Repository(format!("expected 'entry', got {line:?}")));
+        }
+        Ok(Repository::from_entries(entries, next_id))
+    }
+
+    /// Build a repository from fully formed entries (ids assigned, order
+    /// final): one snapshot construction, one reindex.
+    fn from_entries(entries: Vec<Arc<RepoEntry>>, next_id: u64) -> Repository {
         let mut snap = RepoSnapshot {
             stored_bytes: entries.iter().map(|e| e.base.output_bytes).sum(),
             ..Default::default()
@@ -700,8 +853,43 @@ impl Repository {
         }
         snap.entries = entries;
         snap.reindex();
-        let repo = Repository { snap: Rcu::new(snap), next_id: AtomicU64::new(next_id) };
-        Ok(repo)
+        Repository { snap: Rcu::new(snap), next_id: AtomicU64::new(next_id), ..Default::default() }
+    }
+
+    /// Bulk constructor for large synthetic repositories: inserts all
+    /// items in O(n log n) by ordering on the rule-2 score (reduction
+    /// ratio, then job time) alone, skipping the O(n²) pairwise
+    /// subsumption comparisons incremental insertion performs.
+    ///
+    /// The resulting order equals incremental insertion **when the
+    /// plans are pairwise incomparable** (no plan subsumes another) —
+    /// the common shape of generated benchmark corpora; corpora with
+    /// subsumption chains must use [`Repository::insert`] to get the
+    /// §3 "subsuming plans first" guarantee. Duplicate plan signatures
+    /// keep the first occurrence.
+    pub fn bulk_load(items: Vec<(PhysicalPlan, String, RepoStats)>) -> Repository {
+        let mut entries: Vec<Arc<RepoEntry>> = Vec::with_capacity(items.len());
+        let mut seen = HashSet::with_capacity(items.len());
+        for (i, (plan, path, stats)) in items.into_iter().enumerate() {
+            let e = RepoEntry::new(i as u64, plan, path, stats);
+            if seen.insert(e.signature) {
+                entries.push(Arc::new(e));
+            }
+        }
+        // Ids were assigned before dedup, so the retained maximum — not
+        // the retained count — bounds the id space; `entries.len()`
+        // would let a later insert reserve an id a kept entry already
+        // carries.
+        let next_id = entries.iter().map(|e| e.id + 1).max().unwrap_or(0);
+        // Rule-2 order: higher reduction ratio first, then longer job
+        // time; stable so equal scores keep arrival order, matching
+        // incremental insertion.
+        entries.sort_by(|a, b| {
+            let ka = (a.base.reduction_ratio(), a.base.job_time_s);
+            let kb = (b.base.reduction_ratio(), b.base.job_time_s);
+            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Repository::from_entries(entries, next_id)
     }
 }
 
@@ -713,6 +901,9 @@ pub struct RepoBatch<'a> {
     next_id: &'a AtomicU64,
     /// A structural mutation happened: reindex before publishing.
     dirty: bool,
+    /// Structural ops in application order, handed to the journal sink
+    /// at publish time.
+    ops: Vec<RepoOp>,
 }
 
 impl RepoBatch<'_> {
@@ -726,14 +917,83 @@ impl RepoBatch<'_> {
         // Reserve the id optimistically; duplicates leave a gap in the
         // id space, which nothing depends on.
         let id = self.next_id.fetch_add(1, SeqCst);
-        let outcome = self.snap.do_insert(RepoEntry::new(id, plan, output_path.into(), stats));
+        let (outcome, stored) =
+            self.snap.do_insert(RepoEntry::new(id, plan, output_path.into(), stats));
         if matches!(outcome, InsertOutcome::Inserted(_)) {
             self.dirty = true;
         } else {
             // Roll the reservation back when we were the only claimant.
             let _ = self.next_id.compare_exchange(id + 1, id, SeqCst, SeqCst);
         }
+        if let Some(e) = stored {
+            self.ops.push(RepoOp::Put(e));
+        }
         outcome
+    }
+
+    /// Journal replay: (re)store an entry under an **explicit id**,
+    /// reproducing exactly what the journaled batch did. An existing
+    /// entry with the id is replaced in place (the refresh path); a
+    /// fresh id inserts at the §3/§5 position, like the original
+    /// insertion. Idempotent — applying a record over a base checkpoint
+    /// that already contains its effects is a no-op in the serialized
+    /// state.
+    pub(crate) fn put(
+        &mut self,
+        id: u64,
+        plan: PhysicalPlan,
+        output_path: String,
+        stats: RepoStats,
+    ) {
+        self.next_id.fetch_max(id + 1, SeqCst);
+        let entry = RepoEntry::new(id, plan, output_path, stats);
+        let existing = self
+            .snap
+            .entries
+            .iter()
+            .position(|e| e.id == id)
+            // A same-signature entry under another id means the live
+            // session refreshed that entry; mirror it defensively.
+            .or_else(|| {
+                self.snap
+                    .by_signature
+                    .get(&entry.signature)
+                    .and_then(|dup| self.snap.entries.iter().position(|e| e.id == *dup))
+            });
+        match existing {
+            Some(pos) => {
+                let old = self.snap.entries[pos].clone();
+                self.snap.by_signature.remove(&old.signature);
+                self.snap.stored_bytes =
+                    self.snap.stored_bytes - old.base.output_bytes + entry.base.output_bytes;
+                let replacement = RepoEntry {
+                    id: old.id,
+                    plan: entry.plan,
+                    signature: entry.signature,
+                    tip_signature: entry.tip_signature,
+                    output_path: entry.output_path,
+                    base: entry.base,
+                    usage: Arc::new(Usage {
+                        count: AtomicU64::new(entry.usage.count.load(SeqCst)),
+                        last_used: AtomicU64::new(entry.usage.last_used.load(SeqCst)),
+                        dirty: AtomicBool::new(false),
+                    }),
+                };
+                self.snap.by_signature.insert(replacement.signature, replacement.id);
+                let arc = Arc::new(replacement);
+                self.snap.entries[pos] = arc.clone();
+                self.ops.push(RepoOp::Put(arc));
+            }
+            None => {
+                let pos = self.snap.insert_position(&entry);
+                self.snap.by_signature.insert(entry.signature, entry.id);
+                self.snap.stored_bytes += entry.base.output_bytes;
+                let arc = Arc::new(entry);
+                self.snap.entries.insert(pos, arc.clone());
+                self.ops.push(RepoOp::Put(arc));
+            }
+        }
+        self.dirty = true;
     }
 
     /// Remove an entry, returning it (see [`Repository::evict`]).
@@ -741,6 +1001,7 @@ impl RepoBatch<'_> {
         let e = self.snap.do_evict(id);
         if e.is_some() {
             self.dirty = true;
+            self.ops.push(RepoOp::Evict(id));
         }
         e
     }
@@ -994,6 +1255,43 @@ mod tests {
         assert!(back.find_first_match(&q1_plan()).is_some());
         // And re-saving is byte-identical (usage counters round-trip).
         assert_eq!(back.save(), text);
+    }
+
+    #[test]
+    fn bulk_load_orders_by_score_and_keeps_ids_unique_after_dedup() {
+        let repo = Repository::bulk_load(vec![
+            (load_project("/a", vec![0]), "/r/a".into(), stats(100, 50, 1.0)),
+            // Duplicate signature: dropped, but its id (1) was consumed.
+            (load_project("/a", vec![0]), "/r/dup".into(), stats(100, 50, 9.0)),
+            (load_project("/b", vec![0]), "/r/b".into(), stats(100, 5, 1.0)),
+        ]);
+        assert_eq!(repo.len(), 2, "duplicate signatures keep the first occurrence");
+        // Rule-2 order: ratio 20 before ratio 2.
+        assert_eq!(repo.snapshot().entries()[0].output_path, "/r/b");
+        // A post-bulk insert must not reuse a retained id: entry "/r/b"
+        // carries id 2, so the next insert gets 3.
+        let InsertOutcome::Inserted(next) =
+            repo.insert(load_project("/c", vec![0]), "/r/c", stats(1, 1, 1.0))
+        else {
+            panic!()
+        };
+        let ids: Vec<u64> = repo.snapshot().entries().iter().map(|e| e.id).collect();
+        let unique: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), unique.len(), "ids stay unique after bulk dedup, got {ids:?}");
+        assert_eq!(next, 3);
+        // And matching still works against the bulk-built indexes.
+        assert!(repo.find_first_match(&q1_plan()).is_none());
+        let (hit, _) = repo
+            .find_first_match(&{
+                let mut p = load_project("/b", vec![0]);
+                let tip = p.stores()[0];
+                let before = p.inputs(tip)[0];
+                let g = p.add(PhysicalOp::Group { keys: vec![0] }, vec![before]);
+                p.add(PhysicalOp::Store { path: "/out".into() }, vec![g]);
+                p
+            })
+            .unwrap();
+        assert_eq!(repo.get(hit).unwrap().output_path, "/r/b");
     }
 
     #[test]

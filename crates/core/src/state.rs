@@ -1,15 +1,21 @@
 //! `restore-state` (de)serialization: the durable session format.
 //!
-//! Two wire versions exist:
+//! Three wire versions exist:
 //!
 //! * **v1** (legacy) — tick/cand counters plus the *default* namespace's
 //!   provenance and repository. Written by earlier releases; still
 //!   accepted by [`ReStore::load_state`](crate::ReStore::load_state),
 //!   which loads it into the default namespace.
-//! * **v2** (current) — everything a shared session knows: the global
+//! * **v2** (legacy) — everything a shared session knows: the global
 //!   configuration, the counters, and **every** namespace (default and
 //!   per-tenant) with its repository, provenance table, and — when the
 //!   tenant carries a policy override — its `ReStoreConfig`.
+//! * **v3** (current) — v2 plus one `seq <n>` line after the counters:
+//!   the snapshot-journal sequence number the dump is anchored at (see
+//!   [`crate::journal`]). Recovery loads a v3 base and replays only
+//!   journal records with a later sequence number; v1/v2 documents
+//!   anchor at sequence 0, so *any* journal segment replays on top of
+//!   them. Everything else is identical to v2.
 //!
 //! The format is line-oriented. Section headers are `--config--`,
 //! `--provenance--`, `--repository--`, and `--space "<tenant>"--` (the
@@ -31,6 +37,7 @@ use restore_dataflow::physical::PhysicalOp;
 
 pub(crate) const V1_HEADER: &str = "restore-state v1";
 pub(crate) const V2_HEADER: &str = "restore-state v2";
+pub(crate) const V3_HEADER: &str = "restore-state v3";
 
 /// One deserialized namespace (`name == ""` is the default).
 pub(crate) struct LoadedSpace {
@@ -44,6 +51,9 @@ pub(crate) struct LoadedSpace {
 pub(crate) struct LoadedState {
     pub tick: u64,
     pub cand: u64,
+    /// Journal sequence number the document is anchored at (0 for
+    /// v1/v2 documents, which predate the journal).
+    pub seq: u64,
     /// The global (default) policy; `None` for v1 documents, which
     /// predate config serialization.
     pub global_config: Option<ReStoreConfig>,
@@ -151,7 +161,7 @@ pub(crate) fn decode_config(lines: &[&str], base: usize) -> Result<ReStoreConfig
 /// same shim the provenance loader uses). The input must actually be
 /// quoted — the plan-text parser also accepts bare tokens, which would
 /// let malformed headers slip through.
-fn unquote(s: &str, at: usize) -> Result<String> {
+pub(crate) fn unquote(s: &str, at: usize) -> Result<String> {
     if !(s.len() >= 2 && s.starts_with('"') && s.ends_with('"')) {
         return Err(err_at(at, format!("expected a quoted string, got {s}")));
     }
@@ -218,16 +228,17 @@ fn parse_tables(lines: &[&str], idx: usize) -> Result<(Provenance, Repository, u
     Ok((prov, repo, repo_end))
 }
 
-/// Parse either wire version into a [`LoadedState`].
+/// Parse any wire version into a [`LoadedState`].
 pub(crate) fn parse(text: &str) -> Result<LoadedState> {
     let lines: Vec<&str> = text.lines().collect();
     match lines.first().copied() {
         Some(V1_HEADER) => parse_v1(&lines),
-        Some(V2_HEADER) => parse_v2(&lines),
+        Some(V2_HEADER) => parse_v2(&lines, false),
+        Some(V3_HEADER) => parse_v2(&lines, true),
         other => Err(err_at(
             0,
             format!(
-                "expected \"{V1_HEADER}\" or \"{V2_HEADER}\", got {:?}",
+                "expected \"{V1_HEADER}\", \"{V2_HEADER}\", or \"{V3_HEADER}\", got {:?}",
                 other.unwrap_or("<empty document>")
             ),
         )),
@@ -244,22 +255,25 @@ fn parse_v1(lines: &[&str]) -> Result<LoadedState> {
     Ok(LoadedState {
         tick,
         cand,
+        seq: 0,
         global_config: None,
         spaces: vec![LoadedSpace { name: String::new(), config: None, prov, repo }],
     })
 }
 
-fn parse_v2(lines: &[&str]) -> Result<LoadedState> {
+/// v2 and v3 share everything but the `seq` line after the counters.
+fn parse_v2(lines: &[&str], with_seq: bool) -> Result<LoadedState> {
     let tick = parse_counter(lines, 1, "tick")?;
     let cand = parse_counter(lines, 2, "cand")?;
-    if lines.get(3).copied() != Some("--config--") {
+    let (seq, cfg_header) = if with_seq { (parse_counter(lines, 3, "seq")?, 4) } else { (0, 3) };
+    if lines.get(cfg_header).copied() != Some("--config--") {
         return Err(err_at(
-            3,
-            format!("expected --config--, got {:?}", lines.get(3).unwrap_or(&"<eof>")),
+            cfg_header,
+            format!("expected --config--, got {:?}", lines.get(cfg_header).unwrap_or(&"<eof>")),
         ));
     }
-    let cfg_end = body_end(lines, 4);
-    let global_config = Some(decode_config(&lines[4..cfg_end], 4)?);
+    let cfg_end = body_end(lines, cfg_header + 1);
+    let global_config = Some(decode_config(&lines[cfg_header + 1..cfg_end], cfg_header + 1)?);
 
     let mut spaces = Vec::new();
     let mut idx = cfg_end;
@@ -287,7 +301,7 @@ fn parse_v2(lines: &[&str]) -> Result<LoadedState> {
         idx = end;
         spaces.push(LoadedSpace { name, config, prov, repo });
     }
-    Ok(LoadedState { tick, cand, global_config, spaces })
+    Ok(LoadedState { tick, cand, seq, global_config, spaces })
 }
 
 #[cfg(test)]

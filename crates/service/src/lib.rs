@@ -42,9 +42,19 @@
 //!   gives a tenant its own `ReStoreConfig` (heuristic, §5 selection,
 //!   retention); its workflows run under that policy while everyone
 //!   else follows the global default.
-//! * **Durability** — [`RestoreService::snapshot`] drain-quiesces the
-//!   pool and serializes the whole session (every namespace, policies,
-//!   counters) as `restore-state v2`; [`RestoreService::restore`]
+//! * **Durability** — two modes. *Continuous*:
+//!   [`RestoreService::checkpoint_begin`] turns on the driver's
+//!   snapshot journal and anchors a base checkpoint, after which
+//!   [`RestoreService::checkpoint_incremental`] captures deltas
+//!   proportional to what changed — **without pausing dispatch or
+//!   draining in-flight workflows** — and folds the journal into a
+//!   fresh base when it outgrows
+//!   [`CheckpointConfig::compact_ratio`];
+//!   [`RestoreService::restore_incremental`] rebuilds from base +
+//!   segments, tolerating a torn tail from a crash mid-append.
+//!   *Full*: [`RestoreService::snapshot`] drain-quiesces the pool and
+//!   serializes the whole session (every namespace, policies,
+//!   counters) as `restore-state v3`; [`RestoreService::restore`]
 //!   rebuilds a service from such a snapshot with warm-hit parity
 //!   after a process restart.
 //!
@@ -54,7 +64,10 @@ mod scheduler;
 mod service;
 mod ticket;
 
-pub use service::{RestoreService, ServiceConfig, ServiceStats, TenantServiceStats};
+pub use service::{
+    CheckpointConfig, CheckpointOutcome, CheckpointSet, RestoreService, ServiceConfig,
+    ServiceStats, TenantServiceStats,
+};
 pub use ticket::SubmitHandle;
 
 /// Errors surfaced by the service layer.
@@ -71,6 +84,9 @@ pub enum ServiceError {
     TenantOverloaded { tenant: String, max_inflight: usize },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// [`RestoreService::checkpoint_incremental`] was called before
+    /// [`RestoreService::checkpoint_begin`].
+    CheckpointsNotEnabled,
     /// Compilation or execution of the query failed.
     Query(restore_common::Error),
 }
@@ -85,6 +101,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "tenant {tenant:?} at its in-flight limit ({max_inflight})")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::CheckpointsNotEnabled => {
+                write!(f, "incremental checkpoints not enabled: call checkpoint_begin first")
+            }
             ServiceError::Query(e) => write!(f, "query failed: {e}"),
         }
     }

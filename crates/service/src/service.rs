@@ -4,7 +4,7 @@
 use crate::scheduler::{pick, tenant_key, QueuedWorkflow, SchedulerState};
 use crate::ticket::{SubmitHandle, Ticket};
 use crate::ServiceError;
-use restore_core::{ReStore, ReStoreStats};
+use restore_core::{JournalConfig, ReStore, ReStoreStats, RecoveryReport};
 use restore_dataflow::CompiledWorkflow;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -35,6 +35,59 @@ impl Default for ServiceConfig {
             cross_workflow: true,
         }
     }
+}
+
+/// Tuning for continuous incremental checkpointing (see
+/// [`RestoreService::checkpoint_begin`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Journal segment size bound (see [`JournalConfig`]).
+    pub segment_bytes: usize,
+    /// Compact (fold the journal into a fresh base checkpoint) once
+    /// accumulated segment bytes exceed this fraction of the base's
+    /// size. Compaction uses the quiesce-free driver dump, so even the
+    /// fold never drains in-flight workflows.
+    pub compact_ratio: f64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig { segment_bytes: 64 * 1024, compact_ratio: 0.5 }
+    }
+}
+
+/// What one [`RestoreService::checkpoint_incremental`] call captured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointOutcome {
+    /// Segments this capture added to the checkpoint set.
+    pub segments_added: usize,
+    /// The journal was folded into a fresh base this round.
+    pub compacted: bool,
+    /// Current base checkpoint size, bytes.
+    pub base_bytes: usize,
+    /// Accumulated journal bytes riding on the base.
+    pub journal_bytes: usize,
+}
+
+/// A recoverable checkpoint: the base dump plus the journal segments
+/// captured since. Persist both; rebuild with
+/// [`RestoreService::restore_incremental`] (or
+/// [`ReStore::recover`](restore_core::ReStore::recover) on a bare
+/// driver).
+#[derive(Debug, Clone)]
+pub struct CheckpointSet {
+    pub base: String,
+    pub segments: Vec<String>,
+}
+
+/// Continuous-checkpoint bookkeeping (see
+/// [`RestoreService::checkpoint_begin`]).
+struct CheckpointKeeper {
+    config: CheckpointConfig,
+    base: String,
+    segments: Vec<String>,
+    journal_bytes: usize,
+    compactions: u64,
 }
 
 /// Snapshot of one tenant's serving activity (see
@@ -91,6 +144,9 @@ pub struct RestoreService {
     /// run their critical sections — e.g. a restore swapping state
     /// mid-snapshot — so only one may hold the pool quiesced at a time.
     quiesce: Mutex<()>,
+    /// Continuous-checkpoint state; `None` until
+    /// [`RestoreService::checkpoint_begin`].
+    checkpoint: Mutex<Option<CheckpointKeeper>>,
 }
 
 impl RestoreService {
@@ -114,7 +170,14 @@ impl RestoreService {
                 std::thread::spawn(move || worker_loop(restore, shared, cross))
             })
             .collect();
-        RestoreService { restore, config, shared, workers, quiesce: Mutex::new(()) }
+        RestoreService {
+            restore,
+            config,
+            shared,
+            workers,
+            quiesce: Mutex::new(()),
+            checkpoint: Mutex::new(None),
+        }
     }
 
     /// The underlying driver session (e.g. for DFS access or
@@ -253,6 +316,119 @@ impl RestoreService {
     /// Queued submissions then execute against the restored state.
     pub fn restore(&self, state: &str) -> Result<(), ServiceError> {
         self.with_quiesced(|rs| rs.load_state(state)).map_err(ServiceError::Query)
+    }
+
+    /// Switch the service into **continuous-checkpoint mode**: enable
+    /// the driver's snapshot journal and capture the base checkpoint
+    /// the journal anchors to. Neither step drains the pool — the base
+    /// is the driver's freeze-per-namespace dump, so submissions and
+    /// in-flight workflows keep flowing; mutations that race the base
+    /// capture replay idempotently from the journal.
+    ///
+    /// From here, call [`RestoreService::checkpoint_incremental`] on
+    /// whatever cadence the durability target requires (every few
+    /// seconds, after every N submissions, …) and persist the
+    /// [`CheckpointSet`]. The legacy drain-quiesce
+    /// [`RestoreService::snapshot`] remains available as a manual
+    /// full-dump fallback.
+    pub fn checkpoint_begin(&self, config: CheckpointConfig) -> CheckpointOutcome {
+        let mut keeper = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+        self.restore.enable_journal(JournalConfig { segment_bytes: config.segment_bytes });
+        let base = self.restore.save_state();
+        let base_bytes = base.len();
+        *keeper = Some(CheckpointKeeper {
+            config,
+            base,
+            segments: Vec::new(),
+            journal_bytes: 0,
+            compactions: 0,
+        });
+        CheckpointOutcome { segments_added: 0, compacted: false, base_bytes, journal_bytes: 0 }
+    }
+
+    /// Capture an incremental checkpoint: drain the journal's
+    /// accumulated records into sealed segments and append them to the
+    /// checkpoint set. **Zero drain**: unlike
+    /// [`RestoreService::snapshot`], this neither pauses dispatch nor
+    /// waits for in-flight workflows — capture cost is proportional to
+    /// what changed since the last call, so it can run on a tight
+    /// cadence under full load.
+    ///
+    /// When the accumulated journal grows past
+    /// [`CheckpointConfig::compact_ratio`] × base size, the journal is
+    /// folded into a fresh base (again without draining) and the
+    /// covered segments are dropped.
+    pub fn checkpoint_incremental(&self) -> Result<CheckpointOutcome, ServiceError> {
+        let mut guard = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+        let keeper = guard.as_mut().ok_or(ServiceError::CheckpointsNotEnabled)?;
+        let added = self.restore.save_state_delta().map_err(ServiceError::Query)?;
+        let segments_added = added.len();
+        keeper.journal_bytes += added.iter().map(String::len).sum::<usize>();
+        keeper.segments.extend(added);
+        let mut compacted = false;
+        if keeper.journal_bytes as f64 > keeper.config.compact_ratio * keeper.base.len() as f64 {
+            // Fold: a fresh base covers (by sequence number) every
+            // record in the accumulated segments, so they can go. New
+            // records appended *during* this dump stay in the live
+            // journal and ride out with the next delta — replaying
+            // them over the new base is idempotent.
+            keeper.base = self.restore.save_state();
+            keeper.segments.clear();
+            keeper.journal_bytes = 0;
+            keeper.compactions += 1;
+            compacted = true;
+        }
+        Ok(CheckpointOutcome {
+            segments_added,
+            compacted,
+            base_bytes: keeper.base.len(),
+            journal_bytes: keeper.journal_bytes,
+        })
+    }
+
+    /// The current recoverable checkpoint (base + segments), cloned for
+    /// persistence; `None` before [`RestoreService::checkpoint_begin`].
+    pub fn checkpoint_set(&self) -> Option<CheckpointSet> {
+        let guard = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().map(|k| CheckpointSet { base: k.base.clone(), segments: k.segments.clone() })
+    }
+
+    /// How many times the journal has been folded into a fresh base.
+    pub fn checkpoint_compactions(&self) -> u64 {
+        let guard = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().map(|k| k.compactions).unwrap_or(0)
+    }
+
+    /// Rebuild session state from a [`CheckpointSet`]: quiesce the pool
+    /// (like [`RestoreService::restore`]), load the base, and replay
+    /// the journal segments. A torn tail in the final segment — the
+    /// signature of a crash mid-append — is truncated and reported in
+    /// the returned [`RecoveryReport`].
+    ///
+    /// If this service is itself in continuous-checkpoint mode, its
+    /// keeper is **rebased** onto the restored state: the pre-restore
+    /// base, segments, and any journal records buffered from the
+    /// replaced lineage are discarded, and a fresh base is anchored —
+    /// otherwise the next [`RestoreService::checkpoint_incremental`]
+    /// would splice new deltas onto the *old* lineage and its set
+    /// would no longer reproduce the live session.
+    pub fn restore_incremental(&self, set: &CheckpointSet) -> Result<RecoveryReport, ServiceError> {
+        // Hold the keeper across the whole quiesced restore so no
+        // capture interleaves between the state swap and the rebase.
+        let mut keeper = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+        let report = self
+            .with_quiesced(|rs| rs.recover(&set.base, &set.segments))
+            .map_err(ServiceError::Query)?;
+        if let Some(k) = keeper.as_mut() {
+            // Drop records journaled before the restore (stale
+            // lineage), then anchor a fresh base over the restored
+            // state.
+            let _ = self.restore.save_state_delta();
+            k.base = self.restore.save_state();
+            k.segments.clear();
+            k.journal_bytes = 0;
+        }
+        Ok(report)
     }
 
     /// Set `tenant`'s policy override: subsequent submissions from that

@@ -1,0 +1,210 @@
+//! Continuous incremental checkpointing at the service layer: captures
+//! complete **without draining in-flight workflows**, checkpoint sets
+//! recover to the exact session state, and compaction folds the
+//! journal into a fresh base without ever pausing dispatch.
+
+use restore_core::{ReStore, ReStoreConfig};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_pigmix::{datagen, queries, DataScale};
+use restore_service::{CheckpointConfig, RestoreService, ServiceConfig, ServiceError};
+
+const SEED: u64 = 0xC0FFEE;
+
+fn shared_dfs() -> Dfs {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 2048, replication: 2, node_capacity: None });
+    datagen::generate(&dfs, &DataScale::tiny(), SEED).expect("data generation");
+    dfs
+}
+
+fn service_over(dfs: Dfs, workers: usize) -> RestoreService {
+    let engine = Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
+    );
+    let rs = ReStore::new(engine, ReStoreConfig::default());
+    RestoreService::new(
+        rs,
+        ServiceConfig {
+            workers,
+            queue_depth: 256,
+            max_inflight_per_tenant: 64,
+            cross_workflow: true,
+        },
+    )
+}
+
+#[test]
+fn checkpoint_before_begin_is_rejected() {
+    let svc = service_over(shared_dfs(), 1);
+    assert!(matches!(svc.checkpoint_incremental(), Err(ServiceError::CheckpointsNotEnabled)));
+    assert!(svc.checkpoint_set().is_none());
+}
+
+/// The acceptance property: a capture taken while a slow workflow is
+/// in flight returns with that workflow **still in flight** — the
+/// incremental path never drain-quiesces the pool the way the full
+/// `snapshot()` does.
+#[test]
+fn checkpoint_incremental_completes_with_zero_drain() {
+    let svc = service_over(shared_dfs(), 2);
+    svc.checkpoint_begin(CheckpointConfig::default());
+
+    let mut verified = false;
+    'rounds: for round in 0..50 {
+        // Eight multi-job L3 workflows through two workers: the pool
+        // stays busy for the whole round.
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let out = format!("/out/zd/r{round}q{i}");
+            let wf = format!("/wf/zd/r{round}q{i}");
+            handles.push(svc.submit(Some("ana"), &queries::l3(&out), &wf).expect("admitted"));
+        }
+        // Wait for work to actually be running (not merely queued).
+        for _ in 0..100_000 {
+            if svc.stats().running > 0 {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        if svc.stats().running > 0 {
+            let outcome = svc.checkpoint_incremental().expect("capture under load");
+            let still_running = svc.stats().running;
+            for h in handles {
+                h.wait().expect("workflow completes");
+            }
+            if still_running > 0 {
+                assert!(outcome.base_bytes > 0);
+                verified = true;
+                break 'rounds;
+            }
+            continue;
+        }
+        for h in handles {
+            h.wait().expect("workflow completes");
+        }
+    }
+    assert!(
+        verified,
+        "never once observed a capture returning while a workflow was still in flight"
+    );
+}
+
+/// Checkpoint sets taken across a workload recover to the exact
+/// session state of the moment the last delta was captured.
+#[test]
+fn checkpoint_set_recovers_the_session_byte_identically() {
+    let dfs = shared_dfs();
+    let svc = service_over(dfs.clone(), 2);
+    svc.checkpoint_begin(CheckpointConfig::default());
+
+    for round in 0..3 {
+        let mut handles = Vec::new();
+        for (tenant, q) in [("ana", 0), ("bo", 1)] {
+            let out = format!("/out/ck/r{round}t{tenant}");
+            let wf = format!("/wf/ck/r{round}t{tenant}");
+            let query = if q == 0 { queries::l3(&out) } else { queries::l8(&out) };
+            handles.push(svc.submit(Some(tenant), &query, &wf).expect("admitted"));
+        }
+        for h in handles {
+            h.wait().expect("completes");
+        }
+        svc.checkpoint_incremental().expect("capture");
+    }
+    // Quiesce so the live reference state stops moving, then take one
+    // final delta so the set covers everything.
+    svc.drain();
+    svc.checkpoint_incremental().expect("final capture");
+    let set = svc.checkpoint_set().expect("enabled");
+    let reference = svc.driver().save_state();
+
+    let resumed = service_over(dfs, 2);
+    let report = resumed.restore_incremental(&set).expect("recovery");
+    assert!(report.torn_tail.is_none());
+    assert_eq!(resumed.driver().save_state(), reference, "recovered state must match the live one");
+
+    // And the recovered service serves warm hits from the journaled
+    // repository.
+    let h =
+        resumed.submit(Some("ana"), &queries::l3("/out/ck/r0tana"), "/wf/warm").expect("admitted");
+    let e = h.wait().expect("completes");
+    assert!(
+        e.jobs_skipped > 0 || !e.rewrites.is_empty(),
+        "recovered repository must keep serving reuse"
+    );
+}
+
+/// Restoring onto a service that is itself checkpointing rebases the
+/// keeper: post-restore captures describe the restored lineage, not a
+/// splice of old and new.
+#[test]
+fn restore_rebases_the_checkpoint_keeper() {
+    let dfs = shared_dfs();
+    let svc = service_over(dfs.clone(), 2);
+    svc.checkpoint_begin(CheckpointConfig::default());
+
+    // Epoch 1: some work, checkpointed.
+    svc.submit(Some("ana"), &queries::l3("/out/rb/e1"), "/wf/rb/e1").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+    let epoch1 = svc.checkpoint_set().unwrap();
+
+    // Epoch 2: diverge, then roll back to epoch 1.
+    svc.submit(Some("bo"), &queries::l8("/out/rb/e2"), "/wf/rb/e2").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+    svc.restore_incremental(&epoch1).expect("rollback");
+
+    // Epoch 3: new work on the restored lineage; the set taken now
+    // must reproduce the live state exactly (no epoch-2 residue, no
+    // stale base).
+    svc.submit(Some("ana"), &queries::l3("/out/rb/e3"), "/wf/rb/e3").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+    let set = svc.checkpoint_set().unwrap();
+    let reference = svc.driver().save_state();
+
+    let resumed = service_over(dfs, 1);
+    resumed.restore_incremental(&set).expect("recovery");
+    assert_eq!(
+        resumed.driver().save_state(),
+        reference,
+        "post-restore checkpoint sets must describe the restored lineage"
+    );
+}
+
+/// A tight compaction ratio folds the journal into a fresh base; the
+/// compacted set stays recoverable and keeps shrinking its segment
+/// list.
+#[test]
+fn compaction_folds_segments_into_a_fresh_base() {
+    let dfs = shared_dfs();
+    let svc = service_over(dfs.clone(), 2);
+    // Ratio 0: any journaled byte triggers a fold — every capture
+    // compacts.
+    svc.checkpoint_begin(CheckpointConfig { segment_bytes: 4 * 1024, compact_ratio: 0.0 });
+
+    let mut saw_compaction = false;
+    for round in 0..3 {
+        let out = format!("/out/cp/r{round}");
+        let h = svc.submit(None, &queries::l3(&out), &format!("/wf/cp/r{round}")).unwrap();
+        h.wait().expect("completes");
+        let outcome = svc.checkpoint_incremental().expect("capture");
+        saw_compaction |= outcome.compacted;
+        if outcome.compacted {
+            assert_eq!(outcome.journal_bytes, 0, "a fold leaves no journal riding the base");
+        }
+    }
+    assert!(saw_compaction, "ratio 0 must compact");
+    assert!(svc.checkpoint_compactions() > 0);
+
+    svc.drain();
+    svc.checkpoint_incremental().expect("final capture");
+    let set = svc.checkpoint_set().unwrap();
+    let reference = svc.driver().save_state();
+    let resumed = service_over(dfs, 1);
+    resumed.restore_incremental(&set).expect("recovery");
+    assert_eq!(resumed.driver().save_state(), reference);
+}
