@@ -8,6 +8,13 @@
 //! * `mixed` — each round uses fresh output paths, so jobs with reusable
 //!   prefixes still execute, exercising wave-parallel execution plus
 //!   concurrent registration on the write path.
+//!
+//! Each arm also reports the repository's write-side counters as
+//! per-round deltas (`publishes/round`, `writer_sections/round`, from
+//! [`ReStore::write_counters_as`]): warm rounds must show ~0 — serving
+//! is read-only — while mixed rounds expose the registration churn the
+//! sharded write path parallelizes. The numbers are printed after each
+//! group and archived with the entries in `BENCH_concurrent.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use restore_core::{ReStore, ReStoreConfig};
@@ -53,6 +60,46 @@ fn submit_round(rs: &ReStore, threads: usize, round: u64) {
     });
 }
 
+/// Accumulates write-side counter deltas across measured rounds so the
+/// archive can state how much write traffic each regime generated.
+struct WriteCounterProbe<'a> {
+    rs: &'a ReStore,
+    rounds: AtomicU64,
+    publishes: AtomicU64,
+    sections: AtomicU64,
+}
+
+impl<'a> WriteCounterProbe<'a> {
+    fn new(rs: &'a ReStore) -> Self {
+        WriteCounterProbe {
+            rs,
+            rounds: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            sections: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `round` bracketed by counter reads and bank the delta.
+    fn observe(&self, round: impl FnOnce()) {
+        let (p0, s0) = self.rs.write_counters_as(None);
+        round();
+        let (p1, s1) = self.rs.write_counters_as(None);
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.publishes.fetch_add(p1 - p0, Ordering::Relaxed);
+        self.sections.fetch_add(s1 - s0, Ordering::Relaxed);
+    }
+
+    /// Mean per-round deltas (includes the untimed warm-up round).
+    fn report(&self, label: &str) {
+        let rounds = self.rounds.load(Ordering::Relaxed).max(1);
+        println!(
+            "{label:<48} counters: publishes/round={:.1} writer_sections/round={:.1}",
+            self.publishes.load(Ordering::Relaxed) as f64 / rounds as f64,
+            self.sections.load(Ordering::Relaxed) as f64 / rounds as f64,
+        );
+    }
+}
+
 fn bench_warm_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("concurrent_warm");
     group.sample_size(10);
@@ -62,10 +109,14 @@ fn bench_warm_serving(c: &mut Criterion) {
         let rs = shared_session();
         submit_round(&rs, threads, 0);
         let round = AtomicU64::new(1);
+        let probe = WriteCounterProbe::new(&rs);
         group.throughput(Throughput::Elements((threads * 3) as u64));
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| submit_round(&rs, threads, round.fetch_add(1, Ordering::Relaxed)));
+            b.iter(|| {
+                probe.observe(|| submit_round(&rs, threads, round.fetch_add(1, Ordering::Relaxed)))
+            });
         });
+        probe.report(&format!("concurrent_warm/threads/{threads}"));
     }
     group.finish();
 }
@@ -82,10 +133,14 @@ fn bench_mixed_workload(c: &mut Criterion) {
         rs.set_config(cfg);
         submit_round(&rs, threads, 0);
         let round = AtomicU64::new(1);
+        let probe = WriteCounterProbe::new(&rs);
         group.throughput(Throughput::Elements((threads * 3) as u64));
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| submit_round(&rs, threads, round.fetch_add(1, Ordering::Relaxed)));
+            b.iter(|| {
+                probe.observe(|| submit_round(&rs, threads, round.fetch_add(1, Ordering::Relaxed)))
+            });
         });
+        probe.report(&format!("concurrent_mixed/threads/{threads}"));
     }
     group.finish();
 }

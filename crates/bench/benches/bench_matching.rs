@@ -26,6 +26,14 @@
 //! valid because the generated plans are pairwise incomparable. Only
 //! the indexed match path runs at this size (the locked sequential
 //! scan would take minutes per round).
+//!
+//! A fourth arm, `insert_sharded`, is the **write-path** ablation: 1/2/
+//! 4/8 writer threads registering disjoint plan corpora into a
+//! repository striped 1 vs 8 ways (`MATCHING_SHARDS` overrides the
+//! shard list). Single-shard, every insert serializes on one writer
+//! section and its §3 ordering scan walks the whole repository;
+//! striped, writers whose tip signatures hash to different shards
+//! insert fully in parallel against 8× shorter scans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parking_lot::RwLock;
@@ -112,6 +120,72 @@ fn bulk_sizes() -> Vec<usize> {
     match std::env::var("MATCHING_BULK_SIZES") {
         Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         Err(_) => vec![100_000],
+    }
+}
+
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("MATCHING_SHARDS") {
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        Err(_) => vec![1, 8],
+    }
+}
+
+/// Inserts per writer thread per measured round. Small enough that a
+/// round stays in milliseconds, large enough that the O(len) ordering
+/// scan inside each insert dominates the fixed per-insert overhead.
+const INSERTS_PER_WRITER: usize = 64;
+
+/// Write-path ablation: concurrent writers registering disjoint
+/// corpora, repository striped `shards` ways. Each timed round builds
+/// a fresh repository (construction is a handful of empty `Rcu`s —
+/// noise next to the inserts) so every round performs identical work.
+fn bench_insert_sharded(c: &mut Criterion) {
+    for &shards in &shard_counts() {
+        let mut group = c.benchmark_group(format!("insert_sharded/shards{shards}"));
+        for &threads in &[1usize, 2, 4, 8] {
+            let corpus: Vec<Vec<(PhysicalPlan, String, RepoStats)>> = (0..threads)
+                .map(|t| {
+                    (0..INSERTS_PER_WRITER)
+                        .map(|k| {
+                            let i = t * INSERTS_PER_WRITER + k;
+                            (
+                                entry_plan(i),
+                                format!("/repo/{i}"),
+                                RepoStats {
+                                    input_bytes: 10_000 - i as u64,
+                                    output_bytes: 100,
+                                    job_time_s: (1_000 - i) as f64,
+                                    ..Default::default()
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            group.throughput(Throughput::Elements((threads * INSERTS_PER_WRITER) as u64));
+            group.bench_with_input(
+                BenchmarkId::new("writers", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let repo = Repository::with_shards(shards);
+                        std::thread::scope(|scope| {
+                            for slice in corpus.iter().take(threads) {
+                                let repo = &repo;
+                                scope.spawn(move || {
+                                    for (p, path, s) in slice {
+                                        black_box(repo.insert(p.clone(), path.clone(), s.clone()));
+                                    }
+                                });
+                            }
+                        });
+                        assert_eq!(repo.len(), threads * INSERTS_PER_WRITER);
+                        black_box(repo.publish_count())
+                    });
+                },
+            );
+        }
+        group.finish();
     }
 }
 
@@ -287,5 +361,5 @@ fn bench_matching(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_matching, bench_matching_bulk);
+criterion_group!(benches, bench_matching, bench_matching_bulk, bench_insert_sharded);
 criterion_main!(benches);

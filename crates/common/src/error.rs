@@ -43,6 +43,8 @@ pub enum Error {
     /// corrupt journal points at the offending record instead of a
     /// generic "malformed journal".
     Journal { segment: usize, record: usize, msg: String },
+    /// A configuration value is invalid (e.g. an absurd shard count).
+    Config(String),
     /// Record decoding failure when reading DFS files.
     Codec(String),
     /// Catch-all with context.
@@ -75,6 +77,7 @@ impl fmt::Display for Error {
             Error::Journal { segment, record, msg } => {
                 write!(f, "journal error in segment {segment} record {record}: {msg}")
             }
+            Error::Config(m) => write!(f, "config error: {m}"),
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Other(m) => write!(f, "{m}"),
         }

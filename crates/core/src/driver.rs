@@ -94,6 +94,19 @@ pub struct ReStoreConfig {
     /// Algorithm 1); results are byte-identical either way because jobs
     /// within a wave share no outputs.
     pub wave_parallel: bool,
+    /// Number of repository shards per namespace (1 = the classic
+    /// single-shard repository). Shards stripe entries by tip-signature
+    /// hash, each with its own RCU writer section and journal lane, so
+    /// concurrent waves registering into different shards never
+    /// contend; matching, sweeps, and checkpoints produce results
+    /// byte-identical to one shard. The count takes effect when a
+    /// namespace is **created** (or restored via `load_state`): the
+    /// default namespace is sharded at [`ReStore::new`], tenant
+    /// namespaces at first use, and changing this on a live session
+    /// only affects namespaces created afterwards. 0 normalizes to 1;
+    /// counts above [`crate::repository::MAX_REPO_SHARDS`] are a typed
+    /// config error at decode time.
+    pub repo_shards: usize,
 }
 
 impl Default for ReStoreConfig {
@@ -106,6 +119,7 @@ impl Default for ReStoreConfig {
             delete_tmp: false,
             register_final_outputs: true,
             wave_parallel: true,
+            repo_shards: 1,
         }
     }
 }
@@ -236,6 +250,14 @@ pub(crate) struct Space {
     pub(crate) config: Rcu<Option<ReStoreConfig>>,
 }
 
+impl Space {
+    /// A fresh namespace with its repository striped into `shards`
+    /// (normalized — 0 behaves like 1, absurd counts are capped).
+    fn with_shards(shards: usize) -> Self {
+        Space { repo: Repository::with_shards(shards), ..Default::default() }
+    }
+}
+
 /// Pins taken by one in-flight workflow. Dropping the guard releases
 /// them and performs any file deletions a sweep deferred in the
 /// meantime.
@@ -317,7 +339,7 @@ impl ReStore {
     pub fn new(engine: Engine, config: ReStoreConfig) -> Self {
         ReStore {
             engine,
-            space: Arc::new(Space::default()),
+            space: Arc::new(Space::with_shards(config.repo_shards)),
             tenants: Rcu::new(HashMap::new()),
             config: RwLock::new(config),
             tick: AtomicU64::new(0),
@@ -365,18 +387,21 @@ impl ReStore {
     }
 
     /// Install the journal sink on a namespace's repository so its
-    /// batches emit `repo-batch` records at publish time.
+    /// batches emit `repo-batch` records at publish time. The sink
+    /// carries the emitting shard index, which picks the journal lane —
+    /// sinks of different shards append in parallel.
     fn wire_space(journal: &Arc<Journal>, name: &str, space: &Space) {
         let j = journal.clone();
         let n = name.to_string();
-        space
-            .repo
-            .set_journal_sink(Some(Arc::new(move |ops: &[RepoOp]| j.append_repo_batch(&n, ops))));
+        space.repo.set_journal_sink(Some(Arc::new(move |shard: usize, ops: &[RepoOp]| {
+            j.append_repo_batch(&n, shard, ops)
+        })));
     }
 
-    /// A fresh namespace, journal-wired when the journal is on.
-    fn make_space(&self, name: &str) -> Arc<Space> {
-        let space = Arc::new(Space::default());
+    /// A fresh namespace with `shards` repository shards, journal-wired
+    /// when the journal is on.
+    fn make_space(&self, name: &str, shards: usize) -> Arc<Space> {
+        let space = Arc::new(Space::with_shards(shards));
         if self.journal.enabled() {
             Self::wire_space(&self.journal, name, &space);
         }
@@ -404,11 +429,15 @@ impl ReStore {
             return s.clone();
         }
         let mut created = false;
+        // A namespace created on first use is sharded per the global
+        // config current at creation (a tenant override cannot exist
+        // before its namespace does).
+        let shards = self.config.read().repo_shards;
         let space = self.tenants.update(|m| {
             m.entry(t.to_string())
                 .or_insert_with(|| {
                     created = true;
-                    self.make_space(t)
+                    self.make_space(t, shards)
                 })
                 .clone()
         });
@@ -471,7 +500,7 @@ impl ReStore {
                 let prov = space.prov.load();
                 written.iter().any(|p| prov.contains(p))
             } || {
-                let repo = space.repo.snapshot();
+                let repo = space.repo.view();
                 repo.entries().iter().any(|e| written.contains(&e.output_path))
             };
             if !hit {
@@ -487,9 +516,7 @@ impl ReStore {
                     space.repo.batch(|repo| {
                         for p in written {
                             let stale: Vec<u64> = repo
-                                .pending()
-                                .entries()
-                                .iter()
+                                .pending_entries()
                                 .filter(|e| &e.output_path == p)
                                 .map(|e| e.id)
                                 .collect();
@@ -927,7 +954,7 @@ impl ReStore {
         // tenant's prefix so namespaces never share materialized files.
         let candidates: Vec<Candidate> = if config.heuristic != Heuristic::None {
             let prov = space.prov.load();
-            let repo = space.repo.snapshot();
+            let repo = space.repo.view();
             let prefix = match tenant {
                 Some(t) => format!("{}/{t}", config.repo_prefix),
                 None => config.repo_prefix.clone(),
@@ -995,7 +1022,7 @@ impl ReStore {
         for _ in 0..budget {
             let expanded =
                 cached_expansion.take().unwrap_or_else(|| space.prov.load().expand(plan));
-            let snap = space.repo.snapshot();
+            let snap = space.repo.view();
             let Some((entry_id, m)) =
                 snap.find_first_match_excluding(&expanded.plan, &unproductive)
             else {
@@ -1010,7 +1037,7 @@ impl ReStore {
                 // progress; results are unchanged because the entry
                 // could equally have been evicted a moment before our
                 // first snapshot.
-                if !space.repo.snapshot().contains_id(entry_id) {
+                if !space.repo.view().contains_id(entry_id) {
                     p.unpin_last();
                     cached_expansion = Some(expanded);
                     continue;
@@ -1201,7 +1228,7 @@ impl ReStore {
         let wf = restore_dataflow::compile(text, out_prefix)?;
         let mut report = String::new();
         {
-            let repo = space.repo.snapshot();
+            let repo = space.repo.view();
             report.push_str(&format!(
                 "workflow: {} job(s); repository: {} entr{}\n",
                 wf.jobs.len(),
@@ -1262,7 +1289,7 @@ impl ReStore {
         // Wait-free: one provenance snapshot, one repository snapshot;
         // no lock ordering to respect and no writer ever blocked.
         let provenance_entries = space.prov.load().len();
-        let repo = space.repo.snapshot();
+        let repo = space.repo.view();
         let entries = repo.entries();
         ReStoreStats {
             repository_entries: entries.len(),
@@ -1272,6 +1299,16 @@ impl ReStore {
             queries_executed: self.tick.load(Ordering::SeqCst),
             provenance_entries,
         }
+    }
+
+    /// Write-side counters of a tenant's repository: `(snapshot
+    /// publishes, writer-section entries)`, both cumulative and summed
+    /// across shards. Benchmarks read deltas of these around a round to
+    /// attribute wall-time to write-side contention (`None` = the
+    /// default namespace).
+    pub fn write_counters_as(&self, tenant: Option<&str>) -> (u64, u64) {
+        let space = self.space_snapshot(tenant);
+        (space.repo.publish_count(), space.repo.writer_sections())
     }
 
     /// Serialize the full ReStore session state (`restore-state v3`):
@@ -1358,42 +1395,57 @@ impl ReStore {
 
     /// Rebuild session state from a base checkpoint plus journal
     /// segments: load the base (any wire version), then replay every
-    /// record with a sequence number past the base's anchor, in order.
-    /// A torn tail in the **final** segment — the crash artifact of a
-    /// process dying mid-append — is truncated and reported; any other
-    /// malformation fails with [`Error::Journal`] naming the segment
-    /// and record, leaving whatever prefix already applied (call on a
-    /// fresh or quiesced session, like [`ReStore::load_state`]).
+    /// record with a sequence number past the base's anchor, in **seq
+    /// order**. A segment's physical order may interleave seqs from
+    /// different journal lanes (per-shard repository sinks append in
+    /// parallel — see [`crate::journal`]), so recovery decodes all
+    /// segments first and merges on seq; replay order is therefore
+    /// identical to a single-lane journal's. A torn tail in the
+    /// **final** segment — the crash artifact of a process dying
+    /// mid-append — is truncated and reported; a duplicated sequence
+    /// number or any other malformation fails with [`Error::Journal`]
+    /// naming the segment and record, leaving whatever prefix already
+    /// applied (call on a fresh or quiesced session, like
+    /// [`ReStore::load_state`]).
     pub fn recover(&self, base: &str, segments: &[String]) -> Result<RecoveryReport> {
         let _capture = self.journal.capture.lock();
         // Replay drives the normal mutation paths; pause the journal so
         // they do not re-record what they apply.
         let _pause = self.journal.pause();
         let base_seq = self.load_state_inner(base)?;
-        let mut applied = 0usize;
-        let mut skipped = 0usize;
         let mut torn_tail = None;
-        let mut last_seq = base_seq;
+        // (seq, record, segment index, 1-based ordinal) — coordinates
+        // kept so a duplicate seq names its record.
+        let mut all: Vec<(u64, Record, usize, usize)> = Vec::new();
         for (i, segment) in segments.iter().enumerate() {
             let is_final = i + 1 == segments.len();
             let (records, torn) = journal::decode_segment(segment, i, is_final)?;
             for (ordinal, (seq, record)) in records.into_iter().enumerate() {
-                if seq <= base_seq {
-                    skipped += 1;
-                    continue;
-                }
-                if seq < last_seq {
-                    return Err(Error::Journal {
-                        segment: i,
-                        record: ordinal + 1,
-                        msg: format!("out-of-order record seq {seq} after {last_seq}"),
-                    });
-                }
-                last_seq = seq;
-                self.apply_record(record)?;
-                applied += 1;
+                all.push((seq, record, i, ordinal + 1));
             }
             torn_tail = torn;
+        }
+        // Stable on (segment, ordinal) ties — a duplicate pair stays in
+        // physical order, so the error below names the *later* copy.
+        all.sort_by_key(|&(seq, ..)| seq);
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        let mut last_seq = base_seq;
+        for (seq, record, segment, ordinal) in all {
+            if seq <= base_seq {
+                skipped += 1;
+                continue;
+            }
+            if seq == last_seq {
+                return Err(Error::Journal {
+                    segment,
+                    record: ordinal,
+                    msg: format!("duplicate record seq {seq}"),
+                });
+            }
+            last_seq = seq;
+            self.apply_record(record)?;
+            applied += 1;
         }
         self.journal.advance_seq(last_seq);
         Ok(RecoveryReport {
@@ -1566,7 +1618,15 @@ impl ReStore {
                     self.space.repo.adopt(sp.repo);
                     self.space.config.store(None);
                 } else {
-                    let space = self.make_space(&sp.name);
+                    // A restored tenant is sharded per its effective
+                    // config: its own override when the document carries
+                    // one, the (already loaded) global config otherwise.
+                    let shards = sp
+                        .config
+                        .as_ref()
+                        .map(|c| c.repo_shards)
+                        .unwrap_or_else(|| self.config.read().repo_shards);
+                    let space = self.make_space(&sp.name, shards);
                     space.prov.store(sp.prov);
                     space.repo.adopt(sp.repo);
                     space.config.store(sp.config);

@@ -38,9 +38,12 @@
 //!
 //! Records are framed as `r <seq> <len> <fnv64>\n` followed by exactly
 //! `len` payload bytes. `seq` is a session-global sequence number
-//! (assigned in append order under the journal lock), `len` is the
-//! payload byte length, and `fnv64` is the payload's FNV-1a 64-bit
-//! checksum in hex. A crash can truncate the tail of the segment being
+//! drawn from one atomic counter inside the owning *lane's* lock — the
+//! journal is striped into lanes so per-shard repository sinks append
+//! in parallel, so a segment's physical order may interleave seqs from
+//! different lanes (each lane is internally seq-ordered; recovery
+//! sorts the union by seq before replay). `len` is the payload byte
+//! length, and `fnv64` is the payload's FNV-1a 64-bit checksum in hex. A crash can truncate the tail of the segment being
 //! written; on decode:
 //!
 //! * an **incomplete final frame** (header cut short, or fewer than
@@ -173,33 +176,43 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 
 // ---- the journal ----
 
-struct Inner {
-    segment_bytes: usize,
-    /// The segment being written (starts with [`SEGMENT_HEADER`] once
-    /// non-empty).
-    live: String,
-    /// Full segments sealed since the last delta capture.
-    sealed: Vec<String>,
-    /// Counters as last journaled, so a delta only carries a
-    /// `counters` record when they moved.
-    last_tick: u64,
-    last_cand: u64,
-}
+/// Number of independent append lanes. Repository batches from shard
+/// `s` land in lane `s % JOURNAL_LANES`; every other record type uses
+/// lane 0. More lanes than cores buys nothing — contention is already
+/// gone once each busy shard maps to its own lane.
+const JOURNAL_LANES: usize = 8;
 
 /// The session journal: an append-only, segment-rolled record log.
 /// Appends are cheap (encode + one short mutex section) and happen
-/// inside the mutating table's writer section, so journal order equals
-/// publish order. Disabled journals drop appends at a single atomic
-/// load.
+/// inside the mutating table's writer section, so each lane's physical
+/// order equals publish order for the shards it serves. The journal is
+/// striped into [`JOURNAL_LANES`] lanes so per-shard repository sinks
+/// append in parallel; the global `seq` is allocated *inside* the
+/// owning lane's lock, which keeps every lane internally seq-ordered
+/// and lets recovery merge lanes by sorting on seq. Disabled journals
+/// drop appends at a single atomic load.
 pub(crate) struct Journal {
     enabled: AtomicBool,
     /// Recovery replays records through the normal mutation paths;
     /// pausing stops those paths from re-journaling what they apply.
     paused: AtomicUsize,
     /// Last assigned sequence number (lock-free readers; assignments
-    /// happen under `inner`).
+    /// happen under the owning lane's lock).
     seq: AtomicU64,
-    inner: Mutex<Inner>,
+    /// Seal the live lanes into a segment once their combined size
+    /// crosses this bound.
+    segment_bytes: AtomicUsize,
+    /// Combined bytes buffered across live lanes (rollover trigger and
+    /// stats — no lane locks needed to read it).
+    live_bytes: AtomicUsize,
+    /// Per-lane frame buffers (frames only; the segment header is
+    /// prepended when lanes are rolled into a sealed segment).
+    lanes: Vec<Mutex<String>>,
+    /// Full segments sealed since the last delta capture.
+    sealed: Mutex<Vec<String>>,
+    /// Counters as last journaled, so a delta only carries a
+    /// `counters` record when they moved.
+    counters: Mutex<(u64, u64)>,
     /// Serializes delta captures (two concurrent captures would race
     /// on the dirty sets and segment hand-off).
     pub(crate) capture: Mutex<()>,
@@ -211,13 +224,11 @@ impl Default for Journal {
             enabled: AtomicBool::new(false),
             paused: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
-            inner: Mutex::new(Inner {
-                segment_bytes: JournalConfig::default().segment_bytes,
-                live: String::new(),
-                sealed: Vec::new(),
-                last_tick: 0,
-                last_cand: 0,
-            }),
+            segment_bytes: AtomicUsize::new(JournalConfig::default().segment_bytes),
+            live_bytes: AtomicUsize::new(0),
+            lanes: (0..JOURNAL_LANES).map(|_| Mutex::new(String::new())).collect(),
+            sealed: Mutex::new(Vec::new()),
+            counters: Mutex::new((0, 0)),
             capture: Mutex::new(()),
         }
     }
@@ -225,7 +236,7 @@ impl Default for Journal {
 
 impl Journal {
     pub(crate) fn enable(&self, config: JournalConfig) {
-        self.inner.lock().segment_bytes = config.segment_bytes.max(SEGMENT_HEADER.len() + 1);
+        self.segment_bytes.store(config.segment_bytes.max(SEGMENT_HEADER.len() + 1), SeqCst);
         self.enabled.store(true, SeqCst);
     }
 
@@ -256,47 +267,68 @@ impl Journal {
     }
 
     pub(crate) fn stats(&self) -> JournalStats {
-        let inner = self.inner.lock();
         JournalStats {
             enabled: self.enabled(),
             seq: self.seq(),
-            live_bytes: inner.live.len(),
-            sealed_segments: inner.sealed.len(),
+            live_bytes: self.live_bytes.load(SeqCst),
+            sealed_segments: self.sealed.lock().len(),
         }
     }
 
-    /// Frame `payload` and append it to the live segment, sealing the
-    /// segment when it crosses the size bound.
-    fn append_payload(&self, payload: &str) {
-        let mut inner = self.inner.lock();
-        let seq = self.seq.load(SeqCst) + 1;
-        self.seq.store(seq, SeqCst);
-        if inner.live.is_empty() {
-            inner.live.push_str(SEGMENT_HEADER);
-            inner.live.push('\n');
-        }
-        inner.live.push_str(&format!(
-            "r {seq} {} {:016x}\n",
-            payload.len(),
-            fnv1a64(payload.as_bytes())
-        ));
-        inner.live.push_str(payload);
-        if inner.live.len() >= inner.segment_bytes {
-            let full = std::mem::take(&mut inner.live);
-            inner.sealed.push(full);
+    /// Frame `payload` and append it to `lane`'s buffer, rolling every
+    /// lane into a sealed segment once the combined live size crosses
+    /// the bound. The global `seq` is drawn *inside* the owning lane's
+    /// lock, so each lane's physical order equals its seq order — two
+    /// lanes may interleave seqs within a segment, and recovery merges
+    /// them by sorting on seq.
+    fn append_payload(&self, lane: usize, payload: &str) {
+        let total = {
+            let mut buf = self.lanes[lane % JOURNAL_LANES].lock();
+            let before = buf.len();
+            let seq = self.seq.fetch_add(1, SeqCst) + 1;
+            buf.push_str(&format!(
+                "r {seq} {} {:016x}\n",
+                payload.len(),
+                fnv1a64(payload.as_bytes())
+            ));
+            buf.push_str(payload);
+            let added = buf.len() - before;
+            self.live_bytes.fetch_add(added, SeqCst) + added
+        };
+        if total >= self.segment_bytes.load(SeqCst) {
+            self.roll();
         }
     }
 
-    /// Seal the live segment (if non-empty) and hand every sealed
+    /// Concatenate every non-empty lane (ascending lane order) into one
+    /// sealed segment. Lanes are locked in ascending order with no
+    /// other lane lock held, so concurrent rolls cannot deadlock; a
+    /// roll that loses the race just finds the lanes already empty.
+    fn roll(&self) {
+        let mut guards: Vec<_> = self.lanes.iter().map(|l| l.lock()).collect();
+        let mut seg = String::new();
+        for g in guards.iter_mut() {
+            if !g.is_empty() {
+                if seg.is_empty() {
+                    seg.push_str(SEGMENT_HEADER);
+                    seg.push('\n');
+                }
+                seg.push_str(g);
+                self.live_bytes.fetch_sub(g.len(), SeqCst);
+                g.clear();
+            }
+        }
+        if !seg.is_empty() {
+            self.sealed.lock().push(seg);
+        }
+    }
+
+    /// Seal the live lanes (if non-empty) and hand every sealed
     /// segment to the caller; the journal forgets them — the caller
     /// (the driver's `save_state_delta`) owns persistence from here.
     pub(crate) fn cut(&self) -> Vec<String> {
-        let mut inner = self.inner.lock();
-        if !inner.live.is_empty() {
-            let full = std::mem::take(&mut inner.live);
-            inner.sealed.push(full);
-        }
-        std::mem::take(&mut inner.sealed)
+        self.roll();
+        std::mem::take(&mut *self.sealed.lock())
     }
 
     // ---- typed appends (encode side) ----
@@ -308,20 +340,19 @@ impl Journal {
             return false;
         }
         {
-            let mut inner = self.inner.lock();
-            if inner.last_tick == tick && inner.last_cand == cand {
+            let mut last = self.counters.lock();
+            if *last == (tick, cand) {
                 return false;
             }
-            inner.last_tick = tick;
-            inner.last_cand = cand;
+            *last = (tick, cand);
         }
-        self.append_payload(&format!("counters {tick} {cand}\n"));
+        self.append_payload(0, &format!("counters {tick} {cand}\n"));
         true
     }
 
     pub(crate) fn append_tenant_create(&self, space: &str) {
         if self.active() {
-            self.append_payload(&format!("tenant-create {space:?}\n"));
+            self.append_payload(0, &format!("tenant-create {space:?}\n"));
         }
     }
 
@@ -330,21 +361,29 @@ impl Journal {
             return;
         }
         match config {
-            Some(c) => self.append_payload(&format!(
-                "tenant-config {space:?}\n{}",
-                crate::state::encode_config(c)
-            )),
-            None => self.append_payload(&format!("tenant-config-clear {space:?}\n")),
+            Some(c) => self.append_payload(
+                0,
+                &format!("tenant-config {space:?}\n{}", crate::state::encode_config(c)),
+            ),
+            None => self.append_payload(0, &format!("tenant-config-clear {space:?}\n")),
         }
     }
 
     pub(crate) fn append_global_config(&self, config: &ReStoreConfig) {
         if self.active() {
-            self.append_payload(&format!("global-config\n{}", crate::state::encode_config(config)));
+            self.append_payload(
+                0,
+                &format!("global-config\n{}", crate::state::encode_config(config)),
+            );
         }
     }
 
-    pub(crate) fn append_repo_batch(&self, space: &str, ops: &[RepoOp]) {
+    /// Journal one repository batch from `shard`. The record format
+    /// carries no shard number — entries re-route by tip signature on
+    /// replay, so a journal taken under one shard count replays
+    /// correctly into any other. The shard picks the append *lane*, so
+    /// sinks of different shards append in parallel.
+    pub(crate) fn append_repo_batch(&self, space: &str, shard: usize, ops: &[RepoOp]) {
         if !self.active() {
             return;
         }
@@ -355,7 +394,7 @@ impl Journal {
                 RepoOp::Evict(id) => payload.push_str(&format!("evict {id}\n")),
             }
         }
-        self.append_payload(&payload);
+        self.append_payload(shard, &payload);
     }
 
     pub(crate) fn append_note_use(&self, space: &str, uses: &[(u64, u64, u64)]) {
@@ -366,7 +405,7 @@ impl Journal {
         for (id, count, last) in uses {
             payload.push_str(&format!("use {id} {count} {last}\n"));
         }
-        self.append_payload(&payload);
+        self.append_payload(0, &payload);
     }
 
     pub(crate) fn append_prov_batch(
@@ -385,18 +424,18 @@ impl Journal {
         for path in forgets {
             payload.push_str(&format!("forget {path:?}\n"));
         }
-        self.append_payload(&payload);
+        self.append_payload(0, &payload);
     }
 
     pub(crate) fn append_prov_replace(&self, space: &str, table: &str) {
         if self.active() {
-            self.append_payload(&format!("prov-replace {space:?}\n{table}"));
+            self.append_payload(0, &format!("prov-replace {space:?}\n{table}"));
         }
     }
 
     pub(crate) fn append_replace(&self, state: &str) {
         if self.active() {
-            self.append_payload(&format!("replace\n{state}"));
+            self.append_payload(0, &format!("replace\n{state}"));
         }
     }
 }

@@ -40,5 +40,8 @@ pub use journal::{JournalConfig, JournalStats, RecoveryReport, TornTail};
 pub use pin::PinSet;
 pub use provenance::Provenance;
 pub use rcu::Rcu;
-pub use repository::{RepoBatch, RepoEntry, RepoSnapshot, RepoStats, Repository};
+pub use repository::{
+    normalize_shards, FrozenRepo, RepoBatch, RepoEntry, RepoSnapshot, RepoStats, RepoView,
+    Repository, MAX_REPO_SHARDS,
+};
 pub use selector::SelectionPolicy;

@@ -46,7 +46,7 @@
 //! instruction critical section — the classic RCU trade: mutations pay
 //! so reads never do.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
@@ -183,6 +183,40 @@ impl<T> Rcu<T> {
     pub fn freeze<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         let _g = self.writer.lock();
         f(unsafe { &*self.ptr.load(SeqCst) })
+    }
+
+    /// Enter this cell's writer section and hold it until the guard
+    /// drops. The closure-based [`Rcu::update_then`] / [`Rcu::freeze`]
+    /// can only span *one* cell; multi-cell transactions (the sharded
+    /// repository's batches and freezes) instead collect one guard per
+    /// cell — always in a fixed order — work against each guard's
+    /// [`RcuWriter::current`] snapshot, and publish through the guards
+    /// before releasing them.
+    pub(crate) fn writer(&self) -> RcuWriter<'_, T> {
+        RcuWriter { cell: self, _guard: self.writer.lock() }
+    }
+}
+
+/// An open writer section on an [`Rcu`] cell (see [`Rcu::writer`]).
+/// While it lives, no other writer can publish to the cell and
+/// [`Rcu::freeze`] blocks; readers are unaffected.
+pub(crate) struct RcuWriter<'a, T> {
+    cell: &'a Rcu<T>,
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl<T> RcuWriter<'_, T> {
+    /// The snapshot current inside this writer section. Holding the
+    /// guard keeps the published pointer alive, so no reader protocol
+    /// is needed.
+    pub(crate) fn current(&self) -> &T {
+        unsafe { &*self.cell.ptr.load(SeqCst) }
+    }
+
+    /// Publish `next` as the cell's snapshot (grace-period reclamation
+    /// of the previous one, exactly like the closure-based paths).
+    pub(crate) fn publish(&self, next: T) {
+        self.cell.publish(Arc::new(next));
     }
 }
 

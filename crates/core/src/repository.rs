@@ -43,7 +43,7 @@
 
 use crate::matcher::{pairwise_plan_traversal, plan_tip, subsumes, PlanMatch};
 use crate::plan_text;
-use crate::rcu::Rcu;
+use crate::rcu::{Rcu, RcuWriter};
 use parking_lot::{Mutex, RwLock};
 use restore_common::{Error, Result};
 use restore_dataflow::physical::PhysicalPlan;
@@ -544,9 +544,45 @@ pub enum RepoOp {
 }
 
 /// Callback invoked inside the writer section, after a batch publishes,
-/// with the batch's structural ops. Installed by the driver when
-/// incremental snapshots are enabled.
-pub type RepoSink = Arc<dyn Fn(&[RepoOp]) + Send + Sync>;
+/// with the index of the shard that published and the batch's
+/// structural ops for that shard. Installed by the driver when
+/// incremental snapshots are enabled; with several shards the sink is
+/// called from concurrent writer sections, one per shard, so it must
+/// be thread-safe (the journal's lane design is).
+pub type RepoSink = Arc<dyn Fn(usize, &[RepoOp]) + Send + Sync>;
+
+/// Hard ceiling on the shard count: beyond this, striping buys nothing
+/// (there are not that many writer cores) and per-shard overheads
+/// dominate. Config decoding rejects larger values with a typed
+/// [`Error::Config`]; constructors clamp defensively.
+pub const MAX_REPO_SHARDS: usize = 1024;
+
+/// Normalize a configured shard count: 0 (unset/default-constructed)
+/// means 1, and anything past [`MAX_REPO_SHARDS`] is clamped to it.
+pub fn normalize_shards(n: usize) -> usize {
+    n.clamp(1, MAX_REPO_SHARDS)
+}
+
+/// The shard owning a tip signature. The Merkle hash is run through a
+/// splitmix64-style finalizer before the modulo: raw signatures of
+/// structurally similar plans can share low bits (observed in practice
+/// for whole families of blocking tips), and `%` only looks at low
+/// bits. Degenerate plans without a tip live in shard 0.
+fn shard_index(tip: Option<u64>, nshards: usize) -> usize {
+    if nshards <= 1 {
+        return 0;
+    }
+    match tip {
+        Some(t) => {
+            let mut z = t.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z % nshards as u64) as usize
+        }
+        None => 0,
+    }
+}
 
 /// The sink cell; a newtype so `Repository` keeps its derived traits
 /// (`dyn Fn` is neither `Debug` nor `Default`).
@@ -566,9 +602,14 @@ impl std::fmt::Debug for SinkCell {
 /// snapshot (see the module docs). For several mutations that must land
 /// atomically — a wave's registrations, an eviction sweep — use
 /// [`Repository::batch`], which publishes once.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Repository {
-    snap: Rcu<RepoSnapshot>,
+    /// The striped store: one independently published RCU cell per
+    /// shard, keyed by tip-signature hash (see [`shard_index`]). One
+    /// shard (the default) is exactly the pre-sharding repository;
+    /// writers into different shards never contend.
+    shards: Vec<Rcu<RepoSnapshot>>,
+    /// Globally ordered id allocation across every shard.
     next_id: AtomicU64,
     /// Journal sink for structural mutations (see [`RepoSink`]).
     sink: SinkCell,
@@ -579,6 +620,17 @@ pub struct Repository {
     track_usage: AtomicBool,
     /// Ids whose usage dirty bit was freshly set; drained per delta.
     dirty_used: Mutex<Vec<u64>>,
+    /// How many writer sections were entered (one per shard touched per
+    /// mutation; batches and freezes count every shard they lock).
+    /// Benchmarks report this next to [`Repository::publish_count`] to
+    /// attribute wall-time to write-side serialization.
+    writer_sections: AtomicU64,
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::with_shards(1)
+    }
 }
 
 impl Repository {
@@ -586,69 +638,154 @@ impl Repository {
         Repository::default()
     }
 
-    /// The current published snapshot: lock-free, immutable, and stable
-    /// for as long as the caller holds it. One snapshot per match
-    /// attempt is the intended usage.
-    pub fn snapshot(&self) -> Arc<RepoSnapshot> {
-        self.snap.load()
+    /// A repository striped into `shards` independently published
+    /// shards. 0 normalizes to 1 (today's single-shard behavior);
+    /// absurd counts clamp to [`MAX_REPO_SHARDS`] — config decoding
+    /// rejects them earlier with a typed error.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = normalize_shards(shards);
+        Repository {
+            shards: (0..n).map(|_| Rcu::default()).collect(),
+            next_id: AtomicU64::new(0),
+            sink: SinkCell::default(),
+            track_usage: AtomicBool::new(false),
+            dirty_used: Mutex::new(Vec::new()),
+            writer_sections: AtomicU64::new(0),
+        }
     }
 
-    /// Number of snapshots published so far. Hot paths documented as
-    /// write-free (matching, reuse accounting) can assert it stays put.
+    /// Number of shards the store is striped into (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current published snapshot. With one shard (the default)
+    /// this is the shard's snapshot — lock-free, zero-copy, exactly the
+    /// pre-sharding behavior. With several shards it **materializes** a
+    /// merged snapshot (entries concatenated in shard order, indexes
+    /// rebuilt): convenient for introspection, stats, and persistence,
+    /// but O(entries) per call — hot paths should use
+    /// [`Repository::view`], which is lock-free per shard and
+    /// copy-free.
+    pub fn snapshot(&self) -> Arc<RepoSnapshot> {
+        if self.shards.len() == 1 {
+            return self.shards[0].load();
+        }
+        let view = self.view();
+        let mut snap = RepoSnapshot { indexed: view.is_indexed(), ..Default::default() };
+        for s in view.shards() {
+            snap.stored_bytes += s.stored_bytes;
+            for e in &s.entries {
+                snap.by_signature.insert(e.signature, e.id);
+                snap.entries.push(e.clone());
+            }
+        }
+        snap.reindex();
+        Arc::new(snap)
+    }
+
+    /// A coherent multi-shard read view: one lock-free snapshot load
+    /// per shard, no copying. Matching, path resolution, and statistics
+    /// against a view see each shard frozen at its load; cross-shard
+    /// skew is benign for the same reason concurrent eviction is — the
+    /// match loop revalidates against fresh state after pinning.
+    pub fn view(&self) -> RepoView {
+        RepoView { shards: self.shards.iter().map(|s| s.load()).collect() }
+    }
+
+    /// Number of snapshots published so far, summed over shards. Hot
+    /// paths documented as write-free (matching, reuse accounting) can
+    /// assert it stays put.
     pub fn publish_count(&self) -> u64 {
-        self.snap.version()
+        self.shards.iter().map(|s| s.version()).sum()
+    }
+
+    /// How many writer sections were entered so far (see the field
+    /// docs); `bench_concurrent` reports the per-round delta.
+    pub fn writer_sections(&self) -> u64 {
+        self.writer_sections.load(SeqCst)
     }
 
     pub fn len(&self) -> usize {
-        self.snapshot().len()
+        self.shards.iter().map(|s| s.load().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.snapshot().is_empty()
+        self.shards.iter().all(|s| s.load().is_empty())
     }
 
-    /// Entries of the current snapshot, in match-priority order.
+    /// Entries across every shard, in shard-concatenation order (within
+    /// a shard: match-priority order).
     pub fn entries(&self) -> Vec<Arc<RepoEntry>> {
-        self.snapshot().entries.clone()
+        self.view().entries()
     }
 
-    /// O(1) lookup by id in the current snapshot.
+    /// O(1)-per-shard lookup by id.
     pub fn get(&self, id: u64) -> Option<Arc<RepoEntry>> {
-        self.snapshot().get(id).cloned()
+        self.shards.iter().find_map(|s| s.load().get(id).cloned())
     }
 
-    /// Does any entry already compute this plan?
+    /// Does any entry already compute this plan? Probes exactly the
+    /// owning shard (the plan's tip signature picks it).
     pub fn contains_plan(&self, plan: &PhysicalPlan) -> Option<u64> {
-        self.snapshot().contains_plan(plan)
+        let tip = plan_tip(plan).map(|t| plan.node_signature(t));
+        self.shards[shard_index(tip, self.shards.len())].load().contains_plan(plan)
     }
 
-    /// Total bytes of stored outputs (running counter).
+    /// Total bytes of stored outputs (running counters, summed).
     pub fn stored_bytes(&self) -> u64 {
-        self.snapshot().stored_bytes()
+        self.shards.iter().map(|s| s.load().stored_bytes()).sum()
     }
 
     /// Route matches through the fingerprint index (`true`) or the
     /// paper's sequential scan (`false`, the default). Published with
-    /// the snapshot, so in-flight readers keep the strategy they
-    /// started with.
+    /// each shard's snapshot, so in-flight readers keep the strategy
+    /// they started with.
     pub fn set_fingerprint_index(&self, indexed: bool) {
-        self.snap.update(|s| s.indexed = indexed);
+        for s in &self.shards {
+            s.update(|snap| snap.indexed = indexed);
+        }
     }
 
     /// Is the fingerprint index active?
     pub fn use_fingerprint_index(&self) -> bool {
-        self.snapshot().indexed
+        self.shards[0].load().indexed
     }
 
     /// Insert an entry, maintaining the §3 ordering rules. Deduplicates
     /// by plan signature (the later execution refreshes statistics).
+    ///
+    /// Takes only the owning shard's writer section: concurrent inserts
+    /// whose tip signatures hash to different shards proceed fully in
+    /// parallel — this is the multi-core write path the striping buys.
     pub fn insert(
         &self,
         plan: PhysicalPlan,
         output_path: impl Into<String>,
         stats: RepoStats,
     ) -> InsertOutcome {
-        self.batch(|b| b.insert(plan, output_path, stats))
+        // Reserve the id before entering the shard: allocation order is
+        // global, so replay order across shards stays well defined.
+        let id = self.next_id.fetch_add(1, SeqCst);
+        let entry = RepoEntry::new(id, plan, output_path.into(), stats);
+        let sidx = shard_index(entry.tip_signature, self.shards.len());
+        let w = self.shards[sidx].writer();
+        self.writer_sections.fetch_add(1, Relaxed);
+        let mut next = w.current().clone();
+        let (outcome, stored) = next.do_insert(entry);
+        if matches!(outcome, InsertOutcome::Inserted(_)) {
+            next.reindex();
+        } else {
+            // Roll the reservation back when we were the only claimant.
+            let _ = self.next_id.compare_exchange(id + 1, id, SeqCst, SeqCst);
+        }
+        if let Some(e) = stored {
+            w.publish(next);
+            if let Some(sink) = self.sink.0.read().clone() {
+                sink(sidx, &[RepoOp::Put(e)]);
+            }
+        }
+        outcome
     }
 
     /// Record a reuse of entry `id` at logical time `tick`. Entirely
@@ -659,7 +796,7 @@ impl Repository {
     /// uncontended mutex push amortized over the checkpoint interval;
     /// every further reuse of the entry stays lock-free.
     pub fn note_use(&self, id: u64, tick: u64) {
-        if let Some(e) = self.snapshot().get(id) {
+        if let Some(e) = self.shards.iter().find_map(|s| s.load().get(id).cloned()) {
             e.note_use(tick);
             if self.track_usage.load(Relaxed) && !e.usage.dirty.swap(true, SeqCst) {
                 self.dirty_used.lock().push(id);
@@ -690,10 +827,10 @@ impl Repository {
         if ids.is_empty() {
             return Vec::new();
         }
-        let snap = self.snapshot();
+        let view = self.view();
         ids.into_iter()
             .filter_map(|id| {
-                snap.get(id).map(|e| {
+                view.get(id).map(|e| {
                     // Clear the dirty bit *before* reading the counters:
                     // a racing reuse after the clear re-marks the entry,
                     // so its bump is never lost between deltas.
@@ -708,15 +845,30 @@ impl Repository {
     /// replay of a `note-use` record). Touches only the shared atomics;
     /// no snapshot is published.
     pub(crate) fn set_usage(&self, id: u64, count: u64, last_used: u64) {
-        if let Some(e) = self.snapshot().get(id) {
+        if let Some(e) = self.view().get(id) {
             e.usage.count.store(count, SeqCst);
             e.usage.last_used.store(last_used, SeqCst);
         }
     }
 
-    /// Remove an entry, returning it.
+    /// Remove an entry, returning it. Like [`Repository::insert`], only
+    /// the owning shard's writer section is taken: a lock-free probe
+    /// locates the shard holding the id, then the removal re-checks
+    /// under that shard's writer (the entry may have been evicted by a
+    /// racing sweep in between — ids never move across shards, so the
+    /// probe cannot go stale any other way).
     pub fn evict(&self, id: u64) -> Option<Arc<RepoEntry>> {
-        self.batch(|b| b.evict(id))
+        let sidx = self.shards.iter().position(|s| s.load().contains_id(id))?;
+        let w = self.shards[sidx].writer();
+        self.writer_sections.fetch_add(1, Relaxed);
+        let mut next = w.current().clone();
+        let e = next.do_evict(id)?;
+        next.reindex();
+        w.publish(next);
+        if let Some(sink) = self.sink.0.read().clone() {
+            sink(sidx, &[RepoOp::Evict(id)]);
+        }
+        Some(e)
     }
 
     /// Apply several mutations as one atomically published snapshot:
@@ -744,85 +896,125 @@ impl Repository {
         f: impl FnOnce(&mut RepoBatch<'_>) -> A,
         after: impl FnOnce(A) -> B,
     ) -> B {
-        self.snap.update_then(
-            |snap| {
-                let (a, dirty, ops) = {
-                    let mut b =
-                        RepoBatch { snap, next_id: &self.next_id, dirty: false, ops: Vec::new() };
-                    let a = f(&mut b);
-                    let dirty = b.dirty;
-                    let ops = b.ops;
-                    (a, dirty, ops)
-                };
-                if dirty {
-                    snap.reindex();
+        let n = self.shards.len();
+        // Every shard's writer, in ascending index order — the one lock
+        // order used by all multi-shard paths (batch, freeze, adopt),
+        // which is what makes them deadlock-free against each other and
+        // against the single-shard fast paths.
+        let writers: Vec<RcuWriter<'_, RepoSnapshot>> =
+            self.shards.iter().map(|s| s.writer()).collect();
+        self.writer_sections.fetch_add(n as u64, Relaxed);
+        let mut works: Vec<RepoSnapshot> = writers.iter().map(|w| w.current().clone()).collect();
+        let (a, dirty, ops) = {
+            let mut b = RepoBatch {
+                shards: &mut works,
+                next_id: &self.next_id,
+                dirty: vec![false; n],
+                ops: vec![Vec::new(); n],
+            };
+            let a = f(&mut b);
+            (a, b.dirty, b.ops)
+        };
+        for (i, w) in works.iter_mut().enumerate() {
+            if dirty[i] {
+                w.reindex();
+            }
+        }
+        // Publish only the shards the batch touched, in ascending
+        // order; untouched shards keep their snapshot (and version).
+        for (i, (w, next)) in writers.iter().zip(works).enumerate() {
+            if dirty[i] || !ops[i].is_empty() {
+                w.publish(next);
+            }
+        }
+        // Journal the batch *after* it published but still inside the
+        // writer sections: each shard's record lands before any later
+        // batch's on that shard, so per-shard journal order equals
+        // publish order, and a base checkpoint whose seq was read
+        // before these records were appended is guaranteed to contain
+        // the mutation (the capture's freeze waits for every writer
+        // section).
+        if let Some(sink) = self.sink.0.read().clone() {
+            for (i, o) in ops.iter().enumerate() {
+                if !o.is_empty() {
+                    sink(i, o);
                 }
-                (a, ops)
-            },
-            |(a, ops)| {
-                // Journal the batch *after* it published but still
-                // inside the writer section: the record lands before
-                // any later batch's, so journal order equals publish
-                // order, and a base checkpoint whose seq was read
-                // before this record was appended is guaranteed to
-                // contain the mutation (the capture's freeze waits for
-                // this writer section).
-                if !ops.is_empty() {
-                    if let Some(sink) = self.sink.0.read().clone() {
-                        sink(&ops);
-                    }
-                }
-                after(a)
-            },
-        )
+            }
+        }
+        after(a)
     }
 
-    /// Run `f` against the current snapshot with all mutations (inserts,
-    /// evictions, sweeps) blocked for the duration. `save_state` uses
-    /// this to capture multi-table state no sweep can interleave with;
-    /// plain readers should use [`Repository::snapshot`] instead.
-    pub fn freeze<R>(&self, f: impl FnOnce(&RepoSnapshot) -> R) -> R {
-        self.snap.freeze(f)
+    /// Run `f` against the current state with all mutations (inserts,
+    /// evictions, sweeps) blocked for the duration: every shard's
+    /// writer is taken, in ascending order, so the view handed to `f`
+    /// is a consistent cross-shard cut. `save_state` uses this to
+    /// capture multi-table state no sweep can interleave with; plain
+    /// readers should use [`Repository::view`] instead.
+    pub fn freeze<R>(&self, f: impl FnOnce(&FrozenRepo<'_>) -> R) -> R {
+        let writers: Vec<RcuWriter<'_, RepoSnapshot>> =
+            self.shards.iter().map(|s| s.writer()).collect();
+        self.writer_sections.fetch_add(writers.len() as u64, Relaxed);
+        let frozen = FrozenRepo { shards: writers.iter().map(|w| w.current()).collect() };
+        f(&frozen)
     }
 
     /// Replace this repository's contents with `other`'s (state
-    /// restore). The snapshot replacement and the id-counter adoption
-    /// happen inside one writer critical section, so a concurrent batch
-    /// can neither interleave between them (reserving restored ids
-    /// against pre-restore entries) nor land a mutation that this
-    /// replacement silently wipes.
+    /// restore), redistributing entries into **this** repository's
+    /// shard layout (relative order preserved, so a save → load →
+    /// adopt round trip through the same shard count is
+    /// byte-identical). The snapshot replacement and the id-counter
+    /// adoption happen inside one set of writer critical sections, so
+    /// a concurrent batch can neither interleave between them
+    /// (reserving restored ids against pre-restore entries) nor land a
+    /// mutation that this replacement silently wipes.
     pub fn adopt(&self, other: Repository) {
         let next = other.next_id.load(SeqCst);
-        let snap = other.snapshot();
-        self.snap.update_then(|s| *s = (*snap).clone(), |_| self.next_id.store(next, SeqCst));
+        let view = other.view();
+        let n = self.shards.len();
+        let writers: Vec<RcuWriter<'_, RepoSnapshot>> =
+            self.shards.iter().map(|s| s.writer()).collect();
+        self.writer_sections.fetch_add(n as u64, Relaxed);
+        let indexed = view.is_indexed();
+        let mut parts: Vec<Vec<Arc<RepoEntry>>> = vec![Vec::new(); n];
+        for snap in view.shards() {
+            for e in &snap.entries {
+                parts[shard_index(e.tip_signature, n)].push(e.clone());
+            }
+        }
+        for (w, part) in writers.iter().zip(parts) {
+            let mut snap = build_shard_snapshot(part);
+            snap.indexed = indexed;
+            w.publish(snap);
+        }
+        self.next_id.store(next, SeqCst);
     }
 
-    /// §3 first-match against the current snapshot. Prefer taking a
-    /// [`Repository::snapshot`] explicitly when issuing several lookups
+    /// §3 first-match against the current state. Prefer taking a
+    /// [`Repository::view`] explicitly when issuing several lookups
     /// that must agree.
     pub fn find_first_match(&self, input_plan: &PhysicalPlan) -> Option<(u64, PlanMatch)> {
-        self.snapshot().find_first_match(input_plan)
+        self.view().find_first_match(input_plan)
     }
 
-    /// See [`RepoSnapshot::find_first_match_excluding`].
+    /// See [`RepoView::find_first_match_excluding`].
     pub fn find_first_match_excluding(
         &self,
         input_plan: &PhysicalPlan,
         exclude: &HashSet<u64>,
     ) -> Option<(u64, PlanMatch)> {
-        self.snapshot().find_first_match_excluding(input_plan, exclude)
+        self.view().find_first_match_excluding(input_plan, exclude)
     }
 
     // ---- persistence ----
 
-    /// Serialize the current snapshot.
+    /// Serialize the current state (shard-concatenation order).
     pub fn save(&self) -> String {
-        self.snapshot().save()
+        self.view().save()
     }
 
     /// See [`RepoSnapshot::save_filtered`].
     pub fn save_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
-        self.snapshot().save_filtered(keep)
+        self.view().save_filtered(keep)
     }
 
     /// Reload a repository serialized by [`Repository::save`]. Ordering
@@ -841,19 +1033,25 @@ impl Repository {
         Ok(Repository::from_entries(entries, next_id))
     }
 
-    /// Build a repository from fully formed entries (ids assigned, order
-    /// final): one snapshot construction, one reindex.
+    /// Build a single-shard repository from fully formed entries (ids
+    /// assigned, order final): one snapshot construction, one reindex.
     fn from_entries(entries: Vec<Arc<RepoEntry>>, next_id: u64) -> Repository {
-        let mut snap = RepoSnapshot {
-            stored_bytes: entries.iter().map(|e| e.base.output_bytes).sum(),
-            ..Default::default()
-        };
-        for e in &entries {
-            snap.by_signature.insert(e.signature, e.id);
+        Repository::from_shard_parts(vec![entries], next_id)
+    }
+
+    /// Build a repository whose shard `i` holds exactly `parts[i]`, in
+    /// the given order.
+    fn from_shard_parts(parts: Vec<Vec<Arc<RepoEntry>>>, next_id: u64) -> Repository {
+        let shards: Vec<Rcu<RepoSnapshot>> =
+            parts.into_iter().map(|part| Rcu::new(build_shard_snapshot(part))).collect();
+        Repository {
+            shards,
+            next_id: AtomicU64::new(next_id),
+            sink: SinkCell::default(),
+            track_usage: AtomicBool::new(false),
+            dirty_used: Mutex::new(Vec::new()),
+            writer_sections: AtomicU64::new(0),
         }
-        snap.entries = entries;
-        snap.reindex();
-        Repository { snap: Rcu::new(snap), next_id: AtomicU64::new(next_id), ..Default::default() }
     }
 
     /// Bulk constructor for large synthetic repositories: inserts all
@@ -868,6 +1066,18 @@ impl Repository {
     /// §3 "subsuming plans first" guarantee. Duplicate plan signatures
     /// keep the first occurrence.
     pub fn bulk_load(items: Vec<(PhysicalPlan, String, RepoStats)>) -> Repository {
+        Repository::bulk_load_with_shards(items, 1)
+    }
+
+    /// [`Repository::bulk_load`] into a striped repository: the same
+    /// global dedup and rule-2 ordering, then entries are partitioned
+    /// by tip-signature hash (order preserved within each shard) and
+    /// each shard's snapshot is built once.
+    pub fn bulk_load_with_shards(
+        items: Vec<(PhysicalPlan, String, RepoStats)>,
+        shards: usize,
+    ) -> Repository {
+        let n = normalize_shards(shards);
         let mut entries: Vec<Arc<RepoEntry>> = Vec::with_capacity(items.len());
         let mut seen = HashSet::with_capacity(items.len());
         for (i, (plan, path, stats)) in items.into_iter().enumerate() {
@@ -889,21 +1099,285 @@ impl Repository {
             let kb = (b.base.reduction_ratio(), b.base.job_time_s);
             kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
         });
-        Repository::from_entries(entries, next_id)
+        let mut parts: Vec<Vec<Arc<RepoEntry>>> = vec![Vec::new(); n];
+        for e in entries {
+            parts[shard_index(e.tip_signature, n)].push(e);
+        }
+        Repository::from_shard_parts(parts, next_id)
     }
 }
 
-/// Mutation scope over one pending snapshot; every change lands in a
-/// single publish when the [`Repository::batch`] closure returns, and
-/// the position-dependent indexes are rebuilt once at that point.
+/// Snapshot over fully formed, final-order entries: by-signature map,
+/// running byte total, position indexes — built once.
+fn build_shard_snapshot(entries: Vec<Arc<RepoEntry>>) -> RepoSnapshot {
+    let mut snap = RepoSnapshot {
+        stored_bytes: entries.iter().map(|e| e.base.output_bytes).sum(),
+        ..Default::default()
+    };
+    for e in &entries {
+        snap.by_signature.insert(e.signature, e.id);
+    }
+    snap.entries = entries;
+    snap.reindex();
+    snap
+}
+
+/// §3 winner among per-shard first matches: a candidate that subsumes
+/// another (and not vice versa) wins outright (rule 1); among
+/// incomparables, the higher (reduction ratio, job time) score wins
+/// (rule 2); ties break to the lower id, which is deterministic and —
+/// ids being allocation-ordered — favors the earlier registration,
+/// like single-shard insertion does for equal scores. A linear pass
+/// with explicit pairwise comparison, never a comparator sort:
+/// subsumption is not a total order.
+fn shard_winner(cands: Vec<(u64, PlanMatch, Arc<RepoEntry>)>) -> Option<(u64, PlanMatch)> {
+    let mut best: Option<(u64, PlanMatch, Arc<RepoEntry>)> = None;
+    for c in cands {
+        best = Some(match best {
+            None => c,
+            Some(b) => {
+                let c_sub_b = subsumes(&c.2.plan, &b.2.plan);
+                let b_sub_c = subsumes(&b.2.plan, &c.2.plan);
+                let c_wins = if c_sub_b != b_sub_c {
+                    c_sub_b
+                } else {
+                    let sc = (c.2.base.reduction_ratio(), c.2.base.job_time_s);
+                    let sb = (b.2.base.reduction_ratio(), b.2.base.job_time_s);
+                    match sc.partial_cmp(&sb) {
+                        Some(std::cmp::Ordering::Greater) => true,
+                        Some(std::cmp::Ordering::Less) => false,
+                        _ => c.0 < b.0,
+                    }
+                };
+                if c_wins {
+                    c
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.map(|(id, m, _)| (id, m))
+}
+
+/// A coherent lock-free read view over every shard (see
+/// [`Repository::view`]). Mirrors [`RepoSnapshot`]'s read surface;
+/// with one shard every method delegates to the shard's snapshot, so
+/// results are exactly the single-shard repository's.
+#[derive(Debug, Clone)]
+pub struct RepoView {
+    shards: Vec<Arc<RepoSnapshot>>,
+}
+
+impl RepoView {
+    /// The per-shard snapshots, in shard order.
+    pub fn shards(&self) -> &[Arc<RepoSnapshot>] {
+        &self.shards
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Entries across every shard, shard-concatenation order.
+    pub fn entries(&self) -> Vec<Arc<RepoEntry>> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            out.extend(s.entries.iter().cloned());
+        }
+        out
+    }
+
+    /// Lookup by id (O(1) within each shard).
+    pub fn get(&self, id: u64) -> Option<&Arc<RepoEntry>> {
+        self.shards.iter().find_map(|s| s.get(id))
+    }
+
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.shards.iter().any(|s| s.contains_id(id))
+    }
+
+    /// Does any entry already compute this plan? Probes exactly the
+    /// owning shard.
+    pub fn contains_plan(&self, plan: &PhysicalPlan) -> Option<u64> {
+        let tip = plan_tip(plan).map(|t| plan.node_signature(t));
+        self.shards[shard_index(tip, self.shards.len())].contains_plan(plan)
+    }
+
+    pub fn stored_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.stored_bytes()).sum()
+    }
+
+    pub fn is_indexed(&self) -> bool {
+        self.shards[0].indexed
+    }
+
+    /// §3 first match across every shard; see
+    /// [`RepoView::find_first_match_excluding`].
+    pub fn find_first_match(&self, input_plan: &PhysicalPlan) -> Option<(u64, PlanMatch)> {
+        self.find_first_match_excluding(input_plan, &HashSet::new())
+    }
+
+    /// §3 first match: each shard contributes its own first verifying
+    /// entry (in that shard's match-priority order), then the winner is
+    /// picked by the ordering rules themselves (see [`shard_winner`]).
+    /// With one shard this is byte-identical to
+    /// [`RepoSnapshot::find_first_match_excluding`].
+    pub fn find_first_match_excluding(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        if self.is_indexed() {
+            self.find_first_match_indexed(input_plan, exclude)
+        } else {
+            self.find_first_match_scan(input_plan, exclude)
+        }
+    }
+
+    /// Sequential-scan strategy over the view (per-shard scan, then
+    /// winner pick).
+    pub fn find_first_match_scan(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].find_first_match_scan(input_plan, exclude);
+        }
+        let mut cands = Vec::new();
+        for s in &self.shards {
+            if let Some((id, m)) = s.find_first_match_scan(input_plan, exclude) {
+                cands.push((id, m, s.get(id).expect("matched entry").clone()));
+            }
+        }
+        shard_winner(cands)
+    }
+
+    /// Fingerprint-index strategy over the view. Each candidate lookup
+    /// probes **exactly one shard**: the tip signature of the query
+    /// node picks the shard that could own matching entries, so the
+    /// other shards' indexes are never touched.
+    pub fn find_first_match_indexed(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+    ) -> Option<(u64, PlanMatch)> {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].find_first_match_indexed(input_plan, exclude);
+        }
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for id in input_plan.ids() {
+            let sig = input_plan.node_signature(id);
+            let s = shard_index(Some(sig), n);
+            if let Some(positions) = self.shards[s].tip_index.get(&sig) {
+                per_shard[s].extend_from_slice(positions);
+            }
+        }
+        let mut cands = Vec::new();
+        for (s, mut positions) in per_shard.into_iter().enumerate() {
+            positions.sort_unstable();
+            positions.dedup();
+            for pos in positions {
+                let e = &self.shards[s].entries[pos];
+                if exclude.contains(&e.id) {
+                    continue;
+                }
+                if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
+                    cands.push((e.id, m, e.clone()));
+                    break;
+                }
+            }
+        }
+        shard_winner(cands)
+    }
+
+    /// Serialize the view (shard-concatenation order; loading a text
+    /// saved this way back through [`Repository::load`] +
+    /// [`Repository::adopt`] into the same shard count re-saves
+    /// byte-identically).
+    pub fn save(&self) -> String {
+        self.save_filtered(|_| true)
+    }
+
+    /// See [`RepoSnapshot::save_filtered`].
+    pub fn save_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
+        let mut out = String::new();
+        for s in &self.shards {
+            for e in &s.entries {
+                if !keep(&e.output_path) {
+                    continue;
+                }
+                encode_entry_into(&mut out, e);
+            }
+        }
+        out
+    }
+}
+
+/// A consistent cross-shard cut with every shard's writer held (see
+/// [`Repository::freeze`]): no mutation can publish anywhere in the
+/// repository while it exists.
+pub struct FrozenRepo<'a> {
+    shards: Vec<&'a RepoSnapshot>,
+}
+
+impl FrozenRepo<'_> {
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Entries across every shard, shard-concatenation order.
+    pub fn entries(&self) -> impl Iterator<Item = &Arc<RepoEntry>> {
+        self.shards.iter().flat_map(|s| s.entries.iter())
+    }
+
+    /// Serialize the frozen cut (shard-concatenation order).
+    pub fn save(&self) -> String {
+        self.save_filtered(|_| true)
+    }
+
+    /// See [`RepoSnapshot::save_filtered`].
+    pub fn save_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
+        let mut out = String::new();
+        for s in &self.shards {
+            for e in &s.entries {
+                if !keep(&e.output_path) {
+                    continue;
+                }
+                encode_entry_into(&mut out, e);
+            }
+        }
+        out
+    }
+}
+
+/// Mutation scope over the pending working copy of **every** shard
+/// (the batch holds all shard writers, in ascending order); each
+/// touched shard lands in a single publish when the
+/// [`Repository::batch`] closure returns, and its position-dependent
+/// indexes are rebuilt once at that point. Ops route to shards exactly
+/// like the single-op fast paths, so a batch of one insert and a bare
+/// [`Repository::insert`] leave identical state.
 pub struct RepoBatch<'a> {
-    snap: &'a mut RepoSnapshot,
+    /// Working copies, one per shard.
+    shards: &'a mut [RepoSnapshot],
     next_id: &'a AtomicU64,
-    /// A structural mutation happened: reindex before publishing.
-    dirty: bool,
-    /// Structural ops in application order, handed to the journal sink
-    /// at publish time.
-    ops: Vec<RepoOp>,
+    /// Per shard: a structural mutation happened — reindex before
+    /// publishing.
+    dirty: Vec<bool>,
+    /// Per shard: structural ops in application order, handed to the
+    /// journal sink at publish time.
+    ops: Vec<Vec<RepoOp>>,
 }
 
 impl RepoBatch<'_> {
@@ -917,16 +1391,17 @@ impl RepoBatch<'_> {
         // Reserve the id optimistically; duplicates leave a gap in the
         // id space, which nothing depends on.
         let id = self.next_id.fetch_add(1, SeqCst);
-        let (outcome, stored) =
-            self.snap.do_insert(RepoEntry::new(id, plan, output_path.into(), stats));
+        let entry = RepoEntry::new(id, plan, output_path.into(), stats);
+        let s = shard_index(entry.tip_signature, self.shards.len());
+        let (outcome, stored) = self.shards[s].do_insert(entry);
         if matches!(outcome, InsertOutcome::Inserted(_)) {
-            self.dirty = true;
+            self.dirty[s] = true;
         } else {
             // Roll the reservation back when we were the only claimant.
             let _ = self.next_id.compare_exchange(id + 1, id, SeqCst, SeqCst);
         }
         if let Some(e) = stored {
-            self.ops.push(RepoOp::Put(e));
+            self.ops[s].push(RepoOp::Put(e));
         }
         outcome
     }
@@ -934,10 +1409,11 @@ impl RepoBatch<'_> {
     /// Journal replay: (re)store an entry under an **explicit id**,
     /// reproducing exactly what the journaled batch did. An existing
     /// entry with the id is replaced in place (the refresh path); a
-    /// fresh id inserts at the §3/§5 position, like the original
-    /// insertion. Idempotent — applying a record over a base checkpoint
-    /// that already contains its effects is a no-op in the serialized
-    /// state.
+    /// fresh id inserts at the §3/§5 position of the shard the plan's
+    /// tip signature owns, like the original insertion — so records
+    /// written under any shard count replay correctly into any other.
+    /// Idempotent — applying a record over a base checkpoint that
+    /// already contains its effects is a no-op in the serialized state.
     pub(crate) fn put(
         &mut self,
         id: u64,
@@ -947,25 +1423,34 @@ impl RepoBatch<'_> {
     ) {
         self.next_id.fetch_max(id + 1, SeqCst);
         let entry = RepoEntry::new(id, plan, output_path, stats);
-        let existing = self
-            .snap
-            .entries
-            .iter()
-            .position(|e| e.id == id)
+        let target = shard_index(entry.tip_signature, self.shards.len());
+        // Locate the id anywhere (mid-batch positions may be stale, so
+        // scan the entry lists, not the maps). An entry's shard never
+        // changes in practice — its tip signature is derived from its
+        // plan — but a divergent record must not leave a duplicate id
+        // behind, so a hit in the wrong shard is dropped there first.
+        let existing = (0..self.shards.len())
+            .find_map(|s| {
+                self.shards[s].entries.iter().position(|e| e.id == id).map(|pos| (s, pos))
+            })
             // A same-signature entry under another id means the live
-            // session refreshed that entry; mirror it defensively.
+            // session refreshed that entry; mirror it defensively (same
+            // signature implies same tip, hence the target shard).
             .or_else(|| {
-                self.snap
-                    .by_signature
-                    .get(&entry.signature)
-                    .and_then(|dup| self.snap.entries.iter().position(|e| e.id == *dup))
+                self.shards[target].by_signature.get(&entry.signature).copied().and_then(|dup| {
+                    self.shards[target]
+                        .entries
+                        .iter()
+                        .position(|e| e.id == dup)
+                        .map(|pos| (target, pos))
+                })
             });
         match existing {
-            Some(pos) => {
-                let old = self.snap.entries[pos].clone();
-                self.snap.by_signature.remove(&old.signature);
-                self.snap.stored_bytes =
-                    self.snap.stored_bytes - old.base.output_bytes + entry.base.output_bytes;
+            Some((s, pos)) if s == target => {
+                let sh = &mut self.shards[s];
+                let old = sh.entries[pos].clone();
+                sh.by_signature.remove(&old.signature);
+                sh.stored_bytes = sh.stored_bytes - old.base.output_bytes + entry.base.output_bytes;
                 let replacement = RepoEntry {
                     id: old.id,
                     plan: entry.plan,
@@ -979,40 +1464,53 @@ impl RepoBatch<'_> {
                         dirty: AtomicBool::new(false),
                     }),
                 };
-                self.snap.by_signature.insert(replacement.signature, replacement.id);
+                sh.by_signature.insert(replacement.signature, replacement.id);
                 let arc = Arc::new(replacement);
-                self.snap.entries[pos] = arc.clone();
-                self.ops.push(RepoOp::Put(arc));
+                sh.entries[pos] = arc.clone();
+                self.ops[s].push(RepoOp::Put(arc));
+                self.dirty[s] = true;
             }
-            None => {
-                let pos = self.snap.insert_position(&entry);
-                self.snap.by_signature.insert(entry.signature, entry.id);
-                self.snap.stored_bytes += entry.base.output_bytes;
+            other => {
+                if let Some((s, pos)) = other {
+                    // Divergent record: the stored plan routes to a
+                    // different shard than the stale entry's — drop the
+                    // stale one where it sits.
+                    let sh = &mut self.shards[s];
+                    let old = sh.entries.remove(pos);
+                    sh.by_signature.remove(&old.signature);
+                    sh.stored_bytes -= old.base.output_bytes;
+                    self.dirty[s] = true;
+                }
+                let sh = &mut self.shards[target];
+                let pos = sh.insert_position(&entry);
+                sh.by_signature.insert(entry.signature, entry.id);
+                sh.stored_bytes += entry.base.output_bytes;
                 let arc = Arc::new(entry);
-                self.snap.entries.insert(pos, arc.clone());
-                self.ops.push(RepoOp::Put(arc));
+                sh.entries.insert(pos, arc.clone());
+                self.ops[target].push(RepoOp::Put(arc));
+                self.dirty[target] = true;
             }
         }
-        self.dirty = true;
     }
 
     /// Remove an entry, returning it (see [`Repository::evict`]).
     pub fn evict(&mut self, id: u64) -> Option<Arc<RepoEntry>> {
-        let e = self.snap.do_evict(id);
-        if e.is_some() {
-            self.dirty = true;
-            self.ops.push(RepoOp::Evict(id));
-        }
-        e
+        let s =
+            (0..self.shards.len()).find(|&i| self.shards[i].entries.iter().any(|e| e.id == id))?;
+        let e = self.shards[s].do_evict(id)?;
+        self.dirty[s] = true;
+        self.ops[s].push(RepoOp::Evict(id));
+        Some(e)
     }
 
-    /// The batch's pending view (prior mutations of this batch
-    /// visible). Mid-batch, `entries()`, `contains_plan`, and
-    /// `stored_bytes` are current, but the position-dependent lookups
-    /// (`get`, `contains_id`, the match strategies) may lag behind this
-    /// batch's own structural changes — they are rebuilt at publish.
-    pub fn pending(&self) -> &RepoSnapshot {
-        self.snap
+    /// Every entry of the batch's pending working copies (prior
+    /// mutations of this batch visible), shard by shard. Mid-batch the
+    /// entry lists and byte totals are current, but the
+    /// position-dependent lookups (`get`, `contains_id`, the match
+    /// strategies) may lag behind this batch's own structural changes —
+    /// they are rebuilt at publish.
+    pub fn pending_entries(&self) -> impl Iterator<Item = &Arc<RepoEntry>> {
+        self.shards.iter().flat_map(|s| s.entries.iter())
     }
 }
 
@@ -1306,5 +1804,180 @@ mod tests {
         assert_eq!(repo.stored_bytes(), 42);
         repo.evict(b);
         assert_eq!(repo.stored_bytes(), 30);
+    }
+
+    #[test]
+    fn shard_count_normalizes_and_caps() {
+        assert_eq!(Repository::with_shards(0).shard_count(), 1);
+        assert_eq!(Repository::with_shards(1).shard_count(), 1);
+        assert_eq!(Repository::with_shards(8).shard_count(), 8);
+        assert_eq!(Repository::with_shards(usize::MAX).shard_count(), MAX_REPO_SHARDS);
+        assert_eq!(normalize_shards(0), 1);
+        assert_eq!(normalize_shards(4), 4);
+        assert_eq!(normalize_shards(MAX_REPO_SHARDS + 1), MAX_REPO_SHARDS);
+    }
+
+    #[test]
+    fn sharded_insert_routes_deterministically_and_dedups() {
+        let repo = Repository::with_shards(4);
+        for i in 0..16 {
+            repo.insert(
+                load_project(&format!("/p{i}"), vec![0]),
+                format!("/r/{i}"),
+                stats(100, 10, 1.0),
+            );
+        }
+        assert_eq!(repo.len(), 16);
+        // A duplicate plan routes to the same shard and refreshes there.
+        let out = repo.insert(load_project("/p3", vec![0]), "/r/dup", stats(100, 20, 2.0));
+        assert!(matches!(out, InsertOutcome::Duplicate(_)));
+        assert_eq!(repo.len(), 16);
+        // Every entry is found and evictable through the routed paths.
+        let view = repo.view();
+        for e in view.entries() {
+            assert!(repo.get(e.id).is_some());
+            assert_eq!(view.contains_plan(&e.plan), Some(e.id));
+        }
+        // Shards partition the entries: ids are globally unique.
+        let ids: HashSet<u64> = view.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn sharded_matching_agrees_with_single_shard() {
+        let single = Repository::new();
+        let sharded = Repository::with_shards(8);
+        for (i, cols) in [vec![0], vec![1], vec![0, 2], vec![2]].into_iter().enumerate() {
+            let s = stats(100 + i as u64, 10, i as f64);
+            single.insert(load_project("/pv", cols.clone()), format!("/r/{i}"), s.clone());
+            sharded.insert(load_project("/pv", cols), format!("/r/{i}"), s);
+        }
+        // Subsumption family too: the Q1 plan subsumes the /pv project.
+        single.insert(q1_plan(), "/r/q1", stats(200, 20, 30.0));
+        sharded.insert(q1_plan(), "/r/q1", stats(200, 20, 30.0));
+        for q in [q1_plan(), load_project("/pv", vec![0]), load_project("/nowhere", vec![9])] {
+            let a = single
+                .find_first_match(&q)
+                .map(|(id, m)| (single.get(id).unwrap().output_path.clone(), m.tip));
+            let b = sharded
+                .find_first_match(&q)
+                .map(|(id, m)| (sharded.get(id).unwrap().output_path.clone(), m.tip));
+            assert_eq!(a, b);
+        }
+        // Scan and indexed strategies agree on the sharded view.
+        let view = sharded.view();
+        let none = HashSet::new();
+        let q = q1_plan();
+        assert_eq!(
+            view.find_first_match_scan(&q, &none).map(|(id, m)| (id, m.tip)),
+            view.find_first_match_indexed(&q, &none).map(|(id, m)| (id, m.tip)),
+        );
+    }
+
+    #[test]
+    fn sharded_save_load_adopt_round_trips_byte_identically() {
+        let repo = Repository::with_shards(8);
+        for i in 0..12 {
+            repo.insert(
+                load_project(&format!("/p{i}"), vec![0]),
+                format!("/r/{i}"),
+                stats(100 + i, 10, i as f64),
+            );
+        }
+        let text = repo.save();
+        // Reload through the state-restore path: parse into a
+        // single-shard repository, adopt into the same shard count.
+        let fresh = Repository::with_shards(8);
+        fresh.adopt(Repository::load(&text).unwrap());
+        assert_eq!(fresh.save(), text, "same shard count round-trips byte-identically");
+        assert_eq!(fresh.len(), repo.len());
+        // A later insert continues the id sequence.
+        let InsertOutcome::Inserted(next) =
+            fresh.insert(load_project("/new", vec![0]), "/r/new", stats(1, 1, 1.0))
+        else {
+            panic!()
+        };
+        assert_eq!(next, 12);
+    }
+
+    #[test]
+    fn sharded_batch_and_fast_paths_leave_identical_state() {
+        let a = Repository::with_shards(4);
+        let b = Repository::with_shards(4);
+        for i in 0..6 {
+            let plan = load_project(&format!("/p{i}"), vec![0]);
+            let s = stats(100 + i, 10, i as f64);
+            a.insert(plan.clone(), format!("/r/{i}"), s.clone());
+            b.batch(|batch| batch.insert(plan, format!("/r/{i}"), s));
+        }
+        a.evict(2);
+        b.batch(|batch| {
+            batch.evict(2);
+        });
+        assert_eq!(a.save(), b.save());
+    }
+
+    #[test]
+    fn bulk_load_with_shards_partitions_the_rule2_order() {
+        let items: Vec<(PhysicalPlan, String, RepoStats)> = (0..20)
+            .map(|i| {
+                (
+                    load_project(&format!("/p{i}"), vec![0]),
+                    format!("/r/{i}"),
+                    stats(100 + i, 10, 1.0),
+                )
+            })
+            .collect();
+        let single = Repository::bulk_load(items.clone());
+        let sharded = Repository::bulk_load_with_shards(items, 8);
+        assert_eq!(sharded.shard_count(), 8);
+        assert_eq!(sharded.len(), single.len());
+        // Within each shard, relative order follows the global rule-2
+        // order (a subsequence of the single-shard order).
+        let global: Vec<u64> = single.entries().iter().map(|e| e.id).collect();
+        for shard in sharded.view().shards() {
+            let mut cursor = 0usize;
+            for e in shard.entries() {
+                let at = global[cursor..].iter().position(|&g| g == e.id).expect("subsequence");
+                cursor += at + 1;
+            }
+        }
+        // And matching agrees.
+        let q = load_project("/p7", vec![0]);
+        let a =
+            single.find_first_match(&q).map(|(id, _)| single.get(id).unwrap().output_path.clone());
+        let b = sharded
+            .find_first_match(&q)
+            .map(|(id, _)| sharded.get(id).unwrap().output_path.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_freeze_is_a_consistent_cut() {
+        let repo = Repository::with_shards(4);
+        for i in 0..8 {
+            repo.insert(
+                load_project(&format!("/p{i}"), vec![0]),
+                format!("/r/{i}"),
+                stats(100, 10, 1.0),
+            );
+        }
+        let text = repo.freeze(|frozen| {
+            assert_eq!(frozen.len(), 8);
+            frozen.save()
+        });
+        assert_eq!(text, repo.save());
+    }
+
+    #[test]
+    fn writer_sections_count_shard_acquisitions() {
+        let repo = Repository::with_shards(4);
+        let base = repo.writer_sections();
+        repo.insert(load_project("/a", vec![0]), "/r/a", stats(1, 1, 1.0));
+        assert_eq!(repo.writer_sections(), base + 1, "fast path takes one shard");
+        repo.batch(|b| {
+            b.insert(load_project("/b", vec![0]), "/r/b", stats(1, 1, 1.0));
+        });
+        assert_eq!(repo.writer_sections(), base + 5, "a batch takes every shard");
     }
 }

@@ -97,7 +97,7 @@ pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
         "reuse_enabled {}\nheuristic {}\nrepo_prefix {:?}\ndelete_tmp {}\n\
          register_final_outputs {}\nwave_parallel {}\nstore_all {}\n\
          require_size_reduction {}\nrequire_time_benefit {}\nreload_read_bps {}\n\
-         eviction_window {}\ncheck_input_versions {}\n",
+         eviction_window {}\ncheck_input_versions {}\nrepo_shards {}\n",
         c.reuse_enabled,
         heuristic_name(c.heuristic),
         c.repo_prefix,
@@ -110,6 +110,7 @@ pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
         c.selection.reload_read_bps,
         window,
         c.selection.check_input_versions,
+        c.repo_shards,
     )
 }
 
@@ -151,6 +152,18 @@ pub(crate) fn decode_config(lines: &[&str], base: usize) -> Result<ReStoreConfig
                 }
             }
             "check_input_versions" => c.selection.check_input_versions = parse_bool(value)?,
+            "repo_shards" => {
+                // 0 (an "unset" default) normalizes to 1; an absurd
+                // count is a typed config error, not a parse error.
+                let n: usize = value.parse().map_err(|_| bad())?;
+                if n > crate::repository::MAX_REPO_SHARDS {
+                    return Err(Error::Config(format!(
+                        "repo_shards {n} exceeds the maximum of {}",
+                        crate::repository::MAX_REPO_SHARDS
+                    )));
+                }
+                c.repo_shards = crate::repository::normalize_shards(n);
+            }
             _ => return Err(err_at(at, format!("unknown config key {key:?}"))),
         }
     }
@@ -326,6 +339,7 @@ mod tests {
             delete_tmp: true,
             register_final_outputs: false,
             wave_parallel: false,
+            repo_shards: 8,
         };
         let text = encode_config(&config);
         let lines: Vec<&str> = text.lines().collect();
@@ -340,6 +354,39 @@ mod tests {
         let text = encode_config(&ReStoreConfig::default());
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(decode_config(&lines, 0).unwrap(), ReStoreConfig::default());
+    }
+
+    #[test]
+    fn repo_shards_zero_normalizes_to_one() {
+        // 0 is "unset", not "no shards": it decodes as the classic
+        // single-shard repository.
+        let back = decode_config(&["repo_shards 0"], 0).unwrap();
+        assert_eq!(back.repo_shards, 1);
+    }
+
+    #[test]
+    fn absurd_repo_shards_is_a_typed_config_error() {
+        let over = crate::repository::MAX_REPO_SHARDS + 1;
+        let line = format!("repo_shards {over}");
+        match decode_config(&[&line], 0).unwrap_err() {
+            Error::Config(msg) => {
+                assert!(msg.contains(&over.to_string()), "{msg}");
+                assert!(msg.contains(&crate::repository::MAX_REPO_SHARDS.to_string()), "{msg}");
+            }
+            other => panic!("expected Error::Config, got {other:?}"),
+        }
+        // A merely *large* (but sane) count still decodes.
+        let line = format!("repo_shards {}", crate::repository::MAX_REPO_SHARDS);
+        let back = decode_config(&[&line], 0).unwrap();
+        assert_eq!(back.repo_shards, crate::repository::MAX_REPO_SHARDS);
+        // And an unparseable value is still a positioned parse error.
+        match decode_config(&["repo_shards many"], 0).unwrap_err() {
+            Error::State { line, msg } => {
+                assert_eq!(line, 1);
+                assert!(msg.contains("repo_shards"), "{msg}");
+            }
+            other => panic!("expected Error::State, got {other:?}"),
+        }
     }
 
     #[test]

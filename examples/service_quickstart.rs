@@ -9,6 +9,9 @@
 //! ```sh
 //! cargo run --example service_quickstart
 //! ```
+//!
+//! `RESTORE_REPO_SHARDS=8` stripes every tenant's repository 8 ways
+//! (the sharded write path); output is identical either way.
 
 use restore_suite::core::{ReStore, ReStoreConfig};
 use restore_suite::dfs::{Dfs, DfsConfig};
@@ -28,8 +31,11 @@ fn main() {
     );
 
     // 2. The service: bounded queue, 4 workers, cross-workflow overlap.
+    //    RESTORE_REPO_SHARDS stripes the repository write path.
+    let repo_shards =
+        std::env::var("RESTORE_REPO_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
     let service = RestoreService::new(
-        ReStore::new(engine, ReStoreConfig::default()),
+        ReStore::new(engine, ReStoreConfig { repo_shards, ..Default::default() }),
         ServiceConfig { workers: 4, queue_depth: 32, ..Default::default() },
     );
 
