@@ -100,6 +100,45 @@ impl<'a> WriteCounterProbe<'a> {
     }
 }
 
+/// `(family, labels, count, raw-ns sum)` for every pipeline stage and
+/// match sub-stage series the session has recorded.
+fn stage_rows(rs: &ReStore) -> Vec<(String, String, u64, u64)> {
+    let mut rows = Vec::new();
+    for family in ["restore_stage_seconds", "restore_match_stage_seconds"] {
+        for (labels, count, sum_ns) in rs.registry().histogram_stats(family) {
+            rows.push((family.to_string(), labels, count, sum_ns));
+        }
+    }
+    rows
+}
+
+/// Prints per-stage telemetry as a **delta against `baseline`** (taken
+/// after the cold warm-up round), heaviest first: observation count,
+/// total time, and mean per observation. The delta isolates the
+/// measured rounds — without it the cold round's real MR executions
+/// would swamp the warm-regime numbers. This is the read path the
+/// warm-round cost analysis in DESIGN.md comes from.
+fn report_stages(rs: &ReStore, baseline: &[(String, String, u64, u64)], label: &str) {
+    let mut rows = stage_rows(rs);
+    for row in &mut rows {
+        if let Some(b) = baseline.iter().find(|b| b.0 == row.0 && b.1 == row.1) {
+            row.2 -= b.2;
+            row.3 -= b.3;
+        }
+    }
+    rows.sort_by_key(|row| std::cmp::Reverse(row.3));
+    for (family, labels, count, sum_ns) in rows {
+        if count == 0 {
+            continue;
+        }
+        println!(
+            "{label:<48} {family}{labels} count={count} total_ms={:.2} mean_us={:.1}",
+            sum_ns as f64 / 1e6,
+            sum_ns as f64 / count as f64 / 1e3,
+        );
+    }
+}
+
 fn bench_warm_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("concurrent_warm");
     group.sample_size(10);
@@ -108,6 +147,7 @@ fn bench_warm_serving(c: &mut Criterion) {
         // repository so measured rounds are pure repository serving.
         let rs = shared_session();
         submit_round(&rs, threads, 0);
+        let baseline = stage_rows(&rs);
         let round = AtomicU64::new(1);
         let probe = WriteCounterProbe::new(&rs);
         group.throughput(Throughput::Elements((threads * 3) as u64));
@@ -117,6 +157,7 @@ fn bench_warm_serving(c: &mut Criterion) {
             });
         });
         probe.report(&format!("concurrent_warm/threads/{threads}"));
+        report_stages(&rs, &baseline, &format!("concurrent_warm/threads/{threads}"));
     }
     group.finish();
 }
@@ -132,6 +173,7 @@ fn bench_mixed_workload(c: &mut Criterion) {
         cfg.register_final_outputs = false;
         rs.set_config(cfg);
         submit_round(&rs, threads, 0);
+        let baseline = stage_rows(&rs);
         let round = AtomicU64::new(1);
         let probe = WriteCounterProbe::new(&rs);
         group.throughput(Throughput::Elements((threads * 3) as u64));
@@ -141,6 +183,7 @@ fn bench_mixed_workload(c: &mut Criterion) {
             });
         });
         probe.report(&format!("concurrent_mixed/threads/{threads}"));
+        report_stages(&rs, &baseline, &format!("concurrent_mixed/threads/{threads}"));
     }
     group.finish();
 }

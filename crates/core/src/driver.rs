@@ -45,10 +45,11 @@
 
 use crate::enumerator::{inject_subjob_stores, Candidate, Heuristic};
 use crate::journal::{self, Journal, JournalConfig, JournalStats, Record, RecoveryReport};
+use crate::obs::{Obs, ReuseDecision, ReuseTraceEvent, SpaceMetrics};
 use crate::pin::PinSet;
 use crate::provenance::Provenance;
 use crate::rcu::Rcu;
-use crate::repository::{RepoBatch, RepoOp, RepoSnapshot, RepoStats, Repository};
+use crate::repository::{MatchProbe, RepoBatch, RepoOp, RepoSnapshot, RepoStats, Repository};
 use crate::rewriter::{apply_aliases, identity_copy, rewrite};
 use crate::selector::SelectionPolicy;
 use parking_lot::RwLock;
@@ -58,9 +59,11 @@ use restore_dataflow::mr_compiler::{CompiledWorkflow, WorkflowIoPaths};
 use restore_dataflow::physical::PhysicalPlan;
 use restore_dfs::Dfs;
 use restore_mapreduce::{Engine, JobResult, JobSpec};
+use restore_telemetry::Registry;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// ReStore configuration.
 ///
@@ -151,7 +154,7 @@ pub struct RewriteEvent {
 }
 
 /// Result of executing one workflow through ReStore.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QueryExecution {
     /// Modeled completion time per Equation (1), seconds.
     pub total_s: f64,
@@ -168,6 +171,9 @@ pub struct QueryExecution {
     pub final_output: String,
     /// Candidate sub-jobs registered in the repository.
     pub candidates_stored: usize,
+    /// The driver tick this execution ran under — the key into the
+    /// reuse-decision trace (see [`ReStore::trace_for`]).
+    pub tick: u64,
 }
 
 /// Summary of the repository and reuse activity (see [`ReStore::stats`]).
@@ -228,6 +234,9 @@ pub struct ReStore {
     /// The snapshot journal behind incremental checkpoints (see
     /// [`crate::journal`]); disabled until [`ReStore::enable_journal`].
     journal: Arc<Journal>,
+    /// Session observability: the metric registry, per-stage span
+    /// histograms, and the reuse-decision trace ring (see [`crate::obs`]).
+    obs: Obs,
 }
 
 /// One isolated repository namespace: the §2.2 repository, its
@@ -248,13 +257,22 @@ pub(crate) struct Space {
     /// read on the execution path is lock-free like every other shared
     /// map in the session.
     pub(crate) config: Rcu<Option<ReStoreConfig>>,
+    /// Per-namespace match metrics (hits/misses/latency/shard wins).
+    /// Registered against the session registry for namespaces the
+    /// driver creates; the detached placeholder `space_snapshot` hands
+    /// out for unknown tenants records into the void.
+    pub(crate) metrics: SpaceMetrics,
 }
 
 impl Space {
     /// A fresh namespace with its repository striped into `shards`
-    /// (normalized — 0 behaves like 1, absurd counts are capped).
-    fn with_shards(shards: usize) -> Self {
-        Space { repo: Repository::with_shards(shards), ..Default::default() }
+    /// (normalized — 0 behaves like 1, absurd counts are capped) and
+    /// its match metrics registered under `tenant` in the session
+    /// registry.
+    fn with_shards_registered(shards: usize, registry: &Registry, tenant: &str) -> Self {
+        let repo = Repository::with_shards(shards);
+        let metrics = SpaceMetrics::registered(registry, tenant, repo.shard_count());
+        Space { repo, metrics, ..Default::default() }
     }
 }
 
@@ -337,15 +355,24 @@ enum Prepared {
 
 impl ReStore {
     pub fn new(engine: Engine, config: ReStoreConfig) -> Self {
+        let obs = Obs::new();
         ReStore {
             engine,
-            space: Arc::new(Space::with_shards(config.repo_shards)),
+            space: Arc::new(Space::with_shards_registered(config.repo_shards, &obs.registry, "")),
             tenants: Rcu::new(HashMap::new()),
             config: RwLock::new(config),
             tick: AtomicU64::new(0),
             cand_counter: AtomicU64::new(0),
             journal: Arc::new(Journal::default()),
+            obs,
         }
+    }
+
+    /// The session's metric registry — everything the driver and its
+    /// namespaces record lands here; [`Registry::render`] emits it in
+    /// Prometheus text exposition format.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs.registry
     }
 
     pub fn engine(&self) -> &Engine {
@@ -386,6 +413,18 @@ impl ReStore {
         self.journal.stats()
     }
 
+    /// Buffered bytes per journal lane (stats only — briefly locks each
+    /// lane in turn, never on the append path).
+    pub fn journal_lane_bytes(&self) -> Vec<usize> {
+        self.journal.lane_bytes()
+    }
+
+    /// Journal records appended since the last delta capture — what a
+    /// crash right now would have to replay from the live lanes.
+    pub fn journal_seq_lag(&self) -> u64 {
+        self.journal.seq_lag()
+    }
+
     /// Install the journal sink on a namespace's repository so its
     /// batches emit `repo-batch` records at publish time. The sink
     /// carries the emitting shard index, which picks the journal lane —
@@ -401,7 +440,7 @@ impl ReStore {
     /// A fresh namespace with `shards` repository shards, journal-wired
     /// when the journal is on.
     fn make_space(&self, name: &str, shards: usize) -> Arc<Space> {
-        let space = Arc::new(Space::with_shards(shards));
+        let space = Arc::new(Space::with_shards_registered(shards, &self.obs.registry, name));
         if self.journal.enabled() {
             Self::wire_space(&self.journal, name, &space);
         }
@@ -702,7 +741,7 @@ impl ReStore {
         text: &str,
         out_prefix: &str,
     ) -> Result<QueryExecution> {
-        let wf = restore_dataflow::compile(text, out_prefix)?;
+        let wf = self.obs.stage.compile.time(|| restore_dataflow::compile(text, out_prefix))?;
         self.execute_workflow_as(tenant, wf)
     }
 
@@ -733,6 +772,7 @@ impl ReStore {
         // Eviction sweep (§5 rules 3–4) runs *before* matching so stale
         // entries (expired window, modified/deleted inputs) are never
         // reused in this workflow.
+        let sweep_t0 = Instant::now();
         config.selection.sweep(&space.repo, self.engine.dfs(), &space.pins, tick);
         {
             // Wait-free probe; only publish a new provenance snapshot
@@ -753,6 +793,7 @@ impl ReStore {
                 );
             }
         }
+        self.obs.stage.sweep.record_elapsed(sweep_t0);
 
         let n = wf.jobs.len();
         let waves = wf.waves()?;
@@ -778,6 +819,7 @@ impl ReStore {
             // strict Algorithm-1 topo order (which ends each wave on its
             // highest index) would have left it.
             let mut wave_outputs: Vec<(usize, String)> = Vec::new();
+            let prepare_t0 = Instant::now();
             for &idx in &wave {
                 let prep = self.prepare_job(
                     &space,
@@ -799,11 +841,15 @@ impl ReStore {
                     Prepared::Run(job) => prepared.push(*job),
                 }
             }
+            self.obs.stage.prepare.record_elapsed(prepare_t0);
 
             // ---- Phase 2: execute the wave, concurrently ----
+            let execute_t0 = Instant::now();
             let results = self.run_wave(&prepared, config.wave_parallel)?;
+            self.obs.stage.execute.record_elapsed(execute_t0);
 
             // ---- Phase 3: register outputs (§2.2) and apply §5 rules ----
+            let register_t0 = Instant::now();
             let mut wave_written: Vec<String> = Vec::new();
             for (job, result) in prepared.iter().zip(&results) {
                 et[job.idx] = result.times.total_s;
@@ -873,6 +919,7 @@ impl ReStore {
                     candidates_stored += cand_stored;
                 }
             }
+            self.obs.stage.register.record_elapsed(register_t0);
             job_results.extend(results);
             if let Some((_, out)) = wave_outputs.into_iter().max_by_key(|(idx, _)| *idx) {
                 final_output = out;
@@ -905,6 +952,7 @@ impl ReStore {
             stored_candidate_bytes,
             final_output,
             candidates_stored,
+            tick,
         })
     }
 
@@ -928,15 +976,24 @@ impl ReStore {
 
         let mut job_rewrites = 0usize;
         if config.reuse_enabled {
-            self.match_loop(space, &mut plan, tick, Some(pins), |entry_id, reused_path| {
-                rewrites.push(RewriteEvent {
-                    job: idx,
-                    entry_id,
-                    reused_path: reused_path.to_string(),
-                    whole_job: false,
-                });
-                job_rewrites += 1;
-            });
+            let space_name = Self::normalize(tenant).unwrap_or("");
+            self.match_loop(
+                space,
+                &mut plan,
+                tick,
+                space_name,
+                idx,
+                Some(pins),
+                |entry_id, reused_path| {
+                    rewrites.push(RewriteEvent {
+                        job: idx,
+                        entry_id,
+                        reused_path: reused_path.to_string(),
+                        whole_job: false,
+                    });
+                    job_rewrites += 1;
+                },
+            );
         }
 
         // Whole-job elimination: the rewrite reduced the job to a copy.
@@ -1003,14 +1060,22 @@ impl ReStore {
     /// the entry's removal **before** deleting the file (see
     /// `SelectionPolicy::sweep`), which is what makes the revalidation
     /// conclusive.
+    #[allow(clippy::too_many_arguments)]
     fn match_loop(
         &self,
         space: &Space,
         plan: &mut PhysicalPlan,
         tick: u64,
+        tenant: &str,
+        job: usize,
         mut pins: Option<&mut PinGuard>,
         mut on_match: impl FnMut(u64, &str),
     ) {
+        let loop_t0 = Instant::now();
+        // Reuse decisions buffered locally and pushed to the trace ring
+        // in one batch at the end — the loop itself touches no lock.
+        let mut decisions: Vec<ReuseDecision> = Vec::new();
+        let mut matched_any = false;
         // Entries whose rewrite made no structural progress (they match
         // only lineage the plan already loads) are skipped on the rescan;
         // progress clears the set.
@@ -1019,17 +1084,35 @@ impl ReStore {
         // expansion is reused instead of being recomputed.
         let mut cached_expansion: Option<crate::provenance::ExpandedPlan> = None;
         let budget = 2 * plan.len() + 4 + 2 * space.repo.len();
+        // One probe for the whole loop, reset per iteration: its
+        // candidate buffer is reused instead of reallocated.
+        let mut probe = MatchProbe::default();
         for _ in 0..budget {
+            let snapshot_t0 = Instant::now();
             let expanded =
                 cached_expansion.take().unwrap_or_else(|| space.prov.load().expand(plan));
             let snap = space.repo.view();
-            let Some((entry_id, m)) =
-                snap.find_first_match_excluding(&expanded.plan, &unproductive)
-            else {
+            self.obs.match_stage.snapshot_load.record_elapsed(snapshot_t0);
+            probe.reset();
+            let found = snap.find_first_match_probed(&expanded.plan, &unproductive, &mut probe);
+            self.obs.match_stage.index_probe.record(probe.probe_ns);
+            self.obs.match_stage.winner_pass.record(probe.winner_ns);
+            for c in probe.candidates.iter().filter(|c| !c.matched) {
+                decisions.push(ReuseDecision::CandidateFailedTraversal {
+                    entry_id: c.entry_id,
+                    shard: c.shard,
+                });
+            }
+            let Some((entry_id, m)) = found else {
+                decisions.push(ReuseDecision::NoCandidates {
+                    signatures_probed: probe.signatures_probed,
+                });
                 break;
             };
+            let shard = probe.winner_shard.unwrap_or(0);
             let reused_path = snap.get(entry_id).expect("matched entry").output_path.clone();
             if let Some(p) = pins.as_deref_mut() {
+                let pin_t0 = Instant::now();
                 p.pin(&reused_path);
                 // Revalidate against a fresh snapshot now that the pin
                 // is visible (see the method docs). A vanished entry is
@@ -1037,8 +1120,11 @@ impl ReStore {
                 // progress; results are unchanged because the entry
                 // could equally have been evicted a moment before our
                 // first snapshot.
-                if !space.repo.view().contains_id(entry_id) {
+                let present = space.repo.view().contains_id(entry_id);
+                self.obs.match_stage.pin_revalidate.record_elapsed(pin_t0);
+                if !present {
                     p.unpin_last();
+                    decisions.push(ReuseDecision::RejectedPinRevalidation { entry_id });
                     cached_expansion = Some(expanded);
                     continue;
                 }
@@ -1046,6 +1132,7 @@ impl ReStore {
             // Keep the pre-rewrite expansion: an unproductive rewrite
             // leaves `plan` unchanged, and then this clone is reused
             // instead of re-expanding.
+            let rewrite_t0 = Instant::now();
             let mut exp = expanded.clone();
             let remap = rewrite(&mut exp.plan, &m, &reused_path);
             // Translate expansion tips through the GC remap; an expansion
@@ -1060,6 +1147,7 @@ impl ReStore {
             });
             let before_sig = plan.signature();
             let collapsed = exp.collapse_unused();
+            self.obs.stage.rewrite.record_elapsed(rewrite_t0);
             if collapsed.signature() == before_sig {
                 // No structural progress: try the next entry. The
                 // speculative pin is no longer needed, and the plan is
@@ -1069,17 +1157,43 @@ impl ReStore {
                     p.unpin_last();
                 }
                 unproductive.insert(entry_id);
+                decisions.push(ReuseDecision::RejectedUnproductive { entry_id });
                 cached_expansion = Some(expanded);
                 continue;
             }
             unproductive.clear();
             *plan = collapsed;
+            matched_any = true;
+            decisions.push(ReuseDecision::Matched {
+                entry_id,
+                shard,
+                reused_path: reused_path.clone(),
+            });
             if pins.is_some() {
                 // Write-free reuse accounting: atomics shared by every
                 // snapshot of the entry — never a repository lock.
                 space.repo.note_use(entry_id, tick);
+                space.metrics.shard_hit(shard);
             }
             on_match(entry_id, &reused_path);
+        }
+        self.obs.stage.match_loop.record_elapsed(loop_t0);
+        // Per-namespace accounting and the trace ring only see real
+        // executions; `explain_query` dry runs (no pins) stay invisible,
+        // matching their no-side-effect contract.
+        if pins.is_some() {
+            space.metrics.latency.record_elapsed(loop_t0);
+            if matched_any {
+                space.metrics.hits.inc();
+            } else {
+                space.metrics.misses.inc();
+            }
+            self.obs.trace.extend(decisions.into_iter().map(|decision| ReuseTraceEvent {
+                tick,
+                tenant: tenant.to_string(),
+                job,
+                decision,
+            }));
         }
     }
 
@@ -1250,21 +1364,30 @@ impl ReStore {
             // usage statistics left untouched.
             let mut plan = job.plan.clone();
             let mut any = false;
-            self.match_loop(&space, &mut plan, 0, None, |entry_id, reused_path| {
-                let (bytes, uses) = space
-                    .repo
-                    .get(entry_id)
-                    .map(|e| (e.stats().output_bytes, e.use_count()))
-                    .unwrap_or((0, 0));
-                report.push_str(&format!(
-                    "  would reuse entry #{} -> {} ({}, used {} time(s))\n",
-                    entry_id,
-                    reused_path,
-                    restore_common::human_bytes(bytes),
-                    uses,
-                ));
-                any = true;
-            });
+            let space_name = Self::normalize(tenant).unwrap_or("");
+            self.match_loop(
+                &space,
+                &mut plan,
+                0,
+                space_name,
+                idx,
+                None,
+                |entry_id, reused_path| {
+                    let (bytes, uses) = space
+                        .repo
+                        .get(entry_id)
+                        .map(|e| (e.stats().output_bytes, e.use_count()))
+                        .unwrap_or((0, 0));
+                    report.push_str(&format!(
+                        "  would reuse entry #{} -> {} ({}, used {} time(s))\n",
+                        entry_id,
+                        reused_path,
+                        restore_common::human_bytes(bytes),
+                        uses,
+                    ));
+                    any = true;
+                },
+            );
             if let Some((src, _)) = identity_copy(&plan) {
                 report
                     .push_str(&format!("  whole job answered from {src}; job would be skipped\n"));
@@ -1275,10 +1398,68 @@ impl ReStore {
         Ok(report)
     }
 
+    /// The reuse-decision trace of the most recent traced execution in
+    /// the default namespace, rendered one decision per line (newest
+    /// workflow only). `None` when nothing has been traced yet.
+    pub fn explain_last(&self) -> Option<String> {
+        self.explain_last_as(None)
+    }
+
+    /// [`ReStore::explain_last`] for a tenant's namespace.
+    pub fn explain_last_as(&self, tenant: Option<&str>) -> Option<String> {
+        let t = Self::normalize(tenant).unwrap_or("");
+        let last_tick =
+            self.obs.trace.snapshot_filtered(|e| e.tenant == t).iter().map(|e| e.tick).max()?;
+        let events = self.trace_for(tenant, last_tick);
+        let mut out = format!("workflow tick {last_tick} (tenant {t:?}):\n");
+        for e in &events {
+            out.push_str(&format!("  {e}\n"));
+        }
+        Some(out)
+    }
+
+    /// Reuse-decision trace events recorded for `tick` in a tenant's
+    /// namespace, oldest first. The trace ring holds the most recent
+    /// [`crate::obs`] events session-wide; an old workflow's events may
+    /// have been evicted.
+    pub fn trace_for(&self, tenant: Option<&str>, tick: u64) -> Vec<ReuseTraceEvent> {
+        let t = Self::normalize(tenant).unwrap_or("");
+        self.obs.trace.snapshot_filtered(|e| e.tenant == t && e.tick == tick)
+    }
+
     /// Point-in-time summary of the default namespace's repository and
     /// reuse activity.
     pub fn stats(&self) -> ReStoreStats {
         self.stats_as(None)
+    }
+
+    /// One consistent cut of every namespace's stats: a single tick read
+    /// and a single tenant-map load, so each returned row reports the
+    /// same `queries_executed` and a tenant created concurrently is
+    /// either absent or fully present. The default namespace is the `""`
+    /// row. Callers that show totals (the service's `stats`, the metrics
+    /// exposition) use this instead of per-tenant [`ReStore::stats_as`]
+    /// calls, whose row-by-row reads can straddle executions.
+    pub fn stats_all(&self) -> Vec<(String, ReStoreStats)> {
+        let queries_executed = self.tick.load(Ordering::SeqCst);
+        let spaces = self.all_spaces();
+        spaces
+            .into_iter()
+            .map(|(name, space)| {
+                let provenance_entries = space.prov.load().len();
+                let repo = space.repo.view();
+                let entries = repo.entries();
+                let stats = ReStoreStats {
+                    repository_entries: entries.len(),
+                    stored_bytes: repo.stored_bytes(),
+                    total_uses: entries.iter().map(|e| e.use_count()).sum(),
+                    never_used: entries.iter().filter(|e| e.use_count() == 0).count(),
+                    queries_executed,
+                    provenance_entries,
+                };
+                (name, stats)
+            })
+            .collect()
     }
 
     /// Point-in-time summary of a tenant's repository and reuse activity.

@@ -210,6 +210,10 @@ pub(crate) struct Journal {
     lanes: Vec<Mutex<String>>,
     /// Full segments sealed since the last delta capture.
     sealed: Mutex<Vec<String>>,
+    /// Highest seq handed off by [`Journal::cut`] — `seq - captured_seq`
+    /// is the records a crash right now would have to replay (the
+    /// exposition's `restore_journal_seq_lag`).
+    captured_seq: AtomicU64,
     /// Counters as last journaled, so a delta only carries a
     /// `counters` record when they moved.
     counters: Mutex<(u64, u64)>,
@@ -228,6 +232,7 @@ impl Default for Journal {
             live_bytes: AtomicUsize::new(0),
             lanes: (0..JOURNAL_LANES).map(|_| Mutex::new(String::new())).collect(),
             sealed: Mutex::new(Vec::new()),
+            captured_seq: AtomicU64::new(0),
             counters: Mutex::new((0, 0)),
             capture: Mutex::new(()),
         }
@@ -328,7 +333,23 @@ impl Journal {
     /// (the driver's `save_state_delta`) owns persistence from here.
     pub(crate) fn cut(&self) -> Vec<String> {
         self.roll();
-        std::mem::take(&mut *self.sealed.lock())
+        let segments = std::mem::take(&mut *self.sealed.lock());
+        // Everything sequenced before the roll is now the caller's to
+        // persist; later appends are the new lag.
+        self.captured_seq.fetch_max(self.seq(), SeqCst);
+        segments
+    }
+
+    /// Records appended since the last [`Journal::cut`] (what a crash
+    /// right now would replay from the live lanes).
+    pub(crate) fn seq_lag(&self) -> u64 {
+        self.seq().saturating_sub(self.captured_seq.load(SeqCst))
+    }
+
+    /// Buffered bytes per live lane (locks each lane briefly, one at a
+    /// time — stats only, never on the append path).
+    pub(crate) fn lane_bytes(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.lock().len()).collect()
     }
 
     // ---- typed appends (encode side) ----

@@ -25,6 +25,7 @@ pub mod driver;
 pub mod enumerator;
 pub mod journal;
 pub mod matcher;
+pub mod obs;
 pub mod pin;
 pub mod plan_text;
 pub mod provenance;
@@ -37,11 +38,12 @@ mod state;
 pub use driver::{footprints_conflict, QueryExecution, ReStore, ReStoreConfig, ReStoreStats};
 pub use enumerator::Heuristic;
 pub use journal::{JournalConfig, JournalStats, RecoveryReport, TornTail};
+pub use obs::{ReuseDecision, ReuseTraceEvent};
 pub use pin::PinSet;
 pub use provenance::Provenance;
 pub use rcu::Rcu;
 pub use repository::{
-    normalize_shards, FrozenRepo, RepoBatch, RepoEntry, RepoSnapshot, RepoStats, RepoView,
-    Repository, MAX_REPO_SHARDS,
+    normalize_shards, FrozenRepo, MatchProbe, ProbedCandidate, RepoBatch, RepoEntry, RepoSnapshot,
+    RepoStats, RepoView, Repository, MAX_REPO_SHARDS,
 };
 pub use selector::SelectionPolicy;

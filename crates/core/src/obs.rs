@@ -1,0 +1,228 @@
+//! Driver-side observability: the session's metric registry, the
+//! per-stage span histograms, and the reuse-decision trace ring.
+//!
+//! Everything here is recorded through `restore-telemetry` primitives
+//! whose hot-path record is a relaxed `fetch_add` — instrumenting the
+//! §3 match loop does not add a lock, a CAS loop, or an RCU publish to
+//! it (`prop_concurrent_repo` and the driver telemetry test pin the
+//! zero-publish invariant with telemetry enabled).
+
+use restore_telemetry::{Counter, Histogram, Registry, TraceRing};
+use std::fmt;
+use std::sync::Arc;
+
+/// Events the reuse-decision trace keeps per session (oldest evicted
+/// first). A workflow contributes one event per candidate considered,
+/// so this comfortably holds the recent history `explain_last` and
+/// `RestoreService::trace` inspect.
+const TRACE_CAPACITY: usize = 4096;
+
+/// Why the §3 match loop accepted or rejected one repository candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReuseDecision {
+    /// The entry matched and the rewrite made structural progress.
+    Matched { entry_id: u64, shard: usize, reused_path: String },
+    /// The entry's tip signature matched but the pairwise §3 traversal
+    /// failed — a signature collision or partial overlap.
+    CandidateFailedTraversal { entry_id: u64, shard: usize },
+    /// The entry matched but rewriting made no structural progress
+    /// (it matched only lineage the plan already loads); rule-2
+    /// ordering moves the scan to the next candidate.
+    RejectedUnproductive { entry_id: u64 },
+    /// The entry vanished between match and pin — a concurrent §5
+    /// sweep evicted it; the loop unpinned and rescanned.
+    RejectedPinRevalidation { entry_id: u64 },
+    /// No candidate survived: every input-plan tip signature missed
+    /// the inverted index (or the sequential scan found nothing).
+    NoCandidates { signatures_probed: usize },
+}
+
+impl fmt::Display for ReuseDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReuseDecision::Matched { entry_id, shard, reused_path } => {
+                write!(f, "matched entry #{entry_id} (shard {shard}) -> {reused_path}")
+            }
+            ReuseDecision::CandidateFailedTraversal { entry_id, shard } => {
+                write!(
+                    f,
+                    "candidate #{entry_id} (shard {shard}): tip signature hit, traversal failed"
+                )
+            }
+            ReuseDecision::RejectedUnproductive { entry_id } => {
+                write!(f, "candidate #{entry_id}: rejected, no structural progress (rule-2 rescan)")
+            }
+            ReuseDecision::RejectedPinRevalidation { entry_id } => {
+                write!(f, "candidate #{entry_id}: rejected, evicted before pin revalidation")
+            }
+            ReuseDecision::NoCandidates { signatures_probed } => {
+                write!(f, "no candidates ({signatures_probed} tip signature(s) probed)")
+            }
+        }
+    }
+}
+
+/// One reuse-decision trace event: which workflow (tick), which
+/// namespace, which job, and what was decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseTraceEvent {
+    /// The workflow's tick (the driver's query clock).
+    pub tick: u64,
+    /// Tenant key (empty string = the default namespace).
+    pub tenant: String,
+    /// Workflow job index the decision was made for.
+    pub job: usize,
+    pub decision: ReuseDecision,
+}
+
+impl fmt::Display for ReuseTraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {}: {}", self.job, self.decision)
+    }
+}
+
+/// Span histograms of the driver's execute pipeline, one series per
+/// stage so the exposition shows where wall-time goes.
+pub(crate) struct StageHists {
+    /// Per workflow: query text → compiled workflow.
+    pub compile: Histogram,
+    /// Per workflow: the pre-match §5 eviction sweep + dead-path probe.
+    pub sweep: Histogram,
+    /// Per wave: phase 1 (match + rewrite + enumerate + job specs).
+    pub prepare: Histogram,
+    /// Per job: one full §3 match loop.
+    pub match_loop: Histogram,
+    /// Per applied rewrite: splice + collapse.
+    pub rewrite: Histogram,
+    /// Per wave: phase 2 (engine execution).
+    pub execute: Histogram,
+    /// Per wave: phase 3 (registration batch + publish).
+    pub register: Histogram,
+}
+
+/// Span histograms inside one §3 match iteration.
+pub(crate) struct MatchStageHists {
+    /// Provenance lineage expansion + repository snapshot load.
+    pub snapshot_load: Histogram,
+    /// Inverted tip-signature index probe + candidate verification.
+    pub index_probe: Histogram,
+    /// Cross-shard pairwise §3 winner pass.
+    pub winner_pass: Histogram,
+    /// Pin + fresh-snapshot revalidation of the matched entry.
+    pub pin_revalidate: Histogram,
+}
+
+/// The driver's observability state: one per [`crate::ReStore`].
+pub(crate) struct Obs {
+    pub registry: Arc<Registry>,
+    pub stage: StageHists,
+    pub match_stage: MatchStageHists,
+    pub trace: TraceRing<ReuseTraceEvent>,
+}
+
+impl Obs {
+    pub(crate) fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        let stage_hist = |stage: &str| {
+            registry.histogram(
+                "restore_stage_seconds",
+                "Driver pipeline stage latency",
+                &[("stage", stage)],
+                1e-9,
+            )
+        };
+        let match_hist = |stage: &str| {
+            registry.histogram(
+                "restore_match_stage_seconds",
+                "Match-loop stage latency",
+                &[("stage", stage)],
+                1e-9,
+            )
+        };
+        Obs {
+            stage: StageHists {
+                compile: stage_hist("compile"),
+                sweep: stage_hist("sweep"),
+                prepare: stage_hist("prepare"),
+                match_loop: stage_hist("match"),
+                rewrite: stage_hist("rewrite"),
+                execute: stage_hist("execute"),
+                register: stage_hist("register"),
+            },
+            match_stage: MatchStageHists {
+                snapshot_load: match_hist("snapshot_load"),
+                index_probe: match_hist("index_probe"),
+                winner_pass: match_hist("winner_pass"),
+                pin_revalidate: match_hist("pin_revalidate"),
+            },
+            trace: TraceRing::new(TRACE_CAPACITY),
+            registry,
+        }
+    }
+}
+
+/// Per-namespace match metrics, labeled by tenant. A namespace created
+/// through the driver registers against the session registry; detached
+/// namespaces (the empty placeholder `space_snapshot` hands out for
+/// unknown tenants) carry unregistered handles that record into the
+/// void.
+#[derive(Default)]
+pub(crate) struct SpaceMetrics {
+    /// Match loops that applied at least one rewrite.
+    pub hits: Counter,
+    /// Match loops that applied none.
+    pub misses: Counter,
+    /// Full match-loop latency for this namespace.
+    pub latency: Histogram,
+    /// Winning matches per repository shard, indexed by shard.
+    pub shard_hits: Vec<Counter>,
+}
+
+impl fmt::Debug for SpaceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpaceMetrics")
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpaceMetrics {
+    pub(crate) fn registered(registry: &Registry, tenant: &str, shards: usize) -> Self {
+        SpaceMetrics {
+            hits: registry.counter(
+                "restore_match_hits_total",
+                "Match loops that applied at least one rewrite",
+                &[("tenant", tenant)],
+            ),
+            misses: registry.counter(
+                "restore_match_misses_total",
+                "Match loops that applied no rewrite",
+                &[("tenant", tenant)],
+            ),
+            latency: registry.histogram(
+                "restore_match_seconds",
+                "Full match-loop latency per job",
+                &[("tenant", tenant)],
+                1e-9,
+            ),
+            shard_hits: (0..shards)
+                .map(|s| {
+                    registry.counter(
+                        "restore_match_shard_hits_total",
+                        "Winning matches per repository shard",
+                        &[("tenant", tenant), ("shard", &s.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Count a winning match on `shard` (no-op for out-of-range shards
+    /// of a detached namespace).
+    pub(crate) fn shard_hit(&self, shard: usize) {
+        if let Some(c) = self.shard_hits.get(shard) {
+            c.inc();
+        }
+    }
+}

@@ -1129,9 +1129,12 @@ fn build_shard_snapshot(entries: Vec<Arc<RepoEntry>>) -> RepoSnapshot {
 /// ids being allocation-ordered — favors the earlier registration,
 /// like single-shard insertion does for equal scores. A linear pass
 /// with explicit pairwise comparison, never a comparator sort:
-/// subsumption is not a total order.
-fn shard_winner(cands: Vec<(u64, PlanMatch, Arc<RepoEntry>)>) -> Option<(u64, PlanMatch)> {
-    let mut best: Option<(u64, PlanMatch, Arc<RepoEntry>)> = None;
+/// subsumption is not a total order. Each candidate carries the shard
+/// it came from, so the instrumented probe can attribute the win.
+fn shard_winner(
+    cands: Vec<(u64, PlanMatch, Arc<RepoEntry>, usize)>,
+) -> Option<(u64, PlanMatch, usize)> {
+    let mut best: Option<(u64, PlanMatch, Arc<RepoEntry>, usize)> = None;
     for c in cands {
         best = Some(match best {
             None => c,
@@ -1157,7 +1160,54 @@ fn shard_winner(cands: Vec<(u64, PlanMatch, Arc<RepoEntry>)>) -> Option<(u64, Pl
             }
         });
     }
-    best.map(|(id, m, _)| (id, m))
+    best.map(|(id, m, _, shard)| (id, m, shard))
+}
+
+/// What one instrumented match probe observed (see
+/// [`RepoView::find_first_match_probed`]). Timings are nanoseconds.
+#[derive(Debug, Default, Clone)]
+pub struct MatchProbe {
+    /// The fingerprint index was used (vs the sequential-scan
+    /// ablation).
+    pub indexed: bool,
+    /// Candidate filtering + pairwise §3 verification time.
+    pub probe_ns: u64,
+    /// Cross-shard winner-pass time.
+    pub winner_ns: u64,
+    /// Shard the winning entry lives in, when a match was found.
+    pub winner_shard: Option<usize>,
+    /// Input-plan node signatures probed against the inverted index
+    /// (0 on the scan path, which does not probe signatures).
+    pub signatures_probed: usize,
+    /// Candidates whose pairwise traversal ran, in probe order. The
+    /// scan path records only per-shard winners (enumerating every
+    /// scanned entry would be the trace-ring equivalent of a table
+    /// scan).
+    pub candidates: Vec<ProbedCandidate>,
+}
+
+impl MatchProbe {
+    /// Clear every field for reuse across match-loop iterations,
+    /// keeping the `candidates` allocation — the hot path records into
+    /// one probe per job instead of allocating per iteration.
+    pub fn reset(&mut self) {
+        self.indexed = false;
+        self.probe_ns = 0;
+        self.winner_ns = 0;
+        self.winner_shard = None;
+        self.signatures_probed = 0;
+        self.candidates.clear();
+    }
+}
+
+/// One candidate an instrumented probe verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbedCandidate {
+    pub entry_id: u64,
+    pub shard: usize,
+    /// The pairwise §3 traversal matched (a `false` is a tip-signature
+    /// collision or partial overlap).
+    pub matched: bool,
 }
 
 /// A coherent lock-free read view over every shard (see
@@ -1250,12 +1300,12 @@ impl RepoView {
             return self.shards[0].find_first_match_scan(input_plan, exclude);
         }
         let mut cands = Vec::new();
-        for s in &self.shards {
+        for (i, s) in self.shards.iter().enumerate() {
             if let Some((id, m)) = s.find_first_match_scan(input_plan, exclude) {
-                cands.push((id, m, s.get(id).expect("matched entry").clone()));
+                cands.push((id, m, s.get(id).expect("matched entry").clone(), i));
             }
         }
-        shard_winner(cands)
+        shard_winner(cands).map(|(id, m, _)| (id, m))
     }
 
     /// Fingerprint-index strategy over the view. Each candidate lookup
@@ -1289,12 +1339,137 @@ impl RepoView {
                     continue;
                 }
                 if let Some(m) = pairwise_plan_traversal(&e.plan, input_plan) {
-                    cands.push((e.id, m, e.clone()));
+                    cands.push((e.id, m, e.clone(), s));
                     break;
                 }
             }
         }
-        shard_winner(cands)
+        shard_winner(cands).map(|(id, m, _)| (id, m))
+    }
+
+    /// [`RepoView::find_first_match_excluding`] with instrumentation:
+    /// identical match results (the parity property test pins this),
+    /// plus per-stage timings and the candidate-by-candidate record the
+    /// reuse-decision trace is built from. This is the variant the
+    /// driver's match loop runs — the probe costs two `Instant` reads
+    /// and a small vector, never a lock or a publish.
+    pub fn find_first_match_probed(
+        &self,
+        input_plan: &PhysicalPlan,
+        exclude: &HashSet<u64>,
+        probe: &mut MatchProbe,
+    ) -> Option<(u64, PlanMatch)> {
+        let n = self.shards.len();
+        probe.indexed = self.is_indexed();
+        if n == 1 {
+            // Single shard — the driver's default configuration, so the
+            // hot path: there is no cross-shard winner pass to time and
+            // no reason to pay the generic machinery (per-shard
+            // routing, entry clones, winner comparison). Mirror the
+            // snapshot's own §3 loop, recording as we go.
+            let shard = &self.shards[0];
+            let t0 = std::time::Instant::now();
+            let result = if probe.indexed {
+                let mut positions: Vec<usize> = Vec::new();
+                for id in input_plan.ids() {
+                    probe.signatures_probed += 1;
+                    if let Some(p) = shard.tip_index.get(&input_plan.node_signature(id)) {
+                        positions.extend_from_slice(p);
+                    }
+                }
+                positions.sort_unstable();
+                positions.dedup();
+                let mut found = None;
+                for pos in positions {
+                    let e = &shard.entries[pos];
+                    if exclude.contains(&e.id) {
+                        continue;
+                    }
+                    let matched = pairwise_plan_traversal(&e.plan, input_plan);
+                    probe.candidates.push(ProbedCandidate {
+                        entry_id: e.id,
+                        shard: 0,
+                        matched: matched.is_some(),
+                    });
+                    if let Some(m) = matched {
+                        found = Some((e.id, m));
+                        break;
+                    }
+                }
+                found
+            } else {
+                let hit = shard.find_first_match_scan(input_plan, exclude);
+                if let Some((id, _)) = &hit {
+                    probe.candidates.push(ProbedCandidate {
+                        entry_id: *id,
+                        shard: 0,
+                        matched: true,
+                    });
+                }
+                hit
+            };
+            probe.probe_ns = t0.elapsed().as_nanos() as u64;
+            probe.winner_ns = 0;
+            probe.winner_shard = result.as_ref().map(|_| 0);
+            return result;
+        }
+        let t0 = std::time::Instant::now();
+        let cands: Vec<(u64, PlanMatch, Arc<RepoEntry>, usize)> = if probe.indexed {
+            // Mirror of [`RepoView::find_first_match_indexed`] (which
+            // single-shard delegates to the snapshot's identical loop):
+            // signature-filtered candidates per shard, verified in
+            // ascending repository order, first verifier per shard.
+            let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for id in input_plan.ids() {
+                let sig = input_plan.node_signature(id);
+                probe.signatures_probed += 1;
+                let s = shard_index(Some(sig), n);
+                if let Some(positions) = self.shards[s].tip_index.get(&sig) {
+                    per_shard[s].extend_from_slice(positions);
+                }
+            }
+            let mut cands = Vec::new();
+            for (s, mut positions) in per_shard.into_iter().enumerate() {
+                positions.sort_unstable();
+                positions.dedup();
+                for pos in positions {
+                    let e = &self.shards[s].entries[pos];
+                    if exclude.contains(&e.id) {
+                        continue;
+                    }
+                    let matched = pairwise_plan_traversal(&e.plan, input_plan);
+                    probe.candidates.push(ProbedCandidate {
+                        entry_id: e.id,
+                        shard: s,
+                        matched: matched.is_some(),
+                    });
+                    if let Some(m) = matched {
+                        cands.push((e.id, m, e.clone(), s));
+                        break;
+                    }
+                }
+            }
+            cands
+        } else {
+            let mut cands = Vec::new();
+            for (s, shard) in self.shards.iter().enumerate() {
+                if let Some((id, m)) = shard.find_first_match_scan(input_plan, exclude) {
+                    probe.candidates.push(ProbedCandidate {
+                        entry_id: id,
+                        shard: s,
+                        matched: true,
+                    });
+                    cands.push((id, m, shard.get(id).expect("matched entry").clone(), s));
+                }
+            }
+            cands
+        };
+        probe.probe_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = std::time::Instant::now();
+        let winner = shard_winner(cands);
+        probe.winner_ns = t1.elapsed().as_nanos() as u64;
+        probe.winner_shard = winner.as_ref().map(|(_, _, s)| *s);
+        winner.map(|(id, m, _)| (id, m))
     }
 
     /// Serialize the view (shard-concatenation order; loading a text

@@ -1,0 +1,229 @@
+//! Driver-level telemetry guarantees:
+//!
+//! 1. the §3 match hot path stays **zero-publish** with telemetry
+//!    enabled — a warm whole-workflow reuse run performs no RCU
+//!    publish and enters no writer section;
+//! 2. the instrumented probed matcher returns results identical to the
+//!    plain matcher (parity proptest over sharded repositories);
+//! 3. the reuse-decision trace explains hits and misses, keyed by the
+//!    execution's tick;
+//! 4. `stats_all` rows come from one consistent cut (one shared clock).
+
+use proptest::prelude::*;
+use restore_common::{codec, tuple, Tuple};
+use restore_core::repository::InsertOutcome;
+use restore_core::{
+    Heuristic, MatchProbe, ReStore, ReStoreConfig, RepoStats, Repository, ReuseDecision,
+};
+use restore_dataflow::expr::Expr;
+use restore_dataflow::physical::{PhysicalOp, PhysicalPlan};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use std::collections::HashSet;
+
+fn engine() -> Engine {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 512, replication: 2, node_capacity: None });
+    let pv: Vec<Tuple> = vec![
+        tuple!["ann", 1, 10.0, "infoA", "linksA"],
+        tuple!["bob", 2, 20.0, "infoB", "linksB"],
+        tuple!["ann", 3, 5.0, "infoC", "linksC"],
+    ];
+    dfs.write_all("/data/page_views", &codec::encode_all(&pv)).unwrap();
+    let users: Vec<Tuple> = vec![tuple!["ann", "p1", "a1", "c1"], tuple!["bob", "p2", "a2", "c2"]];
+    dfs.write_all("/data/users", &codec::encode_all(&users)).unwrap();
+    Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 4, default_reduce_tasks: 3 },
+    )
+}
+
+/// The paper's Q1 (Figure 2): a single join job, so a cold run is
+/// exactly one match-loop miss and a warm rerun exactly one hit.
+fn q1(out: &str) -> String {
+    format!(
+        "A = load '/data/page_views' as (user, timestamp:int, est_revenue:double, page_info, page_links);
+         B = foreach A generate user, est_revenue;
+         alpha = load '/data/users' as (name, phone, address, city);
+         beta = foreach alpha generate name;
+         C = join beta by name, B by user;
+         store C into '{out}';"
+    )
+}
+
+fn restore() -> ReStore {
+    ReStore::new(engine(), ReStoreConfig { heuristic: Heuristic::None, ..Default::default() })
+}
+
+#[test]
+fn warm_match_path_publishes_nothing_with_telemetry_enabled() {
+    let restore = restore();
+    let cold = restore.execute_query(&q1("/out/q1"), "/wf/1").expect("cold run");
+    assert_eq!(cold.jobs_skipped, 0);
+
+    // Telemetry is on (it always is — there is no off switch to hide
+    // behind), and the warm rerun is answered entirely from the
+    // repository: the match path must not publish a snapshot or enter
+    // a writer section anywhere.
+    let before = restore.write_counters_as(None);
+    let warm = restore.execute_query(&q1("/out/q1b"), "/wf/2").expect("warm run");
+    let after = restore.write_counters_as(None);
+    assert_eq!(warm.jobs_skipped, 1, "rerun is answered from the repository");
+    assert_eq!(after, before, "warm match path published or entered a writer section");
+
+    // The rerun was still fully observed: per-tenant hit/miss counters
+    // moved and the stage histograms saw the pipeline.
+    let text = restore.registry().render();
+    assert!(text.contains("restore_match_hits_total{tenant=\"\"} 1"), "one warm hit:\n{text}");
+    assert!(text.contains("restore_match_misses_total{tenant=\"\"} 1"), "one cold miss:\n{text}");
+    assert!(text.contains("restore_stage_seconds_bucket{stage=\"match\""), "{text}");
+    assert!(text.contains("restore_match_stage_seconds_bucket{stage=\"index_probe\""), "{text}");
+    assert!(text.contains("restore_match_seconds_count{tenant=\"\"} 2"), "{text}");
+}
+
+#[test]
+fn reuse_trace_explains_hits_and_misses() {
+    let restore = restore();
+    let cold = restore.execute_query(&q1("/out/q1"), "/wf/1").expect("cold run");
+    let warm = restore.execute_query(&q1("/out/q1b"), "/wf/2").expect("warm run");
+
+    // The cold run's match loop found nothing.
+    let cold_trace = restore.trace_for(None, cold.tick);
+    assert!(
+        cold_trace.iter().any(|e| matches!(e.decision, ReuseDecision::NoCandidates { .. })),
+        "cold run should trace a no-candidates decision: {cold_trace:?}"
+    );
+
+    // The warm run's trace names the matched entry and the reused path.
+    let warm_trace = restore.trace_for(None, warm.tick);
+    assert!(
+        warm_trace.iter().any(|e| matches!(e.decision, ReuseDecision::Matched { .. })),
+        "warm run should trace a match: {warm_trace:?}"
+    );
+
+    // explain_last renders the most recent traced workflow (the warm
+    // run) with the matched entry in it.
+    let explained = restore.explain_last().expect("trace exists");
+    assert!(explained.contains(&format!("workflow tick {}", warm.tick)), "{explained}");
+    assert!(explained.contains("matched entry #"), "{explained}");
+
+    // Dry-run explains never pollute the trace.
+    let ticks_before: Vec<u64> =
+        restore.trace_for(None, warm.tick).iter().map(|e| e.tick).collect();
+    restore.explain_query(&q1("/out/q1c"), "/wf/3").expect("explain");
+    assert_eq!(
+        restore.trace_for(None, warm.tick).iter().map(|e| e.tick).collect::<Vec<_>>(),
+        ticks_before,
+        "explain_query must not add trace events"
+    );
+    assert_eq!(
+        restore.explain_last().expect("still the warm run"),
+        explained,
+        "explain_query must not move the trace cursor"
+    );
+}
+
+#[test]
+fn stats_all_rows_share_one_clock_and_cover_all_namespaces() {
+    let restore = restore();
+    restore.execute_query(&q1("/out/q1"), "/wf/1").expect("default ns");
+    restore.execute_query_as(Some("ana"), &q1("/out/q1t"), "/wf/2").expect("tenant ns");
+
+    let all = restore.stats_all();
+    let names: Vec<&str> = all.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&""), "default namespace row present: {names:?}");
+    assert!(names.contains(&"ana"), "tenant row present: {names:?}");
+    let clocks: HashSet<u64> = all.iter().map(|(_, s)| s.queries_executed).collect();
+    assert_eq!(clocks.len(), 1, "every row reports the same clock: {all:?}");
+    assert_eq!(clocks.into_iter().next(), Some(2));
+}
+
+/// Small pipeline plans over a handful of load paths so random
+/// repositories produce genuine matches and signature collisions
+/// across shards (same generator family as `prop_concurrent_repo`).
+fn plan_for(seed: u8, depth: u8) -> PhysicalPlan {
+    let mut p = PhysicalPlan::new();
+    let path = ["/data/a", "/data/b", "/data/c"][(seed % 3) as usize];
+    let mut cur = p.add(PhysicalOp::Load { path: path.into() }, vec![]);
+    for d in 0..(depth % 4) {
+        cur = match (seed.wrapping_add(d)) % 3 {
+            0 => p.add(PhysicalOp::Project { cols: vec![0, (d % 3) as usize] }, vec![cur]),
+            1 => p.add(
+                PhysicalOp::Filter { pred: Expr::col_eq((d % 2) as usize, seed as i64) },
+                vec![cur],
+            ),
+            _ => p.add(PhysicalOp::Group { keys: vec![(d % 2) as usize] }, vec![cur]),
+        };
+    }
+    p.add(PhysicalOp::Store { path: format!("/store/{seed}-{depth}") }, vec![cur]);
+    p
+}
+
+/// A longer query that embeds `plan_for(seed, depth)` as a prefix.
+fn query_for(seed: u8, depth: u8) -> PhysicalPlan {
+    let mut p = plan_for(seed, depth);
+    let tip = p.stores()[0];
+    let before = p.inputs(tip)[0];
+    let g = p.add(PhysicalOp::Distinct, vec![before]);
+    p.add(PhysicalOp::Store { path: "/q".into() }, vec![g]);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The instrumented probed matcher is the plain matcher plus
+    /// observation: identical (entry id, match tip) results on the same
+    /// view, for both the indexed and scan strategies, across shard
+    /// counts — and the probe's record is internally consistent (a
+    /// winner implies a winning shard and a matched candidate).
+    #[test]
+    fn probed_match_agrees_with_plain(
+        shards in 1usize..5,
+        indexed in any::<bool>(),
+        inserts in prop::collection::vec((any::<u8>(), any::<u8>(), 1u64..500), 0..24),
+        queries in prop::collection::vec((any::<u8>(), any::<u8>()), 1..8),
+        exclude_picks in prop::collection::vec(0usize..24, 0..4),
+    ) {
+        let repo = Repository::with_shards(shards);
+        repo.set_fingerprint_index(indexed);
+        let mut ids = Vec::new();
+        for (seed, depth, bytes) in inserts {
+            let stats = RepoStats { input_bytes: 4096, output_bytes: bytes, ..Default::default() };
+            if let InsertOutcome::Inserted(id) =
+                repo.insert(plan_for(seed, depth), format!("/r/{seed}-{depth}"), stats)
+            {
+                ids.push(id);
+            }
+        }
+        let exclude: HashSet<u64> =
+            exclude_picks.iter().filter_map(|&p| ids.get(p % ids.len().max(1)).copied()).collect();
+        let view = repo.view();
+        for (seed, depth) in queries {
+            let q = query_for(seed, depth);
+            let plain = view.find_first_match_excluding(&q, &exclude);
+            let mut probe = MatchProbe::default();
+            let probed = view.find_first_match_probed(&q, &exclude, &mut probe);
+            prop_assert_eq!(
+                plain.as_ref().map(|(id, m)| (*id, m.tip)),
+                probed.as_ref().map(|(id, m)| (*id, m.tip)),
+                "probed diverged from plain (indexed={}, shards={})", indexed, shards
+            );
+            prop_assert_eq!(probe.indexed, indexed);
+            match &probed {
+                Some((id, _)) => {
+                    prop_assert!(probe.winner_shard.is_some(), "winner must carry its shard");
+                    prop_assert!(
+                        probe.candidates.iter().any(|c| c.entry_id == *id && c.matched),
+                        "winner {} missing from probe candidates: {:?}", id, probe.candidates
+                    );
+                }
+                None => prop_assert!(
+                    probe.candidates.iter().all(|c| !c.matched),
+                    "miss with a matched candidate recorded: {:?}", probe.candidates
+                ),
+            }
+        }
+    }
+}

@@ -60,6 +60,7 @@
 //!
 //! [`CompiledWorkflow::io_path_sets`]: restore_dataflow::CompiledWorkflow::io_path_sets
 
+mod obs;
 mod scheduler;
 mod service;
 mod ticket;

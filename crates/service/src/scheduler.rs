@@ -6,6 +6,7 @@ use restore_core::footprints_conflict;
 use restore_dataflow::{CompiledWorkflow, WorkflowIoPaths};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One queued submission.
 pub(crate) struct QueuedWorkflow {
@@ -14,6 +15,9 @@ pub(crate) struct QueuedWorkflow {
     pub wf: CompiledWorkflow,
     pub footprint: WorkflowIoPaths,
     pub ticket: Arc<Ticket>,
+    /// When the submission entered the queue (feeds the queue-wait
+    /// histogram at dispatch).
+    pub enqueued: Instant,
 }
 
 /// Per-tenant serving counters (the `""` key is the default namespace).
@@ -117,6 +121,7 @@ mod tests {
             wf: CompiledWorkflow { jobs: Vec::new(), tmp_paths: Vec::new() },
             footprint,
             ticket: Arc::default(),
+            enqueued: Instant::now(),
         }
     }
 

@@ -1,13 +1,16 @@
 //! The service object: admission control, the worker pool, and
 //! introspection.
 
+use crate::obs::ServiceObs;
 use crate::scheduler::{pick, tenant_key, QueuedWorkflow, SchedulerState};
 use crate::ticket::{SubmitHandle, Ticket};
 use crate::ServiceError;
-use restore_core::{JournalConfig, ReStore, ReStoreStats, RecoveryReport};
+use restore_core::{JournalConfig, ReStore, ReStoreStats, RecoveryReport, ReuseTraceEvent};
 use restore_dataflow::CompiledWorkflow;
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -147,6 +150,9 @@ pub struct RestoreService {
     /// Continuous-checkpoint state; `None` until
     /// [`RestoreService::checkpoint_begin`].
     checkpoint: Mutex<Option<CheckpointKeeper>>,
+    /// Serving-pipeline instruments, registered in the driver session's
+    /// registry (see [`crate::obs`]).
+    obs: Arc<ServiceObs>,
 }
 
 impl RestoreService {
@@ -162,12 +168,14 @@ impl RestoreService {
             work: Condvar::new(),
             idle: Condvar::new(),
         });
+        let obs = Arc::new(ServiceObs::new(restore.registry()));
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let restore = restore.clone();
                 let shared = shared.clone();
                 let cross = config.cross_workflow;
-                std::thread::spawn(move || worker_loop(restore, shared, cross))
+                let obs = obs.clone();
+                std::thread::spawn(move || worker_loop(restore, shared, cross, obs))
             })
             .collect();
         RestoreService {
@@ -177,6 +185,7 @@ impl RestoreService {
             workers,
             quiesce: Mutex::new(()),
             checkpoint: Mutex::new(None),
+            obs,
         }
     }
 
@@ -239,13 +248,14 @@ impl RestoreService {
         let counters = st.per_tenant.entry(key.clone()).or_default();
         counters.submitted += 1;
         *st.tenant_load.entry(key).or_default() += 1;
-        let ticket = Arc::new(Ticket::default());
+        let ticket = Arc::new(Ticket::with_wait_hist(self.obs.ticket_wait.clone()));
         st.queue.push_back(QueuedWorkflow {
             id,
             tenant: tenant.map(str::to_string),
             wf,
             footprint,
             ticket: ticket.clone(),
+            enqueued: Instant::now(),
         });
         drop(st);
         self.shared.work.notify_one();
@@ -361,10 +371,12 @@ impl RestoreService {
     pub fn checkpoint_incremental(&self) -> Result<CheckpointOutcome, ServiceError> {
         let mut guard = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
         let keeper = guard.as_mut().ok_or(ServiceError::CheckpointsNotEnabled)?;
+        let capture_t0 = Instant::now();
         let added = self.restore.save_state_delta().map_err(ServiceError::Query)?;
         let segments_added = added.len();
         keeper.journal_bytes += added.iter().map(String::len).sum::<usize>();
         keeper.segments.extend(added);
+        self.obs.checkpoint_capture.record_elapsed(capture_t0);
         let mut compacted = false;
         if keeper.journal_bytes as f64 > keeper.config.compact_ratio * keeper.base.len() as f64 {
             // Fold: a fresh base covers (by sequence number) every
@@ -372,10 +384,13 @@ impl RestoreService {
             // records appended *during* this dump stay in the live
             // journal and ride out with the next delta — replaying
             // them over the new base is idempotent.
+            let compact_t0 = Instant::now();
             keeper.base = self.restore.save_state();
             keeper.segments.clear();
             keeper.journal_bytes = 0;
             keeper.compactions += 1;
+            self.obs.checkpoint_compact.record_elapsed(compact_t0);
+            self.obs.compactions.inc();
             compacted = true;
         }
         Ok(CheckpointOutcome {
@@ -447,7 +462,12 @@ impl RestoreService {
     }
 
     /// Service-level and per-tenant counters plus each tenant's
-    /// repository statistics.
+    /// repository statistics. The tenant list and counters come from one
+    /// scheduler-lock section and the repository rows from one driver
+    /// cut ([`ReStore::stats_all`]), so per-tenant rows always sum to
+    /// the service totals of the same call and every row reports the
+    /// same `queries_executed` — per-tenant `stats_as` reads taken
+    /// row-by-row could straddle concurrent executions.
     pub fn stats(&self) -> ServiceStats {
         let (queued, running, submitted, completed, rejected, mut tenants) = {
             let st = self.shared.lock();
@@ -459,11 +479,23 @@ impl RestoreService {
             (st.queue.len(), st.inflight.len(), st.submitted, st.completed, st.rejected, tenants)
         };
         tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        let all = self.restore.stats_all();
+        let queries_executed = all.first().map(|(_, s)| s.queries_executed).unwrap_or(0);
+        let repos: HashMap<String, ReStoreStats> = all.into_iter().collect();
         let tenants = tenants
             .into_iter()
             .map(|(tenant, c, inflight)| {
-                let repository =
-                    self.restore.stats_as(if tenant.is_empty() { None } else { Some(&tenant) });
+                // A tenant can have counters without a namespace (every
+                // submission rejected or still queued): report an empty
+                // repository at the cut's shared clock.
+                let repository = repos.get(&tenant).copied().unwrap_or(ReStoreStats {
+                    repository_entries: 0,
+                    stored_bytes: 0,
+                    total_uses: 0,
+                    never_used: 0,
+                    queries_executed,
+                    provenance_entries: 0,
+                });
                 TenantServiceStats {
                     tenant,
                     submitted: c.submitted,
@@ -483,6 +515,147 @@ impl RestoreService {
             rejected,
             tenants,
         }
+    }
+
+    /// The reuse-decision trace of a completed submission: why each
+    /// repository candidate matched or was rejected, per job. `None`
+    /// while the workflow is still queued or running, if it failed, or
+    /// if its events have already been evicted from the trace ring.
+    pub fn trace(&self, handle: &SubmitHandle) -> Option<Vec<ReuseTraceEvent>> {
+        let tick = handle.ticket.tick()?;
+        let events = self.restore.trace_for(handle.tenant(), tick);
+        if events.is_empty() {
+            None
+        } else {
+            Some(events)
+        }
+    }
+
+    /// Render every metric family — driver and service — in Prometheus
+    /// text exposition format. Counters and histograms stream in as the
+    /// system runs; point-in-time gauges (queue depth, journal lag,
+    /// per-namespace repository totals) are sampled here, at scrape
+    /// time, the way a Prometheus `collect` hook would.
+    pub fn render_metrics(&self) -> String {
+        let registry = self.restore.registry();
+        let g = |name: &str, help: &str, labels: &[(&str, &str)], v: f64| {
+            registry.gauge(name, help, labels).set(v);
+        };
+        // Scheduler/pool gauges from one lock section.
+        {
+            let st = self.shared.lock();
+            g("service_queue_depth", "Workflows currently queued", &[], st.queue.len() as f64);
+            g("service_inflight", "Workflows currently executing", &[], st.inflight.len() as f64);
+            g("service_workers", "Worker-pool size", &[], self.workers.len() as f64);
+            g(
+                "service_worker_utilization",
+                "Fraction of workers currently executing a workflow",
+                &[],
+                st.inflight.len() as f64 / self.workers.len().max(1) as f64,
+            );
+            for (tenant, c) in st.per_tenant.iter() {
+                let labels = [("tenant", tenant.as_str())];
+                g("service_submitted", "Workflows admitted", &labels, c.submitted as f64);
+                g("service_completed", "Workflows completed", &labels, c.completed as f64);
+                g(
+                    "service_rejected",
+                    "Workflows rejected at admission",
+                    &labels,
+                    c.rejected as f64,
+                );
+            }
+        }
+        // Journal gauges (lock-free stats reads plus brief lane peeks).
+        let js = self.restore.journal_stats();
+        g("restore_journal_seq", "Last assigned journal sequence number", &[], js.seq as f64);
+        g(
+            "restore_journal_live_bytes",
+            "Bytes buffered across live lanes",
+            &[],
+            js.live_bytes as f64,
+        );
+        g(
+            "restore_journal_sealed_segments",
+            "Segments sealed since the last delta capture",
+            &[],
+            js.sealed_segments as f64,
+        );
+        g(
+            "restore_journal_seq_lag",
+            "Records appended since the last delta capture",
+            &[],
+            self.restore.journal_seq_lag() as f64,
+        );
+        for (lane, bytes) in self.restore.journal_lane_bytes().into_iter().enumerate() {
+            g(
+                "restore_journal_lane_bytes",
+                "Bytes buffered per journal lane",
+                &[("lane", &lane.to_string())],
+                bytes as f64,
+            );
+        }
+        // Checkpoint keeper gauges.
+        {
+            let keeper = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(k) = keeper.as_ref() {
+                g(
+                    "restore_checkpoint_base_bytes",
+                    "Base checkpoint size",
+                    &[],
+                    k.base.len() as f64,
+                );
+                g(
+                    "restore_checkpoint_journal_bytes",
+                    "Journal bytes riding on the base checkpoint",
+                    &[],
+                    k.journal_bytes as f64,
+                );
+                g(
+                    "restore_checkpoint_segments",
+                    "Captured segments in the checkpoint set",
+                    &[],
+                    k.segments.len() as f64,
+                );
+            }
+        }
+        // Per-namespace repository gauges from one consistent cut.
+        for (tenant, stats) in self.restore.stats_all() {
+            let t = tenant.as_str();
+            let (publishes, writer_sections) =
+                self.restore.write_counters_as(if t.is_empty() { None } else { Some(t) });
+            let labels = [("tenant", t)];
+            g(
+                "restore_repo_entries",
+                "Repository entries",
+                &labels,
+                stats.repository_entries as f64,
+            );
+            g(
+                "restore_repo_stored_bytes",
+                "Stored output bytes",
+                &labels,
+                stats.stored_bytes as f64,
+            );
+            g(
+                "restore_repo_total_uses",
+                "Rewrites served by entries",
+                &labels,
+                stats.total_uses as f64,
+            );
+            g(
+                "restore_repo_publishes",
+                "RCU snapshot publishes (summed across shards)",
+                &labels,
+                publishes as f64,
+            );
+            g(
+                "restore_repo_writer_sections",
+                "Repository writer-section entries (summed across shards)",
+                &labels,
+                writer_sections as f64,
+            );
+        }
+        registry.render()
     }
 
     /// Stop accepting new work, finish everything queued, and join the
@@ -513,7 +686,12 @@ impl Drop for RestoreService {
     }
 }
 
-fn worker_loop(restore: Arc<ReStore>, shared: Arc<Shared>, cross_workflow: bool) {
+fn worker_loop(
+    restore: Arc<ReStore>,
+    shared: Arc<Shared>,
+    cross_workflow: bool,
+    obs: Arc<ServiceObs>,
+) {
     // A workflow that writes a repository-registered path is a
     // scheduling barrier: reuse rewriting could make any other workflow
     // Load that path at run time, invisibly to submit-time footprints.
@@ -526,25 +704,37 @@ fn worker_loop(restore: Arc<ReStore>, shared: Arc<Shared>, cross_workflow: bool)
                     return;
                 }
                 if !st.paused {
-                    if let Some((i, barrier)) = pick(&st, cross_workflow, is_barrier) {
+                    let probe_t0 = Instant::now();
+                    let picked = pick(&st, cross_workflow, is_barrier);
+                    obs.conflict_probe.record_elapsed(probe_t0);
+                    if let Some((i, barrier)) = picked {
                         let entry = st.queue.remove(i).expect("picked index exists");
                         st.inflight.push((entry.id, entry.footprint.clone()));
                         st.inflight_barriers += usize::from(barrier);
                         break (entry, barrier);
                     }
+                    // Dispatch is frozen behind an in-flight barrier
+                    // workflow with work waiting — the stall the
+                    // exposition's barrier counter measures.
+                    if st.inflight_barriers > 0 && !st.queue.is_empty() {
+                        obs.barrier_stalls.inc();
+                    }
                 }
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let QueuedWorkflow { id, tenant, wf, ticket, .. } = entry;
+        let QueuedWorkflow { id, tenant, wf, ticket, enqueued, .. } = entry;
+        obs.queue_wait.record_elapsed(enqueued);
         // Contain panics: a poisoned workflow must not kill the worker or
         // leave its footprint stuck in the in-flight set (which would
         // block every conflicting submission forever).
+        let run_t0 = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             restore.execute_workflow_as(tenant.as_deref(), wf)
         }))
         .unwrap_or_else(|_| Err(restore_common::Error::Job("workflow execution panicked".into())))
         .map_err(ServiceError::Query);
+        obs.worker_run.record_elapsed(run_t0);
         {
             let mut st = shared.lock();
             st.inflight.retain(|(fid, _)| *fid != id);

@@ -2,26 +2,60 @@
 
 use crate::ServiceError;
 use restore_core::QueryExecution;
+use restore_telemetry::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Shared slot a worker fills when the workflow finishes.
 #[derive(Debug, Default)]
 pub(crate) struct Ticket {
     slot: Mutex<Option<Result<QueryExecution, ServiceError>>>,
     done: Condvar,
+    /// Driver tick of the completed execution (0 = not yet known or the
+    /// workflow failed) — the key into the reuse-decision trace.
+    tick: AtomicU64,
+    /// Records the submitter's blocking time in [`SubmitHandle::wait`].
+    /// The default (detached) histogram records into the void, so
+    /// tickets built outside the service (scheduler tests) cost nothing.
+    wait_hist: Histogram,
 }
 
 impl Ticket {
+    /// A ticket whose wait time records into `wait_hist`.
+    pub(crate) fn with_wait_hist(wait_hist: Histogram) -> Self {
+        Ticket { wait_hist, ..Default::default() }
+    }
+
     pub(crate) fn complete(&self, result: Result<QueryExecution, ServiceError>) {
+        if let Ok(exec) = &result {
+            self.tick.store(exec.tick, Ordering::SeqCst);
+        }
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         *slot = Some(result);
         self.done.notify_all();
     }
 
+    /// The completed execution's driver tick; `None` until the workflow
+    /// finishes successfully.
+    pub(crate) fn tick(&self) -> Option<u64> {
+        match self.tick.load(Ordering::SeqCst) {
+            0 => None,
+            t => Some(t),
+        }
+    }
+
     fn wait(&self) -> Result<QueryExecution, ServiceError> {
+        let t0 = Instant::now();
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(result) = slot.take() {
+            // The result stays in the slot so `wait` is idempotent and
+            // the handle remains usable afterwards (e.g. for
+            // `RestoreService::trace`).
+            if let Some(result) = slot.as_ref() {
+                let result = result.clone();
+                drop(slot);
+                self.wait_hist.record_elapsed(t0);
                 return result;
             }
             slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
@@ -59,9 +93,11 @@ impl SubmitHandle {
         self.ticket.is_done()
     }
 
-    /// Block until the workflow completes and return its result. The
-    /// handle is consumed: the execution result moves to the caller.
-    pub fn wait(self) -> Result<QueryExecution, ServiceError> {
+    /// Block until the workflow completes and return its result.
+    /// Idempotent: the handle stays usable, so a completed submission
+    /// can still be explained with
+    /// [`RestoreService::trace`](crate::RestoreService::trace).
+    pub fn wait(&self) -> Result<QueryExecution, ServiceError> {
         self.ticket.wait()
     }
 }

@@ -1,0 +1,251 @@
+//! The metric registry: named, labeled families rendered in Prometheus
+//! text exposition format.
+//!
+//! Resolution (`counter`/`gauge`/`histogram`) takes a short mutex
+//! section and returns a clonable handle; callers resolve once at
+//! construction and record lock-free thereafter. Families and series
+//! live in `BTreeMap`s so [`Registry::render`] output is sorted and
+//! byte-stable — the exposition snapshot test pins it.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: String,
+    /// Series keyed by their rendered `{label="value",...}` block
+    /// (empty string = no labels).
+    series: BTreeMap<String, Series>,
+}
+
+/// A registry of metric families. Create one per system instance and
+/// thread `Arc<Registry>` through the layers that register metrics.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render a label set as `{k="v",...}`, empty string for no labels.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Format a float the way the exposition format expects: integers
+/// without a trailing `.0`, everything else via shortest-round-trip.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+        pick: impl Fn(&Series) -> Option<T>,
+    ) -> T {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
+        let series = family.series.entry(label_block(labels)).or_insert_with(make);
+        pick(series)
+            .unwrap_or_else(|| panic!("metric {name} already registered as a {}", series.kind()))
+    }
+
+    /// Resolve (or create) a counter series. Counters should be named
+    /// `*_total` per Prometheus convention; the registry does not
+    /// rename.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Series::Counter(Counter::default()),
+            |s| match s {
+                Series::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolve (or create) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Series::Gauge(Gauge::default()),
+            |s| match s {
+                Series::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolve (or create) a histogram series recording raw values that
+    /// render scaled by `scale` (use `1e-9` for nanosecond timings
+    /// rendered as seconds, `1.0` for dimensionless values).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        scale: f64,
+    ) -> Histogram {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            || Series::Histogram(Histogram::with_scale(scale)),
+            |s| match s {
+                Series::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// `(label block, observation count, raw sum)` per series of a
+    /// histogram family — the structured read path benchmarks use to
+    /// report stage means without parsing exposition text.
+    pub fn histogram_stats(&self, name: &str) -> Vec<(String, u64, u64)> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .series
+            .iter()
+            .filter_map(|(labels, s)| match s {
+                Series::Histogram(h) => Some((labels.clone(), h.count(), h.sum_raw())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render every family in Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, histograms with cumulative
+    /// `_bucket{le=...}` plus `_sum` and `_count`). Families and series
+    /// render in sorted order, so equal registry contents render to
+    /// equal bytes.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let kind = match family.series.values().next() {
+                Some(s) => s.kind(),
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, series) in family.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{labels} {}", fmt_value(g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        render_histogram(&mut out, name, labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One histogram series: cumulative buckets up to the last non-empty
+/// one, the `+Inf` bucket, then `_sum` and `_count`. Trailing empty
+/// buckets are elided (the cumulative `+Inf` line carries their
+/// information), which keeps a 44-bucket histogram's exposition
+/// readable.
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let last = counts.iter().rposition(|&c| c > 0).map(|i| i + 1).unwrap_or(0);
+    // Splice `le` into a possibly-present label block.
+    let with_le = |le: &str| {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+        }
+    };
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(last) {
+        cum += c;
+        let _ = writeln!(out, "{name}_bucket{} {cum}", with_le(&format!("{}", h.bucket_bound(i))));
+    }
+    let total: u64 = counts.iter().sum();
+    let _ = writeln!(out, "{name}_bucket{} {total}", with_le("+Inf"));
+    let _ = writeln!(out, "{name}_sum{labels} {}", h.sum_raw() as f64 * h.scale());
+    let _ = writeln!(out, "{name}_count{labels} {total}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolving_twice_returns_the_same_series() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[("t", "a")]);
+        let b = r.counter("x_total", "x", &[("t", "a")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", "x", &[]);
+        let _ = r.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let _ = r.counter("c_total", "c", &[("q", "a\"b\\c\nd")]);
+        assert!(r.render().contains("c_total{q=\"a\\\"b\\\\c\\nd\"} 0"));
+    }
+}

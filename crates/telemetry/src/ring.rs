@@ -1,0 +1,78 @@
+//! A bounded FIFO ring of structured trace events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Bounded event ring: pushing beyond capacity drops the oldest
+/// events. Writers batch — the driver pushes one job's worth of reuse
+/// decisions in a single [`TraceRing::extend`] — so the mutex is taken
+/// once per job, never once per event, and never inside the lock-free
+/// match probe itself.
+pub struct TraceRing<T> {
+    cap: usize,
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T: Clone> TraceRing<T> {
+    pub fn new(cap: usize) -> Self {
+        TraceRing { cap: cap.max(1), inner: Mutex::new(VecDeque::new()) }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn push(&self, event: T) {
+        self.extend(std::iter::once(event));
+    }
+
+    /// Append a batch, evicting from the front to stay within capacity.
+    pub fn extend(&self, events: impl IntoIterator<Item = T>) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for e in events {
+            if q.len() == self.cap {
+                q.pop_front();
+            }
+            q.push_back(e);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// Copy out the events matching `pred`, oldest first.
+    pub fn snapshot_filtered(&self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let r = TraceRing::new(3);
+        r.extend([1, 2, 3, 4, 5]);
+        assert_eq!(r.snapshot(), vec![3, 4, 5]);
+        r.push(6);
+        assert_eq!(r.snapshot(), vec![4, 5, 6]);
+        assert_eq!(r.len(), 3);
+    }
+}

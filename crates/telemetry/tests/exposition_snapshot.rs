@@ -1,0 +1,61 @@
+//! Pins the Prometheus text exposition format byte-for-byte: family
+//! ordering, HELP/TYPE headers, label blocks, cumulative histogram
+//! buckets with trailing-empty elision, the `le` splice into existing
+//! label blocks, and integer-vs-float value formatting. Any render
+//! change must update this snapshot deliberately.
+
+use restore_telemetry::Registry;
+
+#[test]
+fn exposition_format_snapshot() {
+    let r = Registry::new();
+
+    let hits_a = r.counter("demo_hits_total", "Match hits", &[("tenant", "a")]);
+    hits_a.add(3);
+    let _hits_b = r.counter("demo_hits_total", "Match hits", &[("tenant", "b")]);
+
+    let lat = r.histogram("demo_latency", "Latency", &[], 1.0);
+    lat.record(1);
+    lat.record(2);
+    lat.record(1000);
+
+    let labeled = r.histogram("demo_match", "Labeled latency", &[("tenant", "t")], 1.0);
+    labeled.record(5);
+
+    let depth = r.gauge("demo_queue_depth", "Queue depth", &[]);
+    depth.set(2.5);
+
+    let expected = "\
+# HELP demo_hits_total Match hits
+# TYPE demo_hits_total counter
+demo_hits_total{tenant=\"a\"} 3
+demo_hits_total{tenant=\"b\"} 0
+# HELP demo_latency Latency
+# TYPE demo_latency histogram
+demo_latency_bucket{le=\"1\"} 1
+demo_latency_bucket{le=\"3\"} 2
+demo_latency_bucket{le=\"7\"} 2
+demo_latency_bucket{le=\"15\"} 2
+demo_latency_bucket{le=\"31\"} 2
+demo_latency_bucket{le=\"63\"} 2
+demo_latency_bucket{le=\"127\"} 2
+demo_latency_bucket{le=\"255\"} 2
+demo_latency_bucket{le=\"511\"} 2
+demo_latency_bucket{le=\"1023\"} 3
+demo_latency_bucket{le=\"+Inf\"} 3
+demo_latency_sum 1003
+demo_latency_count 3
+# HELP demo_match Labeled latency
+# TYPE demo_match histogram
+demo_match_bucket{tenant=\"t\",le=\"1\"} 0
+demo_match_bucket{tenant=\"t\",le=\"3\"} 0
+demo_match_bucket{tenant=\"t\",le=\"7\"} 1
+demo_match_bucket{tenant=\"t\",le=\"+Inf\"} 1
+demo_match_sum{tenant=\"t\"} 5
+demo_match_count{tenant=\"t\"} 1
+# HELP demo_queue_depth Queue depth
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2.5
+";
+    assert_eq!(r.render(), expected);
+}

@@ -1,0 +1,47 @@
+//! Concurrent recording is exact: relaxed ordering on the stripes and
+//! buckets never loses an update, because every record is an atomic RMW
+//! and totals are read at quiescence (after thread join, which gives
+//! the happens-before edge the relaxed stores themselves don't).
+
+use proptest::prelude::*;
+use restore_telemetry::{Counter, Histogram};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_counter_and_histogram_totals_are_exact(
+        threads in 1usize..9,
+        per_thread in 1usize..1200,
+        values in prop::collection::vec(0u64..1_000_000, 1..16),
+    ) {
+        let counter = Counter::default();
+        let hist = Histogram::with_scale(1.0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                let values = values.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        counter.inc();
+                        hist.record(values[(t + i) % values.len()]);
+                    }
+                });
+            }
+        });
+        let n = (threads * per_thread) as u64;
+        prop_assert_eq!(counter.get(), n);
+        prop_assert_eq!(hist.count(), n, "count derives from buckets, must equal records");
+        let mut expected_sum = 0u64;
+        for t in 0..threads {
+            for i in 0..per_thread {
+                expected_sum += values[(t + i) % values.len()];
+            }
+        }
+        prop_assert_eq!(hist.sum_raw(), expected_sum);
+        // The cumulative +Inf bucket equals the count by construction.
+        let buckets: u64 = hist.bucket_counts().iter().sum();
+        prop_assert_eq!(buckets, n);
+    }
+}

@@ -4,7 +4,8 @@
 //! Brings up a simulated cluster with a PigMix data set, starts a
 //! 4-worker service, and submits a mixed-tenant workload twice: the
 //! first round runs cold, the warm rerun is answered from each tenant's
-//! repository namespace. Prints per-tenant serving and repository stats.
+//! repository namespace. Prints per-tenant serving and repository stats
+//! plus an excerpt of the Prometheus-style metrics exposition.
 //!
 //! ```sh
 //! cargo run --example service_quickstart
@@ -95,6 +96,18 @@ fn main() {
             if t.repository.repository_entries == 1 { "y" } else { "ies" },
             t.repository.total_uses,
         );
+    }
+
+    // 5. The same picture as Prometheus text exposition (excerpt; run
+    //    the `metrics_tour` example for the full dump plus reuse traces).
+    let metrics = service.render_metrics();
+    println!("-- metrics excerpt --");
+    for line in metrics.lines().filter(|l| {
+        ["restore_match_hits_total", "restore_match_misses_total", "service_queue_depth"]
+            .iter()
+            .any(|p| l.starts_with(p))
+    }) {
+        println!("  {line}");
     }
 
     service.shutdown();
