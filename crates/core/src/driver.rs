@@ -1516,6 +1516,15 @@ impl ReStore {
     /// and records after it replay idempotently on top. No workflow
     /// drain is required — only per-namespace writer freezes.
     pub fn save_state(&self) -> String {
+        self.save_state_anchored().0
+    }
+
+    /// [`ReStore::save_state`] plus the anchor coordinates replication
+    /// needs: the journal seq the dump is anchored at and the lineage
+    /// token current while the capture lock was held. Reading both
+    /// under the same capture hold as the dump keeps a shipped base's
+    /// stamp consistent with its contents.
+    pub(crate) fn save_state_anchored(&self) -> (String, u64, u64) {
         // Serialize with delta captures: a delta drains dirty usage
         // into absolute-valued `note-use` records stamped *after* this
         // base's anchor; if that drain interleaved with this capture,
@@ -1525,6 +1534,7 @@ impl ReStore {
         // guarantee to the lazily drained ones.
         let _capture = self.journal.capture.lock();
         let seq = self.journal.seq();
+        let lineage = self.journal.lineage();
         let mut out = format!(
             "{}\ntick {}\ncand {}\nseq {}\n--config--\n{}",
             crate::state::V3_HEADER,
@@ -1540,7 +1550,7 @@ impl ReStore {
         for (name, space) in tenants {
             out.push_str(&self.save_space(&name, &space));
         }
-        out
+        (out, seq, lineage)
     }
 
     /// Capture an **incremental checkpoint**: every journal record
@@ -1563,6 +1573,15 @@ impl ReStore {
             ));
         }
         let _capture = self.journal.capture.lock();
+        self.flush_dirty_locked();
+        Ok(self.journal.cut())
+    }
+
+    /// Drain the lazily tracked state into journal records: per-space
+    /// `note-use` batches for entries whose reuse counters moved, and a
+    /// `counters` record when tick/cand advanced. Caller holds the
+    /// capture lock.
+    fn flush_dirty_locked(&self) {
         for (name, space) in self.all_spaces() {
             let uses = space.repo.drain_dirty_usage();
             self.journal.append_note_use(&name, &uses);
@@ -1571,7 +1590,44 @@ impl ReStore {
             self.tick.load(Ordering::SeqCst),
             self.cand_counter.load(Ordering::SeqCst),
         );
-        Ok(self.journal.cut())
+    }
+
+    /// Flush dirty state and seal the live lanes **without** consuming
+    /// the sealed queue: registered journal taps (replication) receive
+    /// the sealed segments, while the segments stay owned by the next
+    /// [`ReStore::save_state_delta`] — shipping never steals from the
+    /// checkpoint keeper. The replication pump calls this at every ship
+    /// cadence point.
+    pub(crate) fn flush_and_seal_journal(&self) -> Result<()> {
+        if !self.journal.enabled() {
+            return Err(Error::Other("journal shipping requires ReStore::enable_journal".into()));
+        }
+        let _capture = self.journal.capture.lock();
+        self.flush_dirty_locked();
+        self.journal.seal();
+        Ok(())
+    }
+
+    /// Replay records shipped from a replication primary, in the seq
+    /// order the caller established, then advance the journal seq past
+    /// `last_seq` so a later promotion continues the same sequence. The
+    /// journal is paused for the replay exactly as in
+    /// [`ReStore::recover`] — a standby must not re-record what its
+    /// primary already journaled.
+    pub(crate) fn replay_shipped(&self, records: Vec<Record>, last_seq: u64) -> Result<()> {
+        let _capture = self.journal.capture.lock();
+        let _pause = self.journal.pause();
+        for record in records {
+            self.apply_record(record)?;
+        }
+        self.journal.advance_seq(last_seq);
+        Ok(())
+    }
+
+    /// The session journal, for in-crate collaborators (replication
+    /// registers segment taps and reads seq/lineage through this).
+    pub(crate) fn journal_handle(&self) -> &Arc<Journal> {
+        &self.journal
     }
 
     /// Rebuild session state from a base checkpoint plus journal
@@ -1593,6 +1649,11 @@ impl ReStore {
         // Replay drives the normal mutation paths; pause the journal so
         // they do not re-record what they apply.
         let _pause = self.journal.pause();
+        // Recovery replaces state without journaling what it applies, so
+        // any replica tailing this session's record stream can no longer
+        // reconcile by seq — mark the lineage break (see
+        // [`crate::replication`]'s divergence rule).
+        self.journal.bump_lineage();
         let base_seq = self.load_state_inner(base)?;
         let mut torn_tail = None;
         // (seq, record, segment index, 1-based ordinal) — coordinates
@@ -1646,6 +1707,10 @@ impl ReStore {
             Record::Counters { tick, cand } => {
                 self.tick.store(tick, Ordering::SeqCst);
                 self.cand_counter.store(cand, Ordering::SeqCst);
+                // Replay runs with the journal paused, so the append-side
+                // dedup cache must be moved by hand or the next delta
+                // would re-emit this pair as a phantom record.
+                self.journal.sync_counters_cache(tick, cand);
             }
             Record::TenantCreate { space } => {
                 let _ = self.space_for(Some(&space));
@@ -1825,6 +1890,7 @@ impl ReStore {
         }
         self.tick.store(loaded.tick, Ordering::SeqCst);
         self.cand_counter.store(loaded.cand, Ordering::SeqCst);
+        self.journal.sync_counters_cache(loaded.tick, loaded.cand);
         // Sequence numbers stay monotonic across restores: never hand
         // out a seq a base checkpoint already covers.
         self.journal.advance_seq(loaded.seq);

@@ -220,7 +220,27 @@ pub(crate) struct Journal {
     /// Serializes delta captures (two concurrent captures would race
     /// on the dirty sets and segment hand-off).
     pub(crate) capture: Mutex<()>,
+    /// Lineage token: bumped whenever the session's state is replaced
+    /// wholesale *without* journaling what changed (recovery replay).
+    /// Replication stamps shipments with it so a standby can detect
+    /// that its primary rolled back underneath the record stream.
+    lineage: AtomicU64,
+    /// Segment taps, fired under the sealed-segments lock as each
+    /// segment seals — observers (replication) therefore see segments
+    /// in exactly the order recovery would replay them. A tap must not
+    /// append to or roll this journal (the lanes are locked while it
+    /// runs).
+    taps: Mutex<Vec<(u64, SegmentTap)>>,
+    tap_ids: AtomicU64,
 }
+
+/// A sealed-segment observer: called with the current lineage token and
+/// the full segment text (header included) as each segment seals.
+pub(crate) type SegmentTap = Arc<dyn Fn(u64, &str) + Send + Sync>;
+
+/// Handle for deregistering a [`SegmentTap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TapId(u64);
 
 impl Default for Journal {
     fn default() -> Self {
@@ -235,6 +255,9 @@ impl Default for Journal {
             captured_seq: AtomicU64::new(0),
             counters: Mutex::new((0, 0)),
             capture: Mutex::new(()),
+            lineage: AtomicU64::new(1),
+            taps: Mutex::new(Vec::new()),
+            tap_ids: AtomicU64::new(0),
         }
     }
 }
@@ -260,9 +283,30 @@ impl Journal {
     }
 
     /// Never hand out a sequence number at or below `to` again (called
-    /// when loading a base checkpoint that already covers them).
+    /// when loading a base checkpoint that already covers them, and
+    /// after recovery replays shipped or on-disk records). Records at
+    /// or below `to` are durable in the caller's base or segments by
+    /// definition, so the captured mark advances too — otherwise a
+    /// freshly recovered session with empty lanes would report `to`
+    /// records of phantom seq lag.
     pub(crate) fn advance_seq(&self, to: u64) {
         self.seq.fetch_max(to, SeqCst);
+        self.captured_seq.fetch_max(to, SeqCst);
+    }
+
+    /// Current lineage token (see [`Journal::bump_lineage`]).
+    pub(crate) fn lineage(&self) -> u64 {
+        self.lineage.load(SeqCst)
+    }
+
+    /// Mark a lineage break: the session's state was replaced by a
+    /// replay that did **not** journal what it applied (recovery), so a
+    /// downstream replica that was tailing the old record stream can no
+    /// longer reconcile by seq alone. Replication stamps every shipment
+    /// with the token; a mismatch at the standby is a typed divergence
+    /// that forces a full-base resync.
+    pub(crate) fn bump_lineage(&self) {
+        self.lineage.fetch_add(1, SeqCst);
     }
 
     /// Suspend recording for the guard's lifetime (journal replay).
@@ -324,8 +368,40 @@ impl Journal {
             }
         }
         if !seg.is_empty() {
-            self.sealed.lock().push(seg);
+            // Push and notify under one sealed-lock hold: concurrent
+            // rolls cannot reorder between the queue and the taps, so
+            // observers see segments in recovery order.
+            let mut sealed = self.sealed.lock();
+            let lineage = self.lineage();
+            for (_, tap) in self.taps.lock().iter() {
+                tap(lineage, &seg);
+            }
+            sealed.push(seg);
         }
+    }
+
+    /// Register a sealed-segment observer (see [`SegmentTap`]). The tap
+    /// sees every segment sealed from here on; segments sealed earlier
+    /// are invisible to it, which is why replication registers its tap
+    /// *before* capturing the anchoring base.
+    pub(crate) fn add_tap(&self, tap: SegmentTap) -> TapId {
+        let id = TapId(self.tap_ids.fetch_add(1, SeqCst) + 1);
+        self.taps.lock().push((id.0, tap));
+        id
+    }
+
+    pub(crate) fn remove_tap(&self, id: TapId) {
+        self.taps.lock().retain(|(tid, _)| *tid != id.0);
+    }
+
+    /// Seal the live lanes into a segment **without** consuming the
+    /// sealed queue or advancing the captured mark: the segment still
+    /// belongs to the next [`Journal::cut`] (the checkpoint keeper's
+    /// delta), while registered taps have already received a copy —
+    /// replication shipping and incremental checkpointing share the
+    /// same sealed segments without stealing from each other.
+    pub(crate) fn seal(&self) {
+        self.roll();
     }
 
     /// Seal the live lanes (if non-empty) and hand every sealed
@@ -369,6 +445,15 @@ impl Journal {
         }
         self.append_payload(0, &format!("counters {tick} {cand}\n"));
         true
+    }
+
+    /// Overwrite the `counters` dedup cache without appending. Replay
+    /// paths (state load, recovery, shipped-record replay) move
+    /// tick/cand with the journal paused; the cache must follow, or the
+    /// next delta capture would re-emit an unchanged pair as a phantom
+    /// record.
+    pub(crate) fn sync_counters_cache(&self, tick: u64, cand: u64) {
+        *self.counters.lock() = (tick, cand);
     }
 
     pub(crate) fn append_tenant_create(&self, space: &str) {
@@ -496,6 +581,34 @@ pub fn segment_boundaries(segment: &str) -> Vec<usize> {
         pos = end;
     }
     out
+}
+
+/// `(min_seq, max_seq, frames)` of a sealed segment, by walking frame
+/// headers only — no payload decode, no checksum. Lanes interleave
+/// inside a segment, so the first frame is not necessarily the lowest
+/// seq. `None` for a header-less or frame-less segment. Replication
+/// stamps shipments with the max (the standby's catch-up target)
+/// without paying for a decode the standby does anyway.
+pub(crate) fn segment_seq_span(segment: &str) -> Option<(u64, u64, usize)> {
+    let header_len = SEGMENT_HEADER.len() + 1;
+    if !segment.starts_with(SEGMENT_HEADER) || segment.len() < header_len {
+        return None;
+    }
+    let mut span: Option<(u64, u64, usize)> = None;
+    let mut pos = header_len;
+    while pos < segment.len() {
+        let (seq, len, _, body_start) = parse_frame_at(segment, pos)?;
+        let end = body_start + len;
+        if end > segment.len() {
+            return None;
+        }
+        span = Some(match span {
+            None => (seq, seq, 1),
+            Some((lo, hi, n)) => (lo.min(seq), hi.max(seq), n + 1),
+        });
+        pos = end;
+    }
+    span
 }
 
 /// Parse the frame header starting at `pos`; returns

@@ -30,6 +30,7 @@ pub mod pin;
 pub mod plan_text;
 pub mod provenance;
 pub mod rcu;
+pub mod replication;
 pub mod repository;
 pub mod rewriter;
 pub mod selector;
@@ -42,6 +43,9 @@ pub use obs::{ReuseDecision, ReuseTraceEvent};
 pub use pin::PinSet;
 pub use provenance::Provenance;
 pub use rcu::Rcu;
+pub use replication::{
+    InProcessLink, ReplicaSession, ReplicationError, ReplicationTransport, Replicator, Shipment,
+};
 pub use repository::{
     normalize_shards, FrozenRepo, MatchProbe, ProbedCandidate, RepoBatch, RepoEntry, RepoSnapshot,
     RepoStats, RepoView, Repository, MAX_REPO_SHARDS,

@@ -348,6 +348,30 @@ fn sharded_journal_replays_interleaved_lanes_byte_identically() {
     assert_eq!(warm.jobs_skipped, 1, "cross-shard-count replay must keep serving reuse");
 }
 
+/// Regression: `recover` advances the journal's allocation cursor to
+/// the last replayed seq but previously left the capture cursor at
+/// zero, so a freshly recovered session reported every replayed record
+/// as "uncaptured" — a phantom lag that never drained, because those
+/// records were never in the live lanes to begin with. Both cursors
+/// must land together.
+#[test]
+fn recover_leaves_no_phantom_seq_lag() {
+    let (shared, segments, _) = journaled_scenario();
+    let recovered = ReStore::new(engine_over(shared), ReStoreConfig::default());
+    let report = recovered.recover(V2_FIXTURE, &segments).unwrap();
+    assert!(report.records_applied > 0);
+    assert_eq!(
+        recovered.journal_seq_lag(),
+        0,
+        "replayed records were never buffered; recovery must not report them as lag"
+    );
+    // Resuming continuous checkpointing confirms it: the first delta
+    // after recovery is empty, not a ghost of the replayed stream.
+    recovered.enable_journal(JournalConfig::default());
+    assert_eq!(recovered.save_state_delta().unwrap(), Vec::<String>::new());
+    assert_eq!(recovered.journal_seq_lag(), 0);
+}
+
 #[test]
 fn journal_stats_track_recording() {
     let rs = ReStore::new(engine_over(dfs()), ReStoreConfig::default());

@@ -63,12 +63,14 @@
 mod obs;
 mod scheduler;
 mod service;
+mod standby;
 mod ticket;
 
 pub use service::{
     CheckpointConfig, CheckpointOutcome, CheckpointSet, RestoreService, ServiceConfig,
     ServiceStats, TenantServiceStats,
 };
+pub use standby::Standby;
 pub use ticket::SubmitHandle;
 
 /// Errors surfaced by the service layer.
@@ -90,6 +92,9 @@ pub enum ServiceError {
     CheckpointsNotEnabled,
     /// Compilation or execution of the query failed.
     Query(restore_common::Error),
+    /// Replication shipping, replay, or promotion failed (see
+    /// [`restore_core::ReplicationError`] for the divergence taxonomy).
+    Replication(restore_core::ReplicationError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -106,6 +111,7 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "incremental checkpoints not enabled: call checkpoint_begin first")
             }
             ServiceError::Query(e) => write!(f, "query failed: {e}"),
+            ServiceError::Replication(e) => write!(f, "replication failed: {e}"),
         }
     }
 }

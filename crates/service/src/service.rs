@@ -5,7 +5,10 @@ use crate::obs::ServiceObs;
 use crate::scheduler::{pick, tenant_key, QueuedWorkflow, SchedulerState};
 use crate::ticket::{SubmitHandle, Ticket};
 use crate::ServiceError;
-use restore_core::{JournalConfig, ReStore, ReStoreStats, RecoveryReport, ReuseTraceEvent};
+use restore_core::{
+    JournalConfig, ReStore, ReStoreStats, RecoveryReport, ReplicationError, ReplicationTransport,
+    Replicator, ReuseTraceEvent,
+};
 use restore_dataflow::CompiledWorkflow;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -129,6 +132,30 @@ struct Shared {
     idle: Condvar,
 }
 
+/// Attached standby links (see [`RestoreService::attach_standby`]).
+/// Workers pump every link after each completed workflow, so the ship
+/// cadence tracks the mutation rate without a dedicated timer thread.
+#[derive(Default)]
+struct ReplicationHub {
+    replicators: Mutex<Vec<Replicator>>,
+}
+
+impl ReplicationHub {
+    /// Cheap empty probe so the per-completion pump costs one lock-free
+    /// branch when no standby is attached.
+    fn attached(&self) -> usize {
+        self.replicators.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// One shipping beat on every attached link; links whose transport
+    /// closed (the standby promoted or went away) are detached — their
+    /// journal tap goes with them.
+    fn pump_all(&self) {
+        let mut reps = self.replicators.lock().unwrap_or_else(|e| e.into_inner());
+        reps.retain(|r| !matches!(r.pump(), Err(ReplicationError::Disconnected)));
+    }
+}
+
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, SchedulerState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
@@ -150,6 +177,9 @@ pub struct RestoreService {
     /// Continuous-checkpoint state; `None` until
     /// [`RestoreService::checkpoint_begin`].
     checkpoint: Mutex<Option<CheckpointKeeper>>,
+    /// Warm-standby links; empty until
+    /// [`RestoreService::attach_standby`].
+    replication: Arc<ReplicationHub>,
     /// Serving-pipeline instruments, registered in the driver session's
     /// registry (see [`crate::obs`]).
     obs: Arc<ServiceObs>,
@@ -169,13 +199,15 @@ impl RestoreService {
             idle: Condvar::new(),
         });
         let obs = Arc::new(ServiceObs::new(restore.registry()));
+        let replication = Arc::new(ReplicationHub::default());
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let restore = restore.clone();
                 let shared = shared.clone();
                 let cross = config.cross_workflow;
                 let obs = obs.clone();
-                std::thread::spawn(move || worker_loop(restore, shared, cross, obs))
+                let replication = replication.clone();
+                std::thread::spawn(move || worker_loop(restore, shared, cross, obs, replication))
             })
             .collect();
         RestoreService {
@@ -185,6 +217,7 @@ impl RestoreService {
             workers,
             quiesce: Mutex::new(()),
             checkpoint: Mutex::new(None),
+            replication,
             obs,
         }
     }
@@ -324,8 +357,66 @@ impl RestoreService {
     /// (or [`ReStore::save_state`], or a legacy v1 document): quiesce
     /// in-flight work, load the state into the driver, and resume.
     /// Queued submissions then execute against the restored state.
+    ///
+    /// In continuous-checkpoint mode the keeper is **rebased** exactly
+    /// as [`RestoreService::restore_incremental`] does: the load
+    /// replaces the session wholesale, so the pre-restore base and
+    /// buffered segments are discarded and a fresh base is anchored.
+    /// (The journaled `replace` record would keep the old lineage
+    /// *correct*, but every subsequent set would drag a full-state
+    /// record along — the rebase keeps checkpoint size proportional to
+    /// the restored state.)
     pub fn restore(&self, state: &str) -> Result<(), ServiceError> {
-        self.with_quiesced(|rs| rs.load_state(state)).map_err(ServiceError::Query)
+        // Keeper before quiesce: the same lock order as
+        // `restore_incremental`, so no capture can interleave between
+        // the state swap and the rebase.
+        let mut keeper = self.checkpoint.lock().unwrap_or_else(|e| e.into_inner());
+        self.with_quiesced(|rs| rs.load_state(state)).map_err(ServiceError::Query)?;
+        if let Some(k) = keeper.as_mut() {
+            // Discard records journaled against the replaced lineage
+            // (including the just-appended `replace`), then anchor.
+            let _ = self.restore.save_state_delta();
+            k.base = self.restore.save_state();
+            k.segments.clear();
+            k.journal_bytes = 0;
+        }
+        Ok(())
+    }
+
+    /// Attach a warm standby behind `transport`: the driver's journal
+    /// is enabled if it was off, an anchoring base ships immediately,
+    /// and from here every sealed journal segment is forwarded — the
+    /// worker pool pumps a shipping beat after each completed workflow.
+    /// The receiving side is a [`crate::Standby`] (same process) or any
+    /// [`restore_core::ReplicaSession`] tailing the transport's far
+    /// end. Detach by closing the transport.
+    pub fn attach_standby(
+        &self,
+        transport: Arc<dyn ReplicationTransport>,
+    ) -> Result<(), ServiceError> {
+        let replicator = Replicator::attach(self.restore.clone(), transport)
+            .map_err(ServiceError::Replication)?;
+        self.replication.replicators.lock().unwrap_or_else(|e| e.into_inner()).push(replicator);
+        Ok(())
+    }
+
+    /// Ship a replication beat on every attached link right now,
+    /// without waiting for the next workflow completion (flush cadence
+    /// control, deterministic tests).
+    pub fn ship_now(&self) {
+        self.replication.pump_all();
+    }
+
+    /// Standby links currently attached.
+    pub fn standby_count(&self) -> usize {
+        self.replication.attached()
+    }
+
+    /// Records journaled but not yet shipped, maximized over attached
+    /// links (0 with no standby attached).
+    pub fn replication_lag_records(&self) -> u64 {
+        let reps = self.replication.replicators.lock().unwrap_or_else(|e| e.into_inner());
+        reps.iter().map(|r| r.lag_records()).max().unwrap_or(0)
     }
 
     /// Switch the service into **continuous-checkpoint mode**: enable
@@ -618,6 +709,28 @@ impl RestoreService {
                 );
             }
         }
+        // Replication gauges: one shipping-state sample per scrape. The
+        // rate families (`restore_replication_lag_seconds`,
+        // `restore_replication_records_shipped_total`,
+        // `restore_replica_resyncs_total`) stream in through the
+        // registry as shipping runs.
+        {
+            let reps = self.replication.replicators.lock().unwrap_or_else(|e| e.into_inner());
+            if !reps.is_empty() {
+                g(
+                    "restore_replication_standbys",
+                    "Standby links currently attached",
+                    &[],
+                    reps.len() as f64,
+                );
+                g(
+                    "restore_replication_lag_records",
+                    "Records journaled but not yet shipped (max over links)",
+                    &[],
+                    reps.iter().map(|r| r.lag_records()).max().unwrap_or(0) as f64,
+                );
+            }
+        }
         // Per-namespace repository gauges from one consistent cut.
         for (tenant, stats) in self.restore.stats_all() {
             let t = tenant.as_str();
@@ -691,6 +804,7 @@ fn worker_loop(
     shared: Arc<Shared>,
     cross_workflow: bool,
     obs: Arc<ServiceObs>,
+    replication: Arc<ReplicationHub>,
 ) {
     // A workflow that writes a repository-registered path is a
     // scheduling barrier: reuse rewriting could make any other workflow
@@ -750,6 +864,12 @@ fn worker_loop(
         // waiting worker, and `drain` may be watching.
         shared.work.notify_all();
         shared.idle.notify_all();
+        // Ship the workflow's journal records to attached standbys
+        // before completing the ticket, so a caller that observed the
+        // completion knows the records are at least in flight.
+        if replication.attached() > 0 {
+            replication.pump_all();
+        }
         ticket.complete(result);
     }
 }

@@ -175,6 +175,86 @@ fn restore_rebases_the_checkpoint_keeper() {
     );
 }
 
+/// Regression: the **legacy full-snapshot** `restore()` must rebase the
+/// checkpoint keeper exactly like `restore_incremental` does. It used
+/// to leave the pre-restore base and segments in place, so the next
+/// `checkpoint_set()` spliced the old lineage under post-restore
+/// deltas — a set that silently resurrected rolled-back state.
+#[test]
+fn legacy_restore_rebases_the_checkpoint_keeper() {
+    let dfs = shared_dfs();
+    let svc = service_over(dfs.clone(), 2);
+    svc.checkpoint_begin(CheckpointConfig::default());
+
+    // Epoch 1: work captured in a *full* snapshot.
+    svc.submit(Some("ana"), &queries::l3("/out/lr/e1"), "/wf/lr/e1").unwrap().wait().unwrap();
+    let full = svc.snapshot();
+
+    // Epoch 2: diverge under continuous checkpointing…
+    svc.submit(Some("bo"), &queries::l8("/out/lr/e2"), "/wf/lr/e2").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+
+    // …then roll back to epoch 1 through the legacy path.
+    svc.restore(&full).expect("full-snapshot restore");
+
+    // Epoch 3: new work on the restored lineage. The set taken now must
+    // reproduce the live session — no epoch-2 residue, no stale base.
+    svc.submit(Some("ana"), &queries::l3("/out/lr/e3"), "/wf/lr/e3").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+    let set = svc.checkpoint_set().unwrap();
+    let reference = svc.driver().save_state();
+
+    let resumed = service_over(dfs, 1);
+    resumed.restore_incremental(&set).expect("recovery");
+    assert_eq!(
+        resumed.driver().save_state(),
+        reference,
+        "snapshot restore must rebase the keeper like restore_incremental"
+    );
+}
+
+/// Crash **mid-compaction**: a fold writes `keeper.base` and then
+/// clears the segment list; a process dying between the two persists a
+/// fresh base still carrying the pre-fold segments. Sequence anchoring
+/// makes that splice harmless — every stale record is at or below the
+/// new base's anchor, so recovery skips them all and lands on the same
+/// state as the uninterrupted set.
+#[test]
+fn crash_between_fold_and_segment_clear_recovers_identically() {
+    let dfs = shared_dfs();
+    let svc = service_over(dfs.clone(), 2);
+    // Default ratio: no fold triggers on its own, so the segment list
+    // below is exactly what a fold would find (and fail to clear).
+    svc.checkpoint_begin(CheckpointConfig::default());
+
+    svc.submit(Some("ana"), &queries::l3("/out/mc/e1"), "/wf/mc/e1").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+    svc.submit(Some("bo"), &queries::l8("/out/mc/e2"), "/wf/mc/e2").unwrap().wait().unwrap();
+    svc.drain();
+    svc.checkpoint_incremental().unwrap();
+    let pre_fold = svc.checkpoint_set().unwrap();
+    assert!(!pre_fold.segments.is_empty(), "the splice needs stale segments to carry");
+
+    // The torn artifact: the fold's fresh base has been written, the
+    // old segments have not been cleared.
+    let fresh_base = svc.driver().save_state();
+    let spliced =
+        restore_service::CheckpointSet { base: fresh_base.clone(), segments: pre_fold.segments };
+
+    let interrupted = service_over(dfs, 1);
+    let report = interrupted.restore_incremental(&spliced).expect("spliced recovery");
+    assert_eq!(report.records_applied, 0, "every stale record sits at or below the fold anchor");
+    assert!(report.records_skipped > 0, "the splice must actually carry stale records");
+    assert_eq!(
+        interrupted.driver().save_state(),
+        fresh_base,
+        "a crash between fold and clear must not change the recovered state"
+    );
+}
+
 /// A tight compaction ratio folds the journal into a fresh base; the
 /// compacted set stays recoverable and keeps shrinking its segment
 /// list.

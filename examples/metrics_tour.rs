@@ -8,9 +8,13 @@
 //! 2. dumps the complete Prometheus text exposition from
 //!    [`RestoreService::render_metrics`] — match hit/miss/latency per
 //!    tenant and shard, per-stage pipeline timing, journal lanes,
-//!    checkpoint durations, scheduler depth, worker utilization, and
+//!    checkpoint durations, scheduler depth, worker utilization,
+//!    replication shipping (a warm standby tails the whole run), and
 //!    the RCU write counters that prove the match path publishes
-//!    nothing.
+//!    nothing;
+//! 3. prints the standby's replica-side replication families
+//!    (`restore_replica_*`), which live in the *standby's* registry —
+//!    a second process in a real deployment.
 //!
 //! ```sh
 //! cargo run --example metrics_tour
@@ -22,18 +26,18 @@
 //! [`RestoreService::trace`]: restore_suite::service::RestoreService::trace
 //! [`RestoreService::render_metrics`]: restore_suite::service::RestoreService::render_metrics
 
-use restore_suite::core::{ReStore, ReStoreConfig};
+use restore_suite::core::{InProcessLink, ReStore, ReStoreConfig};
 use restore_suite::dfs::{Dfs, DfsConfig};
 use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 use restore_suite::pigmix::{datagen, queries, DataScale};
-use restore_suite::service::{CheckpointConfig, RestoreService, ServiceConfig};
+use restore_suite::service::{CheckpointConfig, RestoreService, ServiceConfig, Standby};
 
 fn main() {
     let dfs =
         Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
     datagen::generate(&dfs, &DataScale::tiny(), 0xF00D).expect("data generation");
     let engine = Engine::new(
-        dfs,
+        dfs.clone(),
         ClusterConfig::default(),
         EngineConfig { worker_threads: 2, default_reduce_tasks: 3 },
     );
@@ -45,6 +49,21 @@ fn main() {
     );
     service.checkpoint_begin(CheckpointConfig::default());
 
+    // A warm standby tails the run over an in-process link, so the
+    // replication families below carry real traffic. `attach_manual`
+    // keeps replay on this thread — the tour's output stays ordered.
+    let link = InProcessLink::new();
+    service.attach_standby(link.clone()).expect("standby attach");
+    let standby_engine = Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 3 },
+    );
+    let standby = Standby::attach_manual(
+        ReStore::new(standby_engine, ReStoreConfig { repo_shards, ..Default::default() }),
+        link,
+    );
+
     // Cold round: everything misses, the repository fills.
     for (q, wf) in
         [(queries::l3("/out/cold/l3"), "/wf/cold/l3"), (queries::l7("/out/cold/l7"), "/wf/cold/l7")]
@@ -55,6 +74,9 @@ fn main() {
     let warm = service.submit(Some("ana"), &queries::l7("/out/warm/l7"), "/wf/warm/l7").unwrap();
     let exec = warm.wait().expect("warm run");
     service.checkpoint_incremental().expect("delta capture");
+    service.ship_now();
+    let applied = standby.tail_all();
+    assert!(applied > 0, "the standby must have replayed the shipped stream");
 
     println!(
         "-- warm rerun: {} job(s) ran, {} skipped --",
@@ -68,6 +90,13 @@ fn main() {
 
     println!("-- prometheus exposition --");
     print!("{}", service.render_metrics());
+
+    println!("-- standby exposition (replica-side replication families) --");
+    for line in standby.replica().driver().registry().render().lines() {
+        if line.contains("restore_replica_") {
+            println!("{line}");
+        }
+    }
 
     service.shutdown();
 }

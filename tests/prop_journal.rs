@@ -5,6 +5,7 @@
 //! only shorten the segment being written.
 
 use proptest::prelude::*;
+use restore_suite::common::Error;
 use restore_suite::core::journal::segment_boundaries;
 use restore_suite::core::{JournalConfig, ReStore, ReStoreConfig};
 use restore_suite::dfs::{Dfs, DfsConfig};
@@ -94,6 +95,38 @@ fn scenario() -> &'static Scenario {
     })
 }
 
+/// Recovering from a base and **no segments at all** is the
+/// degenerate-but-legal cold path: nothing to replay, no torn tail,
+/// and the session equals a plain `load_state` of the base.
+#[test]
+fn recovery_with_no_segments_is_the_base() {
+    let s = scenario();
+    let rs = ReStore::new(engine_over(s.dfs.clone()), ReStoreConfig::default());
+    let report = rs.recover(&s.base, &[]).unwrap();
+    assert_eq!(report.records_applied, 0);
+    assert_eq!(report.records_skipped, 0);
+    assert!(report.torn_tail.is_none());
+    let fresh = ReStore::new(engine_over(s.dfs.clone()), ReStoreConfig::default());
+    fresh.load_state(&s.base).unwrap();
+    assert_eq!(rs.save_state(), fresh.save_state());
+}
+
+/// Degenerate segment bodies a crashed or buggy checkpoint store could
+/// hand back: empty, whitespace-only, prefixes of the segment header,
+/// a header followed by a torn or over-long frame, arbitrary printable
+/// junk.
+fn degenerate_segment() -> impl Strategy<Value = String> {
+    let header = "restore-journal v1";
+    prop_oneof![
+        Just(String::new()),
+        "[ \t\n]{1,8}",
+        (0..header.len() + 2).prop_map(move |n| format!("{header}\n")[..n].to_string()),
+        Just(format!("{header}\nr 7 12")),
+        Just(format!("{header}\nr 7 9999 0123456789abcdef\ntorn payload")),
+        "[ -~]{0,32}",
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -133,5 +166,58 @@ proptest! {
         let report = rs.recover(&s.base, &segments).unwrap();
         prop_assert!(report.torn_tail.is_none());
         prop_assert_eq!(&rs.save_state(), &s.expected[idx]);
+    }
+
+    /// A degenerate **final** segment — the only slot a crash can
+    /// damage arbitrarily — either recovers (reporting a torn tail for
+    /// any cut that isn't a clean header prefix) or fails with a typed
+    /// journal error. Never a panic, and the session left behind always
+    /// round-trips through save/load.
+    #[test]
+    fn degenerate_final_segment_reports_or_fails_typed(junk in degenerate_segment()) {
+        let s = scenario();
+        let mut segments = s.prior.clone();
+        segments.push(junk.clone());
+        let rs = ReStore::new(engine_over(s.dfs.clone()), ReStoreConfig::default());
+        match rs.recover(&s.base, &segments) {
+            Ok(report) => {
+                // Nothing decodable in the junk: the state is exactly
+                // the prior-segments prefix (boundary 0 of the final
+                // segment), and any short cut is called out as torn.
+                prop_assert_eq!(&rs.save_state(), &s.expected[0]);
+                let clean = junk == format!("{}\n", "restore-journal v1");
+                prop_assert_eq!(report.torn_tail.is_none(), clean, "junk {:?}", &junk);
+            }
+            Err(Error::Journal { segment, .. }) => {
+                prop_assert_eq!(segment, segments.len() - 1, "the junk segment is named");
+            }
+            Err(other) => prop_assert!(false, "expected a typed journal error, got {other:?}"),
+        }
+        let state = rs.save_state();
+        let reload = ReStore::new(engine_over(s.dfs.clone()), ReStoreConfig::default());
+        reload.load_state(&state).unwrap();
+        prop_assert_eq!(reload.save_state(), state);
+    }
+
+    /// The same junk in a **non-final** slot is corruption, not a crash
+    /// artifact: only a fully formed empty segment passes (holding zero
+    /// records); everything else is a typed error naming segment 0 —
+    /// never a torn-tail report, never a panic.
+    #[test]
+    fn degenerate_non_final_segment_fails_typed(junk in degenerate_segment()) {
+        let s = scenario();
+        let mut segments = vec![junk.clone()];
+        segments.extend(s.prior.iter().cloned());
+        segments.push(s.last.clone());
+        let rs = ReStore::new(engine_over(s.dfs.clone()), ReStoreConfig::default());
+        match rs.recover(&s.base, &segments) {
+            Ok(report) => {
+                prop_assert_eq!(&junk, &format!("{}\n", "restore-journal v1"));
+                prop_assert!(report.torn_tail.is_none());
+                prop_assert_eq!(&rs.save_state(), s.expected.last().unwrap());
+            }
+            Err(Error::Journal { segment, .. }) => prop_assert_eq!(segment, 0),
+            Err(other) => prop_assert!(false, "expected a typed journal error, got {other:?}"),
+        }
     }
 }
