@@ -52,7 +52,7 @@ use crate::rcu::Rcu;
 use crate::repository::{MatchProbe, RepoBatch, RepoOp, RepoSnapshot, RepoStats, Repository};
 use crate::rewriter::{apply_aliases, identity_copy, rewrite};
 use crate::selector::SelectionPolicy;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use restore_common::{Error, Result};
 use restore_dataflow::exec::{job_io, job_spec_for_plan};
 use restore_dataflow::mr_compiler::{CompiledWorkflow, WorkflowIoPaths};
@@ -110,6 +110,13 @@ pub struct ReStoreConfig {
     /// counts above [`crate::repository::MAX_REPO_SHARDS`] are a typed
     /// config error at decode time.
     pub repo_shards: usize,
+    /// What the serving layer does when a submission's execution fails:
+    /// retries with backoff, dead-lettering, and the per-tenant circuit
+    /// breaker (see [`crate::failure`]). The driver itself only
+    /// carries and persists the policy; enforcement lives in
+    /// `restore-service`. The default (fail-fast, breaker off) is the
+    /// exact behavior of earlier releases.
+    pub failure: crate::failure::FailurePolicy,
 }
 
 impl Default for ReStoreConfig {
@@ -123,6 +130,7 @@ impl Default for ReStoreConfig {
             register_final_outputs: true,
             wave_parallel: true,
             repo_shards: 1,
+            failure: crate::failure::FailurePolicy::default(),
         }
     }
 }
@@ -262,6 +270,10 @@ pub(crate) struct Space {
     /// driver creates; the detached placeholder `space_snapshot` hands
     /// out for unknown tenants records into the void.
     pub(crate) metrics: SpaceMetrics,
+    /// The namespace's dead-letter queue, always held in id order.
+    /// Mutations journal inside this lock so record order equals
+    /// application order (the same discipline repository batches use).
+    pub(crate) dlq: Mutex<Vec<crate::dlq::DlqEntry>>,
 }
 
 impl Space {
@@ -724,6 +736,80 @@ impl ReStore {
                 .config
                 .update_then(|c| *c = None, |_| self.journal.append_tenant_config(tenant, None));
         }
+    }
+
+    /// Park a failed submission in the tenant's dead-letter queue and
+    /// return the durable entry. The entry id is namespace-monotonic
+    /// (max + 1, so the queue is always in id order) and the put is
+    /// journaled inside the queue's lock — record order equals
+    /// application order, and the entry survives crash-recovery,
+    /// checkpoint compaction, and shipment to standbys.
+    pub fn dlq_put_as(
+        &self,
+        tenant: Option<&str>,
+        wf: CompiledWorkflow,
+        error: &str,
+        attempts: u32,
+    ) -> crate::dlq::DlqEntry {
+        let name = Self::normalize(tenant).unwrap_or("");
+        let space = self.space_for(tenant);
+        let mut q = space.dlq.lock();
+        let entry = crate::dlq::DlqEntry {
+            id: q.last().map_or(1, |e| e.id + 1),
+            attempts,
+            tick: self.tick.load(Ordering::SeqCst),
+            error: error.to_string(),
+            wf,
+        };
+        q.push(entry.clone());
+        self.journal.append_dlq_put(name, &entry);
+        entry
+    }
+
+    /// The tenant's dead-letter queue, in id (= arrival) order. An
+    /// unknown tenant has an empty queue.
+    pub fn dlq_entries_as(&self, tenant: Option<&str>) -> Vec<crate::dlq::DlqEntry> {
+        self.space_snapshot(tenant).dlq.lock().clone()
+    }
+
+    /// Remove entries by id from the tenant's dead-letter queue and
+    /// return the removed entries (unknown ids are skipped). The ack is
+    /// journaled — with exactly the ids actually removed — inside the
+    /// queue's lock, so replay never un-parks an entry twice.
+    pub fn dlq_ack_as(&self, tenant: Option<&str>, ids: &[u64]) -> Vec<crate::dlq::DlqEntry> {
+        let name = Self::normalize(tenant).unwrap_or("");
+        let space = self.space_snapshot(tenant);
+        let mut q = space.dlq.lock();
+        let mut removed = Vec::new();
+        q.retain(|e| {
+            if ids.contains(&e.id) {
+                removed.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if !removed.is_empty() {
+            let removed_ids: Vec<u64> = removed.iter().map(|e| e.id).collect();
+            self.journal.append_dlq_ack(name, &removed_ids);
+        }
+        removed
+    }
+
+    /// Depth of the tenant's dead-letter queue.
+    pub fn dlq_depth_as(&self, tenant: Option<&str>) -> usize {
+        self.space_snapshot(tenant).dlq.lock().len()
+    }
+
+    /// Dead-letter depth of **every** namespace (the default namespace
+    /// is named `""`), sorted by name — the telemetry scrape's view, so
+    /// `restore_dlq_depth` always reports every live namespace, zeros
+    /// included.
+    pub fn dlq_depths(&self) -> Vec<(String, usize)> {
+        let mut depths: Vec<(String, usize)> =
+            self.all_spaces().iter().map(|(n, s)| (n.clone(), s.dlq.lock().len())).collect();
+        depths.sort_by(|a, b| a.0.cmp(&b.0));
+        depths
     }
 
     /// Compile and execute a query text in the default namespace.
@@ -1537,7 +1623,7 @@ impl ReStore {
         let lineage = self.journal.lineage();
         let mut out = format!(
             "{}\ntick {}\ncand {}\nseq {}\n--config--\n{}",
-            crate::state::V3_HEADER,
+            crate::state::V4_HEADER,
             self.tick.load(Ordering::SeqCst),
             self.cand_counter.load(Ordering::SeqCst),
             seq,
@@ -1755,6 +1841,22 @@ impl ReStore {
             Record::ProvReplace { space, table } => {
                 self.space_for(Some(&space)).prov.store(table);
             }
+            Record::DlqPut { space, entry } => {
+                let sp = self.space_for(Some(&space));
+                let mut q = sp.dlq.lock();
+                // Keyed by id: a re-applied put replaces its own entry.
+                match q.iter_mut().find(|e| e.id == entry.id) {
+                    Some(slot) => *slot = entry,
+                    None => {
+                        q.push(entry);
+                        q.sort_by_key(|e| e.id);
+                    }
+                }
+            }
+            Record::DlqAck { space, ids } => {
+                let sp = self.space_for(Some(&space));
+                sp.dlq.lock().retain(|e| !ids.contains(&e.id));
+            }
             Record::Replace { state } => {
                 self.load_state_inner(&state)?;
             }
@@ -1816,19 +1918,24 @@ impl ReStore {
         out.push_str(&prov_text);
         out.push_str("--repository--\n");
         out.push_str(&repo_text);
+        let dlq = space.dlq.lock();
+        if !dlq.is_empty() {
+            out.push_str("--dlq--\n");
+            out.push_str(&crate::dlq::save(&dlq));
+        }
         out
     }
 
-    /// Restore a session serialized by [`ReStore::save_state`] (v3 or
-    /// the earlier v2) or by a pre-v2 release ([`ReStore::save_state_v1`]'s
+    /// Restore a session serialized by [`ReStore::save_state`] (v4 or
+    /// the earlier v2/v3) or by a pre-v2 release ([`ReStore::save_state_v1`]'s
     /// format). The DFS handle (and the stored output files in it) come
     /// from the engine this instance was built with.
     ///
-    /// A v2/v3 document replaces the whole session: global config, every
-    /// tenant namespace (existing tenant state is dropped), and the
-    /// counters. A v1 document predates tenant serialization and loads
-    /// into the default namespace only, leaving tenants and the global
-    /// config untouched.
+    /// A v2/v3/v4 document replaces the whole session: global config,
+    /// every tenant namespace (existing tenant state is dropped,
+    /// dead-letter queues included), and the counters. A v1 document
+    /// predates tenant serialization and loads into the default
+    /// namespace only, leaving tenants and the global config untouched.
     ///
     /// Call on a quiesced session (no workflows in flight) — the
     /// service's `restore` entry point arranges that. Malformed input
@@ -1857,12 +1964,14 @@ impl ReStore {
             self.space.prov.store(Provenance::default());
             self.space.repo.adopt(Repository::default());
             self.space.config.store(None);
+            *self.space.dlq.lock() = Vec::new();
             let mut tenants: HashMap<String, Arc<Space>> = HashMap::new();
             for sp in loaded.spaces {
                 if sp.name.is_empty() {
                     self.space.prov.store(sp.prov);
                     self.space.repo.adopt(sp.repo);
                     self.space.config.store(None);
+                    *self.space.dlq.lock() = sp.dlq;
                 } else {
                     // A restored tenant is sharded per its effective
                     // config: its own override when the document carries
@@ -1876,6 +1985,7 @@ impl ReStore {
                     space.prov.store(sp.prov);
                     space.repo.adopt(sp.repo);
                     space.config.store(sp.config);
+                    *space.dlq.lock() = sp.dlq;
                     tenants.insert(sp.name, space);
                 }
             }

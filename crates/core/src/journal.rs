@@ -26,6 +26,8 @@
 //! note-use <space:?>              + `use <id> <count> <last>` lines (absolute values)
 //! prov-batch <space:?>            + `path …` blocks / `forget <p:?>` lines, in order
 //! prov-replace <space:?>          + a full provenance table
+//! dlq-put <space:?>               + one `dead …` dead-letter entry (see [`crate::dlq`])
+//! dlq-ack <space:?>               + `ack <id>` lines (entries removed)
 //! replace                         + a full `restore-state` document
 //! ```
 //!
@@ -70,6 +72,7 @@
 //! service's checkpoint keeper does exactly that when the
 //! journal-to-base byte ratio crosses its threshold.
 
+use crate::dlq::DlqEntry;
 use crate::driver::ReStoreConfig;
 use crate::provenance::{self, Provenance};
 use crate::repository::{self, RepoOp};
@@ -144,6 +147,8 @@ pub(crate) enum Record {
     NoteUse { space: String, uses: Vec<(u64, u64, u64)> },
     ProvBatch { space: String, ops: Vec<ProvRecOp> },
     ProvReplace { space: String, table: Provenance },
+    DlqPut { space: String, entry: DlqEntry },
+    DlqAck { space: String, ids: Vec<u64> },
     Replace { state: String },
 }
 
@@ -539,6 +544,29 @@ impl Journal {
         }
     }
 
+    /// Journal one dead-letter put. Called inside the queue's lock, so
+    /// record order equals application order under racing puts.
+    pub(crate) fn append_dlq_put(&self, space: &str, entry: &DlqEntry) {
+        if !self.active() {
+            return;
+        }
+        let mut payload = format!("dlq-put {space:?}\n");
+        crate::dlq::encode_entry_into(&mut payload, entry);
+        self.append_payload(0, &payload);
+    }
+
+    /// Journal a dead-letter removal (redrive or purge) by entry id.
+    pub(crate) fn append_dlq_ack(&self, space: &str, ids: &[u64]) {
+        if !self.active() || ids.is_empty() {
+            return;
+        }
+        let mut payload = format!("dlq-ack {space:?}\n");
+        for id in ids {
+            payload.push_str(&format!("ack {id}\n"));
+        }
+        self.append_payload(0, &payload);
+    }
+
     pub(crate) fn append_replace(&self, state: &str) {
         if self.active() {
             self.append_payload(0, &format!("replace\n{state}"));
@@ -792,6 +820,29 @@ fn decode_payload(payload: &str) -> Result<Record, String> {
             let table =
                 Provenance::load(body).map_err(|e| format!("in prov-replace table: {e}"))?;
             Ok(Record::ProvReplace { space: space(arg)?, table })
+        }
+        "dlq-put" => {
+            let space = space(arg)?;
+            let mut lines = body.lines().peekable();
+            let entry = crate::dlq::parse_entry_lines(&mut lines)
+                .map_err(|e| format!("in dlq-put: {e}"))?
+                .ok_or("dlq-put record has no entry")?;
+            if let Some(line) = lines.next() {
+                return Err(format!("unexpected dlq-put line {line:?}"));
+            }
+            Ok(Record::DlqPut { space, entry })
+        }
+        "dlq-ack" => {
+            let space = space(arg)?;
+            let mut ids = Vec::new();
+            for line in body.lines() {
+                let id = line
+                    .strip_prefix("ack ")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad dlq-ack line {line:?}"))?;
+                ids.push(id);
+            }
+            Ok(Record::DlqAck { space, ids })
         }
         "replace" => Ok(Record::Replace { state: body.to_string() }),
         other => Err(format!("unknown record type {other:?}")),

@@ -21,8 +21,10 @@
 //! different times and chained through temporary files all match against
 //! the same canonical shapes.
 
+pub mod dlq;
 pub mod driver;
 pub mod enumerator;
+pub mod failure;
 pub mod journal;
 pub mod matcher;
 pub mod obs;
@@ -36,8 +38,10 @@ pub mod rewriter;
 pub mod selector;
 mod state;
 
+pub use dlq::DlqEntry;
 pub use driver::{footprints_conflict, QueryExecution, ReStore, ReStoreConfig, ReStoreStats};
 pub use enumerator::Heuristic;
+pub use failure::{FailureDisposition, FailurePolicy};
 pub use journal::{JournalConfig, JournalStats, RecoveryReport, TornTail};
 pub use obs::{ReuseDecision, ReuseTraceEvent};
 pub use pin::PinSet;

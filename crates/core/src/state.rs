@@ -1,6 +1,6 @@
 //! `restore-state` (de)serialization: the durable session format.
 //!
-//! Three wire versions exist:
+//! Four wire versions exist:
 //!
 //! * **v1** (legacy) — tick/cand counters plus the *default* namespace's
 //!   provenance and repository. Written by earlier releases; still
@@ -10,18 +10,26 @@
 //!   configuration, the counters, and **every** namespace (default and
 //!   per-tenant) with its repository, provenance table, and — when the
 //!   tenant carries a policy override — its `ReStoreConfig`.
-//! * **v3** (current) — v2 plus one `seq <n>` line after the counters:
+//! * **v3** (legacy) — v2 plus one `seq <n>` line after the counters:
 //!   the snapshot-journal sequence number the dump is anchored at (see
 //!   [`crate::journal`]). Recovery loads a v3 base and replays only
 //!   journal records with a later sequence number; v1/v2 documents
 //!   anchor at sequence 0, so *any* journal segment replays on top of
 //!   them. Everything else is identical to v2.
+//! * **v4** (current) — v3 plus the failure-policy configuration keys
+//!   (see [`crate::failure`]) and, per namespace, an optional `--dlq--`
+//!   section holding the tenant's dead-letter queue (see
+//!   [`crate::dlq`]; omitted when the queue is empty, so sessions that
+//!   never dead-letter dump identically to v3 modulo the header and
+//!   config keys). Earlier versions parse with the policy defaulted
+//!   and the queue empty.
 //!
 //! The format is line-oriented. Section headers are `--config--`,
-//! `--provenance--`, `--repository--`, and `--space "<tenant>"--` (the
-//! empty name is the default namespace); body lines never begin with
-//! `--`, so sections split unambiguously. Tenants are written in sorted
-//! order and config fields in a fixed order, which makes
+//! `--provenance--`, `--repository--`, `--dlq--`, and
+//! `--space "<tenant>"--` (the empty name is the default namespace);
+//! body lines never begin with `--`, so sections split unambiguously.
+//! Tenants are written in sorted order, config fields in a fixed
+//! order, and dead-letter entries in id order, which makes
 //! `save_state → load_state → save_state` byte-identical.
 //!
 //! Parse failures surface as [`Error::State`] carrying the 1-based line
@@ -30,6 +38,7 @@
 
 use crate::driver::ReStoreConfig;
 use crate::enumerator::Heuristic;
+use crate::failure::FailureDisposition;
 use crate::provenance::Provenance;
 use crate::repository::Repository;
 use restore_common::{Error, Result};
@@ -38,6 +47,7 @@ use restore_dataflow::physical::PhysicalOp;
 pub(crate) const V1_HEADER: &str = "restore-state v1";
 pub(crate) const V2_HEADER: &str = "restore-state v2";
 pub(crate) const V3_HEADER: &str = "restore-state v3";
+pub(crate) const V4_HEADER: &str = "restore-state v4";
 
 /// One deserialized namespace (`name == ""` is the default).
 pub(crate) struct LoadedSpace {
@@ -45,6 +55,8 @@ pub(crate) struct LoadedSpace {
     pub config: Option<ReStoreConfig>,
     pub prov: Provenance,
     pub repo: Repository,
+    /// The namespace's dead-letter queue (empty for pre-v4 documents).
+    pub dlq: Vec<crate::dlq::DlqEntry>,
 }
 
 /// A fully deserialized `restore-state` document.
@@ -86,6 +98,25 @@ fn heuristic_from(name: &str) -> Option<Heuristic> {
     }
 }
 
+fn disposition_name(d: FailureDisposition) -> &'static str {
+    match d {
+        FailureDisposition::FailFast => "fail_fast",
+        FailureDisposition::Retry => "retry",
+        FailureDisposition::Dlq => "dlq",
+        FailureDisposition::Drop => "drop",
+    }
+}
+
+fn disposition_from(name: &str) -> Option<FailureDisposition> {
+    match name {
+        "fail_fast" => Some(FailureDisposition::FailFast),
+        "retry" => Some(FailureDisposition::Retry),
+        "dlq" => Some(FailureDisposition::Dlq),
+        "drop" => Some(FailureDisposition::Drop),
+        _ => None,
+    }
+}
+
 /// Serialize a configuration as `key value` lines in fixed order (the
 /// fixed order is what makes re-saving a loaded state byte-identical).
 pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
@@ -97,7 +128,11 @@ pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
         "reuse_enabled {}\nheuristic {}\nrepo_prefix {:?}\ndelete_tmp {}\n\
          register_final_outputs {}\nwave_parallel {}\nstore_all {}\n\
          require_size_reduction {}\nrequire_time_benefit {}\nreload_read_bps {}\n\
-         eviction_window {}\ncheck_input_versions {}\nrepo_shards {}\n",
+         eviction_window {}\ncheck_input_versions {}\nrepo_shards {}\n\
+         on_failure {}\nmax_retries {}\nretry_backoff_base_ms {}\n\
+         retry_backoff_factor {}\nretry_backoff_cap_ms {}\nretry_backoff_jitter {}\n\
+         failure_window {}\nfailure_threshold {}\nbreaker_cooldown_ms {}\n\
+         breaker_half_open_probes {}\nbreaker_success_threshold {}\n",
         c.reuse_enabled,
         heuristic_name(c.heuristic),
         c.repo_prefix,
@@ -111,6 +146,17 @@ pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
         window,
         c.selection.check_input_versions,
         c.repo_shards,
+        disposition_name(c.failure.on_failure),
+        c.failure.max_retries,
+        c.failure.retry_backoff_base_ms,
+        c.failure.retry_backoff_factor,
+        c.failure.retry_backoff_cap_ms,
+        c.failure.retry_backoff_jitter,
+        c.failure.failure_window,
+        c.failure.failure_threshold,
+        c.failure.breaker_cooldown_ms,
+        c.failure.breaker_half_open_probes,
+        c.failure.breaker_success_threshold,
     )
 }
 
@@ -163,6 +209,33 @@ pub(crate) fn decode_config(lines: &[&str], base: usize) -> Result<ReStoreConfig
                     )));
                 }
                 c.repo_shards = crate::repository::normalize_shards(n);
+            }
+            "on_failure" => c.failure.on_failure = disposition_from(value).ok_or_else(bad)?,
+            "max_retries" => c.failure.max_retries = value.parse().map_err(|_| bad())?,
+            "retry_backoff_base_ms" => {
+                c.failure.retry_backoff_base_ms = value.parse().map_err(|_| bad())?
+            }
+            "retry_backoff_factor" => {
+                c.failure.retry_backoff_factor = value.parse().map_err(|_| bad())?
+            }
+            "retry_backoff_cap_ms" => {
+                c.failure.retry_backoff_cap_ms = value.parse().map_err(|_| bad())?
+            }
+            "retry_backoff_jitter" => {
+                c.failure.retry_backoff_jitter = value.parse().map_err(|_| bad())?
+            }
+            "failure_window" => c.failure.failure_window = value.parse().map_err(|_| bad())?,
+            "failure_threshold" => {
+                c.failure.failure_threshold = value.parse().map_err(|_| bad())?
+            }
+            "breaker_cooldown_ms" => {
+                c.failure.breaker_cooldown_ms = value.parse().map_err(|_| bad())?
+            }
+            "breaker_half_open_probes" => {
+                c.failure.breaker_half_open_probes = value.parse().map_err(|_| bad())?
+            }
+            "breaker_success_threshold" => {
+                c.failure.breaker_success_threshold = value.parse().map_err(|_| bad())?
             }
             _ => return Err(err_at(at, format!("unknown config key {key:?}"))),
         }
@@ -247,11 +320,12 @@ pub(crate) fn parse(text: &str) -> Result<LoadedState> {
     match lines.first().copied() {
         Some(V1_HEADER) => parse_v1(&lines),
         Some(V2_HEADER) => parse_v2(&lines, false),
-        Some(V3_HEADER) => parse_v2(&lines, true),
+        Some(V3_HEADER) | Some(V4_HEADER) => parse_v2(&lines, true),
         other => Err(err_at(
             0,
             format!(
-                "expected \"{V1_HEADER}\", \"{V2_HEADER}\", or \"{V3_HEADER}\", got {:?}",
+                "expected \"{V1_HEADER}\", \"{V2_HEADER}\", \"{V3_HEADER}\", or \"{V4_HEADER}\", \
+                 got {:?}",
                 other.unwrap_or("<empty document>")
             ),
         )),
@@ -270,7 +344,13 @@ fn parse_v1(lines: &[&str]) -> Result<LoadedState> {
         cand,
         seq: 0,
         global_config: None,
-        spaces: vec![LoadedSpace { name: String::new(), config: None, prov, repo }],
+        spaces: vec![LoadedSpace {
+            name: String::new(),
+            config: None,
+            prov,
+            repo,
+            dlq: Vec::new(),
+        }],
     })
 }
 
@@ -312,7 +392,17 @@ fn parse_v2(lines: &[&str], with_seq: bool) -> Result<LoadedState> {
         };
         let (prov, repo, end) = parse_tables(lines, idx)?;
         idx = end;
-        spaces.push(LoadedSpace { name, config, prov, repo });
+        // Optional dead-letter queue (v4+; omitted when empty).
+        let dlq = if lines.get(idx).copied() == Some("--dlq--") {
+            let dend = body_end(lines, idx + 1);
+            let q = crate::dlq::load(&lines[idx + 1..dend].join("\n"))
+                .map_err(|e| err_at(idx, format!("in --dlq-- section: {e}")))?;
+            idx = dend;
+            q
+        } else {
+            Vec::new()
+        };
+        spaces.push(LoadedSpace { name, config, prov, repo, dlq });
     }
     Ok(LoadedState { tick, cand, seq, global_config, spaces })
 }
@@ -340,6 +430,19 @@ mod tests {
             register_final_outputs: false,
             wave_parallel: false,
             repo_shards: 8,
+            failure: crate::failure::FailurePolicy {
+                on_failure: FailureDisposition::Dlq,
+                max_retries: 3,
+                retry_backoff_base_ms: 10,
+                retry_backoff_factor: 1.5,
+                retry_backoff_cap_ms: 500,
+                retry_backoff_jitter: 0.25,
+                failure_window: 8,
+                failure_threshold: 5,
+                breaker_cooldown_ms: 750,
+                breaker_half_open_probes: 1,
+                breaker_success_threshold: 3,
+            },
         };
         let text = encode_config(&config);
         let lines: Vec<&str> = text.lines().collect();

@@ -126,9 +126,9 @@ fn journaled_scenario() -> (Dfs, Vec<String>, String) {
 }
 
 #[test]
-fn v2_fixture_plus_journal_equals_fresh_v3_dump_byte_identically() {
+fn v2_fixture_plus_journal_equals_fresh_v4_dump_byte_identically() {
     let (shared, segments, reference) = journaled_scenario();
-    assert!(reference.starts_with("restore-state v3\n"));
+    assert!(reference.starts_with("restore-state v4\n"));
     assert!(!segments.is_empty());
 
     let recovered = ReStore::new(engine_over(shared), ReStoreConfig::default());
@@ -159,9 +159,9 @@ fn recovered_session_serves_warm_hits() {
 }
 
 #[test]
-fn v3_base_skips_records_it_already_covers() {
+fn v4_base_skips_records_it_already_covers() {
     let (shared, segments, reference) = journaled_scenario();
-    // The reference dump is itself a v3 base anchored past every
+    // The reference dump is itself a v4 base anchored past every
     // record; replaying the full journal over it must skip everything
     // and land on the same bytes.
     let recovered = ReStore::new(engine_over(shared), ReStoreConfig::default());

@@ -21,7 +21,7 @@ use restore_common::{Error, Result};
 use std::collections::{BTreeSet, HashMap};
 
 /// One MapReduce job: its physical plan and workflow dependencies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledJob {
     pub plan: PhysicalPlan,
     /// Indices of jobs this one depends on.
@@ -29,7 +29,7 @@ pub struct CompiledJob {
 }
 
 /// A compiled workflow of MapReduce jobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledWorkflow {
     pub jobs: Vec<CompiledJob>,
     /// Paths of the temporary inter-job files (deleted after execution by

@@ -60,12 +60,17 @@
 //!
 //! [`CompiledWorkflow::io_path_sets`]: restore_dataflow::CompiledWorkflow::io_path_sets
 
+mod dlq;
+mod failure;
 mod obs;
 mod scheduler;
 mod service;
 mod standby;
 mod ticket;
 
+pub use dlq::RedriveOutcome;
+pub use failure::FaultInjector;
+pub use restore_core::{DlqEntry, FailureDisposition, FailurePolicy};
 pub use service::{
     CheckpointConfig, CheckpointOutcome, CheckpointSet, RestoreService, ServiceConfig,
     ServiceStats, TenantServiceStats,
@@ -85,6 +90,15 @@ pub enum ServiceError {
     /// The tenant already has `max_inflight` workflows queued or
     /// running.
     TenantOverloaded { tenant: String, max_inflight: usize },
+    /// The tenant's circuit breaker is open (too many recent failures,
+    /// see [`restore_core::FailurePolicy`]): the submission was shed
+    /// before queueing, without consuming a worker slot. Retry after
+    /// the tenant's cooldown; half-open probes re-test health
+    /// automatically.
+    CircuitOpen {
+        /// Tenant key (empty string = the default namespace).
+        tenant: String,
+    },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
     /// [`RestoreService::checkpoint_incremental`] was called before
@@ -105,6 +119,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::TenantOverloaded { tenant, max_inflight } => {
                 write!(f, "tenant {tenant:?} at its in-flight limit ({max_inflight})")
+            }
+            ServiceError::CircuitOpen { tenant } => {
+                write!(f, "tenant {tenant:?} circuit breaker open: submission shed")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::CheckpointsNotEnabled => {

@@ -1,6 +1,7 @@
 //! Cross-workflow scheduling state: the bounded queue, the in-flight
 //! set, and the conflict-aware pick rule.
 
+use crate::failure::TenantFailureState;
 use crate::ticket::Ticket;
 use restore_core::footprints_conflict;
 use restore_dataflow::{CompiledWorkflow, WorkflowIoPaths};
@@ -18,6 +19,17 @@ pub(crate) struct QueuedWorkflow {
     /// When the submission entered the queue (feeds the queue-wait
     /// histogram at dispatch).
     pub enqueued: Instant,
+    /// Execution attempts already consumed (0 = never dispatched; a
+    /// retry re-enters the queue with this bumped).
+    pub attempt: u32,
+    /// Backoff deadline: the entry is not dispatchable before this
+    /// instant (`None` = immediately runnable). A waiting entry still
+    /// holds its place in its conflict group — conflicting submissions
+    /// never overtake a backing-off retry.
+    pub not_before: Option<Instant>,
+    /// This submission is a half-open breaker probe; its outcome feeds
+    /// the breaker verdict instead of the sliding window.
+    pub probe: bool,
 }
 
 /// Per-tenant serving counters (the `""` key is the default namespace).
@@ -40,6 +52,9 @@ pub(crate) struct SchedulerState {
     /// Queued + running workflows per tenant key.
     pub tenant_load: HashMap<String, usize>,
     pub per_tenant: HashMap<String, TenantCounters>,
+    /// Per-tenant breaker + outcome window (created on first use for
+    /// tenants whose policy enables the breaker).
+    pub failure: HashMap<String, TenantFailureState>,
     pub paused: bool,
     pub shutdown: bool,
     pub submitted: u64,
@@ -73,6 +88,11 @@ pub(crate) fn tenant_key(tenant: Option<&str>) -> String {
 /// orders against everything: it dispatches only when nothing is in
 /// flight and nothing earlier waits, nothing overtakes it, and while it
 /// runs nothing else starts.
+/// A retry backing off (`not_before` in the future at `now`) is not
+/// dispatchable, but it keeps its place: its footprint joins the
+/// blocked set so conflicting later entries cannot overtake it, and a
+/// backing-off barrier still freezes everything behind it.
+///
 /// Returns `(queue index, is_barrier)`; the caller must use the
 /// returned verdict for its barrier accounting rather than re-probing
 /// (the probe reads driver state that mutates concurrently, so a second
@@ -81,6 +101,7 @@ pub(crate) fn tenant_key(tenant: Option<&str>) -> String {
 pub(crate) fn pick(
     state: &SchedulerState,
     cross_workflow: bool,
+    now: Instant,
     is_barrier: impl Fn(&QueuedWorkflow) -> bool,
 ) -> Option<(usize, bool)> {
     if state.inflight_barriers > 0 {
@@ -88,10 +109,11 @@ pub(crate) fn pick(
     }
     let mut blocked: Vec<&WorkflowIoPaths> = state.inflight.iter().map(|(_, f)| f).collect();
     for (i, q) in state.queue.iter().enumerate() {
+        let ready = q.not_before.is_none_or(|t| t <= now);
         if is_barrier(q) {
-            return if blocked.is_empty() { Some((i, true)) } else { None };
+            return if ready && blocked.is_empty() { Some((i, true)) } else { None };
         }
-        if blocked.iter().all(|b| !footprints_conflict(b, &q.footprint)) {
+        if ready && blocked.iter().all(|b| !footprints_conflict(b, &q.footprint)) {
             return Some((i, false));
         }
         if !cross_workflow {
@@ -100,6 +122,14 @@ pub(crate) fn pick(
         blocked.push(&q.footprint);
     }
     None
+}
+
+/// The earliest backoff deadline of any queued entry still in the
+/// future at `now` — how long a worker finding nothing runnable should
+/// bound its wait, so a retry whose delay expires without other
+/// activity still dispatches on time.
+pub(crate) fn next_ready_deadline(state: &SchedulerState, now: Instant) -> Option<Instant> {
+    state.queue.iter().filter_map(|q| q.not_before).filter(|t| *t > now).min()
 }
 
 #[cfg(test)]
@@ -122,6 +152,9 @@ mod tests {
             footprint,
             ticket: Arc::default(),
             enqueued: Instant::now(),
+            attempt: 0,
+            not_before: None,
+            probe: false,
         }
     }
 
@@ -130,8 +163,8 @@ mod tests {
         let mut st = SchedulerState::default();
         st.inflight.push((1, fp(&["/in/a"], &["/out/a"])));
         st.queue.push_back(queued(2, fp(&["/in/b"], &["/out/b"])));
-        assert_eq!(pick(&st, true, |_| false), Some((0, false)));
-        assert_eq!(pick(&st, false, |_| false), Some((0, false)));
+        assert_eq!(pick(&st, true, Instant::now(), |_| false), Some((0, false)));
+        assert_eq!(pick(&st, false, Instant::now(), |_| false), Some((0, false)));
     }
 
     #[test]
@@ -139,7 +172,7 @@ mod tests {
         let mut st = SchedulerState::default();
         st.inflight.push((1, fp(&["/in/a"], &["/out/a"])));
         st.queue.push_back(queued(2, fp(&["/out/a"], &["/out/b"])));
-        assert_eq!(pick(&st, true, |_| false), None);
+        assert_eq!(pick(&st, true, Instant::now(), |_| false), None);
     }
 
     #[test]
@@ -150,11 +183,15 @@ mod tests {
         st.queue.push_back(queued(2, fp(&["/out/a"], &["/out/b"])));
         st.queue.push_back(queued(3, fp(&["/in/c"], &["/out/c"])));
         assert_eq!(
-            pick(&st, true, |_| false),
+            pick(&st, true, Instant::now(), |_| false),
             Some((1, false)),
             "cross-workflow mode overtakes a blocked head"
         );
-        assert_eq!(pick(&st, false, |_| false), None, "strict FIFO waits for the head");
+        assert_eq!(
+            pick(&st, false, Instant::now(), |_| false),
+            None,
+            "strict FIFO waits for the head"
+        );
     }
 
     #[test]
@@ -166,13 +203,17 @@ mod tests {
         // in-flight workflow.
         st.queue.push_back(queued(2, fp(&["/out/a"], &["/out/b"])));
         st.queue.push_back(queued(3, fp(&[], &["/out/b"])));
-        assert_eq!(pick(&st, true, |_| false), None, "order within a conflict group is preserved");
+        assert_eq!(
+            pick(&st, true, Instant::now(), |_| false),
+            None,
+            "order within a conflict group is preserved"
+        );
     }
 
     #[test]
     fn empty_queue_picks_nothing() {
         let st = SchedulerState::default();
-        assert_eq!(pick(&st, true, |_| false), None);
+        assert_eq!(pick(&st, true, Instant::now(), |_| false), None);
     }
 
     #[test]
@@ -182,16 +223,16 @@ mod tests {
         let mut st = SchedulerState::default();
         st.queue.push_back(queued(9, fp(&[], &["/repo/x"])));
         st.queue.push_back(queued(2, fp(&[], &["/out/b"])));
-        assert_eq!(pick(&st, true, is_barrier), Some((0, true)));
+        assert_eq!(pick(&st, true, Instant::now(), is_barrier), Some((0, true)));
 
         // Anything in flight — even with a disjoint footprint — holds
         // the barrier back, and nothing overtakes it.
         st.inflight.push((1, fp(&[], &["/out/elsewhere"])));
-        assert_eq!(pick(&st, true, is_barrier), None);
+        assert_eq!(pick(&st, true, Instant::now(), is_barrier), None);
         st.inflight.clear();
 
         // An in-flight barrier freezes all dispatch.
         st.inflight_barriers = 1;
-        assert_eq!(pick(&st, true, |_| false), None);
+        assert_eq!(pick(&st, true, Instant::now(), |_| false), None);
     }
 }

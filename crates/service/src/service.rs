@@ -1,13 +1,14 @@
 //! The service object: admission control, the worker pool, and
 //! introspection.
 
+use crate::failure::{Admission, FaultInjector};
 use crate::obs::ServiceObs;
-use crate::scheduler::{pick, tenant_key, QueuedWorkflow, SchedulerState};
+use crate::scheduler::{next_ready_deadline, pick, tenant_key, QueuedWorkflow, SchedulerState};
 use crate::ticket::{SubmitHandle, Ticket};
 use crate::ServiceError;
 use restore_core::{
-    JournalConfig, ReStore, ReStoreStats, RecoveryReport, ReplicationError, ReplicationTransport,
-    Replicator, ReuseTraceEvent,
+    FailureDisposition, JournalConfig, ReStore, ReStoreStats, RecoveryReport, ReplicationError,
+    ReplicationTransport, Replicator, ReuseTraceEvent,
 };
 use restore_dataflow::CompiledWorkflow;
 use std::collections::HashMap;
@@ -130,6 +131,9 @@ struct Shared {
     work: Condvar,
     /// `drain` waiters park here until queue and in-flight are empty.
     idle: Condvar,
+    /// Deterministic fault injection on the execution path (see
+    /// [`FaultInjector`]); `None` in production.
+    fault: Mutex<Option<Arc<dyn FaultInjector>>>,
 }
 
 /// Attached standby links (see [`RestoreService::attach_standby`]).
@@ -181,8 +185,9 @@ pub struct RestoreService {
     /// [`RestoreService::attach_standby`].
     replication: Arc<ReplicationHub>,
     /// Serving-pipeline instruments, registered in the driver session's
-    /// registry (see [`crate::obs`]).
-    obs: Arc<ServiceObs>,
+    /// registry (see [`crate::obs`]). Crate-visible so the dead-letter
+    /// surface (see [`crate::dlq`]) counts redrives.
+    pub(crate) obs: Arc<ServiceObs>,
 }
 
 impl RestoreService {
@@ -197,6 +202,7 @@ impl RestoreService {
             state: Mutex::new(SchedulerState::default()),
             work: Condvar::new(),
             idle: Condvar::new(),
+            fault: Mutex::new(None),
         });
         let obs = Arc::new(ServiceObs::new(restore.registry()));
         let replication = Arc::new(ReplicationHub::default());
@@ -258,6 +264,9 @@ impl RestoreService {
         let tenant = tenant.filter(|t| !t.is_empty());
         let footprint = wf.io_path_sets();
         let key = tenant_key(tenant);
+        // Effective failure policy read before the scheduler lock (the
+        // driver read takes its own locks).
+        let policy = self.restore.config_as(tenant).failure;
         let mut st = self.shared.lock();
         if st.shutdown {
             return Err(ServiceError::ShuttingDown);
@@ -276,6 +285,24 @@ impl RestoreService {
                 max_inflight: self.config.max_inflight_per_tenant,
             });
         }
+        // The breaker is the last admission gate: a shed submission
+        // never reaches the queue, so a flapping tenant costs one map
+        // lookup per submission instead of a worker slot. While
+        // half-open, admitted submissions are probes whose outcomes
+        // decide recovery.
+        let probe = if policy.breaker_enabled() {
+            match st.failure.entry(key.clone()).or_default().admit(&policy, Instant::now()) {
+                Admission::Admit { probe } => probe,
+                Admission::Shed => {
+                    st.rejected += 1;
+                    st.per_tenant.entry(key.clone()).or_default().rejected += 1;
+                    self.obs.circuit_shed.inc();
+                    return Err(ServiceError::CircuitOpen { tenant: key });
+                }
+            }
+        } else {
+            false
+        };
         st.submitted += 1;
         let id = st.submitted;
         let counters = st.per_tenant.entry(key.clone()).or_default();
@@ -289,6 +316,9 @@ impl RestoreService {
             footprint,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
+            attempt: 0,
+            not_before: None,
+            probe,
         });
         drop(st);
         self.shared.work.notify_one();
@@ -552,6 +582,20 @@ impl RestoreService {
         self.restore.config_as(tenant)
     }
 
+    /// Install (`Some`) or remove (`None`) the deterministic
+    /// fault-injection hook: before each execution attempt the worker
+    /// consults the injector, and a `Some(reason)` verdict fails the
+    /// attempt with a `Job` error *before* the driver runs (no
+    /// repository or DFS state mutates). The failure then flows through
+    /// the tenant's [`restore_core::FailurePolicy`] exactly like a real
+    /// one — retries, dead-lettering, breaker accounting — which is the
+    /// point: failure-path tests and drills script exact schedules
+    /// keyed on (tenant, submission id, attempt). Takes effect for
+    /// attempts dispatched after the call.
+    pub fn set_fault_injector(&self, injector: Option<Arc<dyn FaultInjector>>) {
+        *self.shared.fault.lock().unwrap_or_else(|e| e.into_inner()) = injector;
+    }
+
     /// Service-level and per-tenant counters plus each tenant's
     /// repository statistics. The tenant list and counters come from one
     /// scheduler-lock section and the repository rows from one driver
@@ -655,6 +699,24 @@ impl RestoreService {
                     c.rejected as f64,
                 );
             }
+            for (tenant, fs) in st.failure.iter() {
+                g(
+                    "restore_circuit_state",
+                    "Circuit-breaker state (0 = closed, 1 = open, 2 = half-open)",
+                    &[("tenant", tenant.as_str())],
+                    fs.gauge(),
+                );
+            }
+        }
+        // Dead-letter depth for every live namespace, zeros included —
+        // an alert on depth > 0 must see the family exist beforehand.
+        for (tenant, depth) in self.restore.dlq_depths() {
+            g(
+                "restore_dlq_depth",
+                "Dead-letter queue depth",
+                &[("tenant", tenant.as_str())],
+                depth as f64,
+            );
         }
         // Journal gauges (lock-free stats reads plus brief lane peeks).
         let js = self.restore.journal_stats();
@@ -819,7 +881,7 @@ fn worker_loop(
                 }
                 if !st.paused {
                     let probe_t0 = Instant::now();
-                    let picked = pick(&st, cross_workflow, is_barrier);
+                    let picked = pick(&st, cross_workflow, Instant::now(), is_barrier);
                     obs.conflict_probe.record_elapsed(probe_t0);
                     if let Some((i, barrier)) = picked {
                         let entry = st.queue.remove(i).expect("picked index exists");
@@ -834,31 +896,113 @@ fn worker_loop(
                         obs.barrier_stalls.inc();
                     }
                 }
-                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                // A retry backing off wakes the pool by deadline; with
+                // none pending, sleep until a submission or completion
+                // notifies.
+                st = match next_ready_deadline(&st, Instant::now()) {
+                    Some(deadline) => {
+                        let wait = deadline.saturating_duration_since(Instant::now());
+                        shared.work.wait_timeout(st, wait).unwrap_or_else(|e| e.into_inner()).0
+                    }
+                    None => shared.work.wait(st).unwrap_or_else(|e| e.into_inner()),
+                };
             }
         };
-        let QueuedWorkflow { id, tenant, wf, ticket, enqueued, .. } = entry;
+        let QueuedWorkflow { id, tenant, wf, footprint, ticket, enqueued, attempt, probe, .. } =
+            entry;
         obs.queue_wait.record_elapsed(enqueued);
+        // The failure policy current at dispatch governs this attempt
+        // (a mid-flight policy change applies from the next attempt on).
+        let policy = restore.config_as(tenant.as_deref()).failure;
+        // Retry and dead-letter dispositions need the workflow back
+        // after execution consumes it; everyone else skips the clone.
+        let keep_wf =
+            (policy.retries() || policy.on_failure == FailureDisposition::Dlq).then(|| wf.clone());
+        let injected = {
+            let inj = shared.fault.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            inj.and_then(|i| i.inject(tenant.as_deref(), id, attempt))
+        };
         // Contain panics: a poisoned workflow must not kill the worker or
         // leave its footprint stuck in the in-flight set (which would
         // block every conflicting submission forever).
         let run_t0 = Instant::now();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            restore.execute_workflow_as(tenant.as_deref(), wf)
-        }))
-        .unwrap_or_else(|_| Err(restore_common::Error::Job("workflow execution panicked".into())))
-        .map_err(ServiceError::Query);
+        let result = match injected {
+            Some(reason) => Err(restore_common::Error::Job(reason)),
+            None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                restore.execute_workflow_as(tenant.as_deref(), wf)
+            }))
+            .unwrap_or_else(|payload| {
+                // Preserve the panic payload: "panicked: index out of
+                // bounds …" debugs; a bare "panicked" does not.
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    format!("workflow execution panicked: {s}")
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    format!("workflow execution panicked: {s}")
+                } else {
+                    "workflow execution panicked".to_string()
+                };
+                Err(restore_common::Error::Job(msg))
+            }),
+        };
         obs.worker_run.record_elapsed(run_t0);
+        let now = Instant::now();
+        let will_retry = result.is_err() && policy.retries() && attempt < policy.max_retries;
+        // Retries exhausted under the Dlq disposition: park the
+        // workflow durably *before* completing the ticket, so a waiter
+        // observing the error already finds the entry inspectable.
+        if result.is_err() && !will_retry && policy.on_failure == FailureDisposition::Dlq {
+            let why = result.as_ref().err().map(ToString::to_string).unwrap_or_default();
+            let parked = keep_wf.clone().expect("dlq disposition keeps the workflow");
+            restore.dlq_put_as(tenant.as_deref(), parked, &why, attempt + 1);
+            obs.dlq_puts.inc();
+        }
         {
             let mut st = shared.lock();
             st.inflight.retain(|(fid, _)| *fid != id);
             st.inflight_barriers -= usize::from(barrier);
             let key = tenant_key(tenant.as_deref());
-            if let Some(load) = st.tenant_load.get_mut(&key) {
-                *load = load.saturating_sub(1);
+            // Feed the breaker: probes always report (they decide the
+            // half-open verdict); ordinary outcomes feed the window
+            // except failures under Drop — a tenant declaring its
+            // traffic best-effort must not trip its own breaker.
+            let dropped_failure = result.is_err() && policy.on_failure == FailureDisposition::Drop;
+            if policy.breaker_enabled() && (probe || !dropped_failure) {
+                st.failure.entry(key.clone()).or_default().record(
+                    &policy,
+                    probe,
+                    result.is_err(),
+                    now,
+                );
             }
-            st.completed += 1;
-            st.per_tenant.entry(key).or_default().completed += 1;
+            if will_retry {
+                // Re-enqueue instead of sleeping on the worker: the
+                // slot frees immediately and the backoff delay runs on
+                // the queue. Same id (the ticket stays attached), probe
+                // cleared (the breaker already judged the probe by its
+                // first outcome above).
+                let next_attempt = attempt + 1;
+                st.queue.push_back(QueuedWorkflow {
+                    id,
+                    tenant: tenant.clone(),
+                    wf: keep_wf.clone().expect("retry disposition keeps the workflow"),
+                    footprint,
+                    ticket: ticket.clone(),
+                    enqueued: Instant::now(),
+                    attempt: next_attempt,
+                    not_before: Some(now + policy.backoff_for(next_attempt, id)),
+                    probe: false,
+                });
+                obs.retries.inc();
+                // tenant_load is untouched: the submission is still
+                // queued, so the tenant's in-flight cap keeps counting
+                // it.
+            } else {
+                if let Some(load) = st.tenant_load.get_mut(&key) {
+                    *load = load.saturating_sub(1);
+                }
+                st.completed += 1;
+                st.per_tenant.entry(key).or_default().completed += 1;
+            }
         }
         // A completion can unblock a conflicting queue entry for every
         // waiting worker, and `drain` may be watching.
@@ -870,6 +1014,8 @@ fn worker_loop(
         if replication.attached() > 0 {
             replication.pump_all();
         }
-        ticket.complete(result);
+        if !will_retry {
+            ticket.complete(result.map_err(ServiceError::Query));
+        }
     }
 }

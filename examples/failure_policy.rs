@@ -1,0 +1,149 @@
+//! The failure-policy engine on one page: a tenant starts flapping
+//! (every submission fails via an injected fault), bounded retries burn
+//! down, the exhausted submissions park in the tenant's journal-durable
+//! dead-letter queue, and the circuit breaker trips — subsequent
+//! submissions are shed with `CircuitOpen` before they reach the queue
+//! or a worker. Then the outage ends: the cooldown elapses, a half-open
+//! probe closes the breaker, and a `redrive` pushes the dead letters
+//! back through normal admission to completion.
+//!
+//! ```sh
+//! cargo run --example failure_policy
+//! ```
+//!
+//! CI smokes this example; the asserts are the contract.
+
+use restore_suite::core::{FailureDisposition, FailurePolicy, ReStore, ReStoreConfig};
+use restore_suite::dfs::{Dfs, DfsConfig};
+use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_suite::pigmix::{datagen, queries, DataScale};
+use restore_suite::service::{FaultInjector, RestoreService, ServiceConfig, ServiceError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic outage: every attempt for `tenant` fails until healed.
+struct Outage {
+    tenant: &'static str,
+    failing: AtomicBool,
+}
+
+impl FaultInjector for Outage {
+    fn inject(&self, tenant: Option<&str>, _submission: u64, attempt: u32) -> Option<String> {
+        (self.failing.load(Ordering::SeqCst) && tenant == Some(self.tenant))
+            .then(|| format!("injected outage (attempt {attempt})"))
+    }
+}
+
+fn main() {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
+    datagen::generate(&dfs, &DataScale::tiny(), 0xFA17).expect("datagen");
+    let engine = Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 3 },
+    );
+    let service = RestoreService::new(
+        ReStore::new(engine, ReStoreConfig::default()),
+        ServiceConfig { workers: 2, queue_depth: 64, ..Default::default() },
+    );
+
+    // 1. Tenant "flaky" opts into retries + dead-lettering + a breaker;
+    //    everyone else keeps the fail-fast default.
+    service.set_tenant_config(
+        Some("flaky"),
+        ReStoreConfig {
+            failure: FailurePolicy {
+                on_failure: FailureDisposition::Dlq,
+                max_retries: 1,
+                retry_backoff_base_ms: 5,
+                failure_window: 8,
+                failure_threshold: 3,
+                breaker_cooldown_ms: 200,
+                breaker_half_open_probes: 1,
+                breaker_success_threshold: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let outage = Arc::new(Outage { tenant: "flaky", failing: AtomicBool::new(true) });
+    service.set_fault_injector(Some(outage.clone()));
+
+    // 2. The outage: submissions fail, retry once, park in the DLQ.
+    println!("-- outage: every submission for \"flaky\" fails --");
+    for round in 0..2 {
+        let q = queries::l3(&format!("/out/flaky/r{round}"));
+        let err = service
+            .submit(Some("flaky"), &q, &format!("/wf/flaky/r{round}"))
+            .expect("admitted")
+            .wait()
+            .expect_err("the injected fault surfaces");
+        println!("   submission {round}: {err}");
+    }
+    let parked = service.dlq_entries(Some("flaky"));
+    println!("-- dead-letter queue: {} entries --", parked.len());
+    for e in &parked {
+        println!("   #{} after {} attempts: {}", e.id, e.attempts, e.error);
+    }
+    assert_eq!(parked.len(), 2, "both exhausted submissions parked");
+    assert!(parked.iter().all(|e| e.attempts == 2), "initial attempt + one retry each");
+
+    // 3. Four failed attempts crossed the threshold: the breaker is
+    //    open and submissions are shed before queueing.
+    match service.submit(Some("flaky"), &queries::l3("/out/flaky/shed"), "/wf/flaky/shed") {
+        Err(ServiceError::CircuitOpen { tenant }) => {
+            println!("-- breaker open: tenant {tenant:?} shed with CircuitOpen --");
+        }
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    // A healthy tenant is untouched by its neighbour's outage.
+    service
+        .submit(Some("steady"), &queries::l7("/out/steady/r0"), "/wf/steady/r0")
+        .expect("admitted")
+        .wait()
+        .expect("healthy tenant executes normally");
+    println!("-- healthy tenant \"steady\" served during the outage --");
+
+    // 4. The outage ends; after the cooldown the next submission is a
+    //    half-open probe whose success closes the breaker.
+    outage.failing.store(false, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(250));
+    service
+        .submit(Some("flaky"), &queries::l3("/out/flaky/probe"), "/wf/flaky/probe")
+        .expect("admitted as the half-open probe")
+        .wait()
+        .expect("probe succeeds");
+    println!("-- cooldown elapsed: half-open probe succeeded, breaker closed --");
+
+    // 5. Redrive: the dead letters re-enter normal admission and
+    //    complete; each entry is acked (journal-durably) on admission.
+    let outcome = service.redrive(Some("flaky"));
+    assert!(outcome.stopped.is_none(), "nothing blocked the redrive");
+    for h in outcome.admitted {
+        let exec = h.wait().expect("re-driven workflow completes");
+        println!(
+            "   re-driven workflow served at {} ({} job(s) answered from the repository)",
+            exec.final_output, exec.jobs_skipped
+        );
+    }
+    assert_eq!(service.dlq_depth(Some("flaky")), 0, "queue drained");
+    println!("-- dead-letter queue re-driven to empty --");
+
+    // 6. The whole episode is on the metrics surface.
+    let metrics = service.render_metrics();
+    for family in [
+        "restore_retries_total",
+        "restore_dlq_puts_total",
+        "restore_dlq_redrives_total",
+        "restore_circuit_shed_total",
+        "restore_circuit_state",
+        "restore_dlq_depth",
+    ] {
+        let line = metrics.lines().find(|l| l.starts_with(family)).expect("family present");
+        println!("   {line}");
+    }
+    service.shutdown();
+    println!("-- done --");
+}

@@ -26,11 +26,25 @@
 //! [`RestoreService::trace`]: restore_suite::service::RestoreService::trace
 //! [`RestoreService::render_metrics`]: restore_suite::service::RestoreService::render_metrics
 
-use restore_suite::core::{InProcessLink, ReStore, ReStoreConfig};
+use restore_suite::core::{
+    FailureDisposition, FailurePolicy, InProcessLink, ReStore, ReStoreConfig,
+};
 use restore_suite::dfs::{Dfs, DfsConfig};
 use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
 use restore_suite::pigmix::{datagen, queries, DataScale};
-use restore_suite::service::{CheckpointConfig, RestoreService, ServiceConfig, Standby};
+use restore_suite::service::{
+    CheckpointConfig, FaultInjector, RestoreService, ServiceConfig, ServiceError, Standby,
+};
+
+/// Injected outage for the tour's flaky tenant: every attempt fails,
+/// so the failure-policy families below carry real traffic.
+struct FlakyOutage;
+
+impl FaultInjector for FlakyOutage {
+    fn inject(&self, tenant: Option<&str>, _submission: u64, _attempt: u32) -> Option<String> {
+        (tenant == Some("flaky")).then(|| "injected outage".to_string())
+    }
+}
 
 fn main() {
     let dfs =
@@ -73,6 +87,41 @@ fn main() {
     // Warm rerun: answered from the repository.
     let warm = service.submit(Some("ana"), &queries::l7("/out/warm/l7"), "/wf/warm/l7").unwrap();
     let exec = warm.wait().expect("warm run");
+
+    // Failure-policy beat: a flaky tenant retries once, dead-letters
+    // the exhausted submission, and trips its breaker — populating
+    // `restore_retries_total`, `restore_dlq_depth{tenant="flaky"}`,
+    // and `restore_circuit_state{tenant="flaky"}`.
+    service.set_tenant_config(
+        Some("flaky"),
+        ReStoreConfig {
+            repo_shards,
+            failure: FailurePolicy {
+                on_failure: FailureDisposition::Dlq,
+                max_retries: 1,
+                retry_backoff_base_ms: 1,
+                failure_window: 4,
+                failure_threshold: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    service.set_fault_injector(Some(std::sync::Arc::new(FlakyOutage)));
+    service
+        .submit(Some("flaky"), &queries::l3("/out/flaky/l3"), "/wf/flaky/l3")
+        .expect("admitted")
+        .wait()
+        .expect_err("the injected outage exhausts the retry budget");
+    assert!(
+        matches!(
+            service.submit(Some("flaky"), &queries::l3("/out/flaky/shed"), "/wf/flaky/shed"),
+            Err(ServiceError::CircuitOpen { .. })
+        ),
+        "two failed attempts trip the breaker"
+    );
+    service.set_fault_injector(None);
+
     service.checkpoint_incremental().expect("delta capture");
     service.ship_now();
     let applied = standby.tail_all();
