@@ -40,15 +40,32 @@
 //! section and its §3 ordering scan walks the whole repository;
 //! striped, writers whose tip signatures hash to different shards
 //! insert fully in parallel against 8× shorter scans.
+//!
+//! A sixth arm, `paraphrase_reuse`, is the **analyzer** ablation:
+//! each round drives the paraphrased-PigMix suite (every query plus
+//! 3–5 semantically-equal rewrites) end-to-end through a fresh ReStore
+//! session with `ReStoreConfig::canonicalize` on vs off, asserting the
+//! warm-hit counts (on: every paraphrase served from the repository;
+//! off: none). The timing delta is the work reuse saves; the hit rates
+//! archive alongside in `BENCH_matching.json`.
+//!
+//! A seventh arm, `canon_compile`, prices the analyzer itself:
+//! `compile` vs `compile_canonical` over all suite formulations — the
+//! per-compile cost the canonical form adds to the submission path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parking_lot::RwLock;
-use restore_core::{MatchProbe, RepoStats, Repository};
+use restore_core::{MatchProbe, ReStore, ReStoreConfig, RepoStats, Repository};
 use restore_dataflow::expr::Expr;
 use restore_dataflow::physical::{PhysicalOp, PhysicalPlan};
+use restore_dfs::{Dfs, DfsConfig};
+use restore_mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_pigmix::paraphrase::paraphrase_suite;
+use restore_pigmix::{datagen, DataScale};
 use restore_telemetry::Registry;
 use std::collections::HashSet;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Queries per thread per measured round.
@@ -475,11 +492,91 @@ fn bench_matching_telemetry_overhead(c: &mut Criterion) {
     assert_eq!(hits.get() + misses.get(), probe_h.count(), "every query recorded exactly once");
 }
 
+/// Analyzer ablation: the paraphrased-PigMix suite end-to-end, one
+/// fresh session per round, `canonicalize` on vs off. Both arms pay
+/// for the cold originals; the delta is the 13 paraphrase executions
+/// the canonical form turns into repository hits. The arm *asserts*
+/// the hit counts it claims (on: all paraphrases; off: none), so the
+/// archived timings always describe the stated hit rates.
+fn bench_paraphrase_reuse(c: &mut Criterion) {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
+    datagen::generate(&dfs, &DataScale::tiny(), 0xF00D).expect("data generation");
+    let round = AtomicUsize::new(0);
+    let mut group = c.benchmark_group("paraphrase_reuse");
+    for (label, canonicalize) in [("analyzer_on", true), ("analyzer_off", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Fresh session (empty repository) per round; the shared
+                // DFS is read-only input data, outputs are round-unique.
+                let r = round.fetch_add(1, Ordering::Relaxed);
+                let engine = Engine::new(
+                    dfs.clone(),
+                    ClusterConfig::default(),
+                    EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
+                );
+                let restore =
+                    ReStore::new(engine, ReStoreConfig { canonicalize, ..Default::default() });
+                let mut hits = 0usize;
+                let mut total = 0usize;
+                for (ci, case) in paraphrase_suite(&format!("/out/pp/{r}")).iter().enumerate() {
+                    restore
+                        .execute_query(&case.original, &format!("/wf/pp/{r}/{ci}/o"))
+                        .expect("original runs");
+                    for (i, p) in case.paraphrases.iter().enumerate() {
+                        let e = restore
+                            .execute_query(p, &format!("/wf/pp/{r}/{ci}/p{i}"))
+                            .expect("paraphrase runs");
+                        total += 1;
+                        hits += (e.jobs_skipped > 0) as usize;
+                    }
+                }
+                assert_eq!(
+                    hits,
+                    if canonicalize { total } else { 0 },
+                    "paraphrase hit count must match the analyzer mode"
+                );
+                black_box(hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The analyzer's own price: `compile` vs `compile_canonical` over
+/// every formulation in the paraphrase suite — the added per-compile
+/// cost of buying the reuse measured by `paraphrase_reuse`.
+fn bench_canon_compile(c: &mut Criterion) {
+    let queries: Vec<String> = paraphrase_suite("/out/cc")
+        .into_iter()
+        .flat_map(|case| std::iter::once(case.original).chain(case.paraphrases))
+        .collect();
+    let mut group = c.benchmark_group("canon_compile");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(restore_dataflow::compile(q, "/wf").expect("compiles"));
+            }
+        });
+    });
+    group.bench_function("canonical", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(restore_dataflow::compile_canonical(q, "/wf").expect("compiles"));
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_matching,
     bench_matching_bulk,
     bench_matching_telemetry_overhead,
-    bench_insert_sharded
+    bench_insert_sharded,
+    bench_paraphrase_reuse,
+    bench_canon_compile
 );
 criterion_main!(benches);

@@ -117,6 +117,14 @@ pub struct ReStoreConfig {
     /// `restore-service`. The default (fail-fast, breaker off) is the
     /// exact behavior of earlier releases.
     pub failure: crate::failure::FailurePolicy,
+    /// Canonicalize every compiled plan through the analyzer pass
+    /// pipeline (`restore_dataflow::analyzer`) before matching, so
+    /// semantically-equal paraphrases — reordered conjunctions,
+    /// literal-first comparisons, swapped commutative operands,
+    /// repeated subqueries — hit the same repository entries. Default
+    /// on; turning it off takes the exact pre-analyzer compile path,
+    /// byte-identical to earlier releases.
+    pub canonicalize: bool,
 }
 
 impl Default for ReStoreConfig {
@@ -131,25 +139,27 @@ impl Default for ReStoreConfig {
             wave_parallel: true,
             repo_shards: 1,
             failure: crate::failure::FailurePolicy::default(),
+            canonicalize: true,
         }
     }
 }
 
 impl ReStoreConfig {
-    /// Plain Pig-on-Hadoop baseline: no reuse, no sub-jobs, temporary
-    /// files deleted after the workflow.
+    /// Plain Pig-on-Hadoop baseline: no reuse, no sub-jobs, no plan
+    /// canonicalization, temporary files deleted after the workflow.
     pub fn baseline() -> Self {
         ReStoreConfig {
             reuse_enabled: false,
             heuristic: Heuristic::None,
             delete_tmp: true,
+            canonicalize: false,
             ..Default::default()
         }
     }
 }
 
 /// Record of one applied rewrite.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RewriteEvent {
     /// Workflow job index that was rewritten.
     pub job: usize,
@@ -245,6 +255,12 @@ pub struct ReStore {
     /// Session observability: the metric registry, per-stage span
     /// histograms, and the reuse-decision trace ring (see [`crate::obs`]).
     obs: Obs,
+    /// Tenant keys (`""` = the default namespace) whose circuit breaker
+    /// was open at the last [`ReStore::note_breaker_state`] transition.
+    /// Journaled as `breaker-state` records, so a promoted warm standby
+    /// seeds its scheduler with the primary's open breakers instead of
+    /// admitting a thundering herd at a tenant that was shedding.
+    open_breakers: Mutex<std::collections::BTreeSet<String>>,
 }
 
 /// One isolated repository namespace: the §2.2 repository, its
@@ -377,6 +393,7 @@ impl ReStore {
             cand_counter: AtomicU64::new(0),
             journal: Arc::new(Journal::default()),
             obs,
+            open_breakers: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
@@ -738,6 +755,28 @@ impl ReStore {
         }
     }
 
+    /// Record a circuit-breaker transition for a tenant (`None` / `""`
+    /// = the default namespace): `open = true` when the breaker starts
+    /// shedding, `false` when it closes again. Deduplicated and
+    /// journaled inside the set's lock — record order equals
+    /// application order — so a warm standby replaying the journal
+    /// converges on the primary's open set and seeds it into its own
+    /// scheduler at promotion (see `RestoreService`).
+    pub fn note_breaker_state(&self, tenant: Option<&str>, open: bool) {
+        let key = Self::normalize(tenant).unwrap_or("");
+        let mut set = self.open_breakers.lock();
+        let changed = if open { set.insert(key.to_string()) } else { set.remove(key) };
+        if changed {
+            self.journal.append_breaker_state(key, open);
+        }
+    }
+
+    /// Tenant keys (`""` = the default namespace) whose breaker was
+    /// open at the last noted transition, sorted.
+    pub fn open_breaker_keys(&self) -> Vec<String> {
+        self.open_breakers.lock().iter().cloned().collect()
+    }
+
     /// Park a failed submission in the tenant's dead-letter queue and
     /// return the durable entry. The entry id is namespace-monotonic
     /// (max + 1, so the queue is always in id order) and the put is
@@ -753,6 +792,9 @@ impl ReStore {
     ) -> crate::dlq::DlqEntry {
         let name = Self::normalize(tenant).unwrap_or("");
         let space = self.space_for(tenant);
+        // Effective policy read before taking the queue lock (the
+        // config load is lock-free; no lock-order edge is created).
+        let policy = (*space.config.load()).clone().unwrap_or_else(|| self.config()).failure;
         let mut q = space.dlq.lock();
         let entry = crate::dlq::DlqEntry {
             id: q.last().map_or(1, |e| e.id + 1),
@@ -763,6 +805,28 @@ impl ReStore {
         };
         q.push(entry.clone());
         self.journal.append_dlq_put(name, &entry);
+        // Enforce the tenant's bounds while still holding the queue
+        // lock: age-expire first, then evict oldest past the size cap.
+        // Evictions are journaled as an ack *after* the put record, so
+        // replay converges on exactly this queue.
+        let mut evicted: Vec<u64> = Vec::new();
+        if policy.dlq_max_age_ticks > 0 {
+            let now = entry.tick;
+            q.retain(|e| {
+                if now.saturating_sub(e.tick) > policy.dlq_max_age_ticks {
+                    evicted.push(e.id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if policy.dlq_max_entries > 0 {
+            while q.len() > policy.dlq_max_entries {
+                evicted.push(q.remove(0).id);
+            }
+        }
+        self.journal.append_dlq_ack(name, &evicted);
         entry
     }
 
@@ -827,8 +891,34 @@ impl ReStore {
         text: &str,
         out_prefix: &str,
     ) -> Result<QueryExecution> {
-        let wf = self.obs.stage.compile.time(|| restore_dataflow::compile(text, out_prefix))?;
+        let wf = self.compile_as(tenant, text, out_prefix)?;
         self.execute_workflow_as(tenant, wf)
+    }
+
+    /// Compile query text under the tenant's **effective configuration**.
+    /// With [`ReStoreConfig::canonicalize`] on (the default) the
+    /// analyzer rewrites the lowered plan to canonical form before job
+    /// segmentation — semantically-equal paraphrases compile to the
+    /// same plans and signatures, so they hit the same repository
+    /// entries — and each pass's wall time lands in the
+    /// `restore_canon_stage_seconds` histogram family. With it off, the
+    /// compile path is byte-identical to earlier releases.
+    pub fn compile_as(
+        &self,
+        tenant: Option<&str>,
+        text: &str,
+        out_prefix: &str,
+    ) -> Result<CompiledWorkflow> {
+        let config = self.config_as(tenant);
+        self.obs.stage.compile.time(|| {
+            if config.canonicalize {
+                let (wf, timings) = restore_dataflow::compile_canonical(text, out_prefix)?;
+                self.obs.record_canon(&timings);
+                Ok(wf)
+            } else {
+                restore_dataflow::compile(text, out_prefix)
+            }
+        })
     }
 
     /// Execute a compiled workflow of MapReduce jobs through ReStore, in
@@ -1059,6 +1149,14 @@ impl ReStore {
     ) -> Result<Prepared> {
         let mut plan = wf.jobs[idx].plan.clone();
         apply_aliases(&mut plan, aliases);
+        // Re-canonicalize after alias rewriting: aliasing two Loads to
+        // the same reused path can expose common subtrees that did not
+        // exist at compile time. Idempotent, so a plan the compiler
+        // already canonicalized (and no alias touched) is unchanged.
+        if config.canonicalize {
+            let timings = restore_dataflow::analyzer::canonicalize_timed(&mut plan);
+            self.obs.record_canon(&timings);
+        }
 
         let mut job_rewrites = 0usize;
         if config.reuse_enabled {
@@ -1425,7 +1523,9 @@ impl ReStore {
         out_prefix: &str,
     ) -> Result<String> {
         let space = self.space_snapshot(tenant);
-        let wf = restore_dataflow::compile(text, out_prefix)?;
+        // Same compile the execution path would use, so the explanation
+        // sees exactly the (canonicalized or not) plans execution would.
+        let wf = self.compile_as(tenant, text, out_prefix)?;
         let mut report = String::new();
         {
             let repo = space.repo.view();
@@ -1623,7 +1723,7 @@ impl ReStore {
         let lineage = self.journal.lineage();
         let mut out = format!(
             "{}\ntick {}\ncand {}\nseq {}\n--config--\n{}",
-            crate::state::V4_HEADER,
+            crate::state::V5_HEADER,
             self.tick.load(Ordering::SeqCst),
             self.cand_counter.load(Ordering::SeqCst),
             seq,
@@ -1857,6 +1957,14 @@ impl ReStore {
                 let sp = self.space_for(Some(&space));
                 sp.dlq.lock().retain(|e| !ids.contains(&e.id));
             }
+            Record::BreakerState { space, open } => {
+                let mut set = self.open_breakers.lock();
+                if open {
+                    set.insert(space);
+                } else {
+                    set.remove(&space);
+                }
+            }
             Record::Replace { state } => {
                 self.load_state_inner(&state)?;
             }
@@ -1965,6 +2073,10 @@ impl ReStore {
             self.space.repo.adopt(Repository::default());
             self.space.config.store(None);
             *self.space.dlq.lock() = Vec::new();
+            // Breaker state is record-only (never part of a base dump):
+            // a full-session replace resets it; `breaker-state` records
+            // replayed after the base rebuild the open set.
+            self.open_breakers.lock().clear();
             let mut tenants: HashMap<String, Arc<Space>> = HashMap::new();
             for sp in loaded.spaces {
                 if sp.name.is_empty() {

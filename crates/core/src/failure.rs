@@ -78,6 +78,17 @@ pub struct FailurePolicy {
     pub breaker_half_open_probes: u32,
     /// Probe successes that close the breaker again.
     pub breaker_success_threshold: u32,
+    /// Upper bound on the tenant's dead-letter queue length. Admitting
+    /// a new entry past the cap evicts the oldest first; each eviction
+    /// is journaled as an ack so the cap survives recovery and
+    /// replicates to standbys. **0 disables the cap** (the default —
+    /// the unbounded behavior of earlier releases).
+    pub dlq_max_entries: usize,
+    /// Age bound on dead-letter entries, in driver ticks (the logical
+    /// query clock every entry is stamped with). Entries older than
+    /// this at admission time are expired with a journaled ack.
+    /// **0 disables expiry** (the default).
+    pub dlq_max_age_ticks: u64,
 }
 
 impl Default for FailurePolicy {
@@ -94,6 +105,8 @@ impl Default for FailurePolicy {
             breaker_cooldown_ms: 1_000,
             breaker_half_open_probes: 2,
             breaker_success_threshold: 2,
+            dlq_max_entries: 0,
+            dlq_max_age_ticks: 0,
         }
     }
 }

@@ -28,6 +28,7 @@
 //! prov-replace <space:?>          + a full provenance table
 //! dlq-put <space:?>               + one `dead …` dead-letter entry (see [`crate::dlq`])
 //! dlq-ack <space:?>               + `ack <id>` lines (entries removed)
+//! breaker-state <space:?> <open|closed>
 //! replace                         + a full `restore-state` document
 //! ```
 //!
@@ -149,6 +150,7 @@ pub(crate) enum Record {
     ProvReplace { space: String, table: Provenance },
     DlqPut { space: String, entry: DlqEntry },
     DlqAck { space: String, ids: Vec<u64> },
+    BreakerState { space: String, open: bool },
     Replace { state: String },
 }
 
@@ -567,6 +569,16 @@ impl Journal {
         self.append_payload(0, &payload);
     }
 
+    /// Journal a circuit-breaker transition for a tenant (`""` is the
+    /// default tenant), so a promoted standby inherits open breakers
+    /// instead of admitting a thundering herd at the failing tenant.
+    pub(crate) fn append_breaker_state(&self, space: &str, open: bool) {
+        if self.active() {
+            let state = if open { "open" } else { "closed" };
+            self.append_payload(0, &format!("breaker-state {space:?} {state}\n"));
+        }
+    }
+
     pub(crate) fn append_replace(&self, state: &str) {
         if self.active() {
             self.append_payload(0, &format!("replace\n{state}"));
@@ -844,6 +856,16 @@ fn decode_payload(payload: &str) -> Result<Record, String> {
             }
             Ok(Record::DlqAck { space, ids })
         }
+        "breaker-state" => {
+            let (name, state) =
+                arg.rsplit_once(' ').ok_or("breaker-state record needs a space and a state")?;
+            let open = match state {
+                "open" => true,
+                "closed" => false,
+                other => return Err(format!("bad breaker state {other:?}")),
+            };
+            Ok(Record::BreakerState { space: space(name)?, open })
+        }
         "replace" => Ok(Record::Replace { state: body.to_string() }),
         other => Err(format!("unknown record type {other:?}")),
     }
@@ -900,6 +922,23 @@ mod tests {
             }
             other => panic!("expected note-use, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn breaker_state_round_trips() {
+        let j = journal();
+        j.append_breaker_state("ana", true);
+        j.append_breaker_state("", false);
+        let seg = j.cut().pop().unwrap();
+        let (records, torn) = decode_segment(&seg, 0, true).unwrap();
+        assert!(torn.is_none());
+        assert_eq!(records.len(), 2);
+        assert!(
+            matches!(&records[0].1, Record::BreakerState { space, open: true } if space == "ana")
+        );
+        assert!(
+            matches!(&records[1].1, Record::BreakerState { space, open: false } if space.is_empty())
+        );
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub(crate) struct StageHists {
     pub execute: Histogram,
     /// Per wave: phase 3 (registration batch + publish).
     pub register: Histogram,
+    /// Per canonicalization sweep: analyzer pass latency, one series
+    /// per pass in [`restore_dataflow::analyzer::PASS_NAMES`] order.
+    pub canon: [Histogram; 3],
 }
 
 /// Span histograms inside one §3 match iteration.
@@ -139,6 +142,15 @@ impl Obs {
                 1e-9,
             )
         };
+        let canon_hist = |pass: &'static str| {
+            registry.histogram(
+                "restore_canon_stage_seconds",
+                "Analyzer canonicalization pass latency",
+                &[("pass", pass)],
+                1e-9,
+            )
+        };
+        let passes = restore_dataflow::analyzer::PASS_NAMES;
         Obs {
             stage: StageHists {
                 compile: stage_hist("compile"),
@@ -148,6 +160,7 @@ impl Obs {
                 rewrite: stage_hist("rewrite"),
                 execute: stage_hist("execute"),
                 register: stage_hist("register"),
+                canon: [canon_hist(passes[0]), canon_hist(passes[1]), canon_hist(passes[2])],
             },
             match_stage: MatchStageHists {
                 snapshot_load: match_hist("snapshot_load"),
@@ -157,6 +170,14 @@ impl Obs {
             },
             trace: TraceRing::new(TRACE_CAPACITY),
             registry,
+        }
+    }
+
+    /// Record one canonicalization sweep's per-pass wall time, as
+    /// returned by [`restore_dataflow::analyzer::canonicalize_timed`].
+    pub(crate) fn record_canon(&self, timings: &[(&'static str, std::time::Duration); 3]) {
+        for (hist, (_, d)) in self.stage.canon.iter().zip(timings) {
+            hist.record(d.as_nanos() as u64);
         }
     }
 }

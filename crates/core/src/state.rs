@@ -16,13 +16,18 @@
 //!   journal records with a later sequence number; v1/v2 documents
 //!   anchor at sequence 0, so *any* journal segment replays on top of
 //!   them. Everything else is identical to v2.
-//! * **v4** (current) — v3 plus the failure-policy configuration keys
+//! * **v4** (legacy) — v3 plus the failure-policy configuration keys
 //!   (see [`crate::failure`]) and, per namespace, an optional `--dlq--`
 //!   section holding the tenant's dead-letter queue (see
 //!   [`crate::dlq`]; omitted when the queue is empty, so sessions that
 //!   never dead-letter dump identically to v3 modulo the header and
 //!   config keys). Earlier versions parse with the policy defaulted
 //!   and the queue empty.
+//! * **v5** (current) — v4 plus three configuration keys: the
+//!   dead-letter queue caps `dlq_max_entries` / `dlq_max_age_ticks`
+//!   (0 = unbounded, the pre-v5 behavior) and `canonicalize` (the
+//!   analyzer toggle; v4-and-earlier documents load with it **on**,
+//!   the v5 default). The document structure is unchanged.
 //!
 //! The format is line-oriented. Section headers are `--config--`,
 //! `--provenance--`, `--repository--`, `--dlq--`, and
@@ -48,6 +53,7 @@ pub(crate) const V1_HEADER: &str = "restore-state v1";
 pub(crate) const V2_HEADER: &str = "restore-state v2";
 pub(crate) const V3_HEADER: &str = "restore-state v3";
 pub(crate) const V4_HEADER: &str = "restore-state v4";
+pub(crate) const V5_HEADER: &str = "restore-state v5";
 
 /// One deserialized namespace (`name == ""` is the default).
 pub(crate) struct LoadedSpace {
@@ -132,7 +138,8 @@ pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
          on_failure {}\nmax_retries {}\nretry_backoff_base_ms {}\n\
          retry_backoff_factor {}\nretry_backoff_cap_ms {}\nretry_backoff_jitter {}\n\
          failure_window {}\nfailure_threshold {}\nbreaker_cooldown_ms {}\n\
-         breaker_half_open_probes {}\nbreaker_success_threshold {}\n",
+         breaker_half_open_probes {}\nbreaker_success_threshold {}\n\
+         dlq_max_entries {}\ndlq_max_age_ticks {}\ncanonicalize {}\n",
         c.reuse_enabled,
         heuristic_name(c.heuristic),
         c.repo_prefix,
@@ -157,6 +164,9 @@ pub(crate) fn encode_config(c: &ReStoreConfig) -> String {
         c.failure.breaker_cooldown_ms,
         c.failure.breaker_half_open_probes,
         c.failure.breaker_success_threshold,
+        c.failure.dlq_max_entries,
+        c.failure.dlq_max_age_ticks,
+        c.canonicalize,
     )
 }
 
@@ -237,6 +247,11 @@ pub(crate) fn decode_config(lines: &[&str], base: usize) -> Result<ReStoreConfig
             "breaker_success_threshold" => {
                 c.failure.breaker_success_threshold = value.parse().map_err(|_| bad())?
             }
+            "dlq_max_entries" => c.failure.dlq_max_entries = value.parse().map_err(|_| bad())?,
+            "dlq_max_age_ticks" => {
+                c.failure.dlq_max_age_ticks = value.parse().map_err(|_| bad())?
+            }
+            "canonicalize" => c.canonicalize = parse_bool(value)?,
             _ => return Err(err_at(at, format!("unknown config key {key:?}"))),
         }
     }
@@ -320,12 +335,12 @@ pub(crate) fn parse(text: &str) -> Result<LoadedState> {
     match lines.first().copied() {
         Some(V1_HEADER) => parse_v1(&lines),
         Some(V2_HEADER) => parse_v2(&lines, false),
-        Some(V3_HEADER) | Some(V4_HEADER) => parse_v2(&lines, true),
+        Some(V3_HEADER) | Some(V4_HEADER) | Some(V5_HEADER) => parse_v2(&lines, true),
         other => Err(err_at(
             0,
             format!(
-                "expected \"{V1_HEADER}\", \"{V2_HEADER}\", \"{V3_HEADER}\", or \"{V4_HEADER}\", \
-                 got {:?}",
+                "expected \"{V1_HEADER}\", \"{V2_HEADER}\", \"{V3_HEADER}\", \"{V4_HEADER}\", \
+                 or \"{V5_HEADER}\", got {:?}",
                 other.unwrap_or("<empty document>")
             ),
         )),
@@ -442,7 +457,10 @@ mod tests {
                 breaker_cooldown_ms: 750,
                 breaker_half_open_probes: 1,
                 breaker_success_threshold: 3,
+                dlq_max_entries: 64,
+                dlq_max_age_ticks: 1000,
             },
+            canonicalize: false,
         };
         let text = encode_config(&config);
         let lines: Vec<&str> = text.lines().collect();
@@ -457,6 +475,16 @@ mod tests {
         let text = encode_config(&ReStoreConfig::default());
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(decode_config(&lines, 0).unwrap(), ReStoreConfig::default());
+    }
+
+    #[test]
+    fn pre_v5_documents_default_the_new_keys() {
+        // A config body without the v5 keys (any v4-or-earlier dump)
+        // loads with the analyzer on and the DLQ unbounded.
+        let back = decode_config(&["reuse_enabled true"], 0).unwrap();
+        assert!(back.canonicalize);
+        assert_eq!(back.failure.dlq_max_entries, 0);
+        assert_eq!(back.failure.dlq_max_age_ticks, 0);
     }
 
     #[test]

@@ -126,9 +126,9 @@ fn journaled_scenario() -> (Dfs, Vec<String>, String) {
 }
 
 #[test]
-fn v2_fixture_plus_journal_equals_fresh_v4_dump_byte_identically() {
+fn v2_fixture_plus_journal_equals_fresh_v5_dump_byte_identically() {
     let (shared, segments, reference) = journaled_scenario();
-    assert!(reference.starts_with("restore-state v4\n"));
+    assert!(reference.starts_with("restore-state v5\n"));
     assert!(!segments.is_empty());
 
     let recovered = ReStore::new(engine_over(shared), ReStoreConfig::default());

@@ -1,0 +1,124 @@
+//! Pass 3 — common-subplan extraction.
+//!
+//! Hash-cons the DAG: walking in topological order, a node whose
+//! (operator, mapped inputs) pair was already built reuses the earlier
+//! node instead of adding a new one, so a subquery spelled out twice
+//! becomes one shared subtree. The executor already fans a
+//! multi-consumer node's rows out to each consumer, and the MR
+//! compiler already merges shared fragments, so sharing is free
+//! downstream.
+//!
+//! Two kinds of node are never interned:
+//!
+//! * `Store` — two stores to the same path are still two stores;
+//!   materialization points keep their identity.
+//! * `Split` — a tee is pure plumbing; interning one would alias
+//!   unrelated consumer fans.
+//!
+//! **Duplicate-edge guard.** The executor identifies an upstream by
+//! *producer node*, so `Union(x, x)` delivers one copy of `x`'s rows,
+//! not two — a plan that *already* says `union A, A` means exactly
+//! that. But when interning turns two distinct (structurally equal)
+//! subtrees into the same node, a consumer's edge list would collapse
+//! the same way and silently halve its input. So any duplicate edge
+//! *introduced by this pass* is re-teed through a fresh `Split`: the
+//! consumer keeps two distinct producers and byte-identical input,
+//! while signatures stay canonical because both paraphrases (spelled
+//! out twice, or shared from the start) canonicalize to the same
+//! guarded shape. Pre-existing duplicate edges pass through untouched.
+
+use crate::physical::{NodeId, PhysicalOp, PhysicalPlan};
+use std::collections::HashMap;
+
+pub(super) fn run(plan: &mut PhysicalPlan) {
+    let mut out = PhysicalPlan::new();
+    let mut remap: Vec<Option<NodeId>> = vec![None; plan.len()];
+    let mut interned: HashMap<(PhysicalOp, Vec<NodeId>), NodeId> = HashMap::new();
+    for old in plan.topo_order() {
+        let node = plan.node(old).clone();
+        let mut mapped: Vec<NodeId> = node
+            .inputs
+            .iter()
+            .map(|i| remap[i.index()].expect("inputs precede in topo order"))
+            .collect();
+        for i in 1..mapped.len() {
+            if mapped[..i].contains(&mapped[i]) && !node.inputs[..i].contains(&node.inputs[i]) {
+                mapped[i] = out.add(PhysicalOp::Split, vec![mapped[i]]);
+            }
+        }
+        let new_id = match &node.op {
+            PhysicalOp::Store { .. } | PhysicalOp::Split => out.add(node.op.clone(), mapped),
+            op => *interned
+                .entry((op.clone(), mapped.clone()))
+                .or_insert_with(|| out.add(op.clone(), mapped.clone())),
+        };
+        remap[old.index()] = Some(new_id);
+    }
+    *plan = out;
+    // Interning can orphan the loser of each merge (and placement
+    // merges before us leave bypassed nodes behind); drop everything no
+    // Store can reach. A store-less plan has no liveness root — leave
+    // it whole.
+    if !plan.stores().is_empty() {
+        plan.gc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn identical_branches_intern_once() {
+        let mut p = PhysicalPlan::new();
+        let l1 = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
+        let f1 = p.add(PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) }, vec![l1]);
+        let l2 = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
+        let f2 = p.add(PhysicalOp::Filter { pred: Expr::col_eq(0, 1i64) }, vec![l2]);
+        let s1 = p.add(PhysicalOp::Store { path: "/a".into() }, vec![f1]);
+        let s2 = p.add(PhysicalOp::Store { path: "/b".into() }, vec![f2]);
+        let _ = (s1, s2);
+        run(&mut p);
+        assert_eq!(p.loads().len(), 1);
+        assert_eq!(p.stores().len(), 2, "stores are never interned");
+        let filters = p.ids().filter(|&i| matches!(p.op(i), PhysicalOp::Filter { .. })).count();
+        assert_eq!(filters, 1);
+    }
+
+    #[test]
+    fn introduced_duplicate_edge_gets_a_split() {
+        let mut p = PhysicalPlan::new();
+        let l1 = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
+        let l2 = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
+        let u = p.add(PhysicalOp::Union, vec![l1, l2]);
+        p.add(PhysicalOp::Store { path: "/o".into() }, vec![u]);
+        run(&mut p);
+        let u = p.ids().find(|&i| matches!(p.op(i), PhysicalOp::Union)).unwrap();
+        let ins = p.inputs(u).to_vec();
+        assert_ne!(ins[0], ins[1]);
+        assert!(matches!(p.op(ins[1]), PhysicalOp::Split));
+        assert_eq!(p.inputs(ins[1]), &[ins[0]]);
+    }
+
+    #[test]
+    fn explicit_duplicate_edge_is_preserved() {
+        let mut p = PhysicalPlan::new();
+        let l = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
+        let u = p.add(PhysicalOp::Union, vec![l, l]);
+        p.add(PhysicalOp::Store { path: "/o".into() }, vec![u]);
+        run(&mut p);
+        let u = p.ids().find(|&i| matches!(p.op(i), PhysicalOp::Union)).unwrap();
+        assert_eq!(p.inputs(u)[0], p.inputs(u)[1]);
+    }
+
+    #[test]
+    fn different_store_paths_stay_distinct() {
+        let mut p = PhysicalPlan::new();
+        let l = p.add(PhysicalOp::Load { path: "/d".into() }, vec![]);
+        p.add(PhysicalOp::Store { path: "/a".into() }, vec![l]);
+        p.add(PhysicalOp::Store { path: "/a".into() }, vec![l]);
+        run(&mut p);
+        assert_eq!(p.stores().len(), 2, "even same-path stores keep their identity");
+    }
+}

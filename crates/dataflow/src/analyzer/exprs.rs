@@ -1,0 +1,215 @@
+//! Pass 2 — expression normalization.
+//!
+//! Folds the freedoms scalar expressions leave a query author:
+//!
+//! * `AND`/`OR` chains flatten, and their legs sort by a deterministic
+//!   structural hash — but **only when every leg is total**. Reordering
+//!   legs never changes a boolean result (evaluated operands yield
+//!   plain truth values), but it can change *which* leg's error
+//!   surfaces or whether a short-circuit skips a failing leg, so chains
+//!   with fallible legs keep their order (the rebuild is then
+//!   byte-identical to plain right-association of the original order).
+//! * Comparisons put the literal on the right by mirroring the
+//!   operator (`5 < n` ⇒ `n > 5`). Both operands of a comparison are
+//!   always evaluated, so the flip is unconditionally sound.
+//! * `+` and `*` order their operands by the same structural hash when
+//!   both are total (IEEE addition and multiplication are commutative;
+//!   the int/double widening test is symmetric).
+//!
+//! Totality is judged conservatively: arithmetic and negation can
+//! error on non-numeric values, so any expression containing them is
+//! treated as fallible and left in author order.
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::physical::{PhysicalOp, PhysicalPlan};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+pub(super) fn run(plan: &mut PhysicalPlan) {
+    for id in plan.ids().collect::<Vec<_>>() {
+        match plan.op(id).clone() {
+            PhysicalOp::Filter { pred } => {
+                plan.node_mut(id).op = PhysicalOp::Filter { pred: normalize(&pred) };
+            }
+            PhysicalOp::MapExpr { exprs } => {
+                plan.node_mut(id).op =
+                    PhysicalOp::MapExpr { exprs: exprs.iter().map(normalize).collect() };
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Can evaluation never return an error, whatever the input tuple?
+/// (`eval` only fails inside arithmetic and negation; every other
+/// node is total whenever its children are.)
+fn is_total(e: &Expr) -> bool {
+    match e {
+        Expr::Col(_) | Expr::Lit(_) => true,
+        Expr::Arith(..) | Expr::Neg(_) => false,
+        Expr::Not(x) | Expr::IsNull(x, _) => is_total(x),
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Cmp(a, _, b) => is_total(a) && is_total(b),
+        Expr::Func(_, args) => args.iter().all(is_total),
+    }
+}
+
+/// Deterministic structural sort key (`DefaultHasher` is fixed-key, so
+/// the order is stable across processes and sessions).
+fn key(e: &Expr) -> u64 {
+    let mut h = DefaultHasher::new();
+    e.hash(&mut h);
+    h.finish()
+}
+
+fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::And(..) => rebuild_chain(e, true),
+        Expr::Or(..) => rebuild_chain(e, false),
+        Expr::Cmp(a, op, b) => {
+            let (a, b) = (normalize(a), normalize(b));
+            if matches!(a, Expr::Lit(_)) && !matches!(b, Expr::Lit(_)) {
+                Expr::Cmp(Box::new(b), mirror(*op), Box::new(a))
+            } else {
+                Expr::Cmp(Box::new(a), *op, Box::new(b))
+            }
+        }
+        Expr::Arith(a, op, b) if matches!(op, ArithOp::Add | ArithOp::Mul) => {
+            let (a, b) = (normalize(a), normalize(b));
+            if is_total(&a) && is_total(&b) && key(&a) > key(&b) {
+                Expr::Arith(Box::new(b), *op, Box::new(a))
+            } else {
+                Expr::Arith(Box::new(a), *op, Box::new(b))
+            }
+        }
+        Expr::Arith(a, op, b) => Expr::Arith(Box::new(normalize(a)), *op, Box::new(normalize(b))),
+        Expr::Not(x) => Expr::Not(Box::new(normalize(x))),
+        Expr::Neg(x) => Expr::Neg(Box::new(normalize(x))),
+        Expr::IsNull(x, w) => Expr::IsNull(Box::new(normalize(x)), *w),
+        Expr::Func(f, args) => Expr::Func(*f, args.iter().map(normalize).collect()),
+        Expr::Col(_) | Expr::Lit(_) => e.clone(),
+    }
+}
+
+/// Flatten a connective chain, normalize the legs, sort them when all
+/// are total, and rebuild right-associated. An unsorted rebuild
+/// preserves exact left-to-right short-circuit order, so it is always
+/// sound; only the sort needs the totality gate.
+fn rebuild_chain(e: &Expr, conj: bool) -> Expr {
+    let mut legs = Vec::new();
+    flatten(e, conj, &mut legs);
+    let mut legs: Vec<Expr> = legs.into_iter().map(normalize).collect();
+    if legs.iter().all(is_total) {
+        legs.sort_by_key(key); // stable: equal keys keep author order
+    }
+    let mut it = legs.into_iter().rev();
+    let mut acc = it.next().expect("a connective has at least two legs");
+    for l in it {
+        acc = if conj {
+            Expr::And(Box::new(l), Box::new(acc))
+        } else {
+            Expr::Or(Box::new(l), Box::new(acc))
+        };
+    }
+    acc
+}
+
+fn flatten<'a>(e: &'a Expr, conj: bool, out: &mut Vec<&'a Expr>) {
+    match (e, conj) {
+        (Expr::And(a, b), true) => {
+            flatten(a, true, out);
+            flatten(b, true, out);
+        }
+        (Expr::Or(a, b), false) => {
+            flatten(a, false, out);
+            flatten(b, false, out);
+        }
+        _ => out.push(e),
+    }
+}
+
+/// The comparison that holds after swapping the operands.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Neq => CmpOp::Neq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn and_legs_sort_regardless_of_nesting() {
+        let (x, y, z) = (Expr::col_eq(0, 1i64), Expr::col_eq(1, 2i64), Expr::col_eq(2, 3i64));
+        let left = and(and(x.clone(), y.clone()), z.clone());
+        let right = and(z, and(y, x));
+        assert_eq!(normalize(&left), normalize(&right));
+    }
+
+    #[test]
+    fn fallible_legs_keep_author_order() {
+        // `a / b == 1` can error on strings: its chain must not reorder.
+        let fallible = Expr::Cmp(
+            Box::new(Expr::Arith(Box::new(Expr::col(0)), ArithOp::Div, Box::new(Expr::col(1)))),
+            CmpOp::Eq,
+            Box::new(Expr::Lit(1i64.into())),
+        );
+        let total = Expr::col_eq(2, 3i64);
+        let e = and(fallible.clone(), total.clone());
+        assert_eq!(normalize(&e), and(fallible.clone(), total.clone()));
+        let e = and(total.clone(), fallible.clone());
+        assert_eq!(normalize(&e), and(total, fallible));
+    }
+
+    #[test]
+    fn literal_moves_right_with_mirrored_op() {
+        let e = Expr::Cmp(Box::new(Expr::Lit(5i64.into())), CmpOp::Le, Box::new(Expr::col(0)));
+        let want = Expr::Cmp(Box::new(Expr::col(0)), CmpOp::Ge, Box::new(Expr::Lit(5i64.into())));
+        assert_eq!(normalize(&e), want);
+        // Two literals stay put — there is no preferred side.
+        let ll = Expr::Cmp(
+            Box::new(Expr::Lit(1i64.into())),
+            CmpOp::Lt,
+            Box::new(Expr::Lit(2i64.into())),
+        );
+        assert_eq!(normalize(&ll), ll);
+    }
+
+    #[test]
+    fn add_orders_but_sub_does_not() {
+        let ab = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Add, Box::new(Expr::col(1)));
+        let ba = Expr::Arith(Box::new(Expr::col(1)), ArithOp::Add, Box::new(Expr::col(0)));
+        assert_eq!(normalize(&ab), normalize(&ba));
+        let sub = Expr::Arith(Box::new(Expr::col(1)), ArithOp::Sub, Box::new(Expr::col(0)));
+        assert_eq!(normalize(&sub), sub);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let exprs = vec![
+            and(
+                Expr::Or(Box::new(Expr::col_eq(3, 1i64)), Box::new(Expr::col_eq(0, 9i64))),
+                and(Expr::col_eq(2, 2i64), Expr::col_eq(1, 1i64)),
+            ),
+            Expr::Cmp(Box::new(Expr::Lit(5i64.into())), CmpOp::Lt, Box::new(Expr::col(0))),
+            Expr::Arith(
+                Box::new(Expr::Arith(Box::new(Expr::col(2)), ArithOp::Mul, Box::new(Expr::col(1)))),
+                ArithOp::Add,
+                Box::new(Expr::col(0)),
+            ),
+        ];
+        for e in exprs {
+            let once = normalize(&e);
+            assert_eq!(normalize(&once), once);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! exactly as the paper prescribes ("matching, sub-job enumeration, and
 //! enumerated sub-job selection are based on physical plans").
 
+pub mod analyzer;
 pub mod ast;
 pub mod dot;
 pub mod exec;
@@ -62,4 +63,37 @@ pub fn compile(query: &str, out_prefix: &str) -> Result<CompiledWorkflow> {
     let logical = optimizer::optimize(logical);
     let physical = lower::lower(&logical)?;
     mr_compiler::compile_plan(&physical, out_prefix)
+}
+
+/// Like [`compile`], but run the [`analyzer`]'s canonicalization passes
+/// over the lowered plan before segmenting it into jobs, so
+/// semantically-equal paraphrases compile to the same workflow. Also
+/// returns the per-pass wall time, in [`analyzer::PASS_NAMES`] order,
+/// for the driver's `restore_canon_stage_seconds` telemetry.
+///
+/// ```
+/// // A filter chain and the equivalent single conjunction compile to
+/// // workflows with identical plan signatures once canonicalized.
+/// let chain = "A = load '/pv' as (user, rev);
+///              B = filter A by rev > 10;
+///              C = filter B by user == 'u1';
+///              store C into '/out';";
+/// let conj = "A = load '/pv' as (user, rev);
+///             C = filter A by user == 'u1' and rev > 10;
+///             store C into '/out';";
+/// let (a, _) = restore_dataflow::compile_canonical(chain, "/wf/a").unwrap();
+/// let (b, _) = restore_dataflow::compile_canonical(conj, "/wf/b").unwrap();
+/// assert_eq!(a.jobs[0].plan.signature(), b.jobs[0].plan.signature());
+/// ```
+pub fn compile_canonical(
+    query: &str,
+    out_prefix: &str,
+) -> Result<(CompiledWorkflow, [(&'static str, std::time::Duration); 3])> {
+    let program = parser::parse(query)?;
+    let logical = logical::LogicalPlan::from_ast(&program)?;
+    let logical = optimizer::optimize(logical);
+    let mut physical = lower::lower(&logical)?;
+    let timings = analyzer::canonicalize_timed(&mut physical);
+    let wf = mr_compiler::compile_plan(&physical, out_prefix)?;
+    Ok((wf, timings))
 }

@@ -13,12 +13,16 @@
 //!   1:10 instance ratio and wide-row layout;
 //! * [`queries`] — the PigMix subset written in the `restore-dataflow`
 //!   dialect, including the L3/L11 variants of §7.1;
+//! * [`paraphrase`] — the paraphrased-PigMix suite: each query
+//!   rewritten 3–5 semantically-equal ways, for measuring the
+//!   analyzer's warm-hit-rate lift;
 //! * [`synthetic`] — the §7.5 twelve-field data set and the QP/QF query
 //!   templates;
 //! * [`scale`] — the experiment scale presets and the byte-scale wiring
 //!   that makes the cost model report paper-comparable times.
 
 pub mod datagen;
+pub mod paraphrase;
 pub mod queries;
 pub mod scale;
 pub mod synthetic;

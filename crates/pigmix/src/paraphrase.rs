@@ -1,0 +1,229 @@
+//! Paraphrased-PigMix: each query rewritten several **semantically
+//! equal** ways, for measuring how many rewrites the analyzer's
+//! canonical form turns into warm repository hits.
+//!
+//! Every case holds one *original* formulation (submitted cold, to warm
+//! the repository) and 3–5 paraphrases drawn from rewrite classes the
+//! logical optimizer does **not** already normalize — so a warm hit on
+//! a paraphrase is attributable to the analyzer alone:
+//!
+//! * commuted `and` legs (`p and q` vs `q and p`);
+//! * a single conjunction vs the equivalent filter chain, in either
+//!   order;
+//! * literal-first comparisons (`10 < x` vs `x > 10`);
+//! * swapped operands of `+` / `*` in a foreach;
+//! * a shared subplan written as two textually different (but
+//!   equivalent) branches of a join.
+//!
+//! Deliberately **excluded**: reordered join/union operands and
+//! self-join aliasing — the executor is sensitive to operand order and
+//! producer identity there, so those rewrites are not semantically
+//! equal in this engine (see the analyzer's module docs).
+
+use crate::datagen::PAGE_VIEWS;
+
+/// One paraphrased query: the original and its semantically-equal
+/// rewrites. All store into distinct outputs under the case's prefix,
+/// so no submission invalidates another's inputs.
+pub struct ParaphraseCase {
+    pub label: &'static str,
+    /// Submitted first; warms the repository.
+    pub original: String,
+    /// Submitted after; each should be answered from the repository
+    /// when the analyzer is on.
+    pub paraphrases: Vec<String>,
+}
+
+impl ParaphraseCase {
+    /// Total submissions the case makes (original + paraphrases).
+    pub fn submissions(&self) -> usize {
+        1 + self.paraphrases.len()
+    }
+}
+
+fn load_pv(alias: &str) -> String {
+    format!(
+        "{alias} = load '{PAGE_VIEWS}' as (user, action:int, timestamp:int, est_revenue:double, page_info, page_links);"
+    )
+}
+
+/// The paraphrased-PigMix suite. `out_prefix` namespaces every store
+/// path; pass a distinct prefix per run so outputs never collide.
+pub fn paraphrase_suite(out_prefix: &str) -> Vec<ParaphraseCase> {
+    vec![
+        conjunction_case(out_prefix),
+        chain_case(out_prefix),
+        arith_case(out_prefix),
+        shared_subplan_case(out_prefix),
+    ]
+}
+
+/// L2-shaped filter with a two-leg conjunction: commuted legs and
+/// literal-first comparisons.
+fn conjunction_case(prefix: &str) -> ParaphraseCase {
+    let q = |pred: &str, out: &str| {
+        format!(
+            "{pv}
+             B = filter A by {pred};
+             C = foreach B generate user, est_revenue;
+             store C into '{prefix}/conj/{out}';",
+            pv = load_pv("A"),
+        )
+    };
+    ParaphraseCase {
+        label: "conjunction",
+        original: q("action == 1 and est_revenue > 10.0", "o"),
+        paraphrases: vec![
+            q("est_revenue > 10.0 and action == 1", "p1"),
+            q("1 == action and est_revenue > 10.0", "p2"),
+            q("10.0 < est_revenue and 1 == action", "p3"),
+        ],
+    }
+}
+
+/// The same predicate as a filter chain vs one conjunction, in both
+/// chain orders (an upstream filter is the right-leg of the merged
+/// conjunction, so all four compile to one canonical Filter).
+fn chain_case(prefix: &str) -> ParaphraseCase {
+    let conj = |out: &str| {
+        format!(
+            "{pv}
+             B = filter A by timestamp > 5 and action == 2;
+             C = foreach B generate user, timestamp;
+             store C into '{prefix}/chain/{out}';",
+            pv = load_pv("A"),
+        )
+    };
+    let chain = |first: &str, second: &str, out: &str| {
+        format!(
+            "{pv}
+             B = filter A by {first};
+             B2 = filter B by {second};
+             C = foreach B2 generate user, timestamp;
+             store C into '{prefix}/chain/{out}';",
+            pv = load_pv("A"),
+        )
+    };
+    ParaphraseCase {
+        label: "filter-chain",
+        original: conj("o"),
+        paraphrases: vec![
+            chain("timestamp > 5", "action == 2", "p1"),
+            chain("action == 2", "timestamp > 5", "p2"),
+            chain("2 == action", "5 < timestamp", "p3"),
+            conj("p4").replace("timestamp > 5 and action == 2", "action == 2 and timestamp > 5"),
+        ],
+    }
+}
+
+/// Commutative arithmetic in a foreach feeding a group: swapped `+`
+/// and `*` operands, separately and together.
+fn arith_case(prefix: &str) -> ParaphraseCase {
+    let q = |add: &str, mul: &str, out: &str| {
+        format!(
+            "{pv}
+             B = foreach A generate user, {add}, {mul};
+             C = group B by $0;
+             D = foreach C generate group, COUNT(B);
+             store D into '{prefix}/arith/{out}';",
+            pv = load_pv("A"),
+        )
+    };
+    ParaphraseCase {
+        label: "arithmetic",
+        original: q("action + timestamp", "action * timestamp", "o"),
+        paraphrases: vec![
+            q("timestamp + action", "action * timestamp", "p1"),
+            q("action + timestamp", "timestamp * action", "p2"),
+            q("timestamp + action", "timestamp * action", "p3"),
+        ],
+    }
+}
+
+/// Two textually different (but equivalent) branches feeding a join:
+/// common-subplan extraction collapses them to one shared node, so
+/// every variant fingerprints identically.
+fn shared_subplan_case(prefix: &str) -> ParaphraseCase {
+    let q = |left: &str, right: &str, out: &str| {
+        format!(
+            "{pv1}
+             B = filter A by {left};
+             L = foreach B generate user, est_revenue;
+             {pv2}
+             B2 = filter A2 by {right};
+             R = foreach B2 generate user, est_revenue;
+             J = join L by user, R by user;
+             store J into '{prefix}/shared/{out}';",
+            pv1 = load_pv("A"),
+            pv2 = load_pv("A2"),
+        )
+    };
+    ParaphraseCase {
+        label: "shared-subplan",
+        original: q("action == 1 and timestamp > 0", "action == 1 and timestamp > 0", "o"),
+        paraphrases: vec![
+            q("timestamp > 0 and action == 1", "action == 1 and timestamp > 0", "p1"),
+            q("1 == action and 0 < timestamp", "timestamp > 0 and action == 1", "p2"),
+            q("action == 1 and 0 < timestamp", "1 == action and timestamp > 0", "p3"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_case_has_three_to_five_paraphrases() {
+        for case in paraphrase_suite("/out/pp") {
+            assert!(
+                (3..=5).contains(&case.paraphrases.len()),
+                "{}: {} paraphrases",
+                case.label,
+                case.paraphrases.len()
+            );
+        }
+    }
+
+    #[test]
+    fn all_formulations_compile() {
+        for case in paraphrase_suite("/out/pp") {
+            restore_dataflow::compile(&case.original, "/wf")
+                .unwrap_or_else(|e| panic!("{} original: {e}", case.label));
+            for (i, p) in case.paraphrases.iter().enumerate() {
+                restore_dataflow::compile(p, "/wf")
+                    .unwrap_or_else(|e| panic!("{} p{i}: {e}", case.label));
+            }
+        }
+    }
+
+    /// The structural claim behind the suite: canonicalized, every
+    /// paraphrase's per-job plan signatures equal the original's —
+    /// and uncanonicalized they do not (each class is discriminating).
+    #[test]
+    fn paraphrases_fingerprint_identically_only_under_canonicalization() {
+        let sigs = |wf: &restore_dataflow::CompiledWorkflow| {
+            wf.jobs.iter().map(|j| j.plan.signature()).collect::<Vec<_>>()
+        };
+        for case in paraphrase_suite("/out/pp") {
+            let (owf, _) = restore_dataflow::compile_canonical(&case.original, "/wf/o").unwrap();
+            let plain = restore_dataflow::compile(&case.original, "/wf/o").unwrap();
+            for (i, p) in case.paraphrases.iter().enumerate() {
+                let (pwf, _) = restore_dataflow::compile_canonical(p, "/wf/o").unwrap();
+                assert_eq!(
+                    sigs(&owf),
+                    sigs(&pwf),
+                    "{} p{i} must canonicalize to the original's signatures",
+                    case.label
+                );
+                let pplain = restore_dataflow::compile(p, "/wf/o").unwrap();
+                assert_ne!(
+                    sigs(&plain),
+                    sigs(&pplain),
+                    "{} p{i} should differ WITHOUT the analyzer (else it is not discriminating)",
+                    case.label
+                );
+            }
+        }
+    }
+}

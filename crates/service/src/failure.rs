@@ -158,6 +158,20 @@ impl TenantFailureState {
         }
     }
 
+    /// A state inherited from a primary whose breaker was open at
+    /// promotion (the driver replayed `breaker-state` journal records):
+    /// open for one full cooldown from `now`, with an empty window —
+    /// the tenant re-earns its history after recovery, exactly as after
+    /// a local trip.
+    pub(crate) fn inherited_open(policy: &FailurePolicy, now: Instant) -> Self {
+        TenantFailureState {
+            outcomes: VecDeque::new(),
+            state: BreakerCore::Open {
+                until: now + Duration::from_millis(policy.breaker_cooldown_ms),
+            },
+        }
+    }
+
     fn trip(&mut self, policy: &FailurePolicy, now: Instant) {
         self.state =
             BreakerCore::Open { until: now + Duration::from_millis(policy.breaker_cooldown_ms) };

@@ -1,7 +1,7 @@
 //! The service object: admission control, the worker pool, and
 //! introspection.
 
-use crate::failure::{Admission, FaultInjector};
+use crate::failure::{Admission, FaultInjector, TenantFailureState};
 use crate::obs::ServiceObs;
 use crate::scheduler::{next_ready_deadline, pick, tenant_key, QueuedWorkflow, SchedulerState};
 use crate::ticket::{SubmitHandle, Ticket};
@@ -206,6 +206,21 @@ impl RestoreService {
         });
         let obs = Arc::new(ServiceObs::new(restore.registry()));
         let replication = Arc::new(ReplicationHub::default());
+        // Seed breakers the driver knows to be open (a promoted warm
+        // standby replayed its primary's `breaker-state` records): each
+        // inherited breaker sheds for one full cooldown from now, so
+        // promotion does not greet a failing tenant with a thundering
+        // herd. Seeded before any worker thread exists, so no lock
+        // ordering with the worker loop is created.
+        {
+            let now = Instant::now();
+            let mut st = shared.lock();
+            for key in restore.open_breaker_keys() {
+                let tenant = (!key.is_empty()).then_some(key.as_str());
+                let policy = restore.config_as(tenant).failure;
+                st.failure.insert(key, TenantFailureState::inherited_open(&policy, now));
+            }
+        }
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let restore = restore.clone();
@@ -248,7 +263,10 @@ impl RestoreService {
         query: &str,
         out_prefix: &str,
     ) -> Result<SubmitHandle, ServiceError> {
-        let wf = restore_dataflow::compile(query, out_prefix).map_err(ServiceError::Query)?;
+        // The tenant's effective config governs compilation too: with
+        // `canonicalize` on, paraphrases of warm queries hit the
+        // repository (see [`ReStore::compile_as`]).
+        let wf = self.restore.compile_as(tenant, query, out_prefix).map_err(ServiceError::Query)?;
         self.submit_workflow(tenant, wf)
     }
 
@@ -967,12 +985,18 @@ fn worker_loop(
             // traffic best-effort must not trip its own breaker.
             let dropped_failure = result.is_err() && policy.on_failure == FailureDisposition::Drop;
             if policy.breaker_enabled() && (probe || !dropped_failure) {
-                st.failure.entry(key.clone()).or_default().record(
-                    &policy,
-                    probe,
-                    result.is_err(),
-                    now,
-                );
+                let breaker = st.failure.entry(key.clone()).or_default();
+                let was_open = breaker.gauge() != 0.0;
+                breaker.record(&policy, probe, result.is_err(), now);
+                let is_open = breaker.gauge() != 0.0;
+                // Journal the Closed <-> not-Closed transition so a
+                // promoted standby inherits the open breaker. (The
+                // open -> half-open edge happens on the admit path but
+                // never crosses that boundary, so this is the only
+                // transition site that needs to note.)
+                if is_open != was_open {
+                    restore.note_breaker_state(tenant.as_deref(), is_open);
+                }
             }
             if will_retry {
                 // Re-enqueue instead of sleeping on the worker: the

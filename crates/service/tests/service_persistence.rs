@@ -255,7 +255,7 @@ fn snapshot_queues_concurrent_submissions() {
         assert_eq!(e.jobs_skipped, 1, "warm hit straddling a snapshot");
         snapper.join().expect("snapshot thread")
     });
-    assert!(snap.starts_with("restore-state v4\n"));
+    assert!(snap.starts_with("restore-state v5\n"));
 }
 
 /// The service's per-tenant config APIs change behaviour for that

@@ -57,8 +57,12 @@ fn main() {
     );
     let repo_shards =
         std::env::var("RESTORE_REPO_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    // RESTORE_CANONICALIZE=0 turns the analyzer off; the canonicalization
+    // histograms below then stay at zero counts but remain exposed.
+    let canonicalize =
+        !matches!(std::env::var("RESTORE_CANONICALIZE").as_deref(), Ok("0") | Ok("false"));
     let service = RestoreService::new(
-        ReStore::new(engine, ReStoreConfig { repo_shards, ..Default::default() }),
+        ReStore::new(engine, ReStoreConfig { repo_shards, canonicalize, ..Default::default() }),
         ServiceConfig { workers: 2, queue_depth: 16, ..Default::default() },
     );
     service.checkpoint_begin(CheckpointConfig::default());
@@ -74,7 +78,10 @@ fn main() {
         EngineConfig { worker_threads: 2, default_reduce_tasks: 3 },
     );
     let standby = Standby::attach_manual(
-        ReStore::new(standby_engine, ReStoreConfig { repo_shards, ..Default::default() }),
+        ReStore::new(
+            standby_engine,
+            ReStoreConfig { repo_shards, canonicalize, ..Default::default() },
+        ),
         link,
     );
 

@@ -1,0 +1,89 @@
+//! Semantic reuse: the analyzer's warm-hit-rate lift, measured.
+//!
+//! Runs the paraphrased-PigMix suite — each query rewritten 3–5
+//! semantically-equal ways (commuted conjunctions, filter chains,
+//! literal-first comparisons, swapped arithmetic operands, shared
+//! subplans) — through two ReStore sessions over identically-seeded
+//! data: one with [`ReStoreConfig::canonicalize`] on, one with it off.
+//! Each case submits its original formulation cold, then its
+//! paraphrases; a paraphrase counts as a **warm hit** when the
+//! repository answers at least one of its jobs.
+//!
+//! ```sh
+//! cargo run --example semantic_reuse
+//! ```
+//!
+//! CI runs this as a smoke: the process exits nonzero unless the
+//! analyzer-on hit rate strictly exceeds the analyzer-off rate, so the
+//! canonical form's reuse lift cannot silently regress.
+//!
+//! [`ReStoreConfig::canonicalize`]: restore_suite::core::ReStoreConfig
+
+use restore_suite::core::{ReStore, ReStoreConfig};
+use restore_suite::dfs::{Dfs, DfsConfig};
+use restore_suite::mapreduce::{ClusterConfig, Engine, EngineConfig};
+use restore_suite::pigmix::paraphrase::paraphrase_suite;
+use restore_suite::pigmix::{datagen, DataScale};
+
+/// One fresh session over freshly generated (deterministic) data.
+fn session(canonicalize: bool) -> ReStore {
+    let dfs =
+        Dfs::new(DfsConfig { nodes: 4, block_size: 1024, replication: 2, node_capacity: None });
+    datagen::generate(&dfs, &DataScale::tiny(), 0xF00D).expect("data generation");
+    let engine = Engine::new(
+        dfs,
+        ClusterConfig::default(),
+        EngineConfig { worker_threads: 2, default_reduce_tasks: 2 },
+    );
+    ReStore::new(engine, ReStoreConfig { canonicalize, ..Default::default() })
+}
+
+/// Runs the whole suite through one session; returns
+/// `(warm_hits, paraphrase_submissions)` plus the per-case tally.
+fn run(restore: &ReStore, mode: &str) -> (usize, usize, Vec<(&'static str, usize, usize)>) {
+    let mut hits = 0;
+    let mut total = 0;
+    let mut per_case = Vec::new();
+    for (c, case) in paraphrase_suite(&format!("/out/{mode}")).iter().enumerate() {
+        restore
+            .execute_query(&case.original, &format!("/wf/{mode}/{c}/o"))
+            .unwrap_or_else(|e| panic!("{} original: {e}", case.label));
+        let mut case_hits = 0;
+        for (i, p) in case.paraphrases.iter().enumerate() {
+            let exec = restore
+                .execute_query(p, &format!("/wf/{mode}/{c}/p{i}"))
+                .unwrap_or_else(|e| panic!("{} p{i}: {e}", case.label));
+            if exec.jobs_skipped > 0 {
+                case_hits += 1;
+            }
+        }
+        hits += case_hits;
+        total += case.paraphrases.len();
+        per_case.push((case.label, case_hits, case.paraphrases.len()));
+    }
+    (hits, total, per_case)
+}
+
+fn main() {
+    let on = session(true);
+    let off = session(false);
+    let (on_hits, on_total, on_cases) = run(&on, "on");
+    let (off_hits, off_total, off_cases) = run(&off, "off");
+
+    println!("-- paraphrased-PigMix warm hits (analyzer on vs off) --");
+    for ((label, h_on, n), (_, h_off, _)) in on_cases.iter().zip(&off_cases) {
+        println!("  {label:<16} on {h_on}/{n}   off {h_off}/{n}");
+    }
+    let rate = |h: usize, n: usize| 100.0 * h as f64 / n as f64;
+    println!(
+        "  total            on {on_hits}/{on_total} ({:.0}%)   off {off_hits}/{off_total} ({:.0}%)",
+        rate(on_hits, on_total),
+        rate(off_hits, off_total)
+    );
+
+    if on_hits <= off_hits {
+        eprintln!("FAIL: analyzer-on hit rate must strictly exceed analyzer-off");
+        std::process::exit(1);
+    }
+    println!("analyzer lift confirmed: +{} warm hits", on_hits - off_hits);
+}
